@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md calls out. Not a paper
+ * figure — this quantifies how much each modelling/mechanism decision
+ * matters, on three representative benchmarks (hotspot: the paper's
+ * running example; sgemm: FP compute; NN: few warps, blackout
+ * sensitive).
+ *
+ * Ablations:
+ *   A1  GATES priority switch on blackout (Section 5) on/off
+ *   A2  GATES maximum priority-hold threshold (Section 4)
+ *   A3  two-level active-set capacity
+ *   A4  DRAM return batching (batched vs uniform trickle at equal
+ *       bandwidth) — a workload-model choice that shapes idle droughts
+ *   A5  CTA program sharing (correlated vs independent warp programs)
+ */
+
+#include <vector>
+
+#include "core/warped_gates.hh"
+
+namespace {
+
+const char* kBenches[] = {"hotspot", "sgemm", "NN"};
+
+/** Run one configuration, return (int savings, norm runtime). */
+std::pair<double, double>
+measure(const wg::GpuConfig& config, const std::string& bench,
+        wg::Cycle base_cycles)
+{
+    using namespace wg;
+    Gpu gpu(config);
+    SimResult r = gpu.run(findBenchmark(bench));
+    double perf = base_cycles > 0 ? static_cast<double>(r.cycles) /
+                                        static_cast<double>(base_cycles)
+                                  : 0.0;
+    return {r.intEnergy.staticSavingsRatio(), perf};
+}
+
+wg::Cycle
+baseline(const std::string& bench, const wg::ExperimentOptions& opts)
+{
+    using namespace wg;
+    Gpu gpu(makeConfig(Technique::Baseline, opts));
+    return gpu.run(findBenchmark(bench)).cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace wg;
+    ExperimentOptions opts;
+    opts.numSms = 4;
+
+    std::map<std::string, Cycle> base;
+    for (const char* b : kBenches)
+        base[b] = baseline(b, opts);
+
+    {
+        Table table("A1: GATES priority switch on blackout "
+                    "(WarpedGates; int savings / runtime)");
+        table.header({"benchmark", "switch on", "switch off"});
+        for (const char* b : kBenches) {
+            GpuConfig on = makeConfig(Technique::WarpedGates, opts);
+            GpuConfig off = on;
+            off.sm.gates.switchOnBlackout = false;
+            auto [s1, p1] = measure(on, b, base[b]);
+            auto [s2, p2] = measure(off, b, base[b]);
+            table.row({b,
+                       Table::pct(s1) + " / " + Table::num(p1, 3),
+                       Table::pct(s2) + " / " + Table::num(p2, 3)});
+        }
+        table.print();
+    }
+
+    {
+        Table table("A2: GATES max priority hold (WarpedGates)");
+        table.header({"benchmark", "unbounded", "hold 500", "hold 100"});
+        for (const char* b : kBenches) {
+            std::vector<std::string> row = {b};
+            for (Cycle hold : {Cycle(0), Cycle(500), Cycle(100)}) {
+                GpuConfig cfg = makeConfig(Technique::WarpedGates, opts);
+                cfg.sm.gates.maxPriorityHold = hold;
+                auto [s, p] = measure(cfg, b, base[b]);
+                row.push_back(Table::pct(s) + " / " + Table::num(p, 3));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+
+    {
+        Table table("A3: active-set capacity (WarpedGates)");
+        table.header({"benchmark", "8", "16", "32"});
+        for (const char* b : kBenches) {
+            std::vector<std::string> row = {b};
+            for (unsigned cap : {8u, 16u, 32u}) {
+                GpuConfig cfg = makeConfig(Technique::WarpedGates, opts);
+                cfg.sm.activeSetCapacity = cap;
+                auto [s, p] = measure(cfg, b, base[b]);
+                row.push_back(Table::pct(s) + " / " + Table::num(p, 3));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+
+    {
+        Table table("A4: DRAM return batching at equal bandwidth "
+                    "(ConvPG int savings; batching creates the long "
+                    "droughts gating needs)");
+        table.header({"benchmark", "4 per 96 (batched)",
+                      "1 per 24 (trickle)"});
+        for (const char* b : kBenches) {
+            GpuConfig batched = makeConfig(Technique::ConvPG, opts);
+            GpuConfig trickle = batched;
+            trickle.sm.mem.serviceBatchSize = 1;
+            trickle.sm.mem.serviceBatchPeriod = 24;
+            auto [s1, p1] = measure(batched, b, base[b]);
+            auto [s2, p2] = measure(trickle, b, base[b]);
+            (void)p1;
+            (void)p2;
+            table.row({b, Table::pct(s1), Table::pct(s2)});
+        }
+        table.print();
+    }
+
+    {
+        Table table("A5: CTA program sharing (WarpedGates int savings; "
+                    "correlated warps stall together)");
+        table.header({"benchmark", "shared (cta=16)",
+                      "independent (cta=1)"});
+        for (const char* b : kBenches) {
+            GpuConfig cfg = makeConfig(Technique::WarpedGates, opts);
+            BenchmarkProfile shared = findBenchmark(b);
+            BenchmarkProfile indep = shared;
+            indep.ctaWarps = 1;
+            Gpu gpu(cfg);
+            SimResult rs = gpu.run(shared);
+            SimResult ri = gpu.run(indep);
+            table.row({b,
+                       Table::pct(rs.intEnergy.staticSavingsRatio()),
+                       Table::pct(ri.intEnergy.staticSavingsRatio())});
+        }
+        table.print();
+    }
+    return 0;
+}

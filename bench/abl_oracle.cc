@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Oracle headroom study (extension, not a paper figure): how close each
+ * technique comes to an oracle gating controller that knows every idle
+ * period's length in advance (gates instantly, only when profitable).
+ * The oracle bound is computed from each run's own measured idle-period
+ * histogram, so scheduler effects (GATES lengthening periods) raise the
+ * bound too.
+ */
+
+#include <vector>
+
+#include "core/warped_gates.hh"
+#include "power/oracle.hh"
+
+int
+main()
+{
+    using namespace wg;
+    ExperimentRunner runner;
+    const Cycle bet = runner.options().breakEven;
+
+    Table table("Oracle headroom, INT units: technique savings vs the "
+                "oracle bound on the same execution");
+    table.header({"benchmark", "ConvPG", "oracle(ConvPG)", "WarpedGates",
+                  "oracle(Warped)", "warped/oracle"});
+
+    std::vector<double> closeness;
+    for (const std::string& name : benchmarkNames()) {
+        const SimResult& conv = runner.run(name, Technique::ConvPG);
+        const SimResult& warped = runner.run(name, Technique::WarpedGates);
+
+        auto bound = [&](const SimResult& r) {
+            return oracleStaticSavings(r.idleHist(UnitClass::Int), bet,
+                                       2 * r.totalSmCycles);
+        };
+        double conv_s = conv.intEnergy.staticSavingsRatio();
+        double conv_o = bound(conv);
+        double warp_s = warped.intEnergy.staticSavingsRatio();
+        double warp_o = bound(warped);
+        double ratio = warp_o > 0 ? warp_s / warp_o : 0.0;
+        closeness.push_back(ratio);
+
+        table.row({name, Table::pct(conv_s), Table::pct(conv_o),
+                   Table::pct(warp_s), Table::pct(warp_o),
+                   Table::num(ratio, 2)});
+    }
+    std::vector<std::string> avg = {"mean", "", "", "", "",
+                                    Table::num(mean(closeness), 2)};
+    table.row(avg);
+    table.print();
+    return 0;
+}

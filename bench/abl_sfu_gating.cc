@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Extension study: SFU power gating. The paper (Section 3) scopes SFUs
+ * out of its evaluation, arguing SFU instructions are rare enough that
+ * conventional gating recovers most SFU leakage; this harness measures
+ * exactly that claim on the SFU-using benchmarks of the suite.
+ */
+
+#include <vector>
+
+#include "core/warped_gates.hh"
+
+int
+main()
+{
+    using namespace wg;
+    ExperimentOptions opts;
+    opts.numSms = 4;
+
+    Table table("SFU conventional power gating (extension; paper "
+                "Section 3 claim: conventional PG suffices for SFUs)");
+    table.header({"benchmark", "sfu share", "sfu static savings",
+                  "sfu wakeups", "runtime vs no-sfu-gating"});
+
+    for (const std::string& name : benchmarkNames()) {
+        const BenchmarkProfile& profile = findBenchmark(name);
+        if (profile.fracSfu < 0.005)
+            continue;
+
+        GpuConfig off = makeConfig(Technique::WarpedGates, opts);
+        GpuConfig on = off;
+        on.sm.pg.gateSfu = true;
+
+        Gpu gpu_off(off), gpu_on(on);
+        SimResult r_off = gpu_off.run(profile);
+        SimResult r_on = gpu_on.run(profile);
+
+        double share =
+            static_cast<double>(r_on.aggregate.sfuIssues) /
+            static_cast<double>(r_on.aggregate.issuedTotal);
+        table.row({name, Table::pct(share),
+                   Table::pct(r_on.sfuEnergy.staticSavingsRatio()),
+                   std::to_string(r_on.aggregate.sfuCluster.pg.wakeups),
+                   Table::num(static_cast<double>(r_on.cycles) /
+                                  static_cast<double>(r_off.cycles),
+                              3)});
+    }
+    table.print();
+    return 0;
+}

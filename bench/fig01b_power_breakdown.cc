@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Fig. 1b: execution-unit energy breakdown (dynamic /
+ * power-gating overhead / static), suite-averaged, for the baseline
+ * (no gating) and conventional power gating.
+ *
+ * Paper reference: baseline INT ~50% static, FP ~90% static; under
+ * conventional gating the INT split is ~50% dynamic / 11% overhead /
+ * 31% static (of the original total), FP ~10% / 29% / 61%.
+ */
+
+#include <vector>
+
+#include "core/warped_gates.hh"
+
+namespace {
+
+struct Split
+{
+    double dynamic = 0.0;
+    double overhead = 0.0;
+    double still = 0.0; // static energy actually consumed
+};
+
+/** Suite-average energy split for @p uc, normalised to the no-gating
+ *  total energy of the same benchmark. */
+Split
+averageSplit(wg::ExperimentRunner& runner, wg::Technique tech,
+             wg::UnitClass uc, const std::vector<std::string>& benches)
+{
+    using namespace wg;
+    Split acc;
+    int n = 0;
+    for (const std::string& name : benches) {
+        const SimResult& base = runner.run(name, Technique::Baseline);
+        const SimResult& r = runner.run(name, tech);
+        const UnitEnergy& be = base.energy(uc);
+        const UnitEnergy& e = r.energy(uc);
+        double total = be.total();
+        if (total <= 0.0)
+            continue;
+        acc.dynamic += e.dynamicE / total;
+        acc.overhead += e.overheadE / total;
+        acc.still += e.staticE / total;
+        ++n;
+    }
+    if (n > 0) {
+        acc.dynamic /= n;
+        acc.overhead /= n;
+        acc.still /= n;
+    }
+    return acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace wg;
+    ExperimentRunner runner;
+
+    Table table("Fig. 1b: execution-unit energy breakdown, suite average "
+                "(fractions of the no-gating total energy)");
+    table.header({"configuration", "unit", "dynamic", "overhead",
+                  "static", "total"});
+
+    const auto all = benchmarkNames();
+    const auto fp = ExperimentRunner::fpBenchmarks();
+
+    struct RowSpec
+    {
+        const char* label;
+        Technique tech;
+        UnitClass uc;
+        const std::vector<std::string>* benches;
+    };
+    const RowSpec rows[] = {
+        {"Baseline", Technique::Baseline, UnitClass::Int, &all},
+        {"Baseline", Technique::Baseline, UnitClass::Fp, &fp},
+        {"Conventional PG", Technique::ConvPG, UnitClass::Int, &all},
+        {"Conventional PG", Technique::ConvPG, UnitClass::Fp, &fp},
+    };
+
+    for (const RowSpec& spec : rows) {
+        Split s = averageSplit(runner, spec.tech, spec.uc, *spec.benches);
+        table.row({spec.label, unitClassName(spec.uc),
+                   Table::pct(s.dynamic), Table::pct(s.overhead),
+                   Table::pct(s.still),
+                   Table::pct(s.dynamic + s.overhead + s.still)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Fig. 5: GPGPU workload characteristics.
+ *   (a) instruction mix per benchmark (FP / INT / SFU / LDST shares)
+ *   (b) maximum and average active-warps-set size at runtime
+ *
+ * Both are measured from the baseline (two-level scheduler, no power
+ * gating) simulation, exactly as the paper characterises its suite.
+ */
+
+#include <iostream>
+
+#include "core/warped_gates.hh"
+
+int
+main()
+{
+    using namespace wg;
+
+    ExperimentOptions opts;
+    ExperimentRunner runner(opts);
+
+    Table mix("Fig. 5a: instruction mix (dynamic shares)");
+    mix.header({"benchmark", "INT", "FP", "SFU", "LDST"});
+
+    Table warps("Fig. 5b: runtime active-warps-set size");
+    warps.header({"benchmark", "max", "average"});
+
+    for (const std::string& name : benchmarkNames()) {
+        const SimResult& r = runner.run(name, Technique::Baseline);
+        const SmStats& a = r.aggregate;
+        double total = static_cast<double>(a.issuedTotal);
+        auto share = [&](UnitClass uc) {
+            return total == 0.0
+                       ? 0.0
+                       : a.issuedByClass[static_cast<std::size_t>(uc)] /
+                             total;
+        };
+        mix.row({name, Table::pct(share(UnitClass::Int)),
+                 Table::pct(share(UnitClass::Fp)),
+                 Table::pct(share(UnitClass::Sfu)),
+                 Table::pct(share(UnitClass::Ldst))});
+        warps.row({name, std::to_string(a.activeSizeMax),
+                   Table::num(a.avgActiveWarps(), 1)});
+    }
+
+    mix.print();
+    warps.print();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Fig. 6: correlation between critical wakeups per 1000
+ * cycles and performance loss under Blackout, across static idle-detect
+ * values 0..10. The Pearson coefficient per benchmark is printed next
+ * to its name, as in the paper's legend.
+ *
+ * Paper reference: 11 benchmarks with r > 0.9; kmeans, MUM, lavaMD,
+ * mri, WP and sgemm show low correlation because Blackout costs them
+ * no performance to begin with.
+ */
+
+#include <vector>
+
+#include "core/warped_gates.hh"
+
+int
+main()
+{
+    using namespace wg;
+    ExperimentRunner runner;
+
+    Table table("Fig. 6: critical wakeups per 1k cycles vs normalized "
+                "runtime under Blackout, idle-detect swept 0..10");
+    table.header({"benchmark", "pearson r", "cw/1k @ID=0", "runtime@0",
+                  "cw/1k @ID=5", "runtime@5", "cw/1k @ID=10",
+                  "runtime@10"});
+
+    for (const std::string& name : benchmarkNames()) {
+        const SimResult& base = runner.run(name, Technique::Baseline);
+
+        std::vector<double> criticals, runtimes;
+        std::array<double, 3> cw_probe = {0, 0, 0};
+        std::array<double, 3> rt_probe = {0, 0, 0};
+        for (Cycle id = 0; id <= 10; ++id) {
+            ExperimentOptions opts = runner.options();
+            opts.idleDetect = id;
+            const SimResult& r =
+                runner.run(name, Technique::CoordinatedBlackout, opts);
+            double cw = r.criticalWakeupsPer1k(UnitClass::Int) +
+                        r.criticalWakeupsPer1k(UnitClass::Fp);
+            double rt = normalizedRuntime(r, base);
+            criticals.push_back(cw);
+            runtimes.push_back(rt);
+            if (id == 0) {
+                cw_probe[0] = cw;
+                rt_probe[0] = rt;
+            } else if (id == 5) {
+                cw_probe[1] = cw;
+                rt_probe[1] = rt;
+            } else if (id == 10) {
+                cw_probe[2] = cw;
+                rt_probe[2] = rt;
+            }
+        }
+
+        double r = pearson(criticals, runtimes);
+        table.row({name, Table::num(r, 2), Table::num(cw_probe[0], 1),
+                   Table::num(rt_probe[0], 3), Table::num(cw_probe[1], 1),
+                   Table::num(rt_probe[1], 3), Table::num(cw_probe[2], 1),
+                   Table::num(rt_probe[2], 3)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 10: performance impact of the power-gating
+ * techniques, normalised to the no-gating baseline (1.0 = no slowdown;
+ * lower = slower, matching the paper's "normalized performance" axis).
+ *
+ * Paper reference (geomean): ConvPG and GATES ~0.99, Naive Blackout
+ * ~0.95 (worst), Coordinated Blackout ~0.98, Warped Gates ~0.99.
+ */
+
+#include <vector>
+
+#include "core/warped_gates.hh"
+
+int
+main()
+{
+    using namespace wg;
+
+    const std::vector<Technique> techs = {
+        Technique::ConvPG, Technique::Gates, Technique::NaiveBlackout,
+        Technique::CoordinatedBlackout, Technique::WarpedGates};
+
+    ExperimentRunner runner;
+
+    Table table("Fig. 10: normalized performance (paper geomean: ConvPG "
+                "0.99, GATES 0.99, Naive 0.95, Coord 0.98, Warped 0.99)");
+    std::vector<std::string> head = {"benchmark"};
+    for (Technique t : techs)
+        head.push_back(techniqueName(t));
+    table.header(head);
+
+    std::vector<std::vector<double>> per_tech(techs.size());
+    for (const std::string& name : benchmarkNames()) {
+        const SimResult& base = runner.run(name, Technique::Baseline);
+        std::vector<std::string> row = {name};
+        for (std::size_t i = 0; i < techs.size(); ++i) {
+            const SimResult& r = runner.run(name, techs[i]);
+            double perf = 1.0 / normalizedRuntime(r, base);
+            per_tech[i].push_back(perf);
+            row.push_back(Table::num(perf, 3));
+        }
+        table.row(row);
+    }
+
+    std::vector<std::string> gm = {"geomean"};
+    for (const auto& xs : per_tech)
+        gm.push_back(Table::num(geomean(xs), 3));
+    table.row(gm);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: simulator throughput per subsystem.
+ * These guard against performance regressions in the hot simulation
+ * loop (the figure harnesses run hundreds of full simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/warped_gates.hh"
+
+namespace {
+
+using namespace wg;
+
+/** Full-SM simulation throughput (cycles/second) for hotspot. */
+void
+BM_SmHotspot(benchmark::State& state)
+{
+    Technique tech = static_cast<Technique>(state.range(0));
+    GpuConfig config = makeConfig(tech);
+    ProgramGenerator gen(1);
+    auto programs = gen.generateSm(findBenchmark("hotspot"), 0);
+
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        Sm sm(config.sm, programs, 42);
+        const SmStats& s = sm.run();
+        cycles += s.cycles;
+        benchmark::DoNotOptimize(s.issuedTotal);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+/** Program-generation throughput. */
+void
+BM_GenerateProgram(benchmark::State& state)
+{
+    ProgramGenerator gen(7);
+    const BenchmarkProfile& profile = findBenchmark("srad");
+    std::uint64_t salt = 0;
+    for (auto _ : state) {
+        Program p = gen.generate(profile, salt++);
+        benchmark::DoNotOptimize(p.size());
+    }
+}
+
+/** Power-gating domain state-machine throughput. */
+void
+BM_PgDomainTick(benchmark::State& state)
+{
+    PgParams params;
+    params.policy = PgPolicy::CoordinatedBlackout;
+    PgDomain domain(params);
+    Cycle now = 0;
+    for (auto _ : state) {
+        // Alternate short busy runs and long idles to exercise every
+        // state transition.
+        bool busy = (now / 7) % 5 == 0;
+        if (!busy && (now % 41) == 0)
+            domain.requestWakeup(now);
+        domain.tick(now, busy && domain.canExecute(), 5, false, 1);
+        ++now;
+    }
+    benchmark::DoNotOptimize(domain.stats().gatingEvents);
+}
+
+/** Scoreboard hot path. */
+void
+BM_Scoreboard(benchmark::State& state)
+{
+    Scoreboard sb(48);
+    Instruction instr = makeInt(3, 1, 2);
+    for (auto _ : state) {
+        for (WarpId w = 0; w < 48; ++w) {
+            if (sb.ready(w, instr)) {
+                sb.markIssued(w, instr);
+                sb.complete(w, instr.dest);
+            }
+        }
+        benchmark::DoNotOptimize(sb.clean(0));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_SmHotspot)
+    ->Arg(static_cast<int>(Technique::Baseline))
+    ->Arg(static_cast<int>(Technique::ConvPG))
+    ->Arg(static_cast<int>(Technique::WarpedGates))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GenerateProgram);
+BENCHMARK(BM_PgDomainTick);
+BENCHMARK(BM_Scoreboard);
+
+BENCHMARK_MAIN();

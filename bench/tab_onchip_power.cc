@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces the Section 7.3 roll-up: total on-chip power savings
+ * implied by the measured static-energy savings.
+ *
+ * Paper reference: execution units are 16.38% of on-chip leakage;
+ * assuming leakage is 33% (resp. 50%) of total on-chip power and
+ * 30-45% exec-unit static savings, total savings are 1.62-2.43%
+ * (resp. 2.46-3.69%).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "core/warped_gates.hh"
+
+int
+main()
+{
+    using namespace wg;
+    ExperimentRunner runner;
+    PowerConstants pc;
+
+    // Measured suite-average savings under Warped Gates.
+    std::vector<double> ints, fps;
+    const auto fp_set = ExperimentRunner::fpBenchmarks();
+    for (const std::string& name : benchmarkNames()) {
+        const SimResult& r = runner.run(name, Technique::WarpedGates);
+        ints.push_back(r.intEnergy.staticSavingsRatio());
+        if (std::find(fp_set.begin(), fp_set.end(), name) != fp_set.end())
+            fps.push_back(r.fpEnergy.staticSavingsRatio());
+    }
+    double int_savings = mean(ints);
+    double fp_savings = mean(fps);
+
+    // Exec-unit leakage share of chip leakage (paper: 16.38%).
+    double exec_leak = 0.00557 + 4.40;
+    double exec_share = exec_leak / pc.chipLeakage;
+
+    // Leakage-weighted savings across INT and FP (FP dominates).
+    double weighted = (0.00557 * int_savings + 4.40 * fp_savings) /
+                      exec_leak;
+
+    Table table("Section 7.3: estimated total on-chip power savings "
+                "(paper: 1.62-2.43% at 33% leakage share, 2.46-3.69% at "
+                "50%)");
+    table.header({"quantity", "value"});
+    table.row({"avg INT static savings (Warped Gates)",
+               Table::pct(int_savings)});
+    table.row({"avg FP static savings (Warped Gates)",
+               Table::pct(fp_savings)});
+    table.row({"exec units / chip leakage", Table::pct(exec_share, 2)});
+    table.row({"leakage-weighted exec savings", Table::pct(weighted)});
+    for (double leak_share : {0.33, 0.50}) {
+        double total = leak_share * exec_share * weighted;
+        table.row({"total on-chip savings @ leakage=" +
+                       Table::pct(leak_share, 0),
+                   Table::pct(total, 2)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Diagnostic: per-benchmark microarchitectural characterisation under a
+ * chosen technique. Prints utilisation, active-warp occupancy, idle
+ * period regions and gating behaviour — the numbers one needs to sanity
+ * check a workload model against the paper's Figures 3 and 5.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/warped_gates.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace wg;
+
+    std::string bench = argc > 1 ? argv[1] : "hotspot";
+    Technique tech = Technique::ConvPG;
+    if (argc > 2) {
+        std::string t = argv[2];
+        for (Technique cand : allTechniques())
+            if (t == techniqueName(cand))
+                tech = cand;
+    }
+
+    ExperimentOptions opts;
+    opts.numSms = 4;
+    ExperimentRunner runner(opts);
+    const SimResult& r = runner.run(bench, tech);
+    const SimResult& base = runner.run(bench, Technique::Baseline);
+
+    const SmStats& a = r.aggregate;
+    double sm_cycles = static_cast<double>(r.totalSmCycles);
+
+    std::cout << "benchmark " << bench << " under " << techniqueName(tech)
+              << "\n";
+    std::cout << "  cycles (max SM)        " << r.cycles << "\n";
+    std::cout << "  norm. runtime          "
+              << Table::num(normalizedRuntime(r, base), 4) << "\n";
+    std::cout << "  IPC                    " << Table::num(r.ipc(), 3)
+              << "\n";
+    std::cout << "  avg/max active warps   "
+              << Table::num(a.avgActiveWarps(), 1) << " / "
+              << a.activeSizeMax << "\n";
+    std::cout << "  issued INT/FP/SFU/LDST ";
+    for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+        std::cout << a.issuedByClass[c] << (c + 1 < kNumUnitClasses ? "/"
+                                                                    : "\n");
+    std::cout << "  mem hit/miss/store     " << a.memHits << "/"
+              << a.memMisses << "/" << a.memStores << " (rejects "
+              << a.mshrRejects << ")\n";
+
+    for (UnitClass uc : {UnitClass::Int, UnitClass::Fp}) {
+        PgDomainStats s = r.typeStats(uc);
+        double cc = 2.0 * sm_cycles;
+        auto regions = r.idleRegions(uc, opts.idleDetect, opts.breakEven);
+        std::cout << "  [" << unitClassName(uc) << "] busy "
+                  << Table::pct(s.busyCycles / cc) << "  idleOn "
+                  << Table::pct(s.idleOnCycles / cc) << "  gated "
+                  << Table::pct(s.gatedCycles() / cc) << " (comp "
+                  << Table::pct(s.compCycles / cc) << ")  wakeups "
+                  << s.wakeups << " (uncomp " << s.uncompWakeups
+                  << ", critical " << s.criticalWakeups << ")\n";
+        std::cout << "        idle periods: <=ID "
+                  << Table::pct(regions[0]) << "  mid "
+                  << Table::pct(regions[1]) << "  >ID+BET "
+                  << Table::pct(regions[2]) << "  (count "
+                  << r.idleHist(uc).total() << ", mean "
+                  << Table::num(r.idleHist(uc).mean(), 1) << ")\n";
+        std::cout << "        static savings "
+                  << Table::pct(r.energy(uc).staticSavingsRatio()) << "\n";
+    }
+    return 0;
+}

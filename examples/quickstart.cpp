@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Quickstart: run the hotspot workload under every technique and print
+ * static-energy savings and performance — the headline comparison of
+ * the paper in a dozen lines of API use.
+ */
+
+#include <iostream>
+
+#include "core/warped_gates.hh"
+
+int
+main()
+{
+    using namespace wg;
+
+    ExperimentOptions opts;
+    opts.numSms = 4; // keep the quickstart snappy
+
+    ExperimentRunner runner(opts);
+    const SimResult& base = runner.run("hotspot", Technique::Baseline);
+
+    Table table("hotspot: static energy savings and performance");
+    table.header({"technique", "int savings", "fp savings",
+                  "norm. runtime", "int wakeups", "fp wakeups"});
+
+    for (Technique t : allTechniques()) {
+        const SimResult& r = runner.run("hotspot", t);
+        table.row({
+            techniqueName(t),
+            Table::pct(r.intEnergy.staticSavingsRatio()),
+            Table::pct(r.fpEnergy.staticSavingsRatio()),
+            Table::num(normalizedRuntime(r, base), 3),
+            std::to_string(r.wakeups(UnitClass::Int)),
+            std::to_string(r.wakeups(UnitClass::Fp)),
+        });
+    }
+    table.print();
+
+    const SimResult& warped = runner.run("hotspot", Technique::WarpedGates);
+    std::cout << "Warped Gates saved "
+              << Table::pct(warped.intEnergy.staticSavingsRatio())
+              << " of INT and "
+              << Table::pct(warped.fpEnergy.staticSavingsRatio())
+              << " of FP static energy at "
+              << Table::num(normalizedRuntime(warped, base), 3)
+              << "x baseline runtime." << std::endl;
+    return 0;
+}

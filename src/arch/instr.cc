@@ -1,0 +1,91 @@
+#include "instr.hh"
+
+#include <sstream>
+
+namespace wg {
+
+const char*
+unitClassName(UnitClass uc)
+{
+    switch (uc) {
+      case UnitClass::Int: return "INT";
+      case UnitClass::Fp: return "FP";
+      case UnitClass::Sfu: return "SFU";
+      case UnitClass::Ldst: return "LDST";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << unitClassName(unit);
+    if (unit == UnitClass::Ldst)
+        os << (isStore ? ".st" : ".ld")
+           << (mem == MemClass::Miss ? ".miss" : ".hit");
+    if (dest != kNoReg)
+        os << " r" << dest << " <-";
+    bool first = true;
+    for (RegId s : srcs) {
+        if (s == kNoReg)
+            continue;
+        os << (first ? " r" : ",r") << s;
+        first = false;
+    }
+    return os.str();
+}
+
+Instruction
+makeInt(RegId dest, RegId src0, RegId src1)
+{
+    Instruction i;
+    i.unit = UnitClass::Int;
+    i.dest = dest;
+    i.srcs = {src0, src1};
+    return i;
+}
+
+Instruction
+makeFp(RegId dest, RegId src0, RegId src1)
+{
+    Instruction i;
+    i.unit = UnitClass::Fp;
+    i.dest = dest;
+    i.srcs = {src0, src1};
+    return i;
+}
+
+Instruction
+makeSfu(RegId dest, RegId src0)
+{
+    Instruction i;
+    i.unit = UnitClass::Sfu;
+    i.dest = dest;
+    i.srcs = {src0, kNoReg};
+    return i;
+}
+
+Instruction
+makeLoad(RegId dest, MemClass mem, RegId addr_src)
+{
+    Instruction i;
+    i.unit = UnitClass::Ldst;
+    i.mem = mem;
+    i.dest = dest;
+    i.srcs = {addr_src, kNoReg};
+    return i;
+}
+
+Instruction
+makeStore(MemClass mem, RegId data_src, RegId addr_src)
+{
+    Instruction i;
+    i.unit = UnitClass::Ldst;
+    i.mem = mem;
+    i.isStore = true;
+    i.srcs = {data_src, addr_src};
+    return i;
+}
+
+} // namespace wg

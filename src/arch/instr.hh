@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Warp-level instruction representation.
+ *
+ * The simulator executes warp instructions (one instruction across 32
+ * threads, SIMT). We only model what the scheduling and power-gating
+ * studies need: the execution-unit class, register dependences, and a
+ * memory-latency class for loads.
+ */
+
+#ifndef WG_ARCH_INSTR_HH
+#define WG_ARCH_INSTR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wg {
+
+/**
+ * Execution-unit class an instruction requires. This is the 2-bit
+ * "instruction type" field GATES adds to every active-warp entry
+ * (LD and ST both map to the LDST pipeline).
+ */
+enum class UnitClass : std::uint8_t { Int = 0, Fp = 1, Sfu = 2, Ldst = 3 };
+
+/** Number of distinct UnitClass values. */
+inline constexpr std::size_t kNumUnitClasses = 4;
+
+/** Printable name of a unit class. */
+const char* unitClassName(UnitClass uc);
+
+/**
+ * Memory-latency class for LDST instructions. Scored by the memory
+ * system into an actual latency (shared/L1 hit vs. DRAM miss).
+ */
+enum class MemClass : std::uint8_t {
+    None = 0,   ///< not a memory instruction
+    Hit,        ///< shared memory or L1 hit
+    Miss,       ///< L2/DRAM access (long latency)
+};
+
+/**
+ * A decoded warp instruction. Plain value type; programs are vectors of
+ * these. Source operands reference architectural registers written by
+ * earlier instructions of the same warp (kNoReg = unused slot).
+ */
+struct Instruction
+{
+    UnitClass unit = UnitClass::Int;   ///< execution resource required
+    MemClass mem = MemClass::None;     ///< latency class when unit==Ldst
+    RegId dest = kNoReg;               ///< destination register
+    std::array<RegId, 2> srcs = {kNoReg, kNoReg}; ///< source registers
+    bool isStore = false;              ///< store: no dest, still uses LDST
+
+    /** @return true when this instruction writes a register. */
+    bool writesReg() const { return dest != kNoReg; }
+
+    /**
+     * True for ops that send the issuing warp to the two-level pending
+     * set (long-latency events: global loads that miss).
+     */
+    bool
+    isLongLatency() const
+    {
+        return unit == UnitClass::Ldst && mem == MemClass::Miss &&
+               !isStore;
+    }
+
+    /** Compact mnemonic, e.g. "FP r3 <- r1,r2" (for traces/tests). */
+    std::string toString() const;
+};
+
+/** Factory helpers used heavily by tests and hand-built examples. */
+Instruction makeInt(RegId dest, RegId src0 = kNoReg, RegId src1 = kNoReg);
+Instruction makeFp(RegId dest, RegId src0 = kNoReg, RegId src1 = kNoReg);
+Instruction makeSfu(RegId dest, RegId src0 = kNoReg);
+Instruction makeLoad(RegId dest, MemClass mem, RegId addr_src = kNoReg);
+Instruction makeStore(MemClass mem, RegId data_src, RegId addr_src = kNoReg);
+
+} // namespace wg
+
+#endif // WG_ARCH_INSTR_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A per-warp program: the straight-line instruction sequence a warp
+ * executes. Control flow is pre-resolved (trace-style), matching how the
+ * power-gating study treats the instruction stream.
+ */
+
+#ifndef WG_ARCH_PROGRAM_HH
+#define WG_ARCH_PROGRAM_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "arch/instr.hh"
+
+namespace wg {
+
+/**
+ * Immutable instruction sequence executed by one warp. Also caches the
+ * per-class instruction counts for workload-characterisation reports
+ * (Fig. 5a).
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Build from an instruction vector. */
+    explicit Program(std::vector<Instruction> instrs);
+
+    /** @return instruction at @p pc (pc < size()). */
+    const Instruction& at(std::size_t pc) const { return instrs_[pc]; }
+
+    /** @return number of instructions. */
+    std::size_t size() const { return instrs_.size(); }
+
+    /** @return true when the program has no instructions. */
+    bool empty() const { return instrs_.empty(); }
+
+    /** @return count of instructions of unit class @p uc. */
+    std::size_t countOf(UnitClass uc) const;
+
+    /** @return the raw instruction vector. */
+    const std::vector<Instruction>& instructions() const { return instrs_; }
+
+  private:
+    std::vector<Instruction> instrs_;
+    std::array<std::size_t, kNumUnitClasses> class_counts_ = {};
+};
+
+} // namespace wg
+
+#endif // WG_ARCH_PROGRAM_HH

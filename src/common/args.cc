@@ -1,0 +1,175 @@
+#include "args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace wg {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+ArgParser::addString(const std::string& name, const std::string& def,
+                     const std::string& help)
+{
+    flags_[name] = Flag{Kind::String, def, help, def, false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addInt(const std::string& name, std::int64_t def,
+                  const std::string& help)
+{
+    flags_[name] =
+        Flag{Kind::Int, std::to_string(def), help, std::to_string(def),
+             false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addDouble(const std::string& name, double def,
+                     const std::string& help)
+{
+    std::ostringstream os;
+    os << def;
+    flags_[name] = Flag{Kind::Double, os.str(), help, os.str(), false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addBool(const std::string& name, const std::string& help)
+{
+    flags_[name] = Flag{Kind::Bool, "false", help, "false", false};
+    order_.push_back(name);
+}
+
+bool
+ArgParser::parse(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr, "%s", usage().c_str());
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+
+        auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                         usage().c_str());
+            return false;
+        }
+        Flag& flag = it->second;
+
+        if (flag.kind == Kind::Bool) {
+            flag.value = has_value ? value : "true";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "flag --%s needs a value\n",
+                                 name.c_str());
+                    return false;
+                }
+                value = argv[++i];
+            }
+            if (flag.kind != Kind::String) {
+                // Validate numeric values eagerly.
+                char* end = nullptr;
+                if (flag.kind == Kind::Int)
+                    std::strtoll(value.c_str(), &end, 10);
+                else
+                    std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || *end != '\0') {
+                    std::fprintf(stderr,
+                                 "flag --%s: bad numeric value '%s'\n",
+                                 name.c_str(), value.c_str());
+                    return false;
+                }
+            }
+            flag.value = value;
+        }
+        flag.given = true;
+    }
+    return true;
+}
+
+const ArgParser::Flag&
+ArgParser::find(const std::string& name, Kind kind) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        panic("ArgParser: flag --", name, " was never declared");
+    if (it->second.kind != kind)
+        panic("ArgParser: flag --", name, " accessed with wrong type");
+    return it->second;
+}
+
+std::string
+ArgParser::getString(const std::string& name) const
+{
+    return find(name, Kind::String).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string& name) const
+{
+    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double
+ArgParser::getDouble(const std::string& name) const
+{
+    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+bool
+ArgParser::getBool(const std::string& name) const
+{
+    return find(name, Kind::Bool).value == "true";
+}
+
+bool
+ArgParser::given(const std::string& name) const
+{
+    auto it = flags_.find(name);
+    return it != flags_.end() && it->second.given;
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_ << " [flags]\n";
+    if (!description_.empty())
+        os << description_ << "\n";
+    os << "flags:\n";
+    for (const std::string& name : order_) {
+        const Flag& flag = flags_.at(name);
+        os << "  --" << name;
+        if (flag.kind != Kind::Bool)
+            os << " <" << flag.def << ">";
+        os << "\n      " << flag.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wg

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the tools.
+ *
+ * Supports `--name value`, `--name=value` and boolean `--name` flags,
+ * with typed accessors, defaults, and an auto-generated usage text.
+ */
+
+#ifndef WG_COMMON_ARGS_HH
+#define WG_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wg {
+
+/** Declarative flag set + parsed values. */
+class ArgParser
+{
+  public:
+    /** @param program name shown in usage output. */
+    explicit ArgParser(std::string program, std::string description = "");
+
+    /** Declare a string flag. */
+    void addString(const std::string& name, const std::string& def,
+                   const std::string& help);
+
+    /** Declare an integer flag. */
+    void addInt(const std::string& name, std::int64_t def,
+                const std::string& help);
+
+    /** Declare a double flag. */
+    void addDouble(const std::string& name, double def,
+                   const std::string& help);
+
+    /** Declare a boolean flag (presence = true). */
+    void addBool(const std::string& name, const std::string& help);
+
+    /**
+     * Parse argv. @return false on error or when --help was given (an
+     * error/usage message has been printed to stderr).
+     */
+    bool parse(int argc, const char* const* argv);
+
+    std::string getString(const std::string& name) const;
+    std::int64_t getInt(const std::string& name) const;
+    double getDouble(const std::string& name) const;
+    bool getBool(const std::string& name) const;
+
+    /** true when the flag appeared on the command line. */
+    bool given(const std::string& name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string>& positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Double, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string def;
+        std::string help;
+        std::string value;
+        bool given = false;
+    };
+
+    const Flag& find(const std::string& name, Kind kind) const;
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace wg
+
+#endif // WG_COMMON_ARGS_HH

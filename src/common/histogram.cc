@@ -1,0 +1,89 @@
+#include "histogram.hh"
+
+#include "logging.hh"
+
+namespace wg {
+
+Histogram::Histogram(std::uint64_t max_bin)
+    : max_bin_(max_bin), bins_(max_bin + 1, 0), overflow_(0), total_(0),
+      sum_(0)
+{
+}
+
+void
+Histogram::add(std::uint64_t sample, std::uint64_t count)
+{
+    if (sample <= max_bin_)
+        bins_[sample] += count;
+    else
+        overflow_ += count;
+    total_ += count;
+    sum_ += sample * count;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    if (other.max_bin_ != max_bin_)
+        panic("Histogram::merge: bin count mismatch (", max_bin_, " vs ",
+              other.max_bin_, ")");
+    for (std::uint64_t b = 0; b <= max_bin_; ++b)
+        bins_[b] += other.bins_[b];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::reset()
+{
+    for (auto& b : bins_)
+        b = 0;
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0;
+}
+
+std::uint64_t
+Histogram::bin(std::uint64_t b) const
+{
+    if (b > max_bin_)
+        panic("Histogram::bin: index ", b, " out of range");
+    return bins_[b];
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+double
+Histogram::fractionBetween(std::uint64_t lo, std::uint64_t hi) const
+{
+    if (total_ == 0 || lo > hi)
+        return 0.0;
+    std::uint64_t count = 0;
+    std::uint64_t top = hi < max_bin_ ? hi : max_bin_;
+    for (std::uint64_t b = lo; b <= top && b <= max_bin_; ++b)
+        count += bins_[b];
+    if (hi > max_bin_)
+        count += overflow_;
+    return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+double
+Histogram::fractionAbove(std::uint64_t bound) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (bound >= max_bin_) {
+        return static_cast<double>(overflow_) /
+               static_cast<double>(total_);
+    }
+    return fractionBetween(bound + 1, max_bin_ + 1);
+}
+
+} // namespace wg

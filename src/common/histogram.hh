@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-bin histogram used for idle-period-length distributions.
+ */
+
+#ifndef WG_COMMON_HISTOGRAM_HH
+#define WG_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wg {
+
+/**
+ * Histogram over non-negative integer samples with unit-width bins
+ * [0, maxBin]; samples above maxBin land in the overflow bin.
+ *
+ * Used primarily for idle-period lengths (Fig. 3 of the paper), where the
+ * interesting range is 0..~25 cycles and everything longer is "long".
+ */
+class Histogram
+{
+  public:
+    /** @param max_bin largest sample with its own bin. */
+    explicit Histogram(std::uint64_t max_bin = 64);
+
+    /** Record one sample. */
+    void add(std::uint64_t sample, std::uint64_t count = 1);
+
+    /** Merge another histogram (same max_bin required). */
+    void merge(const Histogram& other);
+
+    /** Discard all samples. */
+    void reset();
+
+    /** @return count in bin @p b (b <= maxBin). */
+    std::uint64_t bin(std::uint64_t b) const;
+
+    /** @return count of samples strictly greater than maxBin. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** @return largest per-bin sample value. */
+    std::uint64_t maxBin() const { return max_bin_; }
+
+    /** @return sum of all recorded sample values. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** @return arithmetic mean of samples (0 when empty). */
+    double mean() const;
+
+    /**
+     * Fraction of samples with value in [lo, hi] (inclusive). hi beyond
+     * maxBin includes the overflow bin. Returns 0 when empty.
+     */
+    double fractionBetween(std::uint64_t lo, std::uint64_t hi) const;
+
+    /** Fraction of samples with value strictly greater than @p bound. */
+    double fractionAbove(std::uint64_t bound) const;
+
+  private:
+    std::uint64_t max_bin_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_;
+    std::uint64_t total_;
+    std::uint64_t sum_;
+};
+
+} // namespace wg
+
+#endif // WG_COMMON_HISTOGRAM_HH

@@ -1,0 +1,54 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace wg {
+
+namespace {
+
+std::mutex log_mutex;
+bool quiet = false;
+
+const char*
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quiet = q;
+}
+
+bool
+isQuiet()
+{
+    return quiet;
+}
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        if (level != LogLevel::Inform || !quiet)
+            std::fprintf(stderr, "%s: %s\n", prefix(level), msg.c_str());
+    }
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+} // namespace wg

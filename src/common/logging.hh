@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-exit helpers.
+ *
+ * panic()  - an internal invariant was violated; this is a simulator bug.
+ * fatal()  - the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments).
+ * warn()   - something is questionable but the simulation continues.
+ * inform() - status messages.
+ */
+
+#ifndef WG_COMMON_LOGGING_HH
+#define WG_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace wg {
+
+/** Severity levels understood by the logger. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Route a formatted message to the log sink. Fatal exits with status 1;
+ * Panic aborts (core-dump friendly). Both are [[noreturn]] through the
+ * convenience wrappers below.
+ */
+void logMessage(LogLevel level, const std::string& msg);
+
+/** Suppress / restore inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when inform() output is suppressed. */
+bool isQuiet();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream& os, const T& value, const Rest&... rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args&... args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable internal error and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args&... args)
+{
+    logMessage(LogLevel::Panic, detail::concat(args...));
+    __builtin_unreachable();
+}
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args&... args)
+{
+    logMessage(LogLevel::Fatal, detail::concat(args...));
+    __builtin_unreachable();
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const Args&... args)
+{
+    logMessage(LogLevel::Warn, detail::concat(args...));
+}
+
+/** Report a status message. */
+template <typename... Args>
+void
+inform(const Args&... args)
+{
+    logMessage(LogLevel::Inform, detail::concat(args...));
+}
+
+} // namespace wg
+
+#endif // WG_COMMON_LOGGING_HH

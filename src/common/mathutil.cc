@@ -1,0 +1,67 @@
+#include "mathutil.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace wg {
+
+double
+pearson(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    if (xs.size() != ys.size())
+        panic("pearson: size mismatch (", xs.size(), " vs ", ys.size(), ")");
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        double v = x > 1e-12 ? x : 1e-12;
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+clamp(double v, double lo, double hi)
+{
+    if (v < lo)
+        return lo;
+    if (v > hi)
+        return hi;
+    return v;
+}
+
+} // namespace wg

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small statistical helpers: Pearson correlation, geometric mean, etc.
+ */
+
+#ifndef WG_COMMON_MATHUTIL_HH
+#define WG_COMMON_MATHUTIL_HH
+
+#include <vector>
+
+namespace wg {
+
+/**
+ * Pearson correlation coefficient between two equally sized samples.
+ * Returns 0 when either sample has zero variance or fewer than two points.
+ */
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/**
+ * Geometric mean of strictly positive values. Non-positive entries are
+ * clamped to a tiny epsilon so a single zero does not wipe the result;
+ * returns 0 for an empty input.
+ */
+double geomean(const std::vector<double>& xs);
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double>& xs);
+
+/** Clamp helper. */
+double clamp(double v, double lo, double hi);
+
+} // namespace wg
+
+#endif // WG_COMMON_MATHUTIL_HH

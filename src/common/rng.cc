@@ -1,0 +1,87 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace wg {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    nextU32();
+    state_ += seed;
+    nextU32();
+}
+
+std::uint32_t
+Rng::nextU32()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t
+Rng::nextRange(std::uint32_t bound)
+{
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = nextU32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return nextU32() * (1.0 / 4294967296.0);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint32_t
+Rng::nextGeometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return 0xffffffffu;
+    // Inverse-CDF sampling; u in (0,1).
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 1e-12;
+    double k = std::floor(std::log(u) / std::log1p(-p));
+    if (k < 0.0)
+        k = 0.0;
+    if (k > 4294967294.0)
+        k = 4294967294.0;
+    return static_cast<std::uint32_t>(k);
+}
+
+Rng
+Rng::fork(std::uint64_t salt)
+{
+    // Mix the salt through SplitMix64 so nearby salts give unrelated
+    // streams.
+    std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= (z >> 31);
+    std::uint64_t seed = state_ ^ z;
+    std::uint64_t stream = inc_ ^ (z * 0xda942042e4dd58b5ULL);
+    return Rng(seed, stream);
+}
+
+} // namespace wg

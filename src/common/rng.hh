@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be bit-reproducible across runs and platforms, so we
+ * carry our own PCG32 implementation instead of relying on libstdc++
+ * distribution internals.
+ */
+
+#ifndef WG_COMMON_RNG_HH
+#define WG_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace wg {
+
+/**
+ * PCG32 (pcg_xsh_rr_64_32) generator. Small state, excellent statistical
+ * quality, and fully deterministic given (seed, stream).
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed and an optional stream selector. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** @return the next raw 32-bit value. */
+    std::uint32_t nextU32();
+
+    /** @return a uniform value in [0, bound). bound must be non-zero. */
+    std::uint32_t nextRange(std::uint32_t bound);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /**
+     * Sample a geometric distribution: number of failures before the
+     * first success with success probability p in (0, 1].
+     */
+    std::uint32_t nextGeometric(double p);
+
+    /** Derive an independent child generator (for per-warp streams). */
+    Rng fork(std::uint64_t salt);
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace wg
+
+#endif // WG_COMMON_RNG_HH

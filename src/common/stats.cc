@@ -1,0 +1,56 @@
+#include "stats.hh"
+
+namespace wg {
+
+void
+StatSet::incr(const std::string& name, double delta)
+{
+    stats_[name] += delta;
+}
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    stats_[name] = value;
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return stats_.find(name) != stats_.end();
+}
+
+double
+StatSet::sumPrefix(const std::string& prefix) const
+{
+    double acc = 0.0;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        acc += it->second;
+    }
+    return acc;
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [name, value] : other.stats_)
+        stats_[name] += value;
+}
+
+void
+StatSet::mergePrefixed(const std::string& prefix, const StatSet& other)
+{
+    for (const auto& [name, value] : other.stats_)
+        stats_[prefix + "." + name] += value;
+}
+
+} // namespace wg

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register scalar counters under hierarchical dotted names
+ * ("sm0.pg.int0.wakeups"). The registry supports merging (across SMs),
+ * lookup by exact name, and prefix aggregation, which the experiment
+ * runner uses to build per-GPU totals from per-SM stats.
+ */
+
+#ifndef WG_COMMON_STATS_HH
+#define WG_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wg {
+
+/**
+ * A flat map of dotted stat names to double values. Counters are doubles
+ * so energies and ratios live in the same table as event counts.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to the named stat, creating it at zero if absent. */
+    void incr(const std::string& name, double delta = 1.0);
+
+    /** Set a stat to an absolute value. */
+    void set(const std::string& name, double value);
+
+    /** @return the stat's value, or 0 when absent. */
+    double get(const std::string& name) const;
+
+    /** @return true when the stat exists. */
+    bool has(const std::string& name) const;
+
+    /** Sum of all stats whose name starts with @p prefix. */
+    double sumPrefix(const std::string& prefix) const;
+
+    /** Add every entry of @p other into this set (summing duplicates). */
+    void merge(const StatSet& other);
+
+    /**
+     * Merge @p other with every key prefixed by @p prefix + ".".
+     * Used to fold per-SM stats into a GPU-level set.
+     */
+    void mergePrefixed(const std::string& prefix, const StatSet& other);
+
+    /** All (name, value) pairs in name order. */
+    const std::map<std::string, double>& entries() const { return stats_; }
+
+    /** Remove everything. */
+    void clear() { stats_.clear(); }
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace wg
+
+#endif // WG_COMMON_STATS_HH

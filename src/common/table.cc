@@ -1,0 +1,86 @@
+#include "table.hh"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace wg {
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::header(const std::vector<std::string>& cells)
+{
+    header_ = cells;
+}
+
+void
+Table::row(const std::vector<std::string>& cells)
+{
+    rows_.push_back(cells);
+}
+
+std::string
+Table::num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+Table::pct(double ratio, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    // Compute column widths over header + body.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string>& cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (cells[i].size() > widths[i])
+                widths[i] = cells[i].size();
+    };
+    grow(header_);
+    for (const auto& r : rows_)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            os << cell;
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t line = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            line += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(line, '-') << '\n';
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    os << std::endl;
+}
+
+void
+Table::print() const
+{
+    print(std::cout);
+}
+
+} // namespace wg

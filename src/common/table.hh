@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harnesses to print
+ * paper-style rows (one row per benchmark, one column per technique).
+ */
+
+#ifndef WG_COMMON_TABLE_HH
+#define WG_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wg {
+
+/**
+ * Column-aligned text table. Cells are strings; numeric helpers format
+ * with fixed precision. The first added row is treated as the header.
+ */
+class Table
+{
+  public:
+    /** @param title printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(const std::vector<std::string>& cells);
+
+    /** Append a body row. Rows may be ragged; missing cells are blank. */
+    void row(const std::vector<std::string>& cells);
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double value, int digits = 3);
+
+    /** Format a ratio as a percentage string, e.g. "31.6%". */
+    static std::string pct(double ratio, int digits = 1);
+
+    /** Render to a stream. */
+    void print(std::ostream& os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace wg
+
+#endif // WG_COMMON_TABLE_HH

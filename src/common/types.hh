@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef WG_COMMON_TYPES_HH
+#define WG_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace wg {
+
+/** Simulation time, measured in core-clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Energy in joules. All accounting is double-precision joules. */
+using Joule = double;
+
+/** Power in watts. */
+using Watt = double;
+
+/** Identifier of a warp within an SM (0 .. residentWarps-1). */
+using WarpId = std::uint32_t;
+
+/** Identifier of an SM within the GPU. */
+using SmId = std::uint32_t;
+
+/** Architectural register index within a warp's register window. */
+using RegId = std::uint16_t;
+
+/** Sentinel register id meaning "no register". */
+inline constexpr RegId kNoReg = 0xffff;
+
+/** Sentinel cycle meaning "never". */
+inline constexpr Cycle kNeverCycle = ~Cycle(0);
+
+} // namespace wg
+
+#endif // WG_COMMON_TYPES_HH

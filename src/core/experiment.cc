@@ -1,0 +1,69 @@
+#include "experiment.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace wg {
+
+ExperimentRunner::ExperimentRunner(const ExperimentOptions& opts)
+    : opts_(opts)
+{
+}
+
+std::string
+ExperimentRunner::key(const std::string& bench, Technique t,
+                      const ExperimentOptions& opts)
+{
+    std::ostringstream os;
+    os << bench << '/' << techniqueName(t) << '/' << opts.numSms << '/'
+       << opts.seed << '/' << opts.idleDetect << '/' << opts.breakEven
+       << '/' << opts.wakeupDelay;
+    return os.str();
+}
+
+const SimResult&
+ExperimentRunner::run(const std::string& bench, Technique t)
+{
+    return run(bench, t, opts_);
+}
+
+const SimResult&
+ExperimentRunner::run(const std::string& bench, Technique t,
+                      const ExperimentOptions& opts)
+{
+    std::string k = key(bench, t, opts);
+    auto it = cache_.find(k);
+    if (it != cache_.end())
+        return it->second;
+
+    const BenchmarkProfile& profile = findBenchmark(bench);
+    Gpu gpu(makeConfig(t, opts));
+    SimResult result = gpu.run(profile);
+    if (!result.aggregate.completed)
+        warn("experiment ", k, " hit maxCycles before draining");
+    auto [pos, inserted] = cache_.emplace(k, std::move(result));
+    (void)inserted;
+    return pos->second;
+}
+
+std::vector<std::string>
+ExperimentRunner::fpBenchmarks()
+{
+    std::vector<std::string> out;
+    for (const auto& p : benchmarkSuite())
+        if (!p.isIntegerOnly())
+            out.push_back(p.name);
+    return out;
+}
+
+double
+normalizedRuntime(const SimResult& r, const SimResult& baseline)
+{
+    if (baseline.cycles == 0)
+        return 0.0;
+    return static_cast<double>(r.cycles) /
+           static_cast<double>(baseline.cycles);
+}
+
+} // namespace wg

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment runner: the entry point the benches, examples and
+ * integration tests share. Runs (benchmark x technique) simulations
+ * and provides suite-level helpers (normalisation against baselines,
+ * FP-benchmark filtering, result caching within one process).
+ */
+
+#ifndef WG_CORE_EXPERIMENT_HH
+#define WG_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/presets.hh"
+#include "sim/gpu.hh"
+#include "workload/profile.hh"
+
+namespace wg {
+
+/** Runs simulations and caches results keyed by (bench, config). */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const ExperimentOptions& opts = {});
+
+    /** Run one benchmark under one technique (cached). */
+    const SimResult& run(const std::string& bench, Technique t);
+
+    /**
+     * Run one benchmark under explicit options (cached); used by the
+     * sensitivity and idle-detect sweeps.
+     */
+    const SimResult& run(const std::string& bench, Technique t,
+                         const ExperimentOptions& opts);
+
+    /** Benchmarks with meaningful FP activity (paper Fig. 9b filter). */
+    static std::vector<std::string> fpBenchmarks();
+
+    const ExperimentOptions& options() const { return opts_; }
+
+  private:
+    static std::string key(const std::string& bench, Technique t,
+                           const ExperimentOptions& opts);
+
+    ExperimentOptions opts_;
+    std::map<std::string, SimResult> cache_;
+};
+
+/**
+ * Runtime of @p r normalised to @p baseline (>1 = slower). The paper's
+ * Fig. 10 plots the inverse (normalised performance); use
+ * 1/normalizedRuntime for that.
+ */
+double normalizedRuntime(const SimResult& r, const SimResult& baseline);
+
+} // namespace wg
+
+#endif // WG_CORE_EXPERIMENT_HH

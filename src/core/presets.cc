@@ -1,0 +1,74 @@
+#include "presets.hh"
+
+#include "common/logging.hh"
+
+namespace wg {
+
+const char*
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::Baseline: return "Baseline";
+      case Technique::ConvPG: return "ConvPG";
+      case Technique::Gates: return "GATES";
+      case Technique::NaiveBlackout: return "NaiveBlackout";
+      case Technique::CoordinatedBlackout: return "CoordBlackout";
+      case Technique::WarpedGates: return "WarpedGates";
+    }
+    return "?";
+}
+
+const std::vector<Technique>&
+allTechniques()
+{
+    static const std::vector<Technique> all = {
+        Technique::Baseline,        Technique::ConvPG,
+        Technique::Gates,           Technique::NaiveBlackout,
+        Technique::CoordinatedBlackout, Technique::WarpedGates,
+    };
+    return all;
+}
+
+GpuConfig
+makeConfig(Technique t, const ExperimentOptions& opts)
+{
+    GpuConfig config;
+    config.numSms = opts.numSms;
+    config.seed = opts.seed;
+
+    SmConfig& sm = config.sm;
+    sm.pg.idleDetect = opts.idleDetect;
+    sm.pg.breakEven = opts.breakEven;
+    sm.pg.wakeupDelay = opts.wakeupDelay;
+
+    switch (t) {
+      case Technique::Baseline:
+        sm.scheduler = SchedulerPolicy::TwoLevel;
+        sm.pg.policy = PgPolicy::None;
+        break;
+      case Technique::ConvPG:
+        sm.scheduler = SchedulerPolicy::TwoLevel;
+        sm.pg.policy = PgPolicy::Conventional;
+        break;
+      case Technique::Gates:
+        sm.scheduler = SchedulerPolicy::Gates;
+        sm.pg.policy = PgPolicy::Conventional;
+        break;
+      case Technique::NaiveBlackout:
+        sm.scheduler = SchedulerPolicy::Gates;
+        sm.pg.policy = PgPolicy::NaiveBlackout;
+        break;
+      case Technique::CoordinatedBlackout:
+        sm.scheduler = SchedulerPolicy::Gates;
+        sm.pg.policy = PgPolicy::CoordinatedBlackout;
+        break;
+      case Technique::WarpedGates:
+        sm.scheduler = SchedulerPolicy::Gates;
+        sm.pg.policy = PgPolicy::CoordinatedBlackout;
+        sm.pg.adaptiveIdleDetect = true;
+        break;
+    }
+    return config;
+}
+
+} // namespace wg

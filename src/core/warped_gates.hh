@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Umbrella header: the library's public API.
+ *
+ * A downstream user typically needs only:
+ *
+ *   #include "core/warped_gates.hh"
+ *
+ *   wg::ExperimentRunner runner;
+ *   const wg::SimResult& base =
+ *       runner.run("hotspot", wg::Technique::Baseline);
+ *   const wg::SimResult& warped =
+ *       runner.run("hotspot", wg::Technique::WarpedGates);
+ *   double savings = warped.intEnergy.staticSavingsRatio();
+ *
+ * For custom microarchitectures or workloads, build a GpuConfig (or
+ * start from makeConfig) and drive wg::Gpu / wg::Sm directly.
+ */
+
+#ifndef WG_CORE_WARPED_GATES_HH
+#define WG_CORE_WARPED_GATES_HH
+
+#include "arch/instr.hh"
+#include "arch/program.hh"
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "pg/controller.hh"
+#include "power/area.hh"
+#include "power/energymodel.hh"
+#include "sim/gpu.hh"
+#include "sim/sm.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/synthetic.hh"
+
+#endif // WG_CORE_WARPED_GATES_HH

@@ -1,0 +1,56 @@
+#include "unit.hh"
+
+#include "common/logging.hh"
+
+namespace wg {
+
+ExecUnit::ExecUnit(UnitClass cls, unsigned index,
+                   const ExecUnitConfig& config)
+    : class_(cls), index_(index), config_(config)
+{
+    if (config_.latency == 0)
+        fatal("ExecUnitConfig: zero latency");
+    if (config_.initiationInterval == 0)
+        fatal("ExecUnitConfig: zero initiation interval");
+    if (config_.occupancy == 0)
+        config_.occupancy = config_.latency;
+    name_ = std::string(unitClassName(cls)) + std::to_string(index);
+}
+
+bool
+ExecUnit::canAccept(Cycle now) const
+{
+    if (last_issue_ == kNeverCycle)
+        return true;
+    return now >= last_issue_ + config_.initiationInterval;
+}
+
+void
+ExecUnit::issue(Cycle now, Cycle complete, WarpId warp, RegId dest,
+                bool long_latency)
+{
+    if (!canAccept(now))
+        panic(name_, ": issue() while port busy at cycle ", now);
+    last_issue_ = now;
+    ++issues_;
+    occupancy_.push(now + config_.occupancy);
+    completions_.push(Completion{complete, warp, dest, long_latency});
+}
+
+void
+ExecUnit::tick(Cycle now)
+{
+    while (!occupancy_.empty() && occupancy_.top() <= now)
+        occupancy_.pop();
+}
+
+void
+ExecUnit::drainCompletions(Cycle now, std::vector<Completion>& out)
+{
+    while (!completions_.empty() && completions_.top().done <= now) {
+        out.push_back(completions_.top());
+        completions_.pop();
+    }
+}
+
+} // namespace wg

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Pipelined execution-unit cluster model.
+ *
+ * One ExecUnit models one *gateable domain*: a 16-lane SIMT cluster that
+ * accepts one warp instruction per initiation interval (the 16 CUDA
+ * cores run at 2x clock, so a 32-thread warp occupies the cluster for a
+ * single issue cycle — exactly the GTX480 arrangement in the paper).
+ * The SM instantiates two INT clusters, two FP clusters (SP0/SP1), one
+ * LD/ST pipeline and one SFU pipeline.
+ *
+ * The unit separates *occupancy* (cycles the silicon is actually
+ * switching, which drives busy/idle detection for power gating) from
+ * *result availability* (when the scoreboard learns the value is ready;
+ * for loads this is whenever the memory system returns the data, long
+ * after the LD/ST pipeline itself went idle).
+ */
+
+#ifndef WG_EXEC_UNIT_HH
+#define WG_EXEC_UNIT_HH
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "arch/instr.hh"
+#include "common/types.hh"
+
+namespace wg {
+
+/** Static configuration of one execution unit. */
+struct ExecUnitConfig
+{
+    Cycle latency = 4;             ///< result latency (ALU default 4)
+    Cycle initiationInterval = 1;  ///< min cycles between issues
+    Cycle occupancy = 0;           ///< pipeline-occupancy cycles;
+                                   ///< 0 means "same as latency"
+};
+
+/** A value (or store) finishing execution. */
+struct Completion
+{
+    Cycle done;         ///< cycle the result becomes visible
+    WarpId warp;        ///< producing warp
+    RegId dest;         ///< destination register (kNoReg for stores)
+    bool longLatency;   ///< true for global-miss loads
+};
+
+/**
+ * One pipelined cluster. The SM drives it with issue() and tick();
+ * the power-gating controller observes busy().
+ */
+class ExecUnit
+{
+  public:
+    /**
+     * @param cls unit class this cluster executes
+     * @param index cluster index within its class (0 or 1 for INT/FP)
+     */
+    ExecUnit(UnitClass cls, unsigned index, const ExecUnitConfig& config);
+
+    /** @return true when the issue port is free this cycle. */
+    bool canAccept(Cycle now) const;
+
+    /**
+     * Issue a warp instruction.
+     * @param now issue cycle (canAccept(now) must hold)
+     * @param complete cycle the result is visible (scoreboard clear)
+     * @param warp issuing warp
+     * @param dest destination register or kNoReg
+     * @param long_latency marks global-miss loads
+     */
+    void issue(Cycle now, Cycle complete, WarpId warp, RegId dest,
+               bool long_latency);
+
+    /** Retire finished occupancy slots; call once per cycle. */
+    void tick(Cycle now);
+
+    /** @return true while any instruction occupies the pipeline. */
+    bool busy() const { return !occupancy_.empty(); }
+
+    /** Move completions due at or before @p now into @p out. */
+    void drainCompletions(Cycle now, std::vector<Completion>& out);
+
+    UnitClass unitClass() const { return class_; }
+    unsigned index() const { return index_; }
+    const std::string& name() const { return name_; }
+
+    /** Total instructions issued to this cluster. */
+    std::uint64_t issueCount() const { return issues_; }
+
+    /** @return configured result latency. */
+    Cycle latency() const { return config_.latency; }
+
+  private:
+    UnitClass class_;
+    unsigned index_;
+    ExecUnitConfig config_;
+    std::string name_;
+
+    Cycle last_issue_ = kNeverCycle; ///< for initiation-interval check
+    std::uint64_t issues_ = 0;
+
+    /** Min-heap of occupancy-end cycles. */
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        occupancy_;
+
+    /** Min-heap of pending completions, ordered by done cycle. */
+    struct CompletionLater
+    {
+        bool
+        operator()(const Completion& a, const Completion& b) const
+        {
+            return a.done > b.done;
+        }
+    };
+    std::priority_queue<Completion, std::vector<Completion>,
+                        CompletionLater>
+        completions_;
+};
+
+} // namespace wg
+
+#endif // WG_EXEC_UNIT_HH

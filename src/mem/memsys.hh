@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Latency/MSHR model of the per-SM memory system.
+ *
+ * The power-gating study needs the memory system for one thing: to
+ * create the long-latency events that move warps between the two-level
+ * scheduler's active and pending sets, and to throttle LD/ST issue when
+ * too many misses are outstanding. A full cache hierarchy is therefore
+ * modelled as (a) a latency distribution per access class and (b) a
+ * bounded miss-status-holding-register (MSHR) pool.
+ */
+
+#ifndef WG_MEM_MEMSYS_HH
+#define WG_MEM_MEMSYS_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "arch/instr.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace wg {
+
+/** Configuration for the memory model. */
+struct MemConfig
+{
+    Cycle hitLatency = 12;      ///< shared-memory / L1-hit latency
+    Cycle missLatencyMin = 300; ///< fastest L2/DRAM round trip
+    Cycle missLatencyMax = 600; ///< slowest L2/DRAM round trip
+    Cycle storeLatency = 8;     ///< store pipeline occupancy
+    unsigned mshrLimit = 32;    ///< max outstanding long-latency misses
+
+    /**
+     * DRAM-bandwidth proxy: misses are serviced in batches of
+     * serviceBatchSize every serviceBatchPeriod cycles (row-buffer hits
+     * and multiple channels return data in clumps, not as a uniform
+     * trickle). The ratio fixes average per-SM bandwidth: 4 lines per
+     * 64 cycles is roughly GTX480's ~177 GB/s shared across 15 SMs.
+     * Misses in one batch complete together (one latency draw per
+     * batch), which preserves the bursty wakeup pattern real DRAM
+     * produces.
+     */
+    Cycle serviceBatchPeriod = 96;
+    unsigned serviceBatchSize = 4;
+};
+
+/**
+ * Per-SM memory system. Accessed by the LD/ST pipeline; tracks
+ * outstanding misses and produces per-access latencies.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemConfig& config, Rng rng);
+
+    /**
+     * Whether a new access of class @p mem can be accepted this cycle
+     * (misses are rejected when the MSHR pool is full).
+     */
+    bool canAccept(MemClass mem) const;
+
+    /**
+     * Start an access; @return its completion cycle.
+     * @param now current cycle
+     * @param mem access class (must not be MemClass::None)
+     * @param is_store stores complete in storeLatency regardless of class
+     */
+    Cycle access(Cycle now, MemClass mem, bool is_store);
+
+    /** Retire misses whose data returned at or before @p now. */
+    void tick(Cycle now);
+
+    /** @return outstanding long-latency misses. */
+    unsigned outstanding() const
+    {
+        return static_cast<unsigned>(inflight_.size());
+    }
+
+    /** Total accesses served, by class (for stats). */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t stores() const { return stores_; }
+
+    /** Cycles during which at least one MSHR reject happened. */
+    std::uint64_t mshrRejects() const { return mshr_rejects_; }
+
+    /** Record an issue attempt rejected for MSHR capacity. */
+    void noteReject() { ++mshr_rejects_; }
+
+  private:
+    /** Draw one DRAM round-trip latency. */
+    Cycle drawMissLatency();
+
+    MemConfig config_;
+    Rng rng_;
+    Cycle batch_time_ = 0;      ///< service time of the filling batch
+    unsigned batch_used_ = 0;   ///< misses already in that batch
+    Cycle batch_latency_ = 0;   ///< latency draw for that batch
+    bool batch_valid_ = false;  ///< a batch has been opened
+    // Min-heap of completion cycles of outstanding misses.
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        inflight_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t mshr_rejects_ = 0;
+};
+
+} // namespace wg
+
+#endif // WG_MEM_MEMSYS_HH

@@ -1,0 +1,43 @@
+#include "adaptive.hh"
+
+#include "common/logging.hh"
+
+namespace wg {
+
+AdaptiveIdleDetect::AdaptiveIdleDetect(const PgParams& params)
+    : params_(params)
+{
+    if (params_.idleDetectMin > params_.idleDetectMax)
+        fatal("AdaptiveIdleDetect: idleDetectMin > idleDetectMax");
+    value_ = params_.idleDetect;
+    if (value_ < params_.idleDetectMin)
+        value_ = params_.idleDetectMin;
+    if (value_ > params_.idleDetectMax)
+        value_ = params_.idleDetectMax;
+}
+
+void
+AdaptiveIdleDetect::endEpoch(std::uint32_t critical_wakeups)
+{
+    if (critical_wakeups > params_.criticalThreshold) {
+        // React quickly: gate more conservatively.
+        if (value_ < params_.idleDetectMax) {
+            ++value_;
+            ++increments_;
+        }
+        good_epochs_ = 0;
+        return;
+    }
+
+    // Decrement conservatively: only after a run of quiet epochs.
+    ++good_epochs_;
+    if (good_epochs_ >= params_.decrementEpochs) {
+        if (value_ > params_.idleDetectMin) {
+            --value_;
+            ++decrements_;
+        }
+        good_epochs_ = 0;
+    }
+}
+
+} // namespace wg

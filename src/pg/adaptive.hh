@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Adaptive idle-detect (paper Section 5.1): per-unit-type runtime
+ * adjustment of the idle-detect window from the critical-wakeup rate.
+ */
+
+#ifndef WG_PG_ADAPTIVE_HH
+#define WG_PG_ADAPTIVE_HH
+
+#include <cstdint>
+
+#include "pg/params.hh"
+
+namespace wg {
+
+/**
+ * One adaptive idle-detect regulator. Instantiated per unit type (one
+ * for INT, one for FP), because each type sees a different instruction
+ * mix and reaches its own operating point.
+ *
+ * Policy: at each epoch end, if the epoch's critical wakeups exceed the
+ * threshold, increment idle-detect (gate more conservatively) — react
+ * quickly to performance-critical phases. Decrement only after
+ * `decrementEpochs` consecutive epochs under the threshold — back off
+ * slowly. The value is bounded to [idleDetectMin, idleDetectMax].
+ */
+class AdaptiveIdleDetect
+{
+  public:
+    explicit AdaptiveIdleDetect(const PgParams& params);
+
+    /** Current idle-detect window. */
+    Cycle value() const { return value_; }
+
+    /**
+     * Close an epoch.
+     * @param critical_wakeups critical wakeups observed this epoch
+     *        across both clusters of the unit type
+     */
+    void endEpoch(std::uint32_t critical_wakeups);
+
+    /** Number of increments applied (diagnostics). */
+    std::uint64_t increments() const { return increments_; }
+
+    /** Number of decrements applied (diagnostics). */
+    std::uint64_t decrements() const { return decrements_; }
+
+  private:
+    PgParams params_;
+    Cycle value_;
+    std::uint32_t good_epochs_ = 0;
+    std::uint64_t increments_ = 0;
+    std::uint64_t decrements_ = 0;
+};
+
+} // namespace wg
+
+#endif // WG_PG_ADAPTIVE_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SM-level power-gating controller: owns the four gateable domains
+ * (two INT clusters, two FP clusters), the per-type adaptive idle-detect
+ * regulators, and the coordinated-blackout cross-cluster logic.
+ */
+
+#ifndef WG_PG_CONTROLLER_HH
+#define WG_PG_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/instr.hh"
+#include "pg/adaptive.hh"
+#include "pg/domain.hh"
+#include "sched/scheduler.hh"
+
+namespace wg {
+
+/** Number of gateable clusters per unit type (SP0/SP1 in GTX480). */
+inline constexpr unsigned kClustersPerType = 2;
+
+/**
+ * Power-gating controller for one SM. Only INT and FP clusters are
+ * gated (the paper gates CUDA cores; SFU/LDST are left always-on).
+ */
+class PgController
+{
+  public:
+    explicit PgController(const PgParams& params);
+
+    /** @return true when (uc, idx) can execute this cycle. */
+    bool canExecute(UnitClass uc, unsigned idx) const;
+
+    /** @return true when (uc, idx) is gated (either blackout state). */
+    bool isGated(UnitClass uc, unsigned idx) const;
+
+    /**
+     * Select the cluster of @p uc a blocked instruction should send its
+     * wakeup request to: a wakeable cluster if any, else the gated
+     * cluster closest to compensation.
+     * @return cluster index, or -1 when no cluster of @p uc is gated or
+     *         waking (i.e. a wakeup makes no sense).
+     */
+    int pickWakeupTarget(UnitClass uc) const;
+
+    /** Forward a wakeup request to (uc, idx). */
+    void requestWakeup(UnitClass uc, unsigned idx, Cycle now);
+
+    /**
+     * Advance all domains one cycle. Call after the issue stage.
+     * @param now current cycle
+     * @param int_busy INT cluster pipeline-occupancy, per cluster
+     * @param fp_busy FP cluster pipeline-occupancy, per cluster
+     * @param view this cycle's active-subset counters (for coordinated
+     *        blackout's ACTV checks)
+     * @param sfu_busy SFU pipeline occupancy (used when gateSfu is set)
+     */
+    void tick(Cycle now, const std::array<bool, kClustersPerType>& int_busy,
+              const std::array<bool, kClustersPerType>& fp_busy,
+              const SchedView& view, bool sfu_busy = false);
+
+    /** The SFU gating domain (meaningful when params().gateSfu). */
+    const PgDomain& sfuDomain() const { return sfu_domain_; }
+
+    /** Flush idle-period trackers at end of simulation. */
+    void finalize(Cycle now);
+
+    /** Current effective idle-detect window for a unit type. */
+    Cycle idleDetectValue(UnitClass uc) const;
+
+    /** Access a domain's state and statistics. */
+    const PgDomain& domain(UnitClass uc, unsigned idx) const;
+
+    /** Adaptive regulator for a type (valid for Int/Fp only). */
+    const AdaptiveIdleDetect& adaptive(UnitClass uc) const;
+
+    /** Populate the blackout flags of a SchedView for the scheduler. */
+    void fillView(SchedView& view) const;
+
+    const PgParams& params() const { return params_; }
+
+  private:
+    /** Map Int->0, Fp->1; panics on other classes. */
+    static unsigned typeIndex(UnitClass uc);
+
+    PgParams params_;
+    // domains_[type][cluster]: type 0 = INT, 1 = FP.
+    std::array<std::array<PgDomain, kClustersPerType>, 2> domains_;
+    PgDomain sfu_domain_;  ///< conventional gating when gateSfu is set
+    std::array<AdaptiveIdleDetect, 2> adaptive_;
+    Cycle epoch_start_ = 0;
+};
+
+} // namespace wg
+
+#endif // WG_PG_CONTROLLER_HH

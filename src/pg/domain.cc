@@ -1,0 +1,197 @@
+#include "domain.hh"
+
+#include "common/logging.hh"
+
+namespace wg {
+
+const char*
+pgPolicyName(PgPolicy policy)
+{
+    switch (policy) {
+      case PgPolicy::None: return "none";
+      case PgPolicy::Conventional: return "conventional";
+      case PgPolicy::NaiveBlackout: return "naive-blackout";
+      case PgPolicy::CoordinatedBlackout: return "coordinated-blackout";
+    }
+    return "?";
+}
+
+const char*
+pgStateName(PgState state)
+{
+    switch (state) {
+      case PgState::On: return "on";
+      case PgState::Uncompensated: return "uncompensated";
+      case PgState::Compensated: return "compensated";
+      case PgState::Wakeup: return "wakeup";
+    }
+    return "?";
+}
+
+PgDomain::PgDomain(const PgParams& params, std::uint64_t hist_max)
+    : params_(params), idle_hist_(hist_max)
+{
+}
+
+bool
+PgDomain::wakeable() const
+{
+    switch (state_) {
+      case PgState::On:
+      case PgState::Wakeup:
+        return false;
+      case PgState::Uncompensated:
+        return params_.policy == PgPolicy::Conventional;
+      case PgState::Compensated:
+        return true;
+    }
+    return false;
+}
+
+void
+PgDomain::requestWakeup(Cycle now)
+{
+    (void)now;
+    wakeup_requested_ = true;
+}
+
+void
+PgDomain::enterGated(Cycle now)
+{
+    ++stats_.gatingEvents;
+    idle_count_ = 0;
+    if (params_.breakEven == 0) {
+        state_ = PgState::Compensated;
+        compensated_at_ = now;
+    } else {
+        state_ = PgState::Uncompensated;
+        bet_remaining_ = params_.breakEven;
+    }
+}
+
+void
+PgDomain::beginWakeup(Cycle now)
+{
+    ++stats_.wakeups;
+    if (params_.wakeupDelay == 0) {
+        state_ = PgState::On;
+        idle_count_ = 0;
+        return;
+    }
+    state_ = PgState::Wakeup;
+    wakeup_remaining_ = params_.wakeupDelay;
+    (void)now;
+}
+
+void
+PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
+               bool coord_peer_gated, std::uint32_t coord_actv)
+{
+    if (busy && state_ != PgState::On)
+        panic("PgDomain: busy while ", pgStateName(state_), " at cycle ",
+              now);
+
+    // Idle-period bookkeeping is independent of gating state: an idle
+    // period is any maximal run of pipeline-empty cycles (Fig. 3).
+    if (busy) {
+        if (idle_run_ > 0) {
+            idle_hist_.add(idle_run_);
+            idle_run_ = 0;
+        }
+    } else {
+        ++idle_run_;
+    }
+
+    switch (state_) {
+      case PgState::On:
+        if (busy) {
+            ++stats_.busyCycles;
+            idle_count_ = 0;
+        } else {
+            ++stats_.idleOnCycles;
+            ++idle_count_;
+            if (params_.policy != PgPolicy::None) {
+                bool gate = false;
+                if (params_.policy == PgPolicy::CoordinatedBlackout &&
+                    coord_peer_gated) {
+                    if (coord_actv == 0) {
+                        // Second cluster gates immediately: nothing of
+                        // this type is even waiting to become ready.
+                        gate = true;
+                        if (idle_count_ < idle_detect)
+                            ++stats_.coordImmediateGates;
+                    } else if (idle_count_ >= idle_detect) {
+                        // Would have gated, but a warp of this type
+                        // waits in the active subset: keep one cluster
+                        // of the pair powered.
+                        ++stats_.coordGateVetoes;
+                    }
+                } else if (idle_count_ >= idle_detect) {
+                    gate = true;
+                }
+                if (gate)
+                    enterGated(now);
+            }
+        }
+        break;
+
+      case PgState::Uncompensated:
+        ++stats_.uncompCycles;
+        if (--bet_remaining_ == 0) {
+            state_ = PgState::Compensated;
+            compensated_at_ = now;
+            // Fall through behaviour: a request pending at the exact
+            // cycle the blackout ends is the paper's critical wakeup
+            // (a blackout-only concept; conventional gating would have
+            // woken earlier).
+            if (wakeup_requested_) {
+                if (params_.policy != PgPolicy::Conventional) {
+                    ++stats_.criticalWakeups;
+                    ++epoch_critical_;
+                }
+                beginWakeup(now);
+            }
+        } else if (wakeup_requested_ &&
+                   params_.policy == PgPolicy::Conventional) {
+            // Conventional gating may wake before break-even: the
+            // gating attempt nets an energy loss.
+            ++stats_.uncompWakeups;
+            beginWakeup(now);
+        }
+        break;
+
+      case PgState::Compensated:
+        ++stats_.compCycles;
+        if (wakeup_requested_) {
+            if (now == compensated_at_ &&
+                params_.policy != PgPolicy::Conventional) {
+                ++stats_.criticalWakeups;
+                ++epoch_critical_;
+            }
+            beginWakeup(now);
+        }
+        break;
+
+      case PgState::Wakeup:
+        ++stats_.wakeupCycles;
+        if (--wakeup_remaining_ == 0) {
+            state_ = PgState::On;
+            idle_count_ = 0;
+        }
+        break;
+    }
+
+    wakeup_requested_ = false;
+}
+
+void
+PgDomain::finalize(Cycle now)
+{
+    (void)now;
+    if (idle_run_ > 0) {
+        idle_hist_.add(idle_run_);
+        idle_run_ = 0;
+    }
+}
+
+} // namespace wg

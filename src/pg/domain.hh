@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Power-gating state machine for one gateable cluster (paper Fig. 2c).
+ */
+
+#ifndef WG_PG_DOMAIN_HH
+#define WG_PG_DOMAIN_HH
+
+#include <cstdint>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "pg/params.hh"
+
+namespace wg {
+
+/**
+ * Controller state. "On" is the paper's Idle_detect state: the unit is
+ * powered and the idle-detect counter is running.
+ */
+enum class PgState : std::uint8_t { On, Uncompensated, Compensated, Wakeup };
+
+/** Printable state name. */
+const char* pgStateName(PgState state);
+
+/** Event and cycle counters exposed by a domain. */
+struct PgDomainStats
+{
+    std::uint64_t busyCycles = 0;      ///< pipeline occupied
+    std::uint64_t idleOnCycles = 0;    ///< powered but idle (leaking)
+    std::uint64_t uncompCycles = 0;    ///< gated, before break-even
+    std::uint64_t compCycles = 0;      ///< gated, past break-even
+    std::uint64_t wakeupCycles = 0;    ///< waking (leaking, no work)
+    std::uint64_t gatingEvents = 0;    ///< sleep-transistor off events
+    std::uint64_t wakeups = 0;         ///< sleep-transistor on events
+    std::uint64_t uncompWakeups = 0;   ///< wakeups before break-even
+    std::uint64_t criticalWakeups = 0; ///< wakeups at blackout end
+    std::uint64_t coordImmediateGates = 0; ///< coordinated fast gates
+    std::uint64_t coordGateVetoes = 0; ///< coordinated gating vetoes
+
+    std::uint64_t
+    gatedCycles() const
+    {
+        return uncompCycles + compCycles;
+    }
+};
+
+/**
+ * One gateable execution cluster's power-gating controller.
+ *
+ * Per-cycle protocol (driven by PgController):
+ *   1. during issue, the SM calls requestWakeup() when it wants an
+ *      instruction to run on a gated/waking cluster;
+ *   2. after issue, tick() advances the state machine with this cycle's
+ *      busy indication and the effective idle-detect value.
+ *
+ * The domain also records the unit's idle-period-length histogram
+ * (Fig. 3): an idle period is a maximal run of cycles during which the
+ * pipeline is empty, regardless of gating state.
+ */
+class PgDomain
+{
+  public:
+    /**
+     * @param params policy parameters (policy None = never gates)
+     * @param hist_max largest idle-period bin tracked individually
+     */
+    explicit PgDomain(const PgParams& params, std::uint64_t hist_max = 64);
+
+    /** @return true when the cluster can execute instructions. */
+    bool canExecute() const { return state_ == PgState::On; }
+
+    /** @return true in Uncompensated or Compensated. */
+    bool
+    isGated() const
+    {
+        return state_ == PgState::Uncompensated ||
+               state_ == PgState::Compensated;
+    }
+
+    /**
+     * @return true when a wakeup request this cycle would be honoured
+     * (used by the SM to pick which cluster of a pair to wake).
+     */
+    bool wakeable() const;
+
+    /** Scheduler wants this cluster; handled at the next tick(). */
+    void requestWakeup(Cycle now);
+
+    /**
+     * Advance one cycle.
+     * @param now current cycle
+     * @param busy pipeline-occupied indication for this cycle
+     * @param idle_detect effective idle-detect window (adaptive value)
+     * @param coord_peer_gated Coordinated Blackout: the other cluster of
+     *        this type is currently gated
+     * @param coord_actv warps of this type in the active subset
+     */
+    void tick(Cycle now, bool busy, Cycle idle_detect,
+              bool coord_peer_gated, std::uint32_t coord_actv);
+
+    /** Flush the in-progress idle period into the histogram. */
+    void finalize(Cycle now);
+
+    PgState state() const { return state_; }
+
+    /** Cycles left until a gated cluster compensates (0 otherwise). */
+    Cycle
+    betRemaining() const
+    {
+        return state_ == PgState::Uncompensated ? bet_remaining_ : 0;
+    }
+
+    const PgDomainStats& stats() const { return stats_; }
+    const Histogram& idleHistogram() const { return idle_hist_; }
+
+    /** Critical wakeups recorded since the last epoch reset. */
+    std::uint32_t epochCriticalWakeups() const { return epoch_critical_; }
+
+    /** Reset the per-epoch critical-wakeup counter. */
+    void resetEpochCriticalWakeups() { epoch_critical_ = 0; }
+
+  private:
+    void enterGated(Cycle now);
+    void beginWakeup(Cycle now);
+
+    PgParams params_;
+    PgState state_ = PgState::On;
+
+    Cycle idle_count_ = 0;       ///< idle-detect counter (On state)
+    Cycle bet_remaining_ = 0;    ///< countdown in gated states
+    Cycle wakeup_remaining_ = 0; ///< countdown in Wakeup state
+    Cycle compensated_at_ = kNeverCycle; ///< cycle BET expired
+    bool wakeup_requested_ = false;
+
+    std::uint64_t idle_run_ = 0; ///< current idle-period length
+
+    PgDomainStats stats_;
+    Histogram idle_hist_;
+    std::uint32_t epoch_critical_ = 0;
+};
+
+} // namespace wg
+
+#endif // WG_PG_DOMAIN_HH

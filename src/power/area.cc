@@ -1,0 +1,52 @@
+#include "area.hh"
+
+namespace wg {
+
+AreaModel::AreaModel()
+{
+    // Storage inventory from Section 6 (per SM):
+    //  - GATES: a 2-bit instruction-type field on each of the 32
+    //    active-warp entries; four 5-bit ready counters; two 6-bit
+    //    ACTV counters; a 2-bit current-priority register.
+    //  - Blackout: one 5-bit break-even countdown per gateable cluster
+    //    (two INT + two FP).
+    //  - Adaptive idle detect: one critical-wakeup counter and one
+    //    idle-detect register per unit type, plus a 10-bit epoch
+    //    counter.
+    specs_ = {
+        {"active-entry type bits", "GATES", 2, 32},
+        {"RDY counters (INT/FP/SFU/LDST)", "GATES", 5, 4},
+        {"ACTV counters (INT/FP)", "GATES", 6, 2},
+        {"priority register", "GATES", 2, 1},
+        {"BET countdown counters", "Blackout", 5, 4},
+        {"critical-wakeup counters", "Adaptive", 8, 2},
+        {"idle-detect registers", "Adaptive", 4, 2},
+        {"epoch counter", "Adaptive", 10, 1},
+    };
+
+    unsigned bits = 0;
+    for (const auto& s : specs_)
+        bits += s.bits * s.count;
+
+    // Fit per-bit costs to the published synthesis totals.
+    area_per_bit_ = 1210.8 / bits;
+    dynamic_per_bit_ = 1.55e-3 / bits;
+    leakage_per_bit_ = 1.21e-5 / bits;
+}
+
+HardwareOverhead
+AreaModel::compute() const
+{
+    HardwareOverhead hw;
+    for (const auto& s : specs_)
+        hw.totalBits += s.bits * s.count;
+    hw.areaUm2 = hw.totalBits * area_per_bit_;
+    hw.dynamicW = hw.totalBits * dynamic_per_bit_;
+    hw.leakageW = hw.totalBits * leakage_per_bit_;
+    hw.areaFraction = hw.areaUm2 / kSmAreaUm2;
+    hw.dynamicFraction = hw.dynamicW / kSmDynamicW;
+    hw.leakageFraction = hw.leakageW / kSmLeakageW;
+    return hw;
+}
+
+} // namespace wg

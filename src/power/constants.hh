@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GTX480 power-model constants, calibrated to the GPUWattch numbers the
+ * paper quotes (Section 7.3): total on-chip leakage 26.87 W, of which
+ * integer units 0.00557 W and floating-point units 4.40 W (execution
+ * units = 16.38% of on-chip leakage), 15 SMs, two clusters per type per
+ * SM, 700 MHz core clock.
+ *
+ * Dynamic per-warp-instruction energies are calibrated so that at the
+ * suite-average utilisations the baseline (no power gating) energy
+ * split reproduces Fig. 1b: static ~50% of INT-unit energy and ~90% of
+ * FP-unit energy.
+ */
+
+#ifndef WG_POWER_CONSTANTS_HH
+#define WG_POWER_CONSTANTS_HH
+
+#include "arch/instr.hh"
+#include "common/types.hh"
+
+namespace wg {
+
+/** Per-cluster (and per-SM auxiliary unit) power constants. */
+struct PowerConstants
+{
+    double clockHz = 700e6;     ///< core clock
+
+    // --- static (leakage) power per gateable cluster ---
+    Watt intClusterStatic = 0.00557 / 30.0;  ///< W per INT cluster
+    Watt fpClusterStatic = 4.40 / 30.0;      ///< W per FP cluster
+
+    // --- static power of the ungated per-SM units ---
+    Watt sfuStatic = 0.110 / 15.0;  ///< SFU block (2.5% of exec static)
+    Watt ldstStatic = 0.005;        ///< LD/ST pipeline block
+
+    // --- dynamic energy per warp-instruction executed ---
+    Joule intDynPerOp = 0.90e-12;   ///< J per INT warp instruction
+    Joule fpDynPerOp = 195e-12;     ///< J per FP warp instruction
+    Joule sfuDynPerOp = 320e-12;    ///< J per SFU warp instruction
+    Joule ldstDynPerOp = 60e-12;    ///< J per LDST warp instruction
+
+    // --- chip-level context (Section 7.3 roll-up) ---
+    Watt chipLeakage = 26.87;       ///< total on-chip leakage
+    unsigned numSms = 15;
+
+    /** Static energy per cycle of one cluster/unit of class @p uc. */
+    Joule
+    staticPerCycle(UnitClass uc) const
+    {
+        Watt p = 0.0;
+        switch (uc) {
+          case UnitClass::Int: p = intClusterStatic; break;
+          case UnitClass::Fp: p = fpClusterStatic; break;
+          case UnitClass::Sfu: p = sfuStatic; break;
+          case UnitClass::Ldst: p = ldstStatic; break;
+        }
+        return p / clockHz;
+    }
+
+    /** Dynamic energy per warp instruction of class @p uc. */
+    Joule
+    dynPerOp(UnitClass uc) const
+    {
+        switch (uc) {
+          case UnitClass::Int: return intDynPerOp;
+          case UnitClass::Fp: return fpDynPerOp;
+          case UnitClass::Sfu: return sfuDynPerOp;
+          case UnitClass::Ldst: return ldstDynPerOp;
+        }
+        return 0.0;
+    }
+};
+
+} // namespace wg
+
+#endif // WG_POWER_CONSTANTS_HH

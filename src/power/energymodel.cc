@@ -1,0 +1,47 @@
+#include "energymodel.hh"
+
+namespace wg {
+
+EnergyModel::EnergyModel(const PowerConstants& constants)
+    : constants_(constants)
+{
+}
+
+UnitEnergy
+EnergyModel::cluster(UnitClass uc, const PgDomainStats& stats,
+                     std::uint64_t issues, Cycle total_cycles,
+                     Cycle bet) const
+{
+    UnitEnergy e;
+    const Joule p_st = constants_.staticPerCycle(uc);
+
+    // Leakage flows whenever the sleep transistor is on: busy cycles,
+    // powered-idle cycles, and the wakeup ramp.
+    const std::uint64_t leaking =
+        stats.busyCycles + stats.idleOnCycles + stats.wakeupCycles;
+    e.staticE = static_cast<double>(leaking) * p_st;
+    e.staticSaved = static_cast<double>(stats.gatedCycles()) * p_st;
+
+    // E_overhead per gating instance is, by the definition of the
+    // break-even time, exactly BET cycles of leakage (Fig. 2b).
+    e.overheadE = static_cast<double>(stats.gatingEvents) *
+                  static_cast<double>(bet) * p_st;
+
+    e.dynamicE = static_cast<double>(issues) * constants_.dynPerOp(uc);
+    e.staticNoPg = static_cast<double>(total_cycles) * p_st;
+    return e;
+}
+
+UnitEnergy
+EnergyModel::alwaysOn(UnitClass uc, std::uint64_t issues,
+                      Cycle total_cycles) const
+{
+    UnitEnergy e;
+    const Joule p_st = constants_.staticPerCycle(uc);
+    e.staticE = static_cast<double>(total_cycles) * p_st;
+    e.staticNoPg = e.staticE;
+    e.dynamicE = static_cast<double>(issues) * constants_.dynPerOp(uc);
+    return e;
+}
+
+} // namespace wg

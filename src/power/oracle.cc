@@ -1,0 +1,44 @@
+#include "oracle.hh"
+
+namespace wg {
+
+std::uint64_t
+oracleNetGatedCycles(const Histogram& idle_hist, Cycle bet)
+{
+    std::uint64_t net = 0;
+
+    // Exact bins.
+    std::uint64_t binned_sum = 0;
+    for (std::uint64_t b = 0; b <= idle_hist.maxBin(); ++b) {
+        std::uint64_t n = idle_hist.bin(b);
+        binned_sum += b * n;
+        if (b >= bet)
+            net += (b - bet) * n;
+    }
+
+    // Overflow periods: all longer than maxBin. Their total length is
+    // recoverable from the histogram's sample sum; each pays `bet`.
+    std::uint64_t overflow_count = idle_hist.overflow();
+    if (overflow_count > 0) {
+        std::uint64_t overflow_sum = idle_hist.sum() - binned_sum;
+        std::uint64_t cost = bet * overflow_count;
+        if (idle_hist.maxBin() >= bet) {
+            net += overflow_sum - cost; // every overflow period > bet
+        } else if (overflow_sum > cost) {
+            net += overflow_sum - cost;
+        }
+    }
+    return net;
+}
+
+double
+oracleStaticSavings(const Histogram& idle_hist, Cycle bet,
+                    std::uint64_t total_unit_cycles)
+{
+    if (total_unit_cycles == 0)
+        return 0.0;
+    return static_cast<double>(oracleNetGatedCycles(idle_hist, bet)) /
+           static_cast<double>(total_unit_cycles);
+}
+
+} // namespace wg

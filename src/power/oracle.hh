@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Oracle power-gating upper bound.
+ *
+ * An oracle controller knows every idle period's length in advance: it
+ * gates instantly (no idle-detect loss) at the start of any idle period
+ * at least as long as the break-even time, and never gates shorter
+ * ones. Its net savings over a measured idle-period histogram is the
+ * ceiling any realisable controller (conventional, Blackout, Warped
+ * Gates) can reach on that execution — useful to report how much
+ * headroom each technique leaves.
+ */
+
+#ifndef WG_POWER_ORACLE_HH
+#define WG_POWER_ORACLE_HH
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace wg {
+
+/**
+ * Net gateable cycles under the oracle policy: sum over idle periods of
+ * length L >= @p bet of (L - bet) (each gating instance still pays the
+ * break-even overhead). Periods inside the histogram's overflow bin are
+ * handled exactly via the recorded sample sum.
+ */
+std::uint64_t oracleNetGatedCycles(const Histogram& idle_hist, Cycle bet);
+
+/**
+ * Oracle static-savings ratio for a unit observed for
+ * @p total_unit_cycles cycles (e.g. clusters x SM cycles).
+ */
+double oracleStaticSavings(const Histogram& idle_hist, Cycle bet,
+                           std::uint64_t total_unit_cycles);
+
+} // namespace wg
+
+#endif // WG_POWER_ORACLE_HH

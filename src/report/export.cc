@@ -1,0 +1,158 @@
+#include "export.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace wg {
+
+namespace {
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+jsonHistogram(std::ostringstream& os, const Histogram& h)
+{
+    os << "{\"bins\":[";
+    for (std::uint64_t b = 0; b <= h.maxBin(); ++b) {
+        if (b)
+            os << ',';
+        os << h.bin(b);
+    }
+    os << "],\"overflow\":" << h.overflow() << ",\"total\":" << h.total()
+       << ",\"sum\":" << h.sum() << "}";
+}
+
+void
+jsonTypeStats(std::ostringstream& os, const PgDomainStats& s)
+{
+    os << "{\"busy\":" << s.busyCycles << ",\"idle_on\":" << s.idleOnCycles
+       << ",\"uncomp\":" << s.uncompCycles << ",\"comp\":" << s.compCycles
+       << ",\"wakeup_cycles\":" << s.wakeupCycles
+       << ",\"gating_events\":" << s.gatingEvents
+       << ",\"wakeups\":" << s.wakeups
+       << ",\"uncomp_wakeups\":" << s.uncompWakeups
+       << ",\"critical_wakeups\":" << s.criticalWakeups << "}";
+}
+
+void
+jsonEnergy(std::ostringstream& os, const UnitEnergy& e)
+{
+    os << "{\"dynamic_j\":" << e.dynamicE << ",\"static_j\":" << e.staticE
+       << ",\"overhead_j\":" << e.overheadE
+       << ",\"static_saved_j\":" << e.staticSaved
+       << ",\"static_no_pg_j\":" << e.staticNoPg
+       << ",\"savings_ratio\":" << e.staticSavingsRatio() << "}";
+}
+
+double
+busyFraction(const SimResult& r, UnitClass uc)
+{
+    if (r.totalSmCycles == 0)
+        return 0.0;
+    return static_cast<double>(r.typeStats(uc).busyCycles) /
+           (2.0 * static_cast<double>(r.totalSmCycles));
+}
+
+} // namespace
+
+std::string
+csvHeader()
+{
+    return "label,scheduler,pg_policy,adaptive,num_sms,cycles,ipc,"
+           "avg_active_warps,int_busy_frac,fp_busy_frac,"
+           "int_static_savings,fp_static_savings,int_wakeups,fp_wakeups,"
+           "int_critical,fp_critical,int_gating_events,fp_gating_events,"
+           "mem_misses";
+}
+
+std::string
+toCsvRow(const std::string& label, const SimResult& r)
+{
+    PgDomainStats si = r.typeStats(UnitClass::Int);
+    PgDomainStats sf = r.typeStats(UnitClass::Fp);
+    std::ostringstream os;
+    os << label << ','
+       << schedulerPolicyName(r.config.sm.scheduler) << ','
+       << pgPolicyName(r.config.sm.pg.policy) << ','
+       << (r.config.sm.pg.adaptiveIdleDetect ? 1 : 0) << ','
+       << r.config.numSms << ',' << r.cycles << ',' << r.ipc() << ','
+       << r.aggregate.avgActiveWarps() << ','
+       << busyFraction(r, UnitClass::Int) << ','
+       << busyFraction(r, UnitClass::Fp) << ','
+       << r.intEnergy.staticSavingsRatio() << ','
+       << r.fpEnergy.staticSavingsRatio() << ',' << si.wakeups << ','
+       << sf.wakeups << ',' << si.criticalWakeups << ','
+       << sf.criticalWakeups << ',' << si.gatingEvents << ','
+       << sf.gatingEvents << ',' << r.aggregate.memMisses;
+    return os.str();
+}
+
+std::string
+toJson(const std::string& label, const SimResult& r)
+{
+    std::ostringstream os;
+    os << "{\n  \"label\": \"" << jsonEscape(label) << "\",\n";
+    os << "  \"config\": {\"scheduler\": \""
+       << schedulerPolicyName(r.config.sm.scheduler)
+       << "\", \"pg_policy\": \"" << pgPolicyName(r.config.sm.pg.policy)
+       << "\", \"adaptive\": "
+       << (r.config.sm.pg.adaptiveIdleDetect ? "true" : "false")
+       << ", \"idle_detect\": " << r.config.sm.pg.idleDetect
+       << ", \"break_even\": " << r.config.sm.pg.breakEven
+       << ", \"wakeup_delay\": " << r.config.sm.pg.wakeupDelay
+       << ", \"num_sms\": " << r.config.numSms << "},\n";
+    os << "  \"cycles\": " << r.cycles << ",\n";
+    os << "  \"total_sm_cycles\": " << r.totalSmCycles << ",\n";
+    os << "  \"ipc\": " << r.ipc() << ",\n";
+    os << "  \"avg_active_warps\": " << r.aggregate.avgActiveWarps()
+       << ",\n";
+    os << "  \"instructions\": " << r.aggregate.issuedTotal << ",\n";
+
+    os << "  \"int\": {\"stats\": ";
+    jsonTypeStats(os, r.typeStats(UnitClass::Int));
+    os << ", \"energy\": ";
+    jsonEnergy(os, r.intEnergy);
+    os << ", \"idle_histogram\": ";
+    jsonHistogram(os, r.intIdleHist);
+    os << "},\n";
+
+    os << "  \"fp\": {\"stats\": ";
+    jsonTypeStats(os, r.typeStats(UnitClass::Fp));
+    os << ", \"energy\": ";
+    jsonEnergy(os, r.fpEnergy);
+    os << ", \"idle_histogram\": ";
+    jsonHistogram(os, r.fpIdleHist);
+    os << "}\n}";
+    return os.str();
+}
+
+void
+writeFile(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    out << content;
+    if (!out)
+        fatal("write to '", path, "' failed");
+}
+
+} // namespace wg

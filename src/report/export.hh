@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Machine-readable result export: CSV rows and JSON documents for
+ * downstream analysis (plotting scripts, regression tracking).
+ */
+
+#ifndef WG_REPORT_EXPORT_HH
+#define WG_REPORT_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/result.hh"
+
+namespace wg {
+
+/**
+ * Stable CSV schema for simulation results. Columns:
+ * label, scheduler, pg_policy, adaptive, num_sms, cycles, ipc,
+ * avg_active_warps, int_busy_frac, fp_busy_frac,
+ * int_static_savings, fp_static_savings,
+ * int_wakeups, fp_wakeups, int_critical, fp_critical,
+ * int_gating_events, fp_gating_events, mem_misses.
+ */
+std::string csvHeader();
+
+/** One CSV row for @p result, labelled @p label (e.g. the benchmark). */
+std::string toCsvRow(const std::string& label, const SimResult& result);
+
+/**
+ * JSON document for @p result: configuration summary, headline metrics,
+ * per-type gating statistics, energy ledgers, and the idle-period
+ * histograms (bins 0..maxBin plus overflow).
+ */
+std::string toJson(const std::string& label, const SimResult& result);
+
+/** Write @p content to @p path; fatal() on I/O failure. */
+void writeFile(const std::string& path, const std::string& content);
+
+} // namespace wg
+
+#endif // WG_REPORT_EXPORT_HH

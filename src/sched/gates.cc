@@ -1,0 +1,85 @@
+#include "gates.hh"
+
+#include "common/logging.hh"
+
+namespace wg {
+
+GatesScheduler::GatesScheduler(const GatesConfig& config) : config_(config)
+{
+}
+
+void
+GatesScheduler::switchPriority(Cycle now)
+{
+    hi_ = hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
+    last_switch_ = now;
+    ++switches_;
+}
+
+std::array<UnitClass, kNumUnitClasses>
+GatesScheduler::classOrder() const
+{
+    // [HI, LDST, SFU, LO]; LDST outranks SFU (longer memory latency).
+    UnitClass lo = hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
+    return {hi_, UnitClass::Ldst, UnitClass::Sfu, lo};
+}
+
+void
+GatesScheduler::beginCycle(Cycle now, const SchedView& view)
+{
+    auto actv_of = [&](UnitClass uc) {
+        return view.actv[static_cast<std::size_t>(uc)];
+    };
+    UnitClass lo = hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
+
+    // Dynamic switching on a drained HI active subset (Section 4.1).
+    if (actv_of(hi_) == 0 && actv_of(lo) > 0) {
+        switchPriority(now);
+        return;
+    }
+
+    // Coordinated Blackout extension: if both clusters of the HI type
+    // are gated, issuing HI is impossible — flip so LO drains instead
+    // (Section 5, last paragraph of Coordinated Blackout).
+    if (config_.switchOnBlackout) {
+        const auto& hi_gated = hi_ == UnitClass::Int ? view.intBlackout
+                                                     : view.fpBlackout;
+        if (hi_gated[0] && hi_gated[1] && actv_of(lo) > 0) {
+            switchPriority(now);
+            return;
+        }
+    }
+
+    // Optional fairness bound.
+    if (config_.maxPriorityHold > 0 &&
+        now - last_switch_ >= config_.maxPriorityHold && actv_of(lo) > 0) {
+        switchPriority(now);
+    }
+}
+
+void
+GatesScheduler::order(const std::vector<WarpId>& active,
+                      const std::vector<UnitClass>& head_type,
+                      std::vector<std::size_t>& out)
+{
+    if (active.size() != head_type.size())
+        panic("GatesScheduler::order: array size mismatch");
+    out.clear();
+    out.reserve(active.size());
+    // Stable partition by class priority, preserving the
+    // least-recently-issued order the SM maintains within each class.
+    for (UnitClass uc : classOrder()) {
+        for (std::size_t i = 0; i < active.size(); ++i)
+            if (head_type[i] == uc)
+                out.push_back(i);
+    }
+}
+
+void
+GatesScheduler::notifyIssue(WarpId warp, UnitClass uc)
+{
+    (void)warp;
+    (void)uc;
+}
+
+} // namespace wg

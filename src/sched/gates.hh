@@ -1,0 +1,71 @@
+/**
+ * @file
+ * GATES — the Gating-Aware Two-level Scheduler (paper Sections 4 and 6).
+ *
+ * GATES extends the two-level scheduler with a priority-based issue
+ * arbiter. Instruction classes are ordered [HI, LDST, SFU, LO] where
+ * {HI, LO} = {INT, FP}: the integer and floating-point classes are
+ * pushed to the two ends of the priority so that the low-priority unit
+ * type enjoys long idle periods while ready warps of its type accumulate.
+ *
+ * Dynamic priority switching: INT starts as HI. When the HI type's
+ * active-warp subset drains while the other type still has active warps
+ * (ACTV counters), HI and LO swap. With Coordinated Blackout the
+ * priority also switches when both clusters of the HI type are in
+ * blackout (paper Section 5).
+ */
+
+#ifndef WG_SCHED_GATES_HH
+#define WG_SCHED_GATES_HH
+
+#include "sched/scheduler.hh"
+
+namespace wg {
+
+/** Tunables for GATES. */
+struct GatesConfig
+{
+    /**
+     * Optional fairness bound: force a HI/LO swap after this many
+     * cycles without one (0 disables; the paper mentions the designer
+     * may set a large maximum switching threshold).
+     */
+    Cycle maxPriorityHold = 0;
+
+    /** Honour blackout state in priority switching (Coordinated). */
+    bool switchOnBlackout = true;
+};
+
+/** The gating-aware scheduler. */
+class GatesScheduler : public Scheduler
+{
+  public:
+    explicit GatesScheduler(const GatesConfig& config = {});
+
+    void beginCycle(Cycle now, const SchedView& view) override;
+
+    void order(const std::vector<WarpId>& active,
+               const std::vector<UnitClass>& head_type,
+               std::vector<std::size_t>& out) override;
+
+    void notifyIssue(WarpId warp, UnitClass uc) override;
+
+    UnitClass highestPriority() const override { return hi_; }
+
+    std::uint64_t prioritySwitches() const override { return switches_; }
+
+  private:
+    void switchPriority(Cycle now);
+
+    /** @return the total class order for the current HI selection. */
+    std::array<UnitClass, kNumUnitClasses> classOrder() const;
+
+    GatesConfig config_;
+    UnitClass hi_ = UnitClass::Int; ///< current highest-priority class
+    Cycle last_switch_ = 0;
+    std::uint64_t switches_ = 0;
+};
+
+} // namespace wg
+
+#endif // WG_SCHED_GATES_HH

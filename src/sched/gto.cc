@@ -1,0 +1,44 @@
+#include "gto.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wg {
+
+void
+GtoScheduler::beginCycle(Cycle now, const SchedView& view)
+{
+    (void)now;
+    (void)view;
+}
+
+void
+GtoScheduler::order(const std::vector<WarpId>& active,
+                    const std::vector<UnitClass>& head_type,
+                    std::vector<std::size_t>& out)
+{
+    (void)head_type;
+    out.resize(active.size());
+    std::iota(out.begin(), out.end(), std::size_t{0});
+
+    // Oldest-first: sort candidate indices by warp id.
+    std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+        return active[a] < active[b];
+    });
+
+    // Greedy: hoist the last-issued warp to the front if still active.
+    auto it = std::find_if(out.begin(), out.end(), [&](std::size_t i) {
+        return active[i] == greedy_warp_;
+    });
+    if (it != out.end())
+        std::rotate(out.begin(), it, it + 1);
+}
+
+void
+GtoScheduler::notifyIssue(WarpId warp, UnitClass uc)
+{
+    greedy_warp_ = warp;
+    last_class_ = uc;
+}
+
+} // namespace wg

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Greedy-Then-Oldest (GTO) warp scheduler.
+ *
+ * Not part of the paper's evaluation (it uses the two-level scheduler
+ * as baseline), but GTO is GPGPU-Sim's default scheduler and the
+ * standard point of comparison in the scheduling literature, so the
+ * library ships it for scheduler studies: keep issuing from the same
+ * warp while it stays ready ("greedy"), otherwise fall back to the
+ * oldest warp.
+ */
+
+#ifndef WG_SCHED_GTO_HH
+#define WG_SCHED_GTO_HH
+
+#include "sched/scheduler.hh"
+
+namespace wg {
+
+/** Greedy-then-oldest candidate ordering. */
+class GtoScheduler : public Scheduler
+{
+  public:
+    void beginCycle(Cycle now, const SchedView& view) override;
+
+    /**
+     * Candidate order: the last-issued warp first (greedy), then the
+     * remaining active warps by warp id (age proxy: lower ids were
+     * launched earlier).
+     */
+    void order(const std::vector<WarpId>& active,
+               const std::vector<UnitClass>& head_type,
+               std::vector<std::size_t>& out) override;
+
+    void notifyIssue(WarpId warp, UnitClass uc) override;
+
+    UnitClass highestPriority() const override { return last_class_; }
+
+  private:
+    WarpId greedy_warp_ = ~WarpId(0);
+    UnitClass last_class_ = UnitClass::Int;
+};
+
+} // namespace wg
+
+#endif // WG_SCHED_GTO_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Warp-scheduler interface.
+ *
+ * A scheduler's job each cycle is (a) to observe the state of the
+ * active-warps set (typed ready/active counters, power-gating state of
+ * the INT/FP clusters) and (b) to order the active warps into an issue
+ * candidate list. The SM walks the list, issuing up to issue-width
+ * instructions subject to scoreboard and structural checks.
+ */
+
+#ifndef WG_SCHED_SCHEDULER_HH
+#define WG_SCHED_SCHEDULER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/instr.hh"
+#include "common/types.hh"
+
+namespace wg {
+
+/**
+ * Per-cycle view of the active warps set handed to the scheduler before
+ * candidate ordering. Mirrors the counters the paper adds in Fig. 7:
+ * INT_ACTV/FP_ACTV (warps of each type in the active subset) and the
+ * per-type ready counters (INT_RDY, FP_RDY, SFU_RDY, LDST_RDY), plus
+ * blackout status of the gateable clusters for Coordinated Blackout's
+ * priority-switch extension.
+ */
+struct SchedView
+{
+    /** Warps in the active subset whose head instruction is class c. */
+    std::array<std::uint32_t, kNumUnitClasses> actv = {};
+    /** ... and whose head instruction is also ready (scoreboard). */
+    std::array<std::uint32_t, kNumUnitClasses> rdy = {};
+    /** Power-gated (blackout) state of INT clusters 0/1. */
+    std::array<bool, 2> intBlackout = {false, false};
+    /** Power-gated (blackout) state of FP clusters 0/1. */
+    std::array<bool, 2> fpBlackout = {false, false};
+};
+
+/**
+ * Abstract warp scheduler. Implementations: TwoLevelScheduler (the
+ * Gebhart-style baseline) and GatesScheduler (the paper's contribution).
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Observe this cycle's active-set state; update internal priority. */
+    virtual void beginCycle(Cycle now, const SchedView& view) = 0;
+
+    /**
+     * Order issue candidates.
+     * @param active active-set warp ids in least-recently-issued order
+     * @param head_type head-instruction class per candidate (parallel
+     *        array to @p active)
+     * @param out candidate warp indices *into @p active*, highest
+     *        priority first
+     */
+    virtual void order(const std::vector<WarpId>& active,
+                       const std::vector<UnitClass>& head_type,
+                       std::vector<std::size_t>& out) = 0;
+
+    /** Notification that a candidate actually issued. */
+    virtual void notifyIssue(WarpId warp, UnitClass uc) = 0;
+
+    /** Highest-priority class this cycle (diagnostics / tests). */
+    virtual UnitClass highestPriority() const = 0;
+
+    /** Count of dynamic priority switches (diagnostics). */
+    virtual std::uint64_t prioritySwitches() const { return 0; }
+};
+
+} // namespace wg
+
+#endif // WG_SCHED_SCHEDULER_HH

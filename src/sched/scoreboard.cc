@@ -1,0 +1,73 @@
+#include "scoreboard.hh"
+
+#include "common/logging.hh"
+
+namespace wg {
+
+Scoreboard::Scoreboard(std::size_t num_warps)
+    : pending_(num_warps, 0), pendingLong_(num_warps, 0)
+{
+}
+
+std::uint32_t
+Scoreboard::maskOf(const Instruction& instr) const
+{
+    std::uint32_t mask = 0;
+    for (RegId src : instr.srcs)
+        if (src != kNoReg)
+            mask |= bit(src);
+    if (instr.dest != kNoReg)
+        mask |= bit(instr.dest); // WAW: do not overtake the old producer
+    return mask;
+}
+
+bool
+Scoreboard::ready(WarpId warp, const Instruction& instr) const
+{
+    return (maskOf(instr) & pending_[warp]) == 0;
+}
+
+bool
+Scoreboard::blockedOnLong(WarpId warp, const Instruction& instr) const
+{
+    return (maskOf(instr) & pendingLong_[warp]) != 0;
+}
+
+void
+Scoreboard::markIssued(WarpId warp, const Instruction& instr)
+{
+    if (instr.dest == kNoReg)
+        return;
+    std::uint32_t b = bit(instr.dest);
+    if (pending_[warp] & b)
+        panic("scoreboard: WAW violation, warp ", warp, " reg ",
+              instr.dest);
+    pending_[warp] |= b;
+    if (instr.isLongLatency())
+        pendingLong_[warp] |= b;
+}
+
+void
+Scoreboard::complete(WarpId warp, RegId reg)
+{
+    std::uint32_t b = bit(reg);
+    pending_[warp] &= ~b;
+    pendingLong_[warp] &= ~b;
+}
+
+bool
+Scoreboard::clean(WarpId warp) const
+{
+    return pending_[warp] == 0;
+}
+
+void
+Scoreboard::reset()
+{
+    for (auto& m : pending_)
+        m = 0;
+    for (auto& m : pendingLong_)
+        m = 0;
+}
+
+} // namespace wg

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Register scoreboard.
+ *
+ * Tracks, per warp, which architectural registers have an in-flight
+ * producer, and whether that producer is a long-latency operation (a
+ * global-miss load). The latter drives two-level active/pending
+ * residency: a warp whose head instruction is blocked by a long-latency
+ * producer is demoted to the pending set.
+ */
+
+#ifndef WG_SCHED_SCOREBOARD_HH
+#define WG_SCHED_SCOREBOARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/instr.hh"
+#include "common/types.hh"
+
+namespace wg {
+
+/**
+ * Bitmask scoreboard over a 16-register window per warp (the synthetic
+ * programs use registers 0..15).
+ */
+class Scoreboard
+{
+  public:
+    /** @param num_warps warps tracked. */
+    explicit Scoreboard(std::size_t num_warps);
+
+    /** @return true when @p instr has no RAW/WAW hazard for @p warp. */
+    bool ready(WarpId warp, const Instruction& instr) const;
+
+    /**
+     * @return true when @p instr is blocked specifically by a
+     * long-latency producer (implies !ready()).
+     */
+    bool blockedOnLong(WarpId warp, const Instruction& instr) const;
+
+    /** Record @p instr issuing from @p warp. */
+    void markIssued(WarpId warp, const Instruction& instr);
+
+    /** Producer of (warp, reg) completed; clears the pending bit. */
+    void complete(WarpId warp, RegId reg);
+
+    /** @return true when the warp has no pending registers. */
+    bool clean(WarpId warp) const;
+
+    /** Reset all state. */
+    void reset();
+
+  private:
+    /** Bit over registers 0..15. */
+    static std::uint32_t
+    bit(RegId reg)
+    {
+        return 1u << (reg & 15u);
+    }
+
+    std::uint32_t maskOf(const Instruction& instr) const;
+
+    std::vector<std::uint32_t> pending_;     ///< in-flight producers
+    std::vector<std::uint32_t> pendingLong_; ///< ... that are long-latency
+};
+
+} // namespace wg
+
+#endif // WG_SCHED_SCOREBOARD_HH

@@ -1,0 +1,38 @@
+#include "twolevel.hh"
+
+namespace wg {
+
+void
+TwoLevelScheduler::beginCycle(Cycle now, const SchedView& view)
+{
+    (void)now;
+    (void)view;
+}
+
+void
+TwoLevelScheduler::order(const std::vector<WarpId>& active,
+                         const std::vector<UnitClass>& head_type,
+                         std::vector<std::size_t>& out)
+{
+    (void)head_type;
+    out.clear();
+    out.reserve(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i)
+        out.push_back(i);
+}
+
+void
+TwoLevelScheduler::notifyIssue(WarpId warp, UnitClass uc)
+{
+    (void)warp;
+    last_issued_ = uc;
+}
+
+UnitClass
+TwoLevelScheduler::highestPriority() const
+{
+    // The baseline has no type priority; report the last issued class.
+    return last_issued_;
+}
+
+} // namespace wg

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Baseline two-level warp scheduler (Gebhart et al., ISCA 2011), as used
+ * by the paper's baseline: issue from the active warps set in
+ * least-recently-issued order, with no regard for instruction type.
+ */
+
+#ifndef WG_SCHED_TWOLEVEL_HH
+#define WG_SCHED_TWOLEVEL_HH
+
+#include "sched/scheduler.hh"
+
+namespace wg {
+
+/**
+ * Type-agnostic round-robin over the active set. The SM maintains the
+ * least-recently-issued ordering of the active list, so ordering here is
+ * the identity permutation.
+ */
+class TwoLevelScheduler : public Scheduler
+{
+  public:
+    void beginCycle(Cycle now, const SchedView& view) override;
+
+    void order(const std::vector<WarpId>& active,
+               const std::vector<UnitClass>& head_type,
+               std::vector<std::size_t>& out) override;
+
+    void notifyIssue(WarpId warp, UnitClass uc) override;
+
+    UnitClass highestPriority() const override;
+
+  private:
+    UnitClass last_issued_ = UnitClass::Int;
+};
+
+} // namespace wg
+
+#endif // WG_SCHED_TWOLEVEL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-warp execution context: program counter, instruction buffer, and
+ * two-level-scheduler residency state.
+ */
+
+#ifndef WG_SCHED_WARP_HH
+#define WG_SCHED_WARP_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "arch/program.hh"
+#include "common/types.hh"
+
+namespace wg {
+
+/** Where a warp currently lives in the two-level scheduler. */
+enum class WarpLoc : std::uint8_t {
+    Active,   ///< in the active warps set (issue-eligible)
+    Pending,  ///< waiting on a long-latency event
+    Waiting,  ///< eligible to (re)enter the active set, queued on capacity
+    Finished, ///< program complete, all results written back
+};
+
+/**
+ * Mutable state of one warp. The SM owns a vector of these; schedulers
+ * see them read-only.
+ */
+class WarpContext
+{
+  public:
+    WarpContext() = default;
+
+    /** Bind the warp to its program. */
+    void
+    init(WarpId id, const Program* prog)
+    {
+        id_ = id;
+        prog_ = prog;
+        pc_ = 0;
+        ibuffer_.clear();
+        loc_ = WarpLoc::Waiting;
+        outstanding_ = 0;
+    }
+
+    WarpId id() const { return id_; }
+    WarpLoc loc() const { return loc_; }
+    void setLoc(WarpLoc loc) { loc_ = loc; }
+
+    /** Fill the instruction buffer (depth @p depth) from the program. */
+    void
+    fetch(std::size_t depth)
+    {
+        while (ibuffer_.size() < depth && prog_ && pc_ < prog_->size())
+            ibuffer_.push_back(prog_->at(pc_++));
+    }
+
+    /** @return true when a decoded instruction waits at the head. */
+    bool hasHead() const { return !ibuffer_.empty(); }
+
+    /** @return the head (oldest) decoded instruction. */
+    const Instruction& head() const { return ibuffer_.front(); }
+
+    /** Remove the head after it issues. */
+    void popHead() { ibuffer_.pop_front(); }
+
+    /** All decoded entries (head first). */
+    const std::deque<Instruction>& ibuffer() const { return ibuffer_; }
+
+    /** Track in-flight instructions for completion detection. */
+    void noteIssue() { ++outstanding_; }
+    void noteComplete() { --outstanding_; }
+    std::uint32_t outstanding() const { return outstanding_; }
+
+    /** @return true when all instructions fetched, issued and done. */
+    bool
+    drained() const
+    {
+        return (!prog_ || pc_ >= prog_->size()) && ibuffer_.empty() &&
+               outstanding_ == 0;
+    }
+
+    /** Fetched-instruction progress (for tests). */
+    std::size_t pc() const { return pc_; }
+
+  private:
+    WarpId id_ = 0;
+    const Program* prog_ = nullptr;
+    std::size_t pc_ = 0;
+    std::deque<Instruction> ibuffer_;
+    WarpLoc loc_ = WarpLoc::Waiting;
+    std::uint32_t outstanding_ = 0;
+};
+
+} // namespace wg
+
+#endif // WG_SCHED_WARP_HH

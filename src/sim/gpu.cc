@@ -1,0 +1,84 @@
+#include "gpu.hh"
+
+#include <future>
+
+#include "common/logging.hh"
+#include "workload/generator.hh"
+
+namespace wg {
+
+Gpu::Gpu(const GpuConfig& config) : config_(config)
+{
+    if (config_.numSms == 0)
+        fatal("GpuConfig: numSms must be positive");
+}
+
+SimResult
+Gpu::run(const BenchmarkProfile& profile) const
+{
+    ProgramGenerator gen(config_.seed);
+    std::vector<std::vector<Program>> per_sm;
+    per_sm.reserve(config_.numSms);
+    for (unsigned s = 0; s < config_.numSms; ++s)
+        per_sm.push_back(gen.generateSm(profile, s));
+    return runPrograms(per_sm);
+}
+
+SimResult
+Gpu::runPrograms(const std::vector<std::vector<Program>>& per_sm) const
+{
+    if (per_sm.empty())
+        fatal("Gpu::runPrograms: no SM workloads");
+
+    auto run_sm = [&](unsigned s) {
+        Sm sm(config_.sm, per_sm[s],
+              config_.seed * 7919ULL + s * 104729ULL + 1ULL);
+        return sm.run();
+    };
+
+    std::vector<SmStats> stats(per_sm.size());
+    if (per_sm.size() == 1) {
+        stats[0] = run_sm(0);
+    } else {
+        std::vector<std::future<SmStats>> futures;
+        futures.reserve(per_sm.size());
+        for (unsigned s = 0; s < per_sm.size(); ++s) {
+            futures.push_back(std::async(
+                std::launch::async,
+                [&run_sm, s]() { return run_sm(s); }));
+        }
+        for (unsigned s = 0; s < per_sm.size(); ++s)
+            stats[s] = futures[s].get();
+    }
+    return aggregate(std::move(stats));
+}
+
+SimResult
+Gpu::aggregate(std::vector<SmStats> stats) const
+{
+    SimResult result;
+    result.config = config_;
+    result.aggregate.completed = true;
+    for (unsigned t = 0; t < 2; ++t)
+        for (unsigned c = 0; c < 2; ++c)
+            result.aggregate.clusters[t][c].idleHist = Histogram(64);
+
+    for (const SmStats& s : stats) {
+        result.smCycles.push_back(s.cycles);
+        if (s.cycles > result.cycles)
+            result.cycles = s.cycles;
+        result.totalSmCycles += s.cycles;
+        mergeSmStats(result.aggregate, s);
+    }
+
+    // Per-type idle histograms: both clusters of both types, all SMs.
+    result.intIdleHist = result.aggregate.clusters[0][0].idleHist;
+    result.intIdleHist.merge(result.aggregate.clusters[0][1].idleHist);
+    result.fpIdleHist = result.aggregate.clusters[1][0].idleHist;
+    result.fpIdleHist.merge(result.aggregate.clusters[1][1].idleHist);
+
+    computeEnergy(result);
+    return result;
+}
+
+} // namespace wg

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multi-SM GPU driver. SMs are independent in this study (the paper
+ * gates per-SM execution units and all inter-SM interaction is folded
+ * into the memory-latency model), so each SM simulates on its own
+ * thread and results are merged deterministically in SM order.
+ */
+
+#ifndef WG_SIM_GPU_HH
+#define WG_SIM_GPU_HH
+
+#include <vector>
+
+#include "sim/result.hh"
+#include "sim/sm.hh"
+#include "workload/profile.hh"
+
+namespace wg {
+
+/** A GTX480-like GPU: numSms independent SMs. */
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig& config);
+
+    /**
+     * Run @p profile on every SM (per-SM program variants are derived
+     * from the experiment seed) and aggregate.
+     */
+    SimResult run(const BenchmarkProfile& profile) const;
+
+    /**
+     * Run explicit per-SM workloads; perSm.size() overrides numSms.
+     */
+    SimResult runPrograms(
+        const std::vector<std::vector<Program>>& per_sm) const;
+
+    const GpuConfig& config() const { return config_; }
+
+  private:
+    SimResult aggregate(std::vector<SmStats> stats) const;
+
+    GpuConfig config_;
+};
+
+} // namespace wg
+
+#endif // WG_SIM_GPU_HH

@@ -1,0 +1,431 @@
+#include "sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sched/gates.hh"
+#include "sched/gto.hh"
+#include "sched/twolevel.hh"
+
+namespace wg {
+
+const char*
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::TwoLevel: return "two-level";
+      case SchedulerPolicy::Gates: return "gates";
+      case SchedulerPolicy::Gto: return "gto";
+    }
+    return "?";
+}
+
+namespace {
+
+std::unique_ptr<Scheduler>
+makeScheduler(const SmConfig& config)
+{
+    switch (config.scheduler) {
+      case SchedulerPolicy::TwoLevel:
+        return std::make_unique<TwoLevelScheduler>();
+      case SchedulerPolicy::Gates:
+        return std::make_unique<GatesScheduler>(config.gates);
+      case SchedulerPolicy::Gto:
+        return std::make_unique<GtoScheduler>();
+    }
+    panic("unknown scheduler policy");
+}
+
+} // namespace
+
+Sm::Sm(const SmConfig& config, std::vector<Program> programs,
+       std::uint64_t seed)
+    : config_(config), programs_(std::move(programs)),
+      scoreboard_(programs_.size()), scheduler_(makeScheduler(config)),
+      int_{ExecUnit(UnitClass::Int, 0, config.alu),
+           ExecUnit(UnitClass::Int, 1, config.alu)},
+      fp_{ExecUnit(UnitClass::Fp, 0, config.alu),
+          ExecUnit(UnitClass::Fp, 1, config.alu)},
+      sfu_(UnitClass::Sfu, 0, config.sfu),
+      ldst_(UnitClass::Ldst, 0, config.ldst),
+      mem_(config.mem, Rng(seed, 0xcafef00dd15ea5e5ULL)),
+      pg_(config.pg)
+{
+    if (programs_.empty())
+        fatal("Sm: no warps to run");
+    if (config_.issueWidth == 0)
+        fatal("Sm: zero issue width");
+    if (config_.activeSetCapacity == 0)
+        fatal("Sm: zero active-set capacity");
+
+    warps_.resize(programs_.size());
+    waiting_.reserve(programs_.size());
+    for (std::size_t w = 0; w < programs_.size(); ++w) {
+        warps_[w].init(static_cast<WarpId>(w), &programs_[w]);
+        waiting_.push_back(static_cast<WarpId>(w));
+    }
+    live_warps_ = warps_.size();
+    active_.reserve(config_.activeSetCapacity);
+}
+
+void
+Sm::writebackPhase()
+{
+    mem_.tick(now_);
+
+    completions_.clear();
+    for (auto& u : int_) {
+        u.tick(now_);
+        u.drainCompletions(now_, completions_);
+    }
+    for (auto& u : fp_) {
+        u.tick(now_);
+        u.drainCompletions(now_, completions_);
+    }
+    sfu_.tick(now_);
+    sfu_.drainCompletions(now_, completions_);
+    ldst_.tick(now_);
+    ldst_.drainCompletions(now_, completions_);
+
+    for (const auto& c : completions_) {
+        if (c.dest != kNoReg)
+            scoreboard_.complete(c.warp, c.dest);
+        warps_[c.warp].noteComplete();
+    }
+
+    // Un-block pending warps whose long-latency producer returned.
+    if (!completions_.empty()) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            WarpId w = pending_[i];
+            const WarpContext& warp = warps_[w];
+            if (warp.hasHead() &&
+                scoreboard_.blockedOnLong(w, warp.head())) {
+                pending_[kept++] = w;
+            } else {
+                warps_[w].setLoc(WarpLoc::Waiting);
+                waiting_.push_back(w);
+            }
+        }
+        pending_.resize(kept);
+    }
+}
+
+void
+Sm::promotePhase()
+{
+    std::size_t take = 0;
+    while (active_.size() < config_.activeSetCapacity &&
+           take < waiting_.size()) {
+        WarpId w = waiting_[take++];
+        warps_[w].setLoc(WarpLoc::Active);
+        active_.push_back(w);
+    }
+    if (take > 0)
+        waiting_.erase(waiting_.begin(),
+                       waiting_.begin() + static_cast<long>(take));
+}
+
+void
+Sm::fetchPhase()
+{
+    // Only warps in the active or pending sets hold i-buffer entries
+    // worth refilling; waiting warps are topped up on promotion.
+    for (WarpId w : active_)
+        warps_[w].fetch(config_.ibufferDepth);
+    for (WarpId w : pending_)
+        warps_[w].fetch(config_.ibufferDepth);
+}
+
+void
+Sm::demotePhase()
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        WarpId w = active_[i];
+        WarpContext& warp = warps_[w];
+        if (warp.drained()) {
+            warp.setLoc(WarpLoc::Finished);
+            --live_warps_;
+            continue;
+        }
+        if (warp.hasHead() &&
+            scoreboard_.blockedOnLong(w, warp.head())) {
+            // Waiting on a long-latency event: two-level demotion.
+            warp.setLoc(WarpLoc::Pending);
+            pending_.push_back(w);
+            continue;
+        }
+        active_[kept++] = w;
+    }
+    active_.resize(kept);
+}
+
+void
+Sm::buildView(SchedView& view) const
+{
+    for (WarpId w : active_) {
+        const WarpContext& warp = warps_[w];
+        if (!warp.hasHead())
+            continue;
+        // ACTV counts decoded instructions in the active subset (the
+        // paper increments the counter as instructions enter), so every
+        // i-buffer entry contributes; RDY counts issuable heads only.
+        for (const Instruction& instr : warp.ibuffer())
+            ++view.actv[static_cast<std::size_t>(instr.unit)];
+        if (scoreboard_.ready(w, warp.head()))
+            ++view.rdy[static_cast<std::size_t>(warp.head().unit)];
+    }
+    pg_.fillView(view);
+}
+
+bool
+Sm::tryIssueAlu(WarpId warp, const Instruction& instr)
+{
+    UnitClass uc = instr.unit;
+    const unsigned t = uc == UnitClass::Int ? 0 : 1;
+    ExecUnit* units = t == 0 ? int_ : fp_;
+
+    // The SP0/SP1 clusters of a type form a pool (the paper's
+    // Coordinated Blackout relies on the second cluster being able to
+    // serve a waiting warp). Selection rotates between the clusters so
+    // load balances instead of piling onto cluster 0.
+    const unsigned first = rr_cluster_[t];
+    for (unsigned k = 0; k < kClustersPerType; ++k) {
+        unsigned idx = (first + k) % kClustersPerType;
+        if (!pg_.canExecute(uc, idx) || !units[idx].canAccept(now_))
+            continue;
+        units[idx].issue(now_, now_ + config_.alu.latency, warp,
+                         instr.dest, false);
+        rr_cluster_[t] = (idx + 1) % kClustersPerType;
+        commitIssue(warp, instr);
+        return true;
+    }
+
+    // Nothing could take the instruction: every cluster is gated,
+    // waking, or port-busy. Demand-driven wakeup: signal the gating
+    // controller so a gated cluster starts (or, under blackout, is
+    // woken the moment its break-even time expires). This also covers
+    // the port-busy case — a second ready instruction of the type is
+    // the hardware's signal that one powered cluster is not enough.
+    int target = pg_.pickWakeupTarget(uc);
+    if (target >= 0) {
+        pg_.requestWakeup(uc, static_cast<unsigned>(target), now_);
+        ++stats_.wakeupRequests;
+    }
+    return false;
+}
+
+bool
+Sm::tryIssueSfu(WarpId warp, const Instruction& instr)
+{
+    if (!pg_.canExecute(UnitClass::Sfu, 0)) {
+        // SFU gating extension: wake the block on demand.
+        if (pg_.isGated(UnitClass::Sfu, 0)) {
+            pg_.requestWakeup(UnitClass::Sfu, 0, now_);
+            ++stats_.wakeupRequests;
+        }
+        return false;
+    }
+    if (!sfu_.canAccept(now_))
+        return false;
+    sfu_.issue(now_, now_ + config_.sfu.latency, warp, instr.dest, false);
+    commitIssue(warp, instr);
+    return true;
+}
+
+bool
+Sm::tryIssueLdst(WarpId warp, const Instruction& instr)
+{
+    if (!ldst_.canAccept(now_))
+        return false;
+    if (!instr.isStore && !mem_.canAccept(instr.mem)) {
+        mem_.noteReject();
+        return false;
+    }
+    Cycle complete = mem_.access(now_, instr.mem, instr.isStore);
+    ldst_.issue(now_, complete, warp, instr.dest, instr.isLongLatency());
+    commitIssue(warp, instr);
+    return true;
+}
+
+void
+Sm::commitIssue(WarpId warp, const Instruction& instr)
+{
+    scoreboard_.markIssued(warp, instr);
+    warps_[warp].noteIssue();
+    warps_[warp].popHead();
+    ++stats_.issuedByClass[static_cast<std::size_t>(instr.unit)];
+    ++stats_.issuedTotal;
+}
+
+bool
+Sm::tryIssue(WarpId warp)
+{
+    const WarpContext& ctx = warps_[warp];
+    if (!ctx.hasHead())
+        return false;
+    const Instruction& instr = ctx.head();
+    if (!scoreboard_.ready(warp, instr))
+        return false;
+
+    switch (instr.unit) {
+      case UnitClass::Int:
+      case UnitClass::Fp:
+        return tryIssueAlu(warp, instr);
+      case UnitClass::Sfu:
+        return tryIssueSfu(warp, instr);
+      case UnitClass::Ldst:
+        return tryIssueLdst(warp, instr);
+    }
+    return false;
+}
+
+void
+Sm::schedulePhase(const SchedView& view)
+{
+    scheduler_->beginCycle(now_, view);
+
+    // Parallel array of head-instruction classes for the scheduler.
+    head_types_.clear();
+    head_types_.reserve(active_.size());
+    for (WarpId w : active_) {
+        head_types_.push_back(warps_[w].hasHead() ? warps_[w].head().unit
+                                                  : UnitClass::Int);
+    }
+
+    candidates_.clear();
+    scheduler_->order(active_, head_types_, candidates_);
+
+    // The SM's two schedulers each own one warp-parity class and issue
+    // at most one instruction per cycle (issueWidth = 2 overall). The
+    // candidate ordering is shared (GATES keeps one priority state for
+    // the SM); the parity restriction models the per-scheduler warp
+    // partitioning.
+    issued_this_cycle_.clear();
+    unsigned issued = 0;
+    std::array<bool, 2> parity_used = {false, false};
+    const bool split = config_.issueWidth == 2;
+    for (std::size_t idx : candidates_) {
+        if (issued >= config_.issueWidth)
+            break;
+        WarpId w = active_[idx];
+        if (split && parity_used[w & 1u])
+            continue;
+        // At most one instruction per warp per cycle.
+        if (!split && std::find(issued_this_cycle_.begin(),
+                                issued_this_cycle_.end(),
+                                w) != issued_this_cycle_.end())
+            continue;
+        if (tryIssue(w)) {
+            ++issued;
+            parity_used[w & 1u] = true;
+            issued_this_cycle_.push_back(w);
+            scheduler_->notifyIssue(w, head_types_[idx]);
+        }
+    }
+
+    // Least-recently-issued maintenance: issued warps go to the back.
+    if (!issued_this_cycle_.empty()) {
+        auto is_issued = [&](WarpId w) {
+            return std::find(issued_this_cycle_.begin(),
+                             issued_this_cycle_.end(),
+                             w) != issued_this_cycle_.end();
+        };
+        std::stable_partition(active_.begin(), active_.end(),
+                              [&](WarpId w) { return !is_issued(w); });
+    }
+}
+
+bool
+Sm::step()
+{
+    if (done_)
+        return true;
+
+    writebackPhase();
+    promotePhase();
+    fetchPhase();
+    demotePhase();
+
+    stats_.activeSizeAccum += active_.size();
+    if (active_.size() > stats_.activeSizeMax)
+        stats_.activeSizeMax = static_cast<std::uint32_t>(active_.size());
+
+    SchedView view;
+    buildView(view);
+    schedulePhase(view);
+
+    const std::array<bool, kClustersPerType> int_busy = {int_[0].busy(),
+                                                         int_[1].busy()};
+    const std::array<bool, kClustersPerType> fp_busy = {fp_[0].busy(),
+                                                        fp_[1].busy()};
+    pg_.tick(now_, int_busy, fp_busy, view, sfu_.busy());
+
+    if (sfu_.busy())
+        ++stats_.sfuBusyCycles;
+    if (ldst_.busy())
+        ++stats_.ldstBusyCycles;
+
+    ++now_;
+
+    if (live_warps_ == 0) {
+        done_ = true;
+        finish();
+    }
+    return done_;
+}
+
+const SmStats&
+Sm::run()
+{
+    while (!done_ && now_ < config_.maxCycles)
+        step();
+    if (!done_) {
+        warn("Sm: maxCycles (", config_.maxCycles,
+             ") reached before the workload drained");
+        finish();
+    }
+    return stats_;
+}
+
+void
+Sm::finish()
+{
+    if (finished_stats_)
+        return;
+    finished_stats_ = true;
+
+    pg_.finalize(now_);
+    stats_.cycles = now_;
+    stats_.completed = live_warps_ == 0;
+
+    for (unsigned t = 0; t < 2; ++t) {
+        UnitClass uc = t == 0 ? UnitClass::Int : UnitClass::Fp;
+        const ExecUnit* units = t == 0 ? int_ : fp_;
+        for (unsigned c = 0; c < 2; ++c) {
+            ClusterStats& cs = stats_.clusters[t][c];
+            cs.pg = pg_.domain(uc, c).stats();
+            cs.issues = units[c].issueCount();
+            cs.idleHist = pg_.domain(uc, c).idleHistogram();
+        }
+        stats_.finalIdleDetect[t] = pg_.idleDetectValue(uc);
+        if (config_.pg.adaptiveIdleDetect) {
+            stats_.adaptIncrements[t] = pg_.adaptive(uc).increments();
+            stats_.adaptDecrements[t] = pg_.adaptive(uc).decrements();
+        }
+    }
+
+    stats_.sfuIssues = sfu_.issueCount();
+    stats_.sfuCluster.pg = pg_.sfuDomain().stats();
+    stats_.sfuCluster.issues = sfu_.issueCount();
+    stats_.sfuCluster.idleHist = pg_.sfuDomain().idleHistogram();
+    stats_.ldstIssues = ldst_.issueCount();
+    stats_.prioritySwitches = scheduler_->prioritySwitches();
+    stats_.memHits = mem_.hits();
+    stats_.memMisses = mem_.misses();
+    stats_.memStores = mem_.stores();
+    stats_.mshrRejects = mem_.mshrRejects();
+}
+
+} // namespace wg

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Streaming-multiprocessor model.
+ *
+ * The SM wires together the fetch/decode stage (per-warp instruction
+ * buffers), the scoreboard, the two-level active/pending warp sets, the
+ * warp scheduler (baseline two-level or GATES), the execution clusters
+ * (2x INT, 2x FP, SFU, LD/ST), the memory system, and the power-gating
+ * controller. One call to step() advances one core-clock cycle.
+ *
+ * Cycle phasing:
+ *   1. writeback  - retire unit pipelines and memory returns; clear
+ *                   scoreboard entries; un-block pending warps
+ *   2. promote    - refill the active set from waiting warps (LRU fill)
+ *   3. fetch      - top up each warp's instruction buffer
+ *   4. demote     - active warps blocked on long-latency producers move
+ *                   to the pending set; drained warps retire
+ *   5. schedule   - build the SchedView, let the scheduler order
+ *                   candidates, issue up to issueWidth instructions
+ *   6. pg tick    - advance the power-gating state machines with this
+ *                   cycle's busy indications
+ */
+
+#ifndef WG_SIM_SM_HH
+#define WG_SIM_SM_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "exec/unit.hh"
+#include "mem/memsys.hh"
+#include "pg/controller.hh"
+#include "sched/scheduler.hh"
+#include "sched/scoreboard.hh"
+#include "sched/warp.hh"
+#include "sim/config.hh"
+#include "sim/smstats.hh"
+
+namespace wg {
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    /**
+     * @param config microarchitecture configuration
+     * @param programs one program per resident warp
+     * @param seed per-SM seed (memory-latency stream)
+     */
+    Sm(const SmConfig& config, std::vector<Program> programs,
+       std::uint64_t seed);
+
+    /** Advance one cycle. @return true when the SM has drained. */
+    bool step();
+
+    /** Run to completion (or maxCycles). @return the statistics. */
+    const SmStats& run();
+
+    /** @return true when every warp finished. */
+    bool done() const { return done_; }
+
+    /** Current cycle. */
+    Cycle now() const { return now_; }
+
+    /** Statistics so far (finalized only after run()/finish()). */
+    const SmStats& stats() const { return stats_; }
+
+    /** Finalize statistics (idle-period flush). Idempotent. */
+    void finish();
+
+    // --- Introspection for tests and the trace example ---
+    const PgController& pg() const { return pg_; }
+    const Scheduler& scheduler() const { return *scheduler_; }
+    const MemorySystem& memory() const { return mem_; }
+    const ExecUnit& intCluster(unsigned i) const { return int_[i]; }
+    const ExecUnit& fpCluster(unsigned i) const { return fp_[i]; }
+    const ExecUnit& sfuUnit() const { return sfu_; }
+    const ExecUnit& ldstUnit() const { return ldst_; }
+    const WarpContext& warp(WarpId w) const { return warps_[w]; }
+    std::size_t numWarps() const { return warps_.size(); }
+    std::size_t activeSetSize() const { return active_.size(); }
+
+  private:
+    void writebackPhase();
+    void promotePhase();
+    void fetchPhase();
+    void demotePhase();
+    void buildView(SchedView& view) const;
+    void schedulePhase(const SchedView& view);
+
+    /**
+     * Try to issue @p warp's head instruction.
+     * @return true on issue.
+     */
+    bool tryIssue(WarpId warp);
+
+    /** Issue helpers per destination unit kind. */
+    bool tryIssueAlu(WarpId warp, const Instruction& instr);
+    bool tryIssueSfu(WarpId warp, const Instruction& instr);
+    bool tryIssueLdst(WarpId warp, const Instruction& instr);
+
+    /** Post-issue bookkeeping shared by the helpers. */
+    void commitIssue(WarpId warp, const Instruction& instr);
+
+    SmConfig config_;
+    std::vector<Program> programs_;
+    std::vector<WarpContext> warps_;
+    Scoreboard scoreboard_;
+    std::unique_ptr<Scheduler> scheduler_;
+
+    ExecUnit int_[2];
+    ExecUnit fp_[2];
+    ExecUnit sfu_;
+    ExecUnit ldst_;
+    MemorySystem mem_;
+    PgController pg_;
+
+    /** Active warps in least-recently-issued order (front = LRI). */
+    std::vector<WarpId> active_;
+    /** Warps eligible to enter the active set, FIFO. */
+    std::vector<WarpId> waiting_;
+    /** Warps parked on long-latency events (two-level pending set). */
+    std::vector<WarpId> pending_;
+
+    /** Round-robin cluster preference per ALU type (load balancing). */
+    std::array<unsigned, 2> rr_cluster_ = {0, 0};
+
+    Cycle now_ = 0;
+    bool done_ = false;
+    bool finished_stats_ = false;
+    std::size_t live_warps_ = 0;
+
+    /** Warps that issued this cycle (for LRR reordering). */
+    std::vector<WarpId> issued_this_cycle_;
+    std::vector<Completion> completions_;
+    std::vector<UnitClass> head_types_;
+    std::vector<std::size_t> candidates_;
+
+    SmStats stats_;
+};
+
+} // namespace wg
+
+#endif // WG_SIM_SM_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Raw statistics produced by one SM simulation.
+ */
+
+#ifndef WG_SIM_SMSTATS_HH
+#define WG_SIM_SMSTATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/instr.hh"
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "pg/domain.hh"
+
+namespace wg {
+
+/** Per-gateable-cluster outcome. */
+struct ClusterStats
+{
+    PgDomainStats pg;          ///< state-machine cycle/event counters
+    std::uint64_t issues = 0;  ///< warp instructions executed
+    Histogram idleHist{64};    ///< idle-period-length distribution
+
+    void
+    merge(const ClusterStats& other)
+    {
+        pg.busyCycles += other.pg.busyCycles;
+        pg.idleOnCycles += other.pg.idleOnCycles;
+        pg.uncompCycles += other.pg.uncompCycles;
+        pg.compCycles += other.pg.compCycles;
+        pg.wakeupCycles += other.pg.wakeupCycles;
+        pg.gatingEvents += other.pg.gatingEvents;
+        pg.wakeups += other.pg.wakeups;
+        pg.uncompWakeups += other.pg.uncompWakeups;
+        pg.criticalWakeups += other.pg.criticalWakeups;
+        pg.coordImmediateGates += other.pg.coordImmediateGates;
+        pg.coordGateVetoes += other.pg.coordGateVetoes;
+        issues += other.issues;
+        idleHist.merge(other.idleHist);
+    }
+};
+
+/** Everything one SM run produces. */
+struct SmStats
+{
+    Cycle cycles = 0;               ///< simulated cycles
+    bool completed = false;         ///< all warps drained (vs maxCycles)
+
+    std::array<std::uint64_t, kNumUnitClasses> issuedByClass = {};
+    std::uint64_t issuedTotal = 0;
+
+    /** [type][cluster]; type 0 = INT, 1 = FP. */
+    std::array<std::array<ClusterStats, 2>, 2> clusters;
+
+    /** SFU gating-extension stats (all-idle counters when disabled). */
+    ClusterStats sfuCluster;
+
+    std::uint64_t sfuIssues = 0;
+    std::uint64_t ldstIssues = 0;
+    std::uint64_t sfuBusyCycles = 0;
+    std::uint64_t ldstBusyCycles = 0;
+
+    // Active-warps-set occupancy (Fig. 5b).
+    std::uint64_t activeSizeAccum = 0; ///< sum over cycles
+    std::uint32_t activeSizeMax = 0;
+
+    std::uint64_t prioritySwitches = 0;
+    std::uint64_t wakeupRequests = 0;  ///< issue-blocked-on-gated events
+
+    // Memory system.
+    std::uint64_t memHits = 0;
+    std::uint64_t memMisses = 0;
+    std::uint64_t memStores = 0;
+    std::uint64_t mshrRejects = 0;
+
+    // Adaptive idle detect outcomes.
+    std::array<Cycle, 2> finalIdleDetect = {0, 0}; ///< [INT, FP]
+    std::array<std::uint64_t, 2> adaptIncrements = {0, 0};
+    std::array<std::uint64_t, 2> adaptDecrements = {0, 0};
+
+    /** Mean active-set size over the run. */
+    double
+    avgActiveWarps() const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(activeSizeAccum) /
+               static_cast<double>(cycles);
+    }
+};
+
+} // namespace wg
+
+#endif // WG_SIM_SMSTATS_HH

@@ -1,0 +1,130 @@
+#include "profile.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wg {
+
+namespace {
+
+/**
+ * Suite characterisations. Instruction mixes follow Fig. 5a; resident
+ * warps follow the Fig. 5b maxima; memory-miss ratios and dependency
+ * densities are tuned so the simulated average active-warp counts track
+ * the Fig. 5b averages (high memory pressure and tight dependences both
+ * shrink the active set).
+ *
+ * Fields: name, int, fp, sfu, ldst, resident, missRatio, depProb,
+ * depWindow, storeFrac, phaseLen, phaseBias, kernelLength.
+ */
+std::vector<BenchmarkProfile>
+buildSuite()
+{
+    auto mk = [](const char* name, double fi, double ff, double fs,
+                 double fl, int warps, double miss, double dep, int depw,
+                 double store, int phase, double bias, int len) {
+        BenchmarkProfile p;
+        p.name = name;
+        p.fracInt = fi;
+        p.fracFp = ff;
+        p.fracSfu = fs;
+        p.fracLdst = fl;
+        p.residentWarps = warps;
+        p.memMissRatio = miss;
+        p.depProb = dep;
+        p.depWindow = depw;
+        p.storeFrac = store;
+        p.phaseLen = phase;
+        p.phaseBias = bias;
+        p.kernelLength = len;
+        return p;
+    };
+
+    std::vector<BenchmarkProfile> suite;
+    // Fig. 5b: avg active warps ~26; FP/INT balanced compute kernel.
+    suite.push_back(mk("backprop", .40, .40, .02, .18, 48, .09, .30, 6,
+                       .30, 120, 3.0, 1500));
+    // Graph traversal, almost pure INT, memory bound; avg ~22.
+    suite.push_back(mk("bfs", .68, .01, .00, .31, 48, .55, .35, 5,
+                       .20, 0, 1.0, 1500));
+    // Pointer chasing, INT + many loads; max 24, avg ~14.
+    suite.push_back(mk("btree", .62, .06, .00, .32, 24, .30, .40, 5,
+                       .15, 0, 1.0, 1500));
+    // Parboil cutcp: FP-dominated with SFU (rsqrt); avg ~16.
+    suite.push_back(mk("cutcp", .22, .58, .10, .10, 32, .25, .45, 4,
+                       .10, 120, 2.5, 1500));
+    // Tiny grids, few concurrent warps; avg ~4.
+    suite.push_back(mk("gaussian", .45, .38, .00, .17, 16, .55, .55, 3,
+                       .30, 100, 2.5, 1500));
+    // heartwall: INT-leaning imaging kernel; avg ~12.
+    suite.push_back(mk("heartwall", .55, .28, .02, .15, 32, .35, .45, 4,
+                       .25, 200, 2.0, 1500));
+    // hotspot: the paper's running example; avg ~20.
+    suite.push_back(mk("hotspot", .48, .35, .00, .17, 48, .60, .35, 5,
+                       .25, 0, 1.0, 1500));
+    // kmeans: avg ~10, moderate mix.
+    suite.push_back(mk("kmeans", .55, .28, .00, .17, 16, .25, .40, 5,
+                       .20, 120, 2.5, 1500));
+    // lavaMD: the paper calls it a pure-integer workload; avg ~18.
+    suite.push_back(mk("lavaMD", .93, .00, .00, .07, 32, .20, .35, 6,
+                       .20, 0, 1.0, 1500));
+    // lbm: FP-heavy stencil, high occupancy; avg ~27.
+    suite.push_back(mk("lbm", .25, .55, .00, .20, 48, .35, .30, 6,
+                       .35, 150, 3.0, 1500));
+    // LIB (ISPASS): FP Monte-Carlo, few warps; avg ~6.
+    suite.push_back(mk("LIB", .30, .45, .05, .20, 16, .35, .50, 4,
+                       .20, 100, 2.5, 1500));
+    // mri-q: FP+SFU compute bound, high occupancy; avg ~25.
+    suite.push_back(mk("mri", .28, .55, .10, .07, 48, .15, .30, 6,
+                       .10, 150, 2.5, 1500));
+    // MUM: INT string matching, memory heavy; avg ~24.
+    suite.push_back(mk("MUM", .72, .01, .00, .27, 48, .45, .25, 6,
+                       .10, 0, 1.0, 1500));
+    // NN (ISPASS): only a handful of warps; avg ~5.
+    suite.push_back(mk("NN", .50, .33, .02, .15, 8, .12, .35, 4,
+                       .25, 100, 2.5, 1500));
+    // nw: wavefront dependences serialise warps; avg ~3.
+    suite.push_back(mk("nw", .84, .01, .00, .15, 32, .70, .65, 2,
+                       .30, 0, 1.0, 1500));
+    // sgemm: FP-dominated dense kernel; avg ~17.
+    suite.push_back(mk("sgemm", .25, .55, .00, .20, 32, .15, .40, 5,
+                       .30, 150, 3.0, 1500));
+    // srad: highest average occupancy in the suite (~28).
+    suite.push_back(mk("srad", .42, .40, .03, .15, 48, .20, .28, 6,
+                       .25, 120, 2.5, 1500));
+    // WP (ISPASS weather prediction): FP-leaning, avg ~8.
+    suite.push_back(mk("WP", .35, .42, .05, .18, 24, .35, .50, 4,
+                       .25, 180, 2.0, 1500));
+    return suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile>&
+benchmarkSuite()
+{
+    static const std::vector<BenchmarkProfile> suite = buildSuite();
+    return suite;
+}
+
+const BenchmarkProfile&
+findBenchmark(const std::string& name)
+{
+    for (const auto& p : benchmarkSuite())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark '", name, "'");
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    names.reserve(benchmarkSuite().size());
+    for (const auto& p : benchmarkSuite())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace wg

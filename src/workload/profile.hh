@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-benchmark workload characterisations.
+ *
+ * The paper evaluates 18 CUDA benchmarks from Rodinia, Parboil and the
+ * ISPASS GPGPU-Sim suite on GPGPU-Sim. Those binaries (and an NVIDIA
+ * toolchain) are unavailable here, so each benchmark is characterised by
+ * the properties the paper itself reports (instruction mix from Fig. 5a,
+ * active-warp availability from Fig. 5b) plus memory intensity and
+ * dependency density chosen to reproduce the reported active-warp
+ * averages. The synthetic generator (generator.hh) expands a profile
+ * into per-warp instruction traces.
+ */
+
+#ifndef WG_WORKLOAD_PROFILE_HH
+#define WG_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+namespace wg {
+
+/**
+ * Statistical description of one benchmark kernel. All mix fractions
+ * are normalised to sum to 1 by the generator.
+ */
+struct BenchmarkProfile
+{
+    std::string name;       ///< benchmark name as used in the paper
+
+    // --- Instruction mix (Fig. 5a) ---
+    double fracInt = 0.5;   ///< integer-unit instructions
+    double fracFp = 0.3;    ///< floating-point-unit instructions
+    double fracSfu = 0.0;   ///< special-function-unit instructions
+    double fracLdst = 0.2;  ///< load/store instructions
+
+    // --- Warp availability (Fig. 5b) ---
+    int residentWarps = 48; ///< warps launched per SM (<= 48)
+
+    // --- Dynamic behaviour knobs ---
+    double memMissRatio = 0.3;  ///< fraction of loads that go long-latency
+    double depProb = 0.35;      ///< P(instruction reads a recent result)
+    int depWindow = 6;          ///< max producer lookback distance
+    double storeFrac = 0.25;    ///< fraction of LDST that are stores
+
+    /**
+     * Probability that a load's value is consumed by a nearby later
+     * instruction (compilers schedule the consumer a few instructions
+     * after the load). Consumption of a missing load is what demotes a
+     * warp to the two-level pending set, so this knob — together with
+     * memMissRatio — controls the average active-warp count (Fig. 5b).
+     */
+    double loadConsumeProb = 0.85;
+
+    /** Maximum LDST instructions per memory burst (tile size proxy). */
+    int loadBurstMax = 4;
+
+    /**
+     * Phase behaviour: 0 = well-mixed stream; otherwise the generator
+     * alternates INT-biased and FP-biased phases of this many
+     * instructions, modelling kernels with distinct compute phases.
+     */
+    int phaseLen = 0;
+    double phaseBias = 3.0;     ///< weight multiplier inside a phase
+
+    int kernelLength = 1500;    ///< instructions per warp
+
+    /**
+     * Warps per CTA (thread block). All warps of a CTA execute the
+     * same instruction sequence (SIMT kernels are one program), which
+     * gives the phase-correlated stalls real kernels exhibit; different
+     * CTAs get independently generated sequences.
+     */
+    int ctaWarps = 16;
+
+    /** @return true when the benchmark has (almost) no FP activity. */
+    bool
+    isIntegerOnly() const
+    {
+        return fracFp < 0.005;
+    }
+};
+
+/** The 18-benchmark suite used throughout the paper's evaluation. */
+const std::vector<BenchmarkProfile>& benchmarkSuite();
+
+/** Look up a benchmark by name; fatal() when unknown. */
+const BenchmarkProfile& findBenchmark(const std::string& name);
+
+/** Names of all suite benchmarks, in the paper's (alphabetical) order. */
+std::vector<std::string> benchmarkNames();
+
+} // namespace wg
+
+#endif // WG_WORKLOAD_PROFILE_HH

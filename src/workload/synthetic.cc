@@ -1,0 +1,102 @@
+#include "synthetic.hh"
+
+#include "common/rng.hh"
+
+namespace wg {
+
+Program
+pureProgram(UnitClass uc, std::size_t n)
+{
+    std::vector<Instruction> instrs;
+    instrs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Instruction instr;
+        instr.unit = uc;
+        instr.dest = static_cast<RegId>(i % 16);
+        if (uc == UnitClass::Ldst)
+            instr.mem = MemClass::Hit;
+        instrs.push_back(instr);
+    }
+    return Program(std::move(instrs));
+}
+
+Program
+alternatingProgram(std::size_t n)
+{
+    std::vector<Instruction> instrs;
+    instrs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        instrs.push_back(i % 2 == 0
+                             ? makeInt(static_cast<RegId>(i % 16))
+                             : makeFp(static_cast<RegId>(i % 16)));
+    }
+    return Program(std::move(instrs));
+}
+
+Program
+chainProgram(UnitClass uc, std::size_t n)
+{
+    std::vector<Instruction> instrs;
+    instrs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Instruction instr;
+        instr.unit = uc;
+        instr.dest = static_cast<RegId>(i % 16);
+        if (i > 0)
+            instr.srcs[0] = static_cast<RegId>((i - 1) % 16);
+        if (uc == UnitClass::Ldst)
+            instr.mem = MemClass::Hit;
+        instrs.push_back(instr);
+    }
+    return Program(std::move(instrs));
+}
+
+std::vector<Program>
+fig4Warps()
+{
+    // Order from the paper's Fig. 4 (top row).
+    const UnitClass order[] = {
+        UnitClass::Int, UnitClass::Int, UnitClass::Fp, UnitClass::Int,
+        UnitClass::Fp, UnitClass::Int, UnitClass::Int, UnitClass::Int,
+        UnitClass::Int, UnitClass::Fp, UnitClass::Fp, UnitClass::Int,
+    };
+    std::vector<Program> warps;
+    for (UnitClass uc : order)
+        warps.push_back(pureProgram(uc, 1));
+    return warps;
+}
+
+std::vector<Program>
+uniformMixWarps(std::size_t warps, std::size_t len, double frac_fp,
+                double frac_ldst, double miss_ratio, std::uint64_t seed)
+{
+    Rng root(seed);
+    std::vector<Program> programs;
+    programs.reserve(warps);
+    for (std::size_t w = 0; w < warps; ++w) {
+        Rng rng = root.fork(w);
+        std::vector<Instruction> instrs;
+        instrs.reserve(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            double u = rng.nextDouble();
+            Instruction instr;
+            if (u < frac_ldst) {
+                instr = makeLoad(static_cast<RegId>(i % 16),
+                                 rng.nextBool(miss_ratio) ? MemClass::Miss
+                                                          : MemClass::Hit);
+            } else if (u < frac_ldst + frac_fp) {
+                instr = makeFp(static_cast<RegId>(i % 16));
+            } else {
+                instr = makeInt(static_cast<RegId>(i % 16));
+            }
+            // Light dependency: read the previous destination sometimes.
+            if (i > 0 && rng.nextBool(0.3))
+                instr.srcs[1] = static_cast<RegId>((i - 1) % 16);
+            instrs.push_back(instr);
+        }
+        programs.push_back(Program(std::move(instrs)));
+    }
+    return programs;
+}
+
+} // namespace wg

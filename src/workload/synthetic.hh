@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hand-built workloads for tests, examples and the Fig. 4 illustration.
+ */
+
+#ifndef WG_WORKLOAD_SYNTHETIC_HH
+#define WG_WORKLOAD_SYNTHETIC_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/program.hh"
+
+namespace wg {
+
+/** @return a program of @p n independent instructions of class @p uc. */
+Program pureProgram(UnitClass uc, std::size_t n);
+
+/**
+ * @return a program alternating INT and FP instructions (@p n total,
+ * independent). Worst case for type-agnostic schedulers.
+ */
+Program alternatingProgram(std::size_t n);
+
+/**
+ * @return a fully serialised dependency chain: each instruction reads
+ * the previous one's destination.
+ */
+Program chainProgram(UnitClass uc, std::size_t n);
+
+/**
+ * The paper's Fig. 4 illustration: an active-warps set holding, in
+ * order, INT1 INT2 FP1 INT3 FP2 INT4 INT5 INT6 INT7 FP3 FP4 INT8 —
+ * twelve single-instruction warps (each a 4-cycle add). Returned as
+ * twelve one-instruction programs in that order.
+ */
+std::vector<Program> fig4Warps();
+
+/**
+ * @return @p warps copies of a program mixing INT/FP/LDST with the
+ * given memory-miss ratio; deterministic, used by integration tests.
+ */
+std::vector<Program> uniformMixWarps(std::size_t warps, std::size_t len,
+                                     double frac_fp, double frac_ldst,
+                                     double miss_ratio,
+                                     std::uint64_t seed = 7);
+
+} // namespace wg
+
+#endif // WG_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the Section 7.5 hardware-overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/area.hh"
+
+namespace wg {
+namespace {
+
+TEST(AreaModel, InventoryCoversAllThreeMechanisms)
+{
+    AreaModel model;
+    bool gates = false, blackout = false, adaptive = false;
+    for (const auto& s : model.inventory()) {
+        if (s.mechanism == "GATES")
+            gates = true;
+        if (s.mechanism == "Blackout")
+            blackout = true;
+        if (s.mechanism == "Adaptive")
+            adaptive = true;
+        EXPECT_GT(s.bits, 0u);
+        EXPECT_GT(s.count, 0u);
+        EXPECT_FALSE(s.name.empty());
+    }
+    EXPECT_TRUE(gates);
+    EXPECT_TRUE(blackout);
+    EXPECT_TRUE(adaptive);
+}
+
+TEST(AreaModel, GatesTypeBitsMatchActiveSet)
+{
+    // 2 bits per entry of the 32-entry active warps set (Section 6).
+    AreaModel model;
+    for (const auto& s : model.inventory()) {
+        if (s.name.find("type bits") != std::string::npos) {
+            EXPECT_EQ(s.bits, 2u);
+            EXPECT_EQ(s.count, 32u);
+        }
+        if (s.name.find("BET countdown") != std::string::npos) {
+            EXPECT_EQ(s.bits, 5u) << "5-bit counters hold BET <= 24";
+            EXPECT_EQ(s.count, 4u) << "one per gateable cluster";
+        }
+        if (s.name.find("RDY") != std::string::npos) {
+            EXPECT_EQ(s.bits, 5u) << "32 active warps need 5 bits";
+            EXPECT_EQ(s.count, 4u);
+        }
+    }
+}
+
+TEST(AreaModel, TotalsMatchPublishedSynthesis)
+{
+    AreaModel model;
+    HardwareOverhead hw = model.compute();
+    EXPECT_NEAR(hw.areaUm2, 1210.8, 0.5);
+    EXPECT_NEAR(hw.dynamicW, 1.55e-3, 1e-5);
+    EXPECT_NEAR(hw.leakageW, 1.21e-5, 1e-7);
+}
+
+TEST(AreaModel, FractionsMatchPaper)
+{
+    AreaModel model;
+    HardwareOverhead hw = model.compute();
+    EXPECT_LT(hw.areaFraction, 0.00005) << "paper: ~0.003% area";
+    EXPECT_NEAR(hw.dynamicFraction, 0.0008, 0.0002);
+    EXPECT_NEAR(hw.leakageFraction, 7.5e-6, 2e-6);
+}
+
+TEST(AreaModel, BitTotalsConsistent)
+{
+    AreaModel model;
+    HardwareOverhead hw = model.compute();
+    unsigned bits = 0;
+    for (const auto& s : model.inventory())
+        bits += s.bits * s.count;
+    EXPECT_EQ(hw.totalBits, bits);
+    EXPECT_GT(bits, 100u);
+}
+
+} // namespace
+} // namespace wg

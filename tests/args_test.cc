@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/args.hh"
+
+namespace wg {
+namespace {
+
+ArgParser
+makeParser()
+{
+    ArgParser args("prog", "test program");
+    args.addString("name", "default", "a string");
+    args.addInt("count", 7, "an int");
+    args.addDouble("ratio", 0.5, "a double");
+    args.addBool("verbose", "a bool");
+    return args;
+}
+
+bool
+parse(ArgParser& args, std::initializer_list<const char*> argv_tail)
+{
+    std::vector<const char*> argv = {"prog"};
+    argv.insert(argv.end(), argv_tail);
+    return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsApply)
+{
+    ArgParser args = makeParser();
+    ASSERT_TRUE(parse(args, {}));
+    EXPECT_EQ(args.getString("name"), "default");
+    EXPECT_EQ(args.getInt("count"), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(args.getBool("verbose"));
+    EXPECT_FALSE(args.given("name"));
+}
+
+TEST(Args, SpaceSeparatedValues)
+{
+    ArgParser args = makeParser();
+    ASSERT_TRUE(parse(args, {"--name", "x", "--count", "42"}));
+    EXPECT_EQ(args.getString("name"), "x");
+    EXPECT_EQ(args.getInt("count"), 42);
+    EXPECT_TRUE(args.given("name"));
+    EXPECT_TRUE(args.given("count"));
+}
+
+TEST(Args, EqualsSyntax)
+{
+    ArgParser args = makeParser();
+    ASSERT_TRUE(parse(args, {"--name=y", "--ratio=0.25"}));
+    EXPECT_EQ(args.getString("name"), "y");
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio"), 0.25);
+}
+
+TEST(Args, BoolFlagPresence)
+{
+    ArgParser args = makeParser();
+    ASSERT_TRUE(parse(args, {"--verbose"}));
+    EXPECT_TRUE(args.getBool("verbose"));
+}
+
+TEST(Args, NegativeNumbers)
+{
+    ArgParser args = makeParser();
+    ASSERT_TRUE(parse(args, {"--count", "-3", "--ratio", "-1.5"}));
+    EXPECT_EQ(args.getInt("count"), -3);
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio"), -1.5);
+}
+
+TEST(Args, PositionalArguments)
+{
+    ArgParser args = makeParser();
+    ASSERT_TRUE(parse(args, {"one", "--count", "2", "two"}));
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "one");
+    EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Args, UnknownFlagFails)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parse(args, {"--nope", "1"}));
+}
+
+TEST(Args, MissingValueFails)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parse(args, {"--count"}));
+}
+
+TEST(Args, BadNumericValueFails)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parse(args, {"--count", "abc"}));
+    ArgParser args2 = makeParser();
+    EXPECT_FALSE(parse(args2, {"--ratio", "1.2.3"}));
+}
+
+TEST(Args, HelpReturnsFalse)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parse(args, {"--help"}));
+}
+
+TEST(Args, UsageListsFlags)
+{
+    ArgParser args = makeParser();
+    std::string usage = args.usage();
+    EXPECT_NE(usage.find("--name"), std::string::npos);
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("a double"), std::string::npos);
+    EXPECT_NE(usage.find("prog"), std::string::npos);
+}
+
+TEST(ArgsDeath, UndeclaredAccessPanics)
+{
+    ArgParser args = makeParser();
+    EXPECT_DEATH(args.getString("ghost"), "never declared");
+}
+
+TEST(ArgsDeath, WrongTypeAccessPanics)
+{
+    ArgParser args = makeParser();
+    EXPECT_DEATH(args.getInt("name"), "wrong type");
+}
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the experiment runner (caching, filtering, normalisation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/experiment.hh"
+
+namespace wg {
+namespace {
+
+ExperimentOptions
+fastOpts()
+{
+    ExperimentOptions opts;
+    opts.numSms = 1;
+    return opts;
+}
+
+TEST(Experiment, CachesResults)
+{
+    ExperimentRunner runner(fastOpts());
+    const SimResult& a = runner.run("NN", Technique::Baseline);
+    const SimResult& b = runner.run("NN", Technique::Baseline);
+    EXPECT_EQ(&a, &b) << "same key must return the cached object";
+}
+
+TEST(Experiment, DistinctKeysDistinctResults)
+{
+    ExperimentRunner runner(fastOpts());
+    const SimResult& a = runner.run("NN", Technique::Baseline);
+    const SimResult& b = runner.run("NN", Technique::ConvPG);
+    EXPECT_NE(&a, &b);
+    ExperimentOptions opts = fastOpts();
+    opts.idleDetect = 9;
+    const SimResult& c = runner.run("NN", Technique::ConvPG, opts);
+    EXPECT_NE(&b, &c) << "different parameters are different keys";
+}
+
+TEST(Experiment, FpBenchmarksExcludeIntegerOnly)
+{
+    auto fp = ExperimentRunner::fpBenchmarks();
+    EXPECT_EQ(std::find(fp.begin(), fp.end(), "lavaMD"), fp.end());
+    EXPECT_NE(std::find(fp.begin(), fp.end(), "hotspot"), fp.end());
+    EXPECT_NE(std::find(fp.begin(), fp.end(), "bfs"), fp.end())
+        << "a sliver of FP activity keeps a benchmark in the FP charts";
+    EXPECT_EQ(fp.size(), 17u);
+}
+
+TEST(Experiment, NormalizedRuntime)
+{
+    SimResult a, b;
+    a.cycles = 110;
+    b.cycles = 100;
+    EXPECT_DOUBLE_EQ(normalizedRuntime(a, b), 1.1);
+    EXPECT_DOUBLE_EQ(normalizedRuntime(b, b), 1.0);
+    SimResult zero;
+    EXPECT_DOUBLE_EQ(normalizedRuntime(a, zero), 0.0);
+}
+
+TEST(Experiment, ResultsCarryTheirConfig)
+{
+    ExperimentRunner runner(fastOpts());
+    const SimResult& r = runner.run("NN", Technique::WarpedGates);
+    EXPECT_EQ(r.config.sm.pg.policy, PgPolicy::CoordinatedBlackout);
+    EXPECT_TRUE(r.config.sm.pg.adaptiveIdleDetect);
+    EXPECT_EQ(r.config.numSms, 1u);
+}
+
+} // namespace
+} // namespace wg

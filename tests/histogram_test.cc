@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the fixed-bin histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace wg {
+namespace {
+
+TEST(Histogram, StartsEmpty)
+{
+    Histogram h(10);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, AddAndBin)
+{
+    Histogram h(10);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.bin(3), 2u);
+    EXPECT_EQ(h.bin(7), 1u);
+    EXPECT_EQ(h.bin(0), 0u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.sum(), 13u);
+}
+
+TEST(Histogram, AddWithCount)
+{
+    Histogram h(10);
+    h.add(4, 5);
+    EXPECT_EQ(h.bin(4), 5u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.sum(), 20u);
+}
+
+TEST(Histogram, OverflowBin)
+{
+    Histogram h(10);
+    h.add(11);
+    h.add(1000);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.sum(), 1011u);
+}
+
+TEST(Histogram, BoundarySampleIsNotOverflow)
+{
+    Histogram h(10);
+    h.add(10);
+    EXPECT_EQ(h.bin(10), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(100);
+    h.add(2);
+    h.add(4);
+    h.add(6);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, MeanIncludesOverflow)
+{
+    Histogram h(10);
+    h.add(5);
+    h.add(15); // overflow, but its value still counts in the mean
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(Histogram, FractionBetween)
+{
+    Histogram h(20);
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(1, 5), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(6, 10), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(1, 10), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(11, 20), 0.0);
+}
+
+TEST(Histogram, FractionBetweenIncludesOverflowWhenHiAboveMax)
+{
+    Histogram h(10);
+    h.add(5);
+    h.add(50);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(0, 11), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(0, 10), 0.5);
+}
+
+TEST(Histogram, FractionAbove)
+{
+    Histogram h(10);
+    h.add(3);
+    h.add(8);
+    h.add(30);
+    EXPECT_NEAR(h.fractionAbove(5), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(h.fractionAbove(10), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(h.fractionAbove(100), 1.0 / 3.0, 1e-12)
+        << "everything above maxBin lives in the overflow bin";
+}
+
+TEST(Histogram, FractionsOnEmpty)
+{
+    Histogram h(10);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(3), 0.0);
+}
+
+TEST(Histogram, InvertedRangeIsZero)
+{
+    Histogram h(10);
+    h.add(5);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(7, 3), 0.0);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a(10), b(10);
+    a.add(2);
+    a.add(12);
+    b.add(2, 3);
+    b.add(9);
+    a.merge(b);
+    EXPECT_EQ(a.bin(2), 4u);
+    EXPECT_EQ(a.bin(9), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(10);
+    h.add(5);
+    h.add(500);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bin(5), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(HistogramDeath, MergeMismatchedBinsPanics)
+{
+    Histogram a(10), b(20);
+    EXPECT_DEATH(a.merge(b), "bin count mismatch");
+}
+
+TEST(HistogramDeath, BinOutOfRangePanics)
+{
+    Histogram h(10);
+    EXPECT_DEATH(h.bin(11), "out of range");
+}
+
+/** Property: fractions over a partition always sum to 1. */
+class HistogramPartition : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramPartition, RegionsSumToOne)
+{
+    const std::uint64_t split = GetParam();
+    Histogram h(64);
+    for (std::uint64_t v = 1; v <= 200; ++v)
+        h.add(v % 97);
+    double left = h.fractionBetween(0, split);
+    double right = h.fractionAbove(split);
+    EXPECT_NEAR(left + right, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, HistogramPartition,
+                         ::testing::Values(0, 1, 5, 14, 19, 63, 64));
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the instruction representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/instr.hh"
+
+namespace wg {
+namespace {
+
+TEST(Instr, UnitClassNames)
+{
+    EXPECT_STREQ(unitClassName(UnitClass::Int), "INT");
+    EXPECT_STREQ(unitClassName(UnitClass::Fp), "FP");
+    EXPECT_STREQ(unitClassName(UnitClass::Sfu), "SFU");
+    EXPECT_STREQ(unitClassName(UnitClass::Ldst), "LDST");
+}
+
+TEST(Instr, MakeIntDefaults)
+{
+    Instruction i = makeInt(3);
+    EXPECT_EQ(i.unit, UnitClass::Int);
+    EXPECT_EQ(i.dest, 3);
+    EXPECT_EQ(i.srcs[0], kNoReg);
+    EXPECT_EQ(i.srcs[1], kNoReg);
+    EXPECT_FALSE(i.isStore);
+    EXPECT_EQ(i.mem, MemClass::None);
+    EXPECT_TRUE(i.writesReg());
+    EXPECT_FALSE(i.isLongLatency());
+}
+
+TEST(Instr, MakeFpWithSources)
+{
+    Instruction i = makeFp(5, 1, 2);
+    EXPECT_EQ(i.unit, UnitClass::Fp);
+    EXPECT_EQ(i.srcs[0], 1);
+    EXPECT_EQ(i.srcs[1], 2);
+}
+
+TEST(Instr, MakeSfu)
+{
+    Instruction i = makeSfu(7, 6);
+    EXPECT_EQ(i.unit, UnitClass::Sfu);
+    EXPECT_EQ(i.dest, 7);
+    EXPECT_EQ(i.srcs[0], 6);
+}
+
+TEST(Instr, LoadMissIsLongLatency)
+{
+    Instruction i = makeLoad(1, MemClass::Miss);
+    EXPECT_TRUE(i.isLongLatency());
+    EXPECT_TRUE(i.writesReg());
+    EXPECT_FALSE(i.isStore);
+}
+
+TEST(Instr, LoadHitIsNotLongLatency)
+{
+    Instruction i = makeLoad(1, MemClass::Hit);
+    EXPECT_FALSE(i.isLongLatency());
+}
+
+TEST(Instr, StoreHasNoDestAndIsNeverLongLatency)
+{
+    Instruction i = makeStore(MemClass::Miss, 4, 5);
+    EXPECT_TRUE(i.isStore);
+    EXPECT_FALSE(i.writesReg());
+    EXPECT_FALSE(i.isLongLatency())
+        << "stores retire through the write buffer";
+    EXPECT_EQ(i.srcs[0], 4);
+    EXPECT_EQ(i.srcs[1], 5);
+}
+
+TEST(Instr, NonMemClassesNeverLongLatency)
+{
+    EXPECT_FALSE(makeInt(0).isLongLatency());
+    EXPECT_FALSE(makeFp(0).isLongLatency());
+    EXPECT_FALSE(makeSfu(0).isLongLatency());
+}
+
+TEST(Instr, ToStringMentionsClassAndRegs)
+{
+    Instruction i = makeInt(3, 1, 2);
+    std::string s = i.toString();
+    EXPECT_NE(s.find("INT"), std::string::npos);
+    EXPECT_NE(s.find("r3"), std::string::npos);
+    EXPECT_NE(s.find("r1"), std::string::npos);
+    EXPECT_NE(s.find("r2"), std::string::npos);
+}
+
+TEST(Instr, ToStringForLoads)
+{
+    std::string miss = makeLoad(1, MemClass::Miss).toString();
+    EXPECT_NE(miss.find(".ld"), std::string::npos);
+    EXPECT_NE(miss.find(".miss"), std::string::npos);
+    std::string store = makeStore(MemClass::Hit, 2).toString();
+    EXPECT_NE(store.find(".st"), std::string::npos);
+    EXPECT_NE(store.find(".hit"), std::string::npos);
+}
+
+} // namespace
+} // namespace wg

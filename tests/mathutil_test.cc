@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the statistical helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace wg {
+namespace {
+
+TEST(Pearson, PerfectPositiveCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, AffineInvariance)
+{
+    std::vector<double> xs = {1, 3, 2, 5, 4};
+    std::vector<double> ys = {2, 8, 3, 9, 7};
+    double base = pearson(xs, ys);
+    std::vector<double> scaled;
+    for (double y : ys)
+        scaled.push_back(3.0 * y + 11.0);
+    EXPECT_NEAR(pearson(xs, scaled), base, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero)
+{
+    std::vector<double> xs = {1, 1, 1};
+    std::vector<double> ys = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+    EXPECT_DOUBLE_EQ(pearson(ys, xs), 0.0);
+}
+
+TEST(Pearson, TooFewPointsGivesZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1.0}, {2.0}), 0.0);
+}
+
+TEST(Pearson, KnownValue)
+{
+    // Hand-computed: sxy=6, sxx=5, syy=8 -> r = 6/sqrt(40).
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {1, 3, 3, 5};
+    EXPECT_NEAR(pearson(xs, ys), 0.948683, 1e-5);
+}
+
+TEST(Pearson, BoundedByOne)
+{
+    std::vector<double> xs = {0.3, 9.1, 4.4, 2.2, 7.7, 5.0};
+    std::vector<double> ys = {1.1, 0.2, 8.8, 3.3, 6.6, 2.0};
+    double r = pearson(xs, ys);
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+}
+
+TEST(PearsonDeath, SizeMismatchPanics)
+{
+    std::vector<double> xs = {1, 2};
+    std::vector<double> ys = {1};
+    EXPECT_DEATH(pearson(xs, ys), "size mismatch");
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, ClampsNonPositive)
+{
+    // A zero must not wipe the result to 0 exactly, but it drags it
+    // toward the epsilon floor.
+    double g = geomean({0.0, 100.0});
+    EXPECT_GT(g, 0.0);
+    EXPECT_LT(g, 1.0);
+}
+
+TEST(Geomean, LeqArithmeticMean)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 10.0};
+    EXPECT_LE(geomean(xs), mean(xs));
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Clamp, Basics)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 10.0), 5.0);
+    EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(11.0, 0.0, 10.0), 10.0);
+    EXPECT_DOUBLE_EQ(clamp(3.0, 3.0, 3.0), 3.0);
+}
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the oracle power-gating upper bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/oracle.hh"
+
+namespace wg {
+namespace {
+
+TEST(Oracle, EmptyHistogramSavesNothing)
+{
+    Histogram h(64);
+    EXPECT_EQ(oracleNetGatedCycles(h, 14), 0u);
+    EXPECT_DOUBLE_EQ(oracleStaticSavings(h, 14, 1000), 0.0);
+}
+
+TEST(Oracle, ShortPeriodsAreSkipped)
+{
+    Histogram h(64);
+    h.add(5, 100);
+    h.add(13, 10);
+    EXPECT_EQ(oracleNetGatedCycles(h, 14), 0u)
+        << "gating any of these would net a loss; the oracle declines";
+}
+
+TEST(Oracle, ExactBreakEvenIsNeutral)
+{
+    Histogram h(64);
+    h.add(14, 5);
+    EXPECT_EQ(oracleNetGatedCycles(h, 14), 0u);
+}
+
+TEST(Oracle, LongPeriodsPayTheirOverhead)
+{
+    Histogram h(64);
+    h.add(50, 2); // 2 x (50 - 14) = 72
+    h.add(20, 1); // 6
+    EXPECT_EQ(oracleNetGatedCycles(h, 14), 78u);
+}
+
+TEST(Oracle, OverflowHandledExactly)
+{
+    Histogram h(10);
+    h.add(500);  // overflow: contributes 500 - 14
+    h.add(1000); // overflow: contributes 1000 - 14
+    EXPECT_EQ(oracleNetGatedCycles(h, 14), 500u + 1000u - 2u * 14u);
+}
+
+TEST(Oracle, MixedBinsAndOverflow)
+{
+    Histogram h(10);
+    h.add(3);   // skipped
+    h.add(8);   // 8 - 5 = 3 at bet 5
+    h.add(100); // 100 - 5 = 95
+    EXPECT_EQ(oracleNetGatedCycles(h, 5), 98u);
+}
+
+TEST(Oracle, SavingsRatioNormalises)
+{
+    Histogram h(64);
+    h.add(34, 10); // 10 x 20 net
+    EXPECT_DOUBLE_EQ(oracleStaticSavings(h, 14, 1000), 0.2);
+    EXPECT_DOUBLE_EQ(oracleStaticSavings(h, 14, 0), 0.0);
+}
+
+TEST(Oracle, ZeroBetGatesAllIdleCycles)
+{
+    Histogram h(64);
+    h.add(1, 7);
+    h.add(30, 2);
+    h.add(200); // overflow
+    EXPECT_EQ(oracleNetGatedCycles(h, 0), 7u + 60u + 200u);
+}
+
+/** Property: oracle savings are monotonically non-increasing in BET. */
+class OracleBet : public ::testing::TestWithParam<Cycle>
+{
+};
+
+TEST_P(OracleBet, MonotoneInBet)
+{
+    Histogram h(64);
+    for (std::uint64_t v = 1; v <= 300; v += 3)
+        h.add(v % 120, 1 + v % 4);
+    Cycle bet = GetParam();
+    EXPECT_GE(oracleNetGatedCycles(h, bet),
+              oracleNetGatedCycles(h, bet + 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bets, OracleBet,
+                         ::testing::Values(0, 5, 9, 14, 19, 24, 60));
+
+} // namespace
+} // namespace wg

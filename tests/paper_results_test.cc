@@ -1,0 +1,208 @@
+/**
+ * @file
+ * End-to-end tests asserting the paper's headline qualitative claims.
+ * These run real (small: 2-SM) simulations of the hotspot workload —
+ * the paper's own running example — and check that every mechanism
+ * produces the effect the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/warped_gates.hh"
+
+namespace wg {
+namespace {
+
+class PaperResults : public ::testing::Test
+{
+  protected:
+    static ExperimentRunner&
+    runner()
+    {
+        static ExperimentRunner instance([] {
+            ExperimentOptions opts;
+            opts.numSms = 2;
+            return opts;
+        }());
+        return instance;
+    }
+
+    static const SimResult& run(Technique t)
+    {
+        return runner().run("hotspot", t);
+    }
+};
+
+TEST_F(PaperResults, BaselineIdlePeriodsAreMostlyShort)
+{
+    // Fig. 3a: the bulk of idle periods fall inside the idle-detect
+    // window under the two-level scheduler.
+    const SimResult& r = run(Technique::ConvPG);
+    auto regions = r.idleRegions(UnitClass::Int, 5, 14);
+    EXPECT_GT(regions[0], 0.4);
+    EXPECT_GT(regions[0], regions[2]);
+}
+
+TEST_F(PaperResults, BlackoutEliminatesTheNetLossRegion)
+{
+    // Fig. 3c: with blackout, no idle period can end inside
+    // (idle-detect, idle-detect + BET] — gated units stay gated.
+    const SimResult& r = run(Technique::NaiveBlackout);
+    auto regions = r.idleRegions(UnitClass::Int, 5, 14);
+    // Only end-of-simulation idle runs truncated by the drain can land
+    // in the mid region; blackout forbids everything else.
+    EXPECT_LT(regions[1], 0.005);
+    EXPECT_GT(regions[2], 0.2);
+}
+
+TEST_F(PaperResults, ConventionalGatingSavesStaticEnergy)
+{
+    const SimResult& r = run(Technique::ConvPG);
+    EXPECT_GT(r.intEnergy.staticSavingsRatio(), 0.05);
+    EXPECT_GT(r.fpEnergy.staticSavingsRatio(), 0.05);
+}
+
+TEST_F(PaperResults, WarpedGatesBeatsConventionalGating)
+{
+    // The headline: ~1.5x the savings of conventional gating.
+    const SimResult& conv = run(Technique::ConvPG);
+    const SimResult& warped = run(Technique::WarpedGates);
+    EXPECT_GT(warped.intEnergy.staticSavingsRatio(),
+              conv.intEnergy.staticSavingsRatio());
+    EXPECT_GT(warped.fpEnergy.staticSavingsRatio(),
+              conv.fpEnergy.staticSavingsRatio());
+}
+
+TEST_F(PaperResults, CoordinatedBeatsNaivePerformance)
+{
+    const SimResult& base = run(Technique::Baseline);
+    const SimResult& naive = run(Technique::NaiveBlackout);
+    const SimResult& coord = run(Technique::CoordinatedBlackout);
+    EXPECT_LE(normalizedRuntime(coord, base),
+              normalizedRuntime(naive, base) + 0.005)
+        << "the second-cluster veto avoids naive blackout's stalls";
+}
+
+TEST_F(PaperResults, PerformanceLossIsSmall)
+{
+    // Fig. 10: every technique stays within a few percent of baseline;
+    // Warped Gates is virtually free.
+    const SimResult& base = run(Technique::Baseline);
+    for (Technique t : {Technique::ConvPG, Technique::Gates,
+                        Technique::CoordinatedBlackout,
+                        Technique::WarpedGates}) {
+        EXPECT_LT(normalizedRuntime(run(t), base), 1.04)
+            << techniqueName(t);
+    }
+    EXPECT_LT(normalizedRuntime(run(Technique::WarpedGates), base), 1.02);
+}
+
+TEST_F(PaperResults, WarpedGatesReducesWakeups)
+{
+    // Fig. 8c: Warped Gates roughly halves the wakeup count.
+    const SimResult& conv = run(Technique::ConvPG);
+    const SimResult& warped = run(Technique::WarpedGates);
+    EXPECT_LT(warped.wakeups(UnitClass::Int),
+              conv.wakeups(UnitClass::Int));
+    EXPECT_LT(warped.wakeups(UnitClass::Fp),
+              conv.wakeups(UnitClass::Fp));
+}
+
+TEST_F(PaperResults, BlackoutNeverWakesUncompensated)
+{
+    for (Technique t : {Technique::NaiveBlackout,
+                        Technique::CoordinatedBlackout,
+                        Technique::WarpedGates}) {
+        const SimResult& r = run(t);
+        EXPECT_EQ(r.typeStats(UnitClass::Int).uncompWakeups, 0u)
+            << techniqueName(t);
+        EXPECT_EQ(r.typeStats(UnitClass::Fp).uncompWakeups, 0u)
+            << techniqueName(t);
+    }
+}
+
+TEST_F(PaperResults, ConventionalWakesUncompensatedOften)
+{
+    // Fig. 1b's "overhead" bar exists because conventional gating pays
+    // for gatings it cannot recoup.
+    const SimResult& conv = run(Technique::ConvPG);
+    PgDomainStats s = conv.typeStats(UnitClass::Int);
+    EXPECT_GT(s.uncompWakeups, s.wakeups / 4);
+}
+
+TEST_F(PaperResults, BaselineFpIsStaticDominated)
+{
+    // Fig. 1b: static energy is ~90% of FP-unit energy and ~half of
+    // INT-unit energy (suite averages; hotspot is close).
+    const SimResult& base = run(Technique::Baseline);
+    double fp_static =
+        base.fpEnergy.staticE / base.fpEnergy.total();
+    double int_static =
+        base.intEnergy.staticE / base.intEnergy.total();
+    EXPECT_GT(fp_static, 0.7);
+    EXPECT_GT(int_static, 0.3);
+    EXPECT_LT(int_static, 0.8);
+}
+
+TEST_F(PaperResults, AdaptiveIdleDetectStaysBounded)
+{
+    const SimResult& warped = run(Technique::WarpedGates);
+    for (unsigned t = 0; t < 2; ++t) {
+        EXPECT_GE(warped.aggregate.finalIdleDetect[t], 5u);
+        EXPECT_LE(warped.aggregate.finalIdleDetect[t], 10u);
+    }
+}
+
+TEST_F(PaperResults, AdaptiveReactsOnHotspot)
+{
+    const SimResult& warped = run(Technique::WarpedGates);
+    std::uint64_t adaptions = warped.aggregate.adaptIncrements[0] +
+                              warped.aggregate.adaptIncrements[1] +
+                              warped.aggregate.adaptDecrements[0] +
+                              warped.aggregate.adaptDecrements[1];
+    EXPECT_GT(adaptions, 0u)
+        << "the regulator must actually adjust the window";
+}
+
+TEST_F(PaperResults, GatesPrioritySwitchingActive)
+{
+    const SimResult& gates = run(Technique::Gates);
+    EXPECT_GT(gates.aggregate.prioritySwitches, 0u);
+    const SimResult& conv = run(Technique::ConvPG);
+    EXPECT_EQ(conv.aggregate.prioritySwitches, 0u);
+}
+
+TEST_F(PaperResults, CoordinatedMechanismsFire)
+{
+    const SimResult& coord = run(Technique::CoordinatedBlackout);
+    PgDomainStats s = coord.typeStats(UnitClass::Fp);
+    EXPECT_GT(s.coordImmediateGates + s.coordGateVetoes, 0u)
+        << "the cluster-aware rules must trigger on a real workload";
+}
+
+TEST_F(PaperResults, CriticalWakeupsOnlyUnderBlackout)
+{
+    EXPECT_EQ(run(Technique::ConvPG)
+                  .typeStats(UnitClass::Int)
+                  .criticalWakeups,
+              0u);
+    EXPECT_GT(run(Technique::NaiveBlackout)
+                  .typeStats(UnitClass::Int)
+                  .criticalWakeups,
+              0u);
+}
+
+TEST_F(PaperResults, WorkDoneIsTechniqueInvariant)
+{
+    // Power gating must not change how much work is executed, only
+    // when (the paper relies on this for its dynamic-energy argument).
+    const SimResult& base = run(Technique::Baseline);
+    for (Technique t : {Technique::ConvPG, Technique::WarpedGates}) {
+        EXPECT_EQ(run(t).aggregate.issuedTotal,
+                  base.aggregate.issuedTotal)
+            << techniqueName(t);
+    }
+}
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the adaptive idle-detect regulator (Section 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pg/adaptive.hh"
+
+namespace wg {
+namespace {
+
+PgParams
+params(Cycle init = 5, Cycle min = 5, Cycle max = 10,
+       std::uint32_t threshold = 5, std::uint32_t decr_epochs = 4)
+{
+    PgParams p;
+    p.idleDetect = init;
+    p.idleDetectMin = min;
+    p.idleDetectMax = max;
+    p.criticalThreshold = threshold;
+    p.decrementEpochs = decr_epochs;
+    return p;
+}
+
+TEST(Adaptive, StartsAtConfiguredValue)
+{
+    AdaptiveIdleDetect a(params(7));
+    EXPECT_EQ(a.value(), 7u);
+}
+
+TEST(Adaptive, InitClampedIntoBounds)
+{
+    AdaptiveIdleDetect low(params(1));
+    EXPECT_EQ(low.value(), 5u);
+    AdaptiveIdleDetect high(params(20));
+    EXPECT_EQ(high.value(), 10u);
+}
+
+TEST(Adaptive, IncrementsWhenOverThreshold)
+{
+    AdaptiveIdleDetect a(params());
+    a.endEpoch(6);
+    EXPECT_EQ(a.value(), 6u);
+    EXPECT_EQ(a.increments(), 1u);
+}
+
+TEST(Adaptive, ExactlyThresholdDoesNotIncrement)
+{
+    AdaptiveIdleDetect a(params());
+    a.endEpoch(5);
+    EXPECT_EQ(a.value(), 5u) << "paper: *more than* five per epoch";
+}
+
+TEST(Adaptive, BoundedAtMax)
+{
+    AdaptiveIdleDetect a(params());
+    for (int i = 0; i < 20; ++i)
+        a.endEpoch(100);
+    EXPECT_EQ(a.value(), 10u);
+    EXPECT_EQ(a.increments(), 5u) << "saturated increments don't count";
+}
+
+TEST(Adaptive, DecrementsOnlyAfterQuietRun)
+{
+    AdaptiveIdleDetect a(params());
+    a.endEpoch(10); // -> 6
+    a.endEpoch(0);
+    a.endEpoch(0);
+    a.endEpoch(0);
+    EXPECT_EQ(a.value(), 6u) << "three quiet epochs are not enough";
+    a.endEpoch(0);
+    EXPECT_EQ(a.value(), 5u) << "fourth quiet epoch decrements";
+    EXPECT_EQ(a.decrements(), 1u);
+}
+
+TEST(Adaptive, NoisyEpochResetsQuietRun)
+{
+    AdaptiveIdleDetect a(params());
+    a.endEpoch(10); // -> 6
+    a.endEpoch(0);
+    a.endEpoch(0);
+    a.endEpoch(0);
+    a.endEpoch(10); // -> 7, quiet run reset
+    a.endEpoch(0);
+    a.endEpoch(0);
+    a.endEpoch(0);
+    EXPECT_EQ(a.value(), 7u);
+    a.endEpoch(0);
+    EXPECT_EQ(a.value(), 6u);
+}
+
+TEST(Adaptive, BoundedAtMin)
+{
+    AdaptiveIdleDetect a(params());
+    for (int i = 0; i < 40; ++i)
+        a.endEpoch(0);
+    EXPECT_EQ(a.value(), 5u);
+    EXPECT_EQ(a.decrements(), 0u) << "already at the lower bound";
+}
+
+TEST(Adaptive, ReactsFastRecoversSlowly)
+{
+    // The paper's design goal: one bad epoch raises the window, but it
+    // takes decrementEpochs quiet ones to win each step back.
+    AdaptiveIdleDetect a(params());
+    a.endEpoch(50);
+    a.endEpoch(50);
+    a.endEpoch(50);
+    EXPECT_EQ(a.value(), 8u);
+    int epochs_to_recover = 0;
+    while (a.value() > 5 && epochs_to_recover < 100) {
+        a.endEpoch(0);
+        ++epochs_to_recover;
+    }
+    EXPECT_EQ(epochs_to_recover, 12) << "3 steps x 4 quiet epochs";
+}
+
+TEST(AdaptiveDeath, InvertedBoundsAreFatal)
+{
+    EXPECT_EXIT(AdaptiveIdleDetect(params(5, 10, 5)),
+                ::testing::ExitedWithCode(1), "idleDetectMin");
+}
+
+/** Property: the value never leaves [min, max] under random inputs. */
+class AdaptiveBounds
+    : public ::testing::TestWithParam<std::pair<Cycle, Cycle>>
+{
+};
+
+TEST_P(AdaptiveBounds, ValueStaysBounded)
+{
+    auto [min, max] = GetParam();
+    PgParams p = params(min, min, max);
+    AdaptiveIdleDetect a(p);
+    std::uint32_t pattern[] = {0, 9, 3, 100, 0, 0, 0, 0, 0, 7};
+    for (int round = 0; round < 30; ++round) {
+        a.endEpoch(pattern[round % 10]);
+        EXPECT_GE(a.value(), min);
+        EXPECT_LE(a.value(), max);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, AdaptiveBounds,
+    ::testing::Values(std::make_pair<Cycle, Cycle>(5, 10),
+                      std::make_pair<Cycle, Cycle>(0, 3),
+                      std::make_pair<Cycle, Cycle>(7, 7),
+                      std::make_pair<Cycle, Cycle>(1, 20)));
+
+} // namespace
+} // namespace wg

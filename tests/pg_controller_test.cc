@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the SM-level power-gating controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "pg/controller.hh"
+
+namespace wg {
+namespace {
+
+PgParams
+params(PgPolicy policy, Cycle idle_detect = 2, Cycle bet = 3,
+       Cycle wakeup = 2)
+{
+    PgParams p;
+    p.policy = policy;
+    p.idleDetect = idle_detect;
+    p.breakEven = bet;
+    p.wakeupDelay = wakeup;
+    return p;
+}
+
+/** Tick all domains idle for @p n cycles with the given view. */
+Cycle
+idleAll(PgController& pg, Cycle now, Cycle n, SchedView view = {})
+{
+    for (Cycle i = 0; i < n; ++i)
+        pg.tick(now++, {false, false}, {false, false}, view);
+    return now;
+}
+
+TEST(PgController, SfuAndLdstNeverGated)
+{
+    PgController pg(params(PgPolicy::Conventional));
+    idleAll(pg, 0, 50);
+    EXPECT_TRUE(pg.canExecute(UnitClass::Sfu, 0));
+    EXPECT_TRUE(pg.canExecute(UnitClass::Ldst, 0));
+    EXPECT_FALSE(pg.isGated(UnitClass::Sfu, 0));
+    EXPECT_FALSE(pg.isGated(UnitClass::Ldst, 0));
+    EXPECT_EQ(pg.pickWakeupTarget(UnitClass::Sfu), -1);
+    EXPECT_EQ(pg.pickWakeupTarget(UnitClass::Ldst), -1);
+}
+
+TEST(PgController, AllAluDomainsGateWhenIdle)
+{
+    SchedView view;
+    view.actv = {0, 0, 0, 0};
+    PgController pg(params(PgPolicy::Conventional, 2));
+    idleAll(pg, 0, 3, view);
+    for (UnitClass uc : {UnitClass::Int, UnitClass::Fp}) {
+        for (unsigned c = 0; c < kClustersPerType; ++c) {
+            EXPECT_TRUE(pg.isGated(uc, c))
+                << unitClassName(uc) << c;
+            EXPECT_FALSE(pg.canExecute(uc, c));
+        }
+    }
+}
+
+TEST(PgController, BusyClusterStaysOn)
+{
+    PgController pg(params(PgPolicy::Conventional, 2));
+    SchedView view;
+    for (Cycle t = 0; t < 10; ++t)
+        pg.tick(t, {true, false}, {false, false}, view);
+    EXPECT_TRUE(pg.canExecute(UnitClass::Int, 0));
+    EXPECT_FALSE(pg.canExecute(UnitClass::Int, 1));
+    EXPECT_TRUE(pg.isGated(UnitClass::Int, 1));
+}
+
+TEST(PgController, PickWakeupPrefersWakeable)
+{
+    // Conventional: any gated cluster is wakeable; closest-first rules
+    // only matter under blackout.
+    PgController pg(params(PgPolicy::Conventional, 2, 10));
+    idleAll(pg, 0, 3);
+    int target = pg.pickWakeupTarget(UnitClass::Int);
+    EXPECT_GE(target, 0);
+    EXPECT_TRUE(pg.domain(UnitClass::Int,
+                          static_cast<unsigned>(target)).wakeable());
+}
+
+TEST(PgController, PickWakeupClosestToCompensation)
+{
+    // Under blackout nothing is wakeable while uncompensated; the
+    // target must be the cluster with the smaller BET remainder.
+    PgController pg(params(PgPolicy::NaiveBlackout, 2, 10));
+    // Keep cluster 1 busy for two cycles so cluster 0 gates first.
+    SchedView view;
+    pg.tick(0, {false, true}, {true, true}, view);
+    pg.tick(1, {false, true}, {true, true}, view);
+    pg.tick(2, {false, false}, {false, false}, view); // 0 gates here
+    ASSERT_TRUE(pg.isGated(UnitClass::Int, 0));
+    ASSERT_FALSE(pg.isGated(UnitClass::Int, 1));
+    idleAll(pg, 3, 2); // cluster 1 gates two cycles later
+    ASSERT_TRUE(pg.isGated(UnitClass::Int, 1));
+    EXPECT_LT(pg.domain(UnitClass::Int, 0).betRemaining(),
+              pg.domain(UnitClass::Int, 1).betRemaining());
+    EXPECT_EQ(pg.pickWakeupTarget(UnitClass::Int), 0);
+}
+
+TEST(PgController, PickWakeupNoTargetWhenAllOn)
+{
+    PgController pg(params(PgPolicy::Conventional));
+    EXPECT_EQ(pg.pickWakeupTarget(UnitClass::Int), -1);
+}
+
+TEST(PgController, RequestWakeupReachesDomain)
+{
+    PgController pg(params(PgPolicy::Conventional, 2, 5));
+    idleAll(pg, 0, 3);
+    ASSERT_TRUE(pg.isGated(UnitClass::Fp, 0));
+    pg.requestWakeup(UnitClass::Fp, 0, 3);
+    idleAll(pg, 3, 1);
+    EXPECT_EQ(pg.domain(UnitClass::Fp, 0).state(), PgState::Wakeup);
+    EXPECT_EQ(pg.domain(UnitClass::Fp, 1).state(),
+              PgState::Uncompensated)
+        << "the request must only wake the targeted cluster";
+}
+
+TEST(PgController, FillViewReportsBlackout)
+{
+    PgController pg(params(PgPolicy::NaiveBlackout, 2));
+    SchedView view;
+    pg.tick(0, {true, false}, {false, false}, view);
+    idleAll(pg, 1, 1);
+    SchedView out;
+    pg.fillView(out);
+    EXPECT_FALSE(out.intBlackout[0]) << "was busy at t0, gates later";
+    EXPECT_TRUE(out.intBlackout[1]);
+    EXPECT_TRUE(out.fpBlackout[0]);
+    EXPECT_TRUE(out.fpBlackout[1]);
+}
+
+TEST(PgController, StaticIdleDetectValue)
+{
+    PgController pg(params(PgPolicy::Conventional, 7));
+    EXPECT_EQ(pg.idleDetectValue(UnitClass::Int), 7u);
+    EXPECT_EQ(pg.idleDetectValue(UnitClass::Fp), 7u);
+}
+
+TEST(PgController, AdaptiveEpochRollsOver)
+{
+    PgParams p = params(PgPolicy::CoordinatedBlackout, 5, 3, 1);
+    p.adaptiveIdleDetect = true;
+    p.epochLength = 50;
+    p.criticalThreshold = 0; // any critical wakeup triggers an increment
+    PgController pg(p);
+
+    // Produce critical wakeups on INT cluster 0: go idle, gate, and
+    // request every cycle so the BET-expiry request is critical.
+    SchedView view;
+    view.actv = {1, 0, 0, 0};
+    for (Cycle t = 0; t < 50; ++t) {
+        if (pg.isGated(UnitClass::Int, 0))
+            pg.requestWakeup(UnitClass::Int, 0, t);
+        pg.tick(t, {false, false}, {false, false}, view);
+    }
+    EXPECT_GT(pg.idleDetectValue(UnitClass::Int), 5u)
+        << "critical wakeups in the epoch must raise idle-detect";
+    EXPECT_GT(pg.adaptive(UnitClass::Int).increments(), 0u);
+}
+
+TEST(PgController, AdaptiveTypesAreIndependent)
+{
+    PgParams p = params(PgPolicy::CoordinatedBlackout, 5, 3, 1);
+    p.adaptiveIdleDetect = true;
+    p.epochLength = 50;
+    p.criticalThreshold = 0;
+    PgController pg(p);
+    SchedView view;
+    view.actv = {1, 0, 0, 0};
+    for (Cycle t = 0; t < 50; ++t) {
+        if (pg.isGated(UnitClass::Int, 0))
+            pg.requestWakeup(UnitClass::Int, 0, t);
+        // FP never receives requests: no FP critical wakeups.
+        pg.tick(t, {false, false}, {true, true}, view);
+    }
+    EXPECT_GT(pg.idleDetectValue(UnitClass::Int), 5u);
+    EXPECT_EQ(pg.idleDetectValue(UnitClass::Fp), 5u);
+}
+
+TEST(PgController, FinalizeFlushesHistograms)
+{
+    PgController pg(params(PgPolicy::None));
+    idleAll(pg, 0, 10);
+    pg.finalize(10);
+    EXPECT_EQ(pg.domain(UnitClass::Int, 0).idleHistogram().total(), 1u);
+    EXPECT_EQ(pg.domain(UnitClass::Fp, 1).idleHistogram().total(), 1u);
+}
+
+TEST(PgControllerDeath, DomainAccessForUngatedClassPanics)
+{
+    PgController pg(params(PgPolicy::Conventional));
+    EXPECT_DEATH(pg.domain(UnitClass::Sfu, 0), "not gated");
+}
+
+/** Property: canExecute and isGated are never both true. */
+class ControllerPolicy : public ::testing::TestWithParam<PgPolicy>
+{
+};
+
+TEST_P(ControllerPolicy, ExecutableAndGatedAreExclusive)
+{
+    PgController pg(params(GetParam(), 2, 4, 2));
+    SchedView view;
+    view.actv = {1, 1, 0, 0};
+    Rng rng(5);
+    for (Cycle t = 0; t < 500; ++t) {
+        std::array<bool, 2> ib = {
+            pg.canExecute(UnitClass::Int, 0) && rng.nextBool(0.3),
+            pg.canExecute(UnitClass::Int, 1) && rng.nextBool(0.3)};
+        std::array<bool, 2> fb = {
+            pg.canExecute(UnitClass::Fp, 0) && rng.nextBool(0.2),
+            pg.canExecute(UnitClass::Fp, 1) && rng.nextBool(0.2)};
+        if (rng.nextBool(0.1)) {
+            int tgt = pg.pickWakeupTarget(UnitClass::Int);
+            if (tgt >= 0)
+                pg.requestWakeup(UnitClass::Int,
+                                 static_cast<unsigned>(tgt), t);
+        }
+        pg.tick(t, ib, fb, view);
+        for (UnitClass uc : {UnitClass::Int, UnitClass::Fp})
+            for (unsigned c = 0; c < kClustersPerType; ++c)
+                EXPECT_FALSE(pg.canExecute(uc, c) && pg.isGated(uc, c));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ControllerPolicy,
+                         ::testing::Values(PgPolicy::None,
+                                           PgPolicy::Conventional,
+                                           PgPolicy::NaiveBlackout,
+                                           PgPolicy::CoordinatedBlackout));
+
+} // namespace
+} // namespace wg

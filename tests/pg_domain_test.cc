@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Unit tests for the power-gating state machine (paper Fig. 2c plus the
+ * Blackout and Coordinated Blackout modifications).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "pg/domain.hh"
+
+namespace wg {
+namespace {
+
+PgParams
+params(PgPolicy policy, Cycle idle_detect = 2, Cycle bet = 3,
+       Cycle wakeup = 2)
+{
+    PgParams p;
+    p.policy = policy;
+    p.idleDetect = idle_detect;
+    p.breakEven = bet;
+    p.wakeupDelay = wakeup;
+    return p;
+}
+
+/** Drive @p n idle (not busy) cycles starting at @p now. */
+Cycle
+idleFor(PgDomain& d, Cycle now, Cycle n, Cycle idle_detect = 2,
+        bool peer = false, std::uint32_t actv = 1)
+{
+    for (Cycle i = 0; i < n; ++i)
+        d.tick(now++, false, idle_detect, peer, actv);
+    return now;
+}
+
+TEST(PgDomain, StartsOnAndExecutable)
+{
+    PgDomain d(params(PgPolicy::Conventional));
+    EXPECT_EQ(d.state(), PgState::On);
+    EXPECT_TRUE(d.canExecute());
+    EXPECT_FALSE(d.isGated());
+    EXPECT_FALSE(d.wakeable());
+}
+
+TEST(PgDomain, PolicyNoneNeverGates)
+{
+    PgDomain d(params(PgPolicy::None));
+    idleFor(d, 0, 100);
+    EXPECT_EQ(d.state(), PgState::On);
+    EXPECT_EQ(d.stats().gatingEvents, 0u);
+    EXPECT_EQ(d.stats().idleOnCycles, 100u);
+}
+
+TEST(PgDomain, GatesAfterIdleDetect)
+{
+    PgDomain d(params(PgPolicy::Conventional, 2));
+    d.tick(0, true, 2, false, 1);
+    d.tick(1, false, 2, false, 1);
+    EXPECT_EQ(d.state(), PgState::On) << "one idle cycle is not enough";
+    d.tick(2, false, 2, false, 1);
+    EXPECT_EQ(d.state(), PgState::Uncompensated);
+    EXPECT_EQ(d.stats().gatingEvents, 1u);
+    EXPECT_EQ(d.stats().idleOnCycles, 2u);
+}
+
+TEST(PgDomain, BusyResetsIdleDetect)
+{
+    PgDomain d(params(PgPolicy::Conventional, 3));
+    for (int k = 0; k < 10; ++k) {
+        d.tick(2 * k, false, 3, false, 1);
+        d.tick(2 * k + 1, true, 3, false, 1);
+    }
+    EXPECT_EQ(d.state(), PgState::On)
+        << "interleaved busy cycles must keep resetting the counter";
+    EXPECT_EQ(d.stats().gatingEvents, 0u);
+}
+
+TEST(PgDomain, CompensatesAfterBreakEven)
+{
+    PgDomain d(params(PgPolicy::Conventional, 2, 3));
+    Cycle now = idleFor(d, 0, 2); // gates at cycle 1
+    now = idleFor(d, now, 2);
+    EXPECT_EQ(d.state(), PgState::Uncompensated);
+    idleFor(d, now, 1);
+    EXPECT_EQ(d.state(), PgState::Compensated);
+    EXPECT_EQ(d.stats().uncompCycles, 3u);
+}
+
+TEST(PgDomain, ConventionalWakesFromUncompensated)
+{
+    PgDomain d(params(PgPolicy::Conventional, 2, 5));
+    Cycle now = idleFor(d, 0, 3);
+    ASSERT_EQ(d.state(), PgState::Uncompensated);
+    EXPECT_TRUE(d.wakeable());
+    d.requestWakeup(now);
+    d.tick(now, false, 2, false, 1);
+    EXPECT_EQ(d.state(), PgState::Wakeup);
+    EXPECT_EQ(d.stats().uncompWakeups, 1u);
+    EXPECT_EQ(d.stats().wakeups, 1u);
+    EXPECT_EQ(d.stats().criticalWakeups, 0u);
+}
+
+TEST(PgDomain, BlackoutIgnoresEarlyWakeup)
+{
+    for (PgPolicy policy :
+         {PgPolicy::NaiveBlackout, PgPolicy::CoordinatedBlackout}) {
+        PgDomain d(params(policy, 2, 5));
+        Cycle now = idleFor(d, 0, 3);
+        ASSERT_EQ(d.state(), PgState::Uncompensated);
+        EXPECT_FALSE(d.wakeable());
+        d.requestWakeup(now);
+        d.tick(now, false, 2, false, 1);
+        EXPECT_NE(d.state(), PgState::Wakeup)
+            << pgPolicyName(policy)
+            << ": no wakeup before the break-even time";
+        EXPECT_EQ(d.stats().uncompWakeups, 0u);
+    }
+}
+
+TEST(PgDomain, CriticalWakeupAtBlackoutEnd)
+{
+    PgDomain d(params(PgPolicy::NaiveBlackout, 2, 3));
+    Cycle now = idleFor(d, 0, 2); // gated after cycle 1
+    // Keep requesting every cycle, as a blocked instruction would.
+    for (int i = 0; i < 3; ++i) {
+        d.requestWakeup(now);
+        d.tick(now++, false, 2, false, 1);
+    }
+    EXPECT_EQ(d.state(), PgState::Wakeup)
+        << "wakeup granted the moment BET expires";
+    EXPECT_EQ(d.stats().criticalWakeups, 1u);
+    EXPECT_EQ(d.stats().uncompWakeups, 0u);
+}
+
+TEST(PgDomain, LateWakeupIsNotCritical)
+{
+    PgDomain d(params(PgPolicy::NaiveBlackout, 2, 3));
+    Cycle now = idleFor(d, 0, 2 + 3); // gate + full BET
+    now = idleFor(d, now, 5);         // linger compensated
+    ASSERT_EQ(d.state(), PgState::Compensated);
+    d.requestWakeup(now);
+    d.tick(now, false, 2, false, 1);
+    EXPECT_EQ(d.state(), PgState::Wakeup);
+    EXPECT_EQ(d.stats().criticalWakeups, 0u);
+}
+
+TEST(PgDomain, WakeupDelayCounted)
+{
+    PgDomain d(params(PgPolicy::Conventional, 2, 3, 4));
+    Cycle now = idleFor(d, 0, 2 + 3);
+    ASSERT_EQ(d.state(), PgState::Compensated);
+    d.requestWakeup(now);
+    now = idleFor(d, now, 1);
+    ASSERT_EQ(d.state(), PgState::Wakeup);
+    now = idleFor(d, now, 3);
+    EXPECT_EQ(d.state(), PgState::Wakeup);
+    idleFor(d, now, 1);
+    EXPECT_EQ(d.state(), PgState::On);
+    EXPECT_EQ(d.stats().wakeupCycles, 4u);
+}
+
+TEST(PgDomain, ZeroWakeupDelayGoesStraightOn)
+{
+    PgDomain d(params(PgPolicy::Conventional, 2, 3, 0));
+    Cycle now = idleFor(d, 0, 2 + 3);
+    d.requestWakeup(now);
+    d.tick(now, false, 2, false, 1);
+    EXPECT_EQ(d.state(), PgState::On);
+}
+
+TEST(PgDomain, ZeroBetGatesStraightToCompensated)
+{
+    PgDomain d(params(PgPolicy::Conventional, 2, 0));
+    idleFor(d, 0, 2);
+    EXPECT_EQ(d.state(), PgState::Compensated);
+}
+
+TEST(PgDomain, BetRemainingAccessor)
+{
+    PgDomain d(params(PgPolicy::NaiveBlackout, 2, 5));
+    EXPECT_EQ(d.betRemaining(), 0u);
+    Cycle now = idleFor(d, 0, 2);
+    EXPECT_EQ(d.betRemaining(), 5u);
+    idleFor(d, now, 2);
+    EXPECT_EQ(d.betRemaining(), 3u);
+}
+
+TEST(PgDomain, CoordinatedImmediateGateWhenNothingWaits)
+{
+    PgDomain d(params(PgPolicy::CoordinatedBlackout, 5));
+    d.tick(0, true, 5, true, 0);
+    d.tick(1, false, 5, /*peer_gated=*/true, /*actv=*/0);
+    EXPECT_EQ(d.state(), PgState::Uncompensated)
+        << "second cluster gates on the first idle cycle";
+    EXPECT_EQ(d.stats().coordImmediateGates, 1u);
+}
+
+TEST(PgDomain, CoordinatedVetoWhenWarpWaits)
+{
+    PgDomain d(params(PgPolicy::CoordinatedBlackout, 2));
+    idleFor(d, 0, 20, 2, /*peer=*/true, /*actv=*/3);
+    EXPECT_EQ(d.state(), PgState::On)
+        << "one cluster stays powered while warps of the type wait";
+    EXPECT_GT(d.stats().coordGateVetoes, 0u);
+}
+
+TEST(PgDomain, CoordinatedNormalPathWithoutPeer)
+{
+    PgDomain d(params(PgPolicy::CoordinatedBlackout, 2));
+    idleFor(d, 0, 2, 2, /*peer=*/false, /*actv=*/0);
+    EXPECT_EQ(d.state(), PgState::Uncompensated)
+        << "without a gated peer the normal idle-detect applies";
+    EXPECT_EQ(d.stats().coordImmediateGates, 0u);
+}
+
+TEST(PgDomain, NaiveIgnoresPeerState)
+{
+    PgDomain d(params(PgPolicy::NaiveBlackout, 3));
+    d.tick(0, false, 3, true, 0);
+    EXPECT_EQ(d.state(), PgState::On)
+        << "naive blackout has no immediate-gate path";
+}
+
+TEST(PgDomain, IdleHistogramRecordsRuns)
+{
+    PgDomain d(params(PgPolicy::None));
+    d.tick(0, true, 2, false, 1);
+    idleFor(d, 1, 4);
+    d.tick(5, true, 2, false, 1);
+    idleFor(d, 6, 2);
+    d.tick(8, true, 2, false, 1);
+    const Histogram& h = d.idleHistogram();
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.bin(4), 1u);
+    EXPECT_EQ(h.bin(2), 1u);
+}
+
+TEST(PgDomain, IdleRunSpansGatedCycles)
+{
+    PgDomain d(params(PgPolicy::Conventional, 2, 3, 1));
+    d.tick(0, true, 2, false, 1);
+    Cycle now = idleFor(d, 1, 2 + 3); // gate + compensate
+    d.requestWakeup(now);
+    now = idleFor(d, now, 1); // wakeup state entered
+    now = idleFor(d, now, 1); // wakeup delay
+    d.tick(now, true, 2, false, 1);
+    const Histogram& h = d.idleHistogram();
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.bin(7), 1u)
+        << "gated and waking cycles are part of one idle period";
+}
+
+TEST(PgDomain, FinalizeFlushesOpenRun)
+{
+    PgDomain d(params(PgPolicy::None));
+    idleFor(d, 0, 5);
+    EXPECT_EQ(d.idleHistogram().total(), 0u);
+    d.finalize(5);
+    EXPECT_EQ(d.idleHistogram().total(), 1u);
+    EXPECT_EQ(d.idleHistogram().bin(5), 1u);
+}
+
+TEST(PgDomain, EpochCriticalCounterResets)
+{
+    PgDomain d(params(PgPolicy::NaiveBlackout, 2, 3));
+    Cycle now = idleFor(d, 0, 2);
+    for (int i = 0; i < 3; ++i) {
+        d.requestWakeup(now);
+        d.tick(now++, false, 2, false, 1);
+    }
+    EXPECT_EQ(d.epochCriticalWakeups(), 1u);
+    d.resetEpochCriticalWakeups();
+    EXPECT_EQ(d.epochCriticalWakeups(), 0u);
+    EXPECT_EQ(d.stats().criticalWakeups, 1u)
+        << "the lifetime counter is unaffected by epoch resets";
+}
+
+TEST(PgDomain, StateCycleAccountingIsExhaustive)
+{
+    // Every tick must land in exactly one bucket.
+    PgDomain d(params(PgPolicy::Conventional, 2, 3, 2));
+    Cycle now = 0;
+    Rng rng(77);
+    for (; now < 2000; ++now) {
+        bool busy = d.canExecute() && rng.nextBool(0.4);
+        if (rng.nextBool(0.2))
+            d.requestWakeup(now);
+        d.tick(now, busy, 2, false, 1);
+    }
+    const PgDomainStats& s = d.stats();
+    EXPECT_EQ(s.busyCycles + s.idleOnCycles + s.uncompCycles +
+                  s.compCycles + s.wakeupCycles,
+              2000u);
+}
+
+TEST(PgDomainDeath, BusyWhileGatedPanics)
+{
+    PgDomain d(params(PgPolicy::Conventional, 1, 3));
+    idleFor(d, 0, 1, /*idle_detect=*/1);
+    ASSERT_TRUE(d.isGated());
+    EXPECT_DEATH(d.tick(10, true, 1, false, 1), "busy while");
+}
+
+TEST(PgDomain, StateNames)
+{
+    EXPECT_STREQ(pgStateName(PgState::On), "on");
+    EXPECT_STREQ(pgStateName(PgState::Uncompensated), "uncompensated");
+    EXPECT_STREQ(pgStateName(PgState::Compensated), "compensated");
+    EXPECT_STREQ(pgStateName(PgState::Wakeup), "wakeup");
+}
+
+TEST(PgDomain, PolicyNames)
+{
+    EXPECT_STREQ(pgPolicyName(PgPolicy::None), "none");
+    EXPECT_STREQ(pgPolicyName(PgPolicy::Conventional), "conventional");
+    EXPECT_STREQ(pgPolicyName(PgPolicy::NaiveBlackout), "naive-blackout");
+    EXPECT_STREQ(pgPolicyName(PgPolicy::CoordinatedBlackout),
+                 "coordinated-blackout");
+}
+
+/** Property: under blackout, a gated stretch lasts at least BET cycles
+ *  regardless of when requests arrive. */
+class BlackoutBet : public ::testing::TestWithParam<Cycle>
+{
+};
+
+TEST_P(BlackoutBet, GatedAtLeastBreakEven)
+{
+    const Cycle bet = GetParam();
+    PgParams p = params(PgPolicy::NaiveBlackout, 2, bet, 1);
+    PgDomain d(p);
+    Cycle now = 0;
+    // Go idle until gated.
+    while (!d.isGated())
+        d.tick(now++, false, 2, false, 1);
+    Cycle gated_at = now;
+    // Hammer wakeup requests each cycle.
+    while (d.isGated()) {
+        d.requestWakeup(now);
+        d.tick(now++, false, 2, false, 1);
+    }
+    EXPECT_GE(now - gated_at, bet);
+    EXPECT_EQ(d.stats().uncompWakeups, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bets, BlackoutBet,
+                         ::testing::Values(1, 3, 9, 14, 19, 24));
+
+} // namespace
+} // namespace wg

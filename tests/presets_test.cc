@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the technique presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+
+namespace wg {
+namespace {
+
+TEST(Presets, NamesMatchPaper)
+{
+    EXPECT_STREQ(techniqueName(Technique::Baseline), "Baseline");
+    EXPECT_STREQ(techniqueName(Technique::ConvPG), "ConvPG");
+    EXPECT_STREQ(techniqueName(Technique::Gates), "GATES");
+    EXPECT_STREQ(techniqueName(Technique::NaiveBlackout),
+                 "NaiveBlackout");
+    EXPECT_STREQ(techniqueName(Technique::CoordinatedBlackout),
+                 "CoordBlackout");
+    EXPECT_STREQ(techniqueName(Technique::WarpedGates), "WarpedGates");
+}
+
+TEST(Presets, AllTechniquesInPresentationOrder)
+{
+    const auto& all = allTechniques();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all.front(), Technique::Baseline);
+    EXPECT_EQ(all.back(), Technique::WarpedGates);
+}
+
+TEST(Presets, BaselineHasNoGating)
+{
+    GpuConfig cfg = makeConfig(Technique::Baseline);
+    EXPECT_EQ(cfg.sm.scheduler, SchedulerPolicy::TwoLevel);
+    EXPECT_EQ(cfg.sm.pg.policy, PgPolicy::None);
+    EXPECT_FALSE(cfg.sm.pg.adaptiveIdleDetect);
+}
+
+TEST(Presets, ConvPgUsesTwoLevel)
+{
+    GpuConfig cfg = makeConfig(Technique::ConvPG);
+    EXPECT_EQ(cfg.sm.scheduler, SchedulerPolicy::TwoLevel);
+    EXPECT_EQ(cfg.sm.pg.policy, PgPolicy::Conventional);
+}
+
+TEST(Presets, GatesKeepsConventionalGating)
+{
+    GpuConfig cfg = makeConfig(Technique::Gates);
+    EXPECT_EQ(cfg.sm.scheduler, SchedulerPolicy::Gates);
+    EXPECT_EQ(cfg.sm.pg.policy, PgPolicy::Conventional);
+}
+
+TEST(Presets, BlackoutVariantsBuildOnGates)
+{
+    for (Technique t : {Technique::NaiveBlackout,
+                        Technique::CoordinatedBlackout,
+                        Technique::WarpedGates}) {
+        GpuConfig cfg = makeConfig(t);
+        EXPECT_EQ(cfg.sm.scheduler, SchedulerPolicy::Gates)
+            << techniqueName(t);
+    }
+    EXPECT_EQ(makeConfig(Technique::NaiveBlackout).sm.pg.policy,
+              PgPolicy::NaiveBlackout);
+    EXPECT_EQ(makeConfig(Technique::CoordinatedBlackout).sm.pg.policy,
+              PgPolicy::CoordinatedBlackout);
+}
+
+TEST(Presets, WarpedGatesIsCoordinatedPlusAdaptive)
+{
+    GpuConfig cfg = makeConfig(Technique::WarpedGates);
+    EXPECT_EQ(cfg.sm.pg.policy, PgPolicy::CoordinatedBlackout);
+    EXPECT_TRUE(cfg.sm.pg.adaptiveIdleDetect);
+}
+
+TEST(Presets, OptionsPropagate)
+{
+    ExperimentOptions opts;
+    opts.numSms = 3;
+    opts.seed = 99;
+    opts.idleDetect = 8;
+    opts.breakEven = 19;
+    opts.wakeupDelay = 6;
+    GpuConfig cfg = makeConfig(Technique::WarpedGates, opts);
+    EXPECT_EQ(cfg.numSms, 3u);
+    EXPECT_EQ(cfg.seed, 99u);
+    EXPECT_EQ(cfg.sm.pg.idleDetect, 8u);
+    EXPECT_EQ(cfg.sm.pg.breakEven, 19u);
+    EXPECT_EQ(cfg.sm.pg.wakeupDelay, 6u);
+}
+
+TEST(Presets, PaperDefaultParameters)
+{
+    // Section 7.1: idle-detect 5, BET 14, wakeup 3.
+    ExperimentOptions opts;
+    EXPECT_EQ(opts.idleDetect, 5u);
+    EXPECT_EQ(opts.breakEven, 14u);
+    EXPECT_EQ(opts.wakeupDelay, 3u);
+    GpuConfig cfg = makeConfig(Technique::ConvPG);
+    EXPECT_EQ(cfg.sm.issueWidth, 2u);
+    EXPECT_EQ(cfg.sm.activeSetCapacity, 32u);
+    EXPECT_EQ(cfg.sm.alu.latency, 4u);
+    EXPECT_EQ(cfg.sm.alu.initiationInterval, 1u);
+}
+
+TEST(Presets, SchedulerPolicyNames)
+{
+    EXPECT_STREQ(schedulerPolicyName(SchedulerPolicy::TwoLevel),
+                 "two-level");
+    EXPECT_STREQ(schedulerPolicyName(SchedulerPolicy::Gates), "gates");
+}
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit and property tests for the benchmark-suite profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/profile.hh"
+
+namespace wg {
+namespace {
+
+TEST(Profiles, SuiteHasEighteenBenchmarks)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 18u);
+}
+
+TEST(Profiles, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto& p : benchmarkSuite())
+        EXPECT_TRUE(names.insert(p.name).second)
+            << "duplicate benchmark " << p.name;
+}
+
+TEST(Profiles, PaperSuitePresent)
+{
+    // The 18 benchmarks of Section 7.1.
+    const char* expected[] = {
+        "backprop", "bfs", "btree", "cutcp", "gaussian", "heartwall",
+        "hotspot", "kmeans", "lavaMD", "lbm", "LIB", "mri", "MUM",
+        "NN", "nw", "sgemm", "srad", "WP"};
+    for (const char* name : expected)
+        EXPECT_NO_FATAL_FAILURE(findBenchmark(name)) << name;
+}
+
+TEST(Profiles, BenchmarkNamesMatchesSuite)
+{
+    auto names = benchmarkNames();
+    EXPECT_EQ(names.size(), benchmarkSuite().size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(names[i], benchmarkSuite()[i].name);
+}
+
+TEST(ProfilesDeath, UnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(findBenchmark("not-a-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Profiles, LavaMdIsIntegerOnly)
+{
+    EXPECT_TRUE(findBenchmark("lavaMD").isIntegerOnly());
+}
+
+TEST(Profiles, LowFpBenchmarksAreNotIntegerOnly)
+{
+    // The paper only excludes benchmarks with *no* FP activity from the
+    // FP charts; bfs/MUM/nw have a sliver of FP and stay in.
+    EXPECT_FALSE(findBenchmark("bfs").isIntegerOnly());
+    EXPECT_FALSE(findBenchmark("MUM").isIntegerOnly());
+    EXPECT_FALSE(findBenchmark("nw").isIntegerOnly());
+    EXPECT_FALSE(findBenchmark("hotspot").isIntegerOnly());
+}
+
+/** Property checks over every suite profile. */
+class SuiteProfile : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const BenchmarkProfile& profile() { return findBenchmark(GetParam()); }
+};
+
+TEST_P(SuiteProfile, MixIsNormalised)
+{
+    const auto& p = profile();
+    double sum = p.fracInt + p.fracFp + p.fracSfu + p.fracLdst;
+    EXPECT_NEAR(sum, 1.0, 0.02) << p.name;
+    EXPECT_GE(p.fracInt, 0.0);
+    EXPECT_GE(p.fracFp, 0.0);
+    EXPECT_GE(p.fracSfu, 0.0);
+    EXPECT_GT(p.fracLdst, 0.0) << "every kernel touches memory";
+}
+
+TEST_P(SuiteProfile, WarpCountsAreFermiLegal)
+{
+    const auto& p = profile();
+    EXPECT_GE(p.residentWarps, 1);
+    EXPECT_LE(p.residentWarps, 48) << "Fermi supports 48 warps/SM";
+    EXPECT_GE(p.ctaWarps, 1);
+}
+
+TEST_P(SuiteProfile, ProbabilitiesInRange)
+{
+    const auto& p = profile();
+    EXPECT_GE(p.memMissRatio, 0.0);
+    EXPECT_LE(p.memMissRatio, 1.0);
+    EXPECT_GE(p.depProb, 0.0);
+    EXPECT_LE(p.depProb, 1.0);
+    EXPECT_GE(p.storeFrac, 0.0);
+    EXPECT_LE(p.storeFrac, 1.0);
+    EXPECT_GE(p.loadConsumeProb, 0.0);
+    EXPECT_LE(p.loadConsumeProb, 1.0);
+}
+
+TEST_P(SuiteProfile, StructuralKnobsPositive)
+{
+    const auto& p = profile();
+    EXPECT_GT(p.kernelLength, 0);
+    EXPECT_GT(p.loadBurstMax, 0);
+    EXPECT_GE(p.depWindow, 1);
+    EXPECT_GE(p.phaseLen, 0);
+    if (p.phaseLen > 0)
+        EXPECT_GT(p.phaseBias, 1.0) << "a phase must actually bias";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteProfile,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto& info) { return info.param; });
+
+} // namespace
+} // namespace wg

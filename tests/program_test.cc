@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Unit tests for Program.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/program.hh"
+
+namespace wg {
+namespace {
+
+TEST(Program, EmptyByDefault)
+{
+    Program p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.size(), 0u);
+    for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+        EXPECT_EQ(p.countOf(static_cast<UnitClass>(c)), 0u);
+}
+
+TEST(Program, CountsClasses)
+{
+    std::vector<Instruction> instrs = {
+        makeInt(0), makeInt(1), makeFp(2), makeSfu(3),
+        makeLoad(4, MemClass::Hit), makeStore(MemClass::Miss, 4),
+    };
+    Program p(std::move(instrs));
+    EXPECT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.countOf(UnitClass::Int), 2u);
+    EXPECT_EQ(p.countOf(UnitClass::Fp), 1u);
+    EXPECT_EQ(p.countOf(UnitClass::Sfu), 1u);
+    EXPECT_EQ(p.countOf(UnitClass::Ldst), 2u);
+}
+
+TEST(Program, AtPreservesOrder)
+{
+    Program p({makeInt(0), makeFp(1)});
+    EXPECT_EQ(p.at(0).unit, UnitClass::Int);
+    EXPECT_EQ(p.at(1).unit, UnitClass::Fp);
+    EXPECT_EQ(p.instructions().size(), 2u);
+}
+
+} // namespace
+} // namespace wg

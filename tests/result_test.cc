@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for SimResult's derived metrics, using hand-built
+ * statistics (no simulation) so every formula is checked exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "sim/result.hh"
+
+namespace wg {
+namespace {
+
+SimResult
+handBuilt()
+{
+    SimResult r;
+    r.config = makeConfig(Technique::ConvPG);
+    r.cycles = 1000;
+    r.totalSmCycles = 1000; // one SM
+    r.aggregate.cycles = 1000;
+    r.aggregate.issuedTotal = 1500;
+
+    // INT cluster 0: 600 busy; cluster 1: 200 busy.
+    r.aggregate.clusters[0][0].pg.busyCycles = 600;
+    r.aggregate.clusters[0][0].pg.idleOnCycles = 400;
+    r.aggregate.clusters[0][1].pg.busyCycles = 200;
+    r.aggregate.clusters[0][1].pg.idleOnCycles = 300;
+    r.aggregate.clusters[0][1].pg.compCycles = 400;
+    r.aggregate.clusters[0][1].pg.uncompCycles = 100;
+    r.aggregate.clusters[0][1].pg.wakeups = 7;
+    r.aggregate.clusters[0][0].pg.wakeups = 3;
+    r.aggregate.clusters[0][0].pg.criticalWakeups = 2;
+    r.aggregate.clusters[0][1].pg.criticalWakeups = 3;
+
+    Histogram h(64);
+    h.add(2, 10);  // <= idle-detect
+    h.add(10, 5);  // middle
+    h.add(40, 5);  // long
+    r.intIdleHist = h;
+    return r;
+}
+
+TEST(Result, TypeStatsSumsClusters)
+{
+    SimResult r = handBuilt();
+    PgDomainStats s = r.typeStats(UnitClass::Int);
+    EXPECT_EQ(s.busyCycles, 800u);
+    EXPECT_EQ(s.idleOnCycles, 700u);
+    EXPECT_EQ(s.wakeups, 10u);
+    EXPECT_EQ(s.criticalWakeups, 5u);
+    EXPECT_EQ(s.compCycles, 400u);
+    EXPECT_EQ(s.uncompCycles, 100u);
+}
+
+TEST(Result, IdleFraction)
+{
+    SimResult r = handBuilt();
+    // 2 clusters x 1000 cycles; 800 busy -> idle 1200/2000.
+    EXPECT_DOUBLE_EQ(r.idleFraction(UnitClass::Int), 0.6);
+}
+
+TEST(Result, CompensatedNetFraction)
+{
+    SimResult r = handBuilt();
+    // (400 - 100) / 2000.
+    EXPECT_DOUBLE_EQ(r.compensatedNetFraction(UnitClass::Int), 0.15);
+}
+
+TEST(Result, Wakeups)
+{
+    SimResult r = handBuilt();
+    EXPECT_EQ(r.wakeups(UnitClass::Int), 10u);
+}
+
+TEST(Result, CriticalWakeupsPer1k)
+{
+    SimResult r = handBuilt();
+    EXPECT_DOUBLE_EQ(r.criticalWakeupsPer1k(UnitClass::Int), 5.0);
+}
+
+TEST(Result, IdleRegionsPartition)
+{
+    SimResult r = handBuilt();
+    auto regions = r.idleRegions(UnitClass::Int, 5, 14);
+    EXPECT_DOUBLE_EQ(regions[0], 0.5);  // 10 of 20 periods
+    EXPECT_DOUBLE_EQ(regions[1], 0.25); // 5 of 20
+    EXPECT_DOUBLE_EQ(regions[2], 0.25); // 5 of 20
+}
+
+TEST(Result, Ipc)
+{
+    SimResult r = handBuilt();
+    EXPECT_DOUBLE_EQ(r.ipc(), 1.5);
+    SimResult zero;
+    EXPECT_DOUBLE_EQ(zero.ipc(), 0.0);
+}
+
+TEST(Result, EmptyResultDerivedMetricsAreZero)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.idleFraction(UnitClass::Int), 0.0);
+    EXPECT_DOUBLE_EQ(r.compensatedNetFraction(UnitClass::Fp), 0.0);
+    EXPECT_DOUBLE_EQ(r.criticalWakeupsPer1k(UnitClass::Int), 0.0);
+}
+
+TEST(Result, ComputeEnergyUsesAggregates)
+{
+    SimResult r = handBuilt();
+    r.aggregate.clusters[0][0].issues = 600;
+    computeEnergy(r);
+    EXPECT_GT(r.intEnergy.dynamicE, 0.0);
+    EXPECT_NEAR(r.intEnergy.staticE + r.intEnergy.staticSaved,
+                r.intEnergy.staticNoPg, 1e-20);
+    // 500 gated cycles of 2000 cluster-cycles and no gating events
+    // charged: savings ratio = 500/2000.
+    EXPECT_DOUBLE_EQ(r.intEnergy.staticSavingsRatio(), 0.25);
+}
+
+TEST(ResultDeath, IdleHistForLdstPanics)
+{
+    SimResult r = handBuilt();
+    EXPECT_DEATH(r.idleHist(UnitClass::Ldst), "only INT/FP");
+}
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the deterministic PCG32 generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace wg {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.nextU32() == b.nextU32())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentStreamsDiverge)
+{
+    Rng a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.nextU32() == b.nextU32())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(3);
+    for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1u << 20}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextRange(bound), bound);
+    }
+}
+
+TEST(Rng, RangeOneAlwaysZero)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextRange(1), 0u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(5);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextRange(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(123);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.nextDouble();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoolEdgeCases)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+        EXPECT_FALSE(rng.nextBool(-1.0));
+        EXPECT_TRUE(rng.nextBool(2.0));
+    }
+}
+
+TEST(Rng, BoolProbabilityApprox)
+{
+    Rng rng(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.nextBool(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricEdgeCases)
+{
+    Rng rng(19);
+    EXPECT_EQ(rng.nextGeometric(1.0), 0u);
+    EXPECT_EQ(rng.nextGeometric(2.0), 0u);
+    EXPECT_EQ(rng.nextGeometric(0.0), 0xffffffffu);
+}
+
+TEST(Rng, GeometricMeanApprox)
+{
+    // E[failures before success] = (1-p)/p.
+    Rng rng(23);
+    const double p = 0.25;
+    double acc = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.nextGeometric(p);
+    EXPECT_NEAR(acc / n, (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng root(99);
+    Rng a = root.fork(5);
+    Rng root2(99);
+    Rng b = root2.fork(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, ForksWithDifferentSaltsDiverge)
+{
+    Rng root(99);
+    Rng a = root.fork(1);
+    Rng b = root.fork(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.nextU32() == b.nextU32())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NearbySaltsUncorrelated)
+{
+    // SplitMix mixing should decorrelate salt k and k+1.
+    Rng root(7);
+    std::vector<double> means;
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+        Rng r = root.fork(salt);
+        double acc = 0.0;
+        for (int i = 0; i < 2000; ++i)
+            acc += r.nextDouble();
+        means.push_back(acc / 2000);
+    }
+    for (double m : means)
+        EXPECT_NEAR(m, 0.5, 0.05);
+}
+
+/** Chi-square-ish uniformity check across 16 buckets. */
+TEST(Rng, RoughUniformity)
+{
+    Rng rng(2024);
+    std::vector<int> buckets(16, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.nextRange(16)];
+    for (int count : buckets)
+        EXPECT_NEAR(count, n / 16, n / 16 / 10);
+}
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the two-level baseline and GATES schedulers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/gates.hh"
+#include "sched/twolevel.hh"
+
+namespace wg {
+namespace {
+
+std::vector<WarpId>
+warpIds(std::size_t n)
+{
+    std::vector<WarpId> ids;
+    for (std::size_t i = 0; i < n; ++i)
+        ids.push_back(static_cast<WarpId>(i));
+    return ids;
+}
+
+TEST(TwoLevel, OrderIsIdentity)
+{
+    TwoLevelScheduler sched;
+    auto active = warpIds(5);
+    std::vector<UnitClass> types(5, UnitClass::Int);
+    types[2] = UnitClass::Fp;
+    std::vector<std::size_t> out;
+    sched.beginCycle(0, SchedView{});
+    sched.order(active, types, out);
+    ASSERT_EQ(out.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i], i) << "type-agnostic LRR order";
+}
+
+TEST(TwoLevel, NoPrioritySwitches)
+{
+    TwoLevelScheduler sched;
+    EXPECT_EQ(sched.prioritySwitches(), 0u);
+}
+
+SchedView
+viewWith(std::uint32_t int_actv, std::uint32_t fp_actv)
+{
+    SchedView v;
+    v.actv[static_cast<std::size_t>(UnitClass::Int)] = int_actv;
+    v.actv[static_cast<std::size_t>(UnitClass::Fp)] = fp_actv;
+    return v;
+}
+
+TEST(Gates, StartsWithIntPriority)
+{
+    GatesScheduler sched;
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Int);
+}
+
+TEST(Gates, OrderGroupsByClassPriority)
+{
+    GatesScheduler sched;
+    sched.beginCycle(0, viewWith(2, 2));
+    auto active = warpIds(6);
+    std::vector<UnitClass> types = {UnitClass::Fp,  UnitClass::Int,
+                                    UnitClass::Ldst, UnitClass::Sfu,
+                                    UnitClass::Int, UnitClass::Fp};
+    std::vector<std::size_t> out;
+    sched.order(active, types, out);
+    ASSERT_EQ(out.size(), 6u);
+    // INT first (indices 1, 4 in list order), then LDST (2), SFU (3),
+    // then FP (0, 5).
+    EXPECT_EQ(out[0], 1u);
+    EXPECT_EQ(out[1], 4u);
+    EXPECT_EQ(out[2], 2u);
+    EXPECT_EQ(out[3], 3u);
+    EXPECT_EQ(out[4], 0u);
+    EXPECT_EQ(out[5], 5u);
+}
+
+TEST(Gates, SwitchesWhenHighTypeDrains)
+{
+    GatesScheduler sched;
+    sched.beginCycle(0, viewWith(3, 3));
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Int);
+    sched.beginCycle(1, viewWith(0, 3));
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Fp);
+    EXPECT_EQ(sched.prioritySwitches(), 1u);
+}
+
+TEST(Gates, DoesNotSwitchWhenBothEmpty)
+{
+    GatesScheduler sched;
+    sched.beginCycle(0, viewWith(0, 0));
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Int);
+    EXPECT_EQ(sched.prioritySwitches(), 0u);
+}
+
+TEST(Gates, SwitchesBackWhenFpDrains)
+{
+    GatesScheduler sched;
+    sched.beginCycle(0, viewWith(0, 3)); // -> FP
+    sched.beginCycle(1, viewWith(3, 0)); // -> INT
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Int);
+    EXPECT_EQ(sched.prioritySwitches(), 2u);
+}
+
+TEST(Gates, SwitchesWhenHighTypeFullyBlackedOut)
+{
+    GatesScheduler sched;
+    SchedView v = viewWith(4, 4);
+    v.intBlackout = {true, true};
+    sched.beginCycle(0, v);
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Fp)
+        << "both INT clusters gated: issuing INT is impossible";
+}
+
+TEST(Gates, PartialBlackoutDoesNotSwitch)
+{
+    GatesScheduler sched;
+    SchedView v = viewWith(4, 4);
+    v.intBlackout = {true, false};
+    sched.beginCycle(0, v);
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Int);
+}
+
+TEST(Gates, BlackoutSwitchCanBeDisabled)
+{
+    GatesConfig cfg;
+    cfg.switchOnBlackout = false;
+    GatesScheduler sched(cfg);
+    SchedView v = viewWith(4, 4);
+    v.intBlackout = {true, true};
+    sched.beginCycle(0, v);
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Int);
+}
+
+TEST(Gates, NoSwitchToEmptyLowType)
+{
+    GatesScheduler sched;
+    SchedView v = viewWith(4, 0);
+    v.intBlackout = {true, true};
+    sched.beginCycle(0, v);
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Int)
+        << "switching to a type with no active warps is pointless";
+}
+
+TEST(Gates, MaxPriorityHoldForcesSwitch)
+{
+    GatesConfig cfg;
+    cfg.maxPriorityHold = 10;
+    GatesScheduler sched(cfg);
+    for (Cycle t = 0; t < 10; ++t) {
+        sched.beginCycle(t, viewWith(4, 4));
+        EXPECT_EQ(sched.highestPriority(), UnitClass::Int) << t;
+    }
+    sched.beginCycle(10, viewWith(4, 4));
+    EXPECT_EQ(sched.highestPriority(), UnitClass::Fp);
+}
+
+TEST(Gates, LdstOutranksSfu)
+{
+    GatesScheduler sched;
+    sched.beginCycle(0, viewWith(1, 1));
+    std::vector<WarpId> active = {0, 1};
+    std::vector<UnitClass> types = {UnitClass::Sfu, UnitClass::Ldst};
+    std::vector<std::size_t> out;
+    sched.order(active, types, out);
+    EXPECT_EQ(out[0], 1u);
+    EXPECT_EQ(out[1], 0u);
+}
+
+TEST(Gates, FpPriorityReversesIntAndFp)
+{
+    GatesScheduler sched;
+    sched.beginCycle(0, viewWith(0, 2)); // switch to FP priority
+    std::vector<WarpId> active = {0, 1};
+    std::vector<UnitClass> types = {UnitClass::Int, UnitClass::Fp};
+    std::vector<std::size_t> out;
+    sched.order(active, types, out);
+    EXPECT_EQ(out[0], 1u) << "FP is now highest priority";
+    EXPECT_EQ(out[1], 0u) << "INT is now lowest priority";
+}
+
+TEST(GatesDeath, MismatchedArraysPanic)
+{
+    GatesScheduler sched;
+    std::vector<WarpId> active = {0, 1};
+    std::vector<UnitClass> types = {UnitClass::Int};
+    std::vector<std::size_t> out;
+    EXPECT_DEATH(sched.order(active, types, out), "size mismatch");
+}
+
+} // namespace
+} // namespace wg

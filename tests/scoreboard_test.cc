@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the register scoreboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/scoreboard.hh"
+
+namespace wg {
+namespace {
+
+TEST(Scoreboard, FreshBoardIsReady)
+{
+    Scoreboard sb(4);
+    EXPECT_TRUE(sb.ready(0, makeInt(3, 1, 2)));
+    EXPECT_TRUE(sb.clean(0));
+}
+
+TEST(Scoreboard, RawHazardBlocks)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeInt(3));
+    EXPECT_FALSE(sb.ready(0, makeInt(5, 3)));
+    EXPECT_FALSE(sb.ready(0, makeInt(5, 0, 3)));
+    EXPECT_TRUE(sb.ready(0, makeInt(5, 1, 2)));
+}
+
+TEST(Scoreboard, WawHazardBlocks)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeInt(3));
+    EXPECT_FALSE(sb.ready(0, makeInt(3, 1, 2)));
+}
+
+TEST(Scoreboard, CompleteClears)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeInt(3));
+    sb.complete(0, 3);
+    EXPECT_TRUE(sb.ready(0, makeInt(5, 3)));
+    EXPECT_TRUE(sb.clean(0));
+}
+
+TEST(Scoreboard, WarpsAreIndependent)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeInt(3));
+    EXPECT_TRUE(sb.ready(1, makeInt(5, 3)));
+    EXPECT_FALSE(sb.ready(0, makeInt(5, 3)));
+}
+
+TEST(Scoreboard, BlockedOnLongOnlyForMissLoads)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeLoad(2, MemClass::Miss));
+    sb.markIssued(0, makeInt(3));
+    EXPECT_TRUE(sb.blockedOnLong(0, makeInt(5, 2)));
+    EXPECT_FALSE(sb.blockedOnLong(0, makeInt(5, 3)))
+        << "short-latency producers do not demote the warp";
+    EXPECT_FALSE(sb.ready(0, makeInt(5, 3)));
+}
+
+TEST(Scoreboard, HitLoadIsNotLongLatency)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeLoad(2, MemClass::Hit));
+    EXPECT_FALSE(sb.blockedOnLong(0, makeInt(5, 2)));
+    EXPECT_FALSE(sb.ready(0, makeInt(5, 2)));
+}
+
+TEST(Scoreboard, LongBitClearedOnComplete)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeLoad(2, MemClass::Miss));
+    sb.complete(0, 2);
+    EXPECT_FALSE(sb.blockedOnLong(0, makeInt(5, 2)));
+    EXPECT_TRUE(sb.ready(0, makeInt(5, 2)));
+}
+
+TEST(Scoreboard, StoresTrackSourcesOnly)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeInt(3));
+    Instruction st = makeStore(MemClass::Hit, 3);
+    EXPECT_FALSE(sb.ready(0, st));
+    sb.complete(0, 3);
+    EXPECT_TRUE(sb.ready(0, st));
+    sb.markIssued(0, st); // no dest: must not mark anything
+    EXPECT_TRUE(sb.clean(0));
+}
+
+TEST(Scoreboard, WawOnLongProducerAlsoBlocksLong)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeLoad(2, MemClass::Miss));
+    // An instruction *writing* r2 is WAW-blocked by the miss.
+    EXPECT_TRUE(sb.blockedOnLong(0, makeInt(2)));
+}
+
+TEST(Scoreboard, Reset)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeLoad(2, MemClass::Miss));
+    sb.markIssued(1, makeInt(3));
+    sb.reset();
+    EXPECT_TRUE(sb.clean(0));
+    EXPECT_TRUE(sb.clean(1));
+    EXPECT_TRUE(sb.ready(0, makeInt(5, 2)));
+}
+
+TEST(ScoreboardDeath, DoubleWriterPanics)
+{
+    Scoreboard sb(4);
+    sb.markIssued(0, makeInt(3));
+    EXPECT_DEATH(sb.markIssued(0, makeInt(3)), "WAW violation");
+}
+
+/** Property: every register blocks exactly its own consumers. */
+class ScoreboardRegs : public ::testing::TestWithParam<RegId>
+{
+};
+
+TEST_P(ScoreboardRegs, PendingRegisterBlocksOnlyItself)
+{
+    const RegId reg = GetParam();
+    Scoreboard sb(2);
+    sb.markIssued(0, makeInt(reg));
+    const RegId dest = static_cast<RegId>((reg + 1) % 16);
+    for (RegId other = 0; other < 16; ++other) {
+        bool expect_ready = other != reg;
+        EXPECT_EQ(sb.ready(0, makeFp(dest, other)), expect_ready)
+            << "src " << other << " vs pending " << reg;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegs, ScoreboardRegs,
+                         ::testing::Range<RegId>(0, 16));
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the SFU power-gating extension (paper Section 3 argues
+ * conventional gating suffices for the rarely-used SFUs; this is the
+ * opt-in implementation of that suggestion).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pg/controller.hh"
+#include "core/presets.hh"
+#include "sim/gpu.hh"
+#include "sim/sm.hh"
+#include "workload/synthetic.hh"
+
+namespace wg {
+namespace {
+
+PgParams
+params(bool gate_sfu)
+{
+    PgParams p;
+    p.policy = PgPolicy::CoordinatedBlackout;
+    p.idleDetect = 2;
+    p.breakEven = 3;
+    p.wakeupDelay = 2;
+    p.gateSfu = gate_sfu;
+    return p;
+}
+
+TEST(SfuGating, DisabledByDefault)
+{
+    PgParams p;
+    EXPECT_FALSE(p.gateSfu);
+}
+
+TEST(SfuGating, SfuStaysOnWhenDisabled)
+{
+    PgController pg(params(false));
+    SchedView view;
+    for (Cycle t = 0; t < 50; ++t)
+        pg.tick(t, {false, false}, {false, false}, view, false);
+    EXPECT_TRUE(pg.canExecute(UnitClass::Sfu, 0));
+    EXPECT_FALSE(pg.isGated(UnitClass::Sfu, 0));
+    EXPECT_EQ(pg.sfuDomain().stats().gatingEvents, 0u);
+}
+
+TEST(SfuGating, SfuGatesWhenEnabled)
+{
+    PgController pg(params(true));
+    SchedView view;
+    for (Cycle t = 0; t < 10; ++t)
+        pg.tick(t, {false, false}, {false, false}, view, false);
+    EXPECT_TRUE(pg.isGated(UnitClass::Sfu, 0));
+    EXPECT_FALSE(pg.canExecute(UnitClass::Sfu, 0));
+    EXPECT_EQ(pg.pickWakeupTarget(UnitClass::Sfu), 0);
+}
+
+TEST(SfuGating, SfuUsesConventionalPolicy)
+{
+    // Even under a blackout main policy, the SFU domain wakes from the
+    // uncompensated state (conventional semantics).
+    PgController pg(params(true));
+    SchedView view;
+    pg.tick(0, {false, false}, {false, false}, view, false);
+    pg.tick(1, {false, false}, {false, false}, view, false);
+    ASSERT_EQ(pg.sfuDomain().state(), PgState::Uncompensated);
+    pg.requestWakeup(UnitClass::Sfu, 0, 2);
+    pg.tick(2, {false, false}, {false, false}, view, false);
+    EXPECT_EQ(pg.sfuDomain().state(), PgState::Wakeup)
+        << "conventional gating wakes before the break-even time";
+}
+
+TEST(SfuGating, BusySfuDoesNotGate)
+{
+    PgController pg(params(true));
+    SchedView view;
+    for (Cycle t = 0; t < 20; ++t)
+        pg.tick(t, {false, false}, {false, false}, view, true);
+    EXPECT_FALSE(pg.isGated(UnitClass::Sfu, 0));
+    EXPECT_EQ(pg.sfuDomain().stats().busyCycles, 20u);
+}
+
+TEST(SfuGating, WorkloadWithSfuDrains)
+{
+    SmConfig cfg;
+    cfg.scheduler = SchedulerPolicy::Gates;
+    cfg.pg.policy = PgPolicy::CoordinatedBlackout;
+    cfg.pg.gateSfu = true;
+    std::vector<Program> programs;
+    for (int w = 0; w < 8; ++w)
+        programs.push_back(pureProgram(UnitClass::Sfu, 60));
+    Sm sm(cfg, programs, 3);
+    const SmStats& s = sm.run();
+    EXPECT_TRUE(s.completed);
+    EXPECT_EQ(s.sfuIssues, 8u * 60u);
+}
+
+TEST(SfuGating, SparseSfuUseGetsGatedAndWoken)
+{
+    // INT-heavy workload with occasional SFU bursts: the SFU block must
+    // gate between bursts and wake on demand.
+    SmConfig cfg;
+    cfg.pg.policy = PgPolicy::Conventional;
+    cfg.pg.gateSfu = true;
+    std::vector<Instruction> instrs;
+    for (int k = 0; k < 400; ++k) {
+        if (k % 100 == 99)
+            instrs.push_back(makeSfu(static_cast<RegId>(k % 16)));
+        else
+            instrs.push_back(makeInt(static_cast<RegId>(k % 16)));
+    }
+    std::vector<Program> programs(4, Program(instrs));
+    Sm sm(cfg, programs, 9);
+    const SmStats& s = sm.run();
+    EXPECT_TRUE(s.completed);
+    EXPECT_GT(s.sfuCluster.pg.gatingEvents, 0u);
+    EXPECT_GT(s.sfuCluster.pg.wakeups, 0u);
+    EXPECT_EQ(s.sfuCluster.issues, 4u * 4u);
+}
+
+TEST(SfuGating, EnergyLedgerSwitchesToClusterModel)
+{
+    ExperimentOptions opts;
+    opts.numSms = 1;
+    GpuConfig cfg = makeConfig(Technique::WarpedGates, opts);
+    cfg.sm.pg.gateSfu = true;
+    BenchmarkProfile p = findBenchmark("cutcp"); // has SFU activity
+    p.kernelLength = 400;
+    Gpu gpu(cfg);
+    SimResult r = gpu.run(p);
+    EXPECT_GT(r.sfuEnergy.staticSaved, 0.0)
+        << "gating the rarely-used SFU must save leakage";
+    EXPECT_GT(r.sfuEnergy.staticSavingsRatio(), 0.0);
+
+    GpuConfig off = makeConfig(Technique::WarpedGates, opts);
+    Gpu gpu_off(off);
+    SimResult r_off = gpu_off.run(p);
+    EXPECT_DOUBLE_EQ(r_off.sfuEnergy.staticSaved, 0.0);
+}
+
+} // namespace
+} // namespace wg

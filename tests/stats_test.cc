@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the named-statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace wg {
+namespace {
+
+TEST(StatSet, GetMissingIsZero)
+{
+    StatSet s;
+    EXPECT_DOUBLE_EQ(s.get("nope"), 0.0);
+    EXPECT_FALSE(s.has("nope"));
+}
+
+TEST(StatSet, IncrCreatesAndAccumulates)
+{
+    StatSet s;
+    s.incr("a.b");
+    s.incr("a.b", 2.5);
+    EXPECT_TRUE(s.has("a.b"));
+    EXPECT_DOUBLE_EQ(s.get("a.b"), 3.5);
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.incr("x", 10);
+    s.set("x", 2);
+    EXPECT_DOUBLE_EQ(s.get("x"), 2.0);
+}
+
+TEST(StatSet, SumPrefix)
+{
+    StatSet s;
+    s.set("sm0.pg.wakeups", 3);
+    s.set("sm0.pg.gates", 4);
+    s.set("sm1.pg.wakeups", 5);
+    s.set("other", 100);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("sm0."), 7.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("sm"), 12.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix(""), 112.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("zz"), 0.0);
+}
+
+TEST(StatSet, SumPrefixDoesNotMatchSiblings)
+{
+    StatSet s;
+    s.set("ab", 1);
+    s.set("abc", 2);
+    s.set("abd", 4);
+    s.set("ac", 8);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("ab"), 7.0);
+}
+
+TEST(StatSet, MergeSumsDuplicates)
+{
+    StatSet a, b;
+    a.set("x", 1);
+    a.set("y", 2);
+    b.set("x", 10);
+    b.set("z", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 11.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 2.0);
+    EXPECT_DOUBLE_EQ(a.get("z"), 3.0);
+}
+
+TEST(StatSet, MergePrefixed)
+{
+    StatSet gpu, sm;
+    sm.set("pg.wakeups", 4);
+    gpu.mergePrefixed("sm3", sm);
+    EXPECT_DOUBLE_EQ(gpu.get("sm3.pg.wakeups"), 4.0);
+}
+
+TEST(StatSet, ClearRemovesEverything)
+{
+    StatSet s;
+    s.set("a", 1);
+    s.clear();
+    EXPECT_FALSE(s.has("a"));
+    EXPECT_TRUE(s.entries().empty());
+}
+
+TEST(StatSet, EntriesAreSorted)
+{
+    StatSet s;
+    s.set("b", 1);
+    s.set("a", 2);
+    s.set("c", 3);
+    std::string prev;
+    for (const auto& [name, value] : s.entries()) {
+        EXPECT_LT(prev, name);
+        prev = name;
+    }
+}
+
+} // namespace
+} // namespace wg

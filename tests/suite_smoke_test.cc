@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Suite-wide smoke test: every benchmark of the paper's suite must
+ * drain under the full Warped Gates configuration (1 SM, parameterised
+ * over the suite), with basic result sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/warped_gates.hh"
+
+namespace wg {
+namespace {
+
+class SuiteSmoke : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteSmoke, WarpedGatesDrainsAndSavesOrBreaksEven)
+{
+    ExperimentOptions opts;
+    opts.numSms = 1;
+    Gpu gpu(makeConfig(Technique::WarpedGates, opts));
+    SimResult r = gpu.run(findBenchmark(GetParam()));
+
+    EXPECT_TRUE(r.aggregate.completed);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.aggregate.issuedTotal, 0u);
+    EXPECT_LE(r.ipc(), 2.0);
+
+    // Energy sanity: conservation and no catastrophic losses.
+    for (UnitClass uc : {UnitClass::Int, UnitClass::Fp}) {
+        const UnitEnergy& e = r.energy(uc);
+        EXPECT_NEAR(e.staticE + e.staticSaved, e.staticNoPg,
+                    1e-9 * e.staticNoPg + 1e-20);
+        EXPECT_GT(e.staticSavingsRatio(), -0.1)
+            << unitClassName(uc)
+            << ": Warped Gates must never lose much energy";
+    }
+
+    // Blackout invariant holds everywhere.
+    EXPECT_EQ(r.typeStats(UnitClass::Int).uncompWakeups, 0u);
+    EXPECT_EQ(r.typeStats(UnitClass::Fp).uncompWakeups, 0u);
+
+    // Adaptive idle detect stays within its configured bounds.
+    for (unsigned t = 0; t < 2; ++t) {
+        EXPECT_GE(r.aggregate.finalIdleDetect[t], 5u);
+        EXPECT_LE(r.aggregate.finalIdleDetect[t], 10u);
+    }
+
+    // The instruction mix respects the profile's headline property.
+    const BenchmarkProfile& p = findBenchmark(GetParam());
+    auto fp_issued =
+        r.aggregate.issuedByClass[static_cast<std::size_t>(UnitClass::Fp)];
+    if (p.isIntegerOnly())
+        EXPECT_EQ(fp_issued, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteSmoke,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto& info) { return info.param; });
+
+} // namespace
+} // namespace wg

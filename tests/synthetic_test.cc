@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the hand-built synthetic workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hh"
+
+namespace wg {
+namespace {
+
+TEST(Synthetic, PureProgram)
+{
+    Program p = pureProgram(UnitClass::Fp, 10);
+    EXPECT_EQ(p.size(), 10u);
+    EXPECT_EQ(p.countOf(UnitClass::Fp), 10u);
+    EXPECT_EQ(p.countOf(UnitClass::Int), 0u);
+}
+
+TEST(Synthetic, PureLdstGetsHitClass)
+{
+    Program p = pureProgram(UnitClass::Ldst, 4);
+    for (const auto& i : p.instructions())
+        EXPECT_EQ(i.mem, MemClass::Hit);
+}
+
+TEST(Synthetic, AlternatingProgram)
+{
+    Program p = alternatingProgram(8);
+    EXPECT_EQ(p.countOf(UnitClass::Int), 4u);
+    EXPECT_EQ(p.countOf(UnitClass::Fp), 4u);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        EXPECT_EQ(p.at(i).unit,
+                  i % 2 == 0 ? UnitClass::Int : UnitClass::Fp);
+    }
+}
+
+TEST(Synthetic, ChainProgramIsFullySerialised)
+{
+    Program p = chainProgram(UnitClass::Int, 20);
+    for (std::size_t i = 1; i < p.size(); ++i)
+        EXPECT_EQ(p.at(i).srcs[0], p.at(i - 1).dest) << "at " << i;
+}
+
+TEST(Synthetic, Fig4WarpOrder)
+{
+    // INT1 INT2 FP1 INT3 FP2 INT4 INT5 INT6 INT7 FP3 FP4 INT8.
+    auto warps = fig4Warps();
+    ASSERT_EQ(warps.size(), 12u);
+    const UnitClass expected[] = {
+        UnitClass::Int, UnitClass::Int, UnitClass::Fp, UnitClass::Int,
+        UnitClass::Fp, UnitClass::Int, UnitClass::Int, UnitClass::Int,
+        UnitClass::Int, UnitClass::Fp, UnitClass::Fp, UnitClass::Int,
+    };
+    int ints = 0, fps = 0;
+    for (std::size_t i = 0; i < warps.size(); ++i) {
+        ASSERT_EQ(warps[i].size(), 1u);
+        EXPECT_EQ(warps[i].at(0).unit, expected[i]) << "warp " << i;
+        if (expected[i] == UnitClass::Int)
+            ++ints;
+        else
+            ++fps;
+    }
+    EXPECT_EQ(ints, 8);
+    EXPECT_EQ(fps, 4);
+}
+
+TEST(Synthetic, UniformMixDeterministic)
+{
+    auto a = uniformMixWarps(4, 100, 0.3, 0.2, 0.5, 9);
+    auto b = uniformMixWarps(4, 100, 0.3, 0.2, 0.5, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t w = 0; w < a.size(); ++w) {
+        ASSERT_EQ(a[w].size(), b[w].size());
+        for (std::size_t i = 0; i < a[w].size(); ++i)
+            EXPECT_EQ(a[w].at(i).unit, b[w].at(i).unit);
+    }
+}
+
+TEST(Synthetic, UniformMixRoughShares)
+{
+    auto warps = uniformMixWarps(8, 2000, 0.4, 0.2, 0.5, 3);
+    std::size_t fp = 0, ldst = 0, total = 0;
+    for (const auto& p : warps) {
+        fp += p.countOf(UnitClass::Fp);
+        ldst += p.countOf(UnitClass::Ldst);
+        total += p.size();
+    }
+    EXPECT_NEAR(static_cast<double>(fp) / total, 0.4, 0.05);
+    EXPECT_NEAR(static_cast<double>(ldst) / total, 0.2, 0.05);
+}
+
+} // namespace
+} // namespace wg

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the ASCII table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace wg {
+namespace {
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, PctFormatting)
+{
+    EXPECT_EQ(Table::pct(0.316), "31.6%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+    EXPECT_EQ(Table::pct(-0.021), "-2.1%");
+}
+
+TEST(Table, PrintsTitleHeaderAndRows)
+{
+    Table t("my title");
+    t.header({"col1", "col2"});
+    t.row({"a", "b"});
+    t.row({"longer-cell", "c"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("== my title =="), std::string::npos);
+    EXPECT_NE(out.find("col1"), std::string::npos);
+    EXPECT_NE(out.find("longer-cell"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t("align");
+    t.header({"h", "second"});
+    t.row({"aaaa", "x"});
+    std::ostringstream os;
+    t.print(os);
+    // Find the column position of "second" in the header line and "x"
+    // in the body line: they must match.
+    std::istringstream is(os.str());
+    std::string title, header, rule, body;
+    std::getline(is, title);
+    std::getline(is, header);
+    std::getline(is, rule);
+    std::getline(is, body);
+    EXPECT_EQ(header.find("second"), body.find("x"));
+}
+
+TEST(Table, RaggedRowsTolerated)
+{
+    Table t("ragged");
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    t.row({"1", "2", "3", "4"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.print(os));
+    EXPECT_NE(os.str().find("4"), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillPrintsTitle)
+{
+    Table t("empty");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("== empty =="), std::string::npos);
+}
+
+} // namespace
+} // namespace wg

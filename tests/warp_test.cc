@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the warp execution context.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/warp.hh"
+#include "workload/synthetic.hh"
+
+namespace wg {
+namespace {
+
+TEST(Warp, InitResetsState)
+{
+    Program prog = pureProgram(UnitClass::Int, 5);
+    WarpContext w;
+    w.init(3, &prog);
+    EXPECT_EQ(w.id(), 3u);
+    EXPECT_EQ(w.loc(), WarpLoc::Waiting);
+    EXPECT_FALSE(w.hasHead());
+    EXPECT_EQ(w.pc(), 0u);
+    EXPECT_EQ(w.outstanding(), 0u);
+    EXPECT_FALSE(w.drained()) << "five instructions still to fetch";
+}
+
+TEST(Warp, FetchFillsToDepth)
+{
+    Program prog = pureProgram(UnitClass::Int, 5);
+    WarpContext w;
+    w.init(0, &prog);
+    w.fetch(2);
+    EXPECT_TRUE(w.hasHead());
+    EXPECT_EQ(w.ibuffer().size(), 2u);
+    EXPECT_EQ(w.pc(), 2u);
+    w.fetch(2);
+    EXPECT_EQ(w.ibuffer().size(), 2u) << "already full";
+}
+
+TEST(Warp, PopHeadAdvances)
+{
+    Program prog = alternatingProgram(4);
+    WarpContext w;
+    w.init(0, &prog);
+    w.fetch(2);
+    EXPECT_EQ(w.head().unit, UnitClass::Int);
+    w.popHead();
+    EXPECT_EQ(w.head().unit, UnitClass::Fp);
+    w.fetch(2);
+    EXPECT_EQ(w.ibuffer().size(), 2u);
+    EXPECT_EQ(w.pc(), 3u);
+}
+
+TEST(Warp, FetchStopsAtProgramEnd)
+{
+    Program prog = pureProgram(UnitClass::Fp, 3);
+    WarpContext w;
+    w.init(0, &prog);
+    w.fetch(8);
+    EXPECT_EQ(w.ibuffer().size(), 3u);
+    EXPECT_EQ(w.pc(), 3u);
+    w.popHead();
+    w.popHead();
+    w.popHead();
+    w.fetch(8);
+    EXPECT_FALSE(w.hasHead());
+}
+
+TEST(Warp, DrainedRequiresEverything)
+{
+    Program prog = pureProgram(UnitClass::Int, 1);
+    WarpContext w;
+    w.init(0, &prog);
+    w.fetch(2);
+    EXPECT_FALSE(w.drained()) << "instruction in the buffer";
+    w.noteIssue();
+    w.popHead();
+    EXPECT_FALSE(w.drained()) << "instruction in flight";
+    w.noteComplete();
+    EXPECT_TRUE(w.drained());
+}
+
+TEST(Warp, OutstandingCountsNest)
+{
+    WarpContext w;
+    w.init(0, nullptr);
+    w.noteIssue();
+    w.noteIssue();
+    EXPECT_EQ(w.outstanding(), 2u);
+    w.noteComplete();
+    EXPECT_EQ(w.outstanding(), 1u);
+    w.noteComplete();
+    EXPECT_TRUE(w.drained());
+}
+
+TEST(Warp, LocTransitions)
+{
+    WarpContext w;
+    w.init(0, nullptr);
+    w.setLoc(WarpLoc::Active);
+    EXPECT_EQ(w.loc(), WarpLoc::Active);
+    w.setLoc(WarpLoc::Pending);
+    EXPECT_EQ(w.loc(), WarpLoc::Pending);
+    w.setLoc(WarpLoc::Finished);
+    EXPECT_EQ(w.loc(), WarpLoc::Finished);
+}
+
+} // namespace
+} // namespace wg

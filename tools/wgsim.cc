@@ -1,0 +1,207 @@
+/**
+ * @file
+ * wgsim — command-line driver for the warped-gates simulator.
+ *
+ * Examples:
+ *   wgsim --bench hotspot --technique WarpedGates
+ *   wgsim --bench all --technique ConvPG --csv results.csv
+ *   wgsim --bench sgemm --scheduler gates --pg coordinated-blackout \
+ *         --idle-detect 8 --bet 19 --wakeup 6 --adaptive --json out.json
+ *   wgsim --list
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/args.hh"
+#include "core/warped_gates.hh"
+#include "report/export.hh"
+
+namespace {
+
+using namespace wg;
+
+/** Resolve a --technique name; exits on garbage. */
+bool
+findTechnique(const std::string& name, Technique& out)
+{
+    for (Technique t : allTechniques()) {
+        if (name == techniqueName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findScheduler(const std::string& name, SchedulerPolicy& out)
+{
+    for (SchedulerPolicy p : {SchedulerPolicy::TwoLevel,
+                              SchedulerPolicy::Gates,
+                              SchedulerPolicy::Gto}) {
+        if (name == schedulerPolicyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+findPolicy(const std::string& name, PgPolicy& out)
+{
+    for (PgPolicy p : {PgPolicy::None, PgPolicy::Conventional,
+                       PgPolicy::NaiveBlackout,
+                       PgPolicy::CoordinatedBlackout}) {
+        if (name == pgPolicyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+printSummary(const std::string& bench, const SimResult& r)
+{
+    Table table(bench + " on " +
+                std::string(schedulerPolicyName(r.config.sm.scheduler)) +
+                " / " + pgPolicyName(r.config.sm.pg.policy) +
+                (r.config.sm.pg.adaptiveIdleDetect ? " + adaptive" : ""));
+    table.header({"metric", "INT", "FP"});
+    PgDomainStats si = r.typeStats(UnitClass::Int);
+    PgDomainStats sf = r.typeStats(UnitClass::Fp);
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    table.row({"static savings",
+               Table::pct(r.intEnergy.staticSavingsRatio()),
+               Table::pct(r.fpEnergy.staticSavingsRatio())});
+    table.row({"busy cycles", u64(si.busyCycles), u64(sf.busyCycles)});
+    table.row({"gated cycles", u64(si.gatedCycles()),
+               u64(sf.gatedCycles())});
+    table.row({"gating events", u64(si.gatingEvents),
+               u64(sf.gatingEvents)});
+    table.row({"wakeups (uncomp)",
+               u64(si.wakeups) + " (" + u64(si.uncompWakeups) + ")",
+               u64(sf.wakeups) + " (" + u64(sf.uncompWakeups) + ")"});
+    table.row({"critical wakeups", u64(si.criticalWakeups),
+               u64(sf.criticalWakeups)});
+    table.print();
+
+    std::cout << "cycles " << r.cycles << ", IPC "
+              << Table::num(r.ipc(), 2) << ", avg active warps "
+              << Table::num(r.aggregate.avgActiveWarps(), 1)
+              << ", mem misses " << r.aggregate.memMisses << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args("wgsim",
+                   "Warped Gates simulator driver (MICRO'13 repro)");
+    args.addString("bench", "hotspot",
+                   "benchmark name, or 'all' for the full suite");
+    args.addString("technique", "WarpedGates",
+                   "preset: Baseline|ConvPG|GATES|NaiveBlackout|"
+                   "CoordBlackout|WarpedGates");
+    args.addString("scheduler", "",
+                   "override scheduler: two-level|gates|gto");
+    args.addString("pg", "",
+                   "override gating policy: none|conventional|"
+                   "naive-blackout|coordinated-blackout");
+    args.addBool("adaptive", "override: enable adaptive idle detect");
+    args.addBool("gate-sfu", "extension: gate the SFU block too");
+    args.addInt("idle-detect", 5, "idle-detect window (cycles)");
+    args.addInt("bet", 14, "break-even time (cycles)");
+    args.addInt("wakeup", 3, "wakeup delay (cycles)");
+    args.addInt("sms", 6, "number of SMs to simulate");
+    args.addInt("seed", 1, "experiment seed");
+    args.addString("csv", "", "append CSV rows to this file");
+    args.addString("json", "", "write a JSON report to this file");
+    args.addBool("list", "list the benchmark suite and exit");
+    args.addBool("quiet", "suppress the human-readable summary");
+
+    if (!args.parse(argc, argv))
+        return 2;
+
+    if (args.getBool("list")) {
+        Table table("benchmark suite (paper Section 7.1)");
+        table.header({"name", "INT", "FP", "SFU", "LDST", "warps"});
+        for (const auto& p : benchmarkSuite()) {
+            table.row({p.name, Table::pct(p.fracInt, 0),
+                       Table::pct(p.fracFp, 0), Table::pct(p.fracSfu, 0),
+                       Table::pct(p.fracLdst, 0),
+                       std::to_string(p.residentWarps)});
+        }
+        table.print();
+        return 0;
+    }
+
+    Technique tech;
+    if (!findTechnique(args.getString("technique"), tech)) {
+        std::fprintf(stderr, "unknown technique '%s'\n",
+                     args.getString("technique").c_str());
+        return 2;
+    }
+
+    ExperimentOptions opts;
+    opts.numSms = static_cast<unsigned>(args.getInt("sms"));
+    opts.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    opts.idleDetect = static_cast<Cycle>(args.getInt("idle-detect"));
+    opts.breakEven = static_cast<Cycle>(args.getInt("bet"));
+    opts.wakeupDelay = static_cast<Cycle>(args.getInt("wakeup"));
+
+    GpuConfig config = makeConfig(tech, opts);
+    if (args.given("scheduler")) {
+        if (!findScheduler(args.getString("scheduler"),
+                           config.sm.scheduler)) {
+            std::fprintf(stderr, "unknown scheduler '%s'\n",
+                         args.getString("scheduler").c_str());
+            return 2;
+        }
+    }
+    if (args.given("pg")) {
+        if (!findPolicy(args.getString("pg"), config.sm.pg.policy)) {
+            std::fprintf(stderr, "unknown pg policy '%s'\n",
+                         args.getString("pg").c_str());
+            return 2;
+        }
+    }
+    if (args.getBool("adaptive"))
+        config.sm.pg.adaptiveIdleDetect = true;
+    if (args.getBool("gate-sfu"))
+        config.sm.pg.gateSfu = true;
+
+    std::vector<std::string> benches;
+    if (args.getString("bench") == "all")
+        benches = benchmarkNames();
+    else
+        benches.push_back(args.getString("bench"));
+
+    std::ostringstream csv;
+    csv << csvHeader() << "\n";
+
+    Gpu gpu(config);
+    std::string json;
+    for (const std::string& bench : benches) {
+        SimResult r = gpu.run(findBenchmark(bench));
+        if (!args.getBool("quiet"))
+            printSummary(bench, r);
+        csv << toCsvRow(bench, r) << "\n";
+        json = toJson(bench, r); // JSON export keeps the last result
+    }
+
+    if (args.given("csv")) {
+        writeFile(args.getString("csv"), csv.str());
+        inform("wrote ", args.getString("csv"));
+    }
+    if (args.given("json") && !json.empty()) {
+        writeFile(args.getString("json"), json);
+        inform("wrote ", args.getString("json"));
+    }
+    return 0;
+}
