@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_oracle.dir/abl_oracle.cc.o"
+  "CMakeFiles/abl_oracle.dir/abl_oracle.cc.o.d"
+  "abl_oracle"
+  "abl_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sfu_gating.dir/abl_sfu_gating.cc.o"
+  "CMakeFiles/abl_sfu_gating.dir/abl_sfu_gating.cc.o.d"
+  "abl_sfu_gating"
+  "abl_sfu_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sfu_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

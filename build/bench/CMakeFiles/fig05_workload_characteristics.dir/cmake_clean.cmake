@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_workload_characteristics.dir/fig05_workload_characteristics.cc.o"
+  "CMakeFiles/fig05_workload_characteristics.dir/fig05_workload_characteristics.cc.o.d"
+  "fig05_workload_characteristics"
+  "fig05_workload_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_workload_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

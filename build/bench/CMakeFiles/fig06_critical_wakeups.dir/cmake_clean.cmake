@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_critical_wakeups.dir/fig06_critical_wakeups.cc.o"
+  "CMakeFiles/fig06_critical_wakeups.dir/fig06_critical_wakeups.cc.o.d"
+  "fig06_critical_wakeups"
+  "fig06_critical_wakeups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_critical_wakeups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_critical_wakeups.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_gating_opportunity.dir/fig08_gating_opportunity.cc.o"
+  "CMakeFiles/fig08_gating_opportunity.dir/fig08_gating_opportunity.cc.o.d"
+  "fig08_gating_opportunity"
+  "fig08_gating_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gating_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_gating_opportunity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sim_throughput.cc" "bench/CMakeFiles/micro_sim_throughput.dir/micro_sim_throughput.cc.o" "gcc" "bench/CMakeFiles/micro_sim_throughput.dir/micro_sim_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/wg_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wg_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/wg_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/wg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/wg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_onchip_power.dir/tab_onchip_power.cc.o"
+  "CMakeFiles/tab_onchip_power.dir/tab_onchip_power.cc.o.d"
+  "tab_onchip_power"
+  "tab_onchip_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_onchip_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

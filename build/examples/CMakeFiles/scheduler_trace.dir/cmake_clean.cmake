@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_trace.dir/scheduler_trace.cpp.o"
+  "CMakeFiles/scheduler_trace.dir/scheduler_trace.cpp.o.d"
+  "scheduler_trace"
+  "scheduler_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

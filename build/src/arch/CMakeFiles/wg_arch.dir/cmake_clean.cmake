@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_arch.dir/instr.cc.o"
+  "CMakeFiles/wg_arch.dir/instr.cc.o.d"
+  "CMakeFiles/wg_arch.dir/program.cc.o"
+  "CMakeFiles/wg_arch.dir/program.cc.o.d"
+  "libwg_arch.a"
+  "libwg_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_common.dir/args.cc.o"
+  "CMakeFiles/wg_common.dir/args.cc.o.d"
+  "CMakeFiles/wg_common.dir/histogram.cc.o"
+  "CMakeFiles/wg_common.dir/histogram.cc.o.d"
+  "CMakeFiles/wg_common.dir/logging.cc.o"
+  "CMakeFiles/wg_common.dir/logging.cc.o.d"
+  "CMakeFiles/wg_common.dir/mathutil.cc.o"
+  "CMakeFiles/wg_common.dir/mathutil.cc.o.d"
+  "CMakeFiles/wg_common.dir/rng.cc.o"
+  "CMakeFiles/wg_common.dir/rng.cc.o.d"
+  "CMakeFiles/wg_common.dir/stats.cc.o"
+  "CMakeFiles/wg_common.dir/stats.cc.o.d"
+  "CMakeFiles/wg_common.dir/table.cc.o"
+  "CMakeFiles/wg_common.dir/table.cc.o.d"
+  "libwg_common.a"
+  "libwg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_core.dir/experiment.cc.o"
+  "CMakeFiles/wg_core.dir/experiment.cc.o.d"
+  "CMakeFiles/wg_core.dir/presets.cc.o"
+  "CMakeFiles/wg_core.dir/presets.cc.o.d"
+  "libwg_core.a"
+  "libwg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_exec.dir/unit.cc.o"
+  "CMakeFiles/wg_exec.dir/unit.cc.o.d"
+  "libwg_exec.a"
+  "libwg_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_mem.dir/memsys.cc.o"
+  "CMakeFiles/wg_mem.dir/memsys.cc.o.d"
+  "libwg_mem.a"
+  "libwg_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_pg.dir/adaptive.cc.o"
+  "CMakeFiles/wg_pg.dir/adaptive.cc.o.d"
+  "CMakeFiles/wg_pg.dir/controller.cc.o"
+  "CMakeFiles/wg_pg.dir/controller.cc.o.d"
+  "CMakeFiles/wg_pg.dir/domain.cc.o"
+  "CMakeFiles/wg_pg.dir/domain.cc.o.d"
+  "libwg_pg.a"
+  "libwg_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

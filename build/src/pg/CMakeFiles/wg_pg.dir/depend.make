@@ -1,0 +1,2 @@
+# Empty dependencies file for wg_pg.
+# This may be replaced when dependencies are built.

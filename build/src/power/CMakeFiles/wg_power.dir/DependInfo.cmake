@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/area.cc" "src/power/CMakeFiles/wg_power.dir/area.cc.o" "gcc" "src/power/CMakeFiles/wg_power.dir/area.cc.o.d"
+  "/root/repo/src/power/energymodel.cc" "src/power/CMakeFiles/wg_power.dir/energymodel.cc.o" "gcc" "src/power/CMakeFiles/wg_power.dir/energymodel.cc.o.d"
+  "/root/repo/src/power/oracle.cc" "src/power/CMakeFiles/wg_power.dir/oracle.cc.o" "gcc" "src/power/CMakeFiles/wg_power.dir/oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pg/CMakeFiles/wg_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/wg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/wg_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_power.dir/area.cc.o"
+  "CMakeFiles/wg_power.dir/area.cc.o.d"
+  "CMakeFiles/wg_power.dir/energymodel.cc.o"
+  "CMakeFiles/wg_power.dir/energymodel.cc.o.d"
+  "CMakeFiles/wg_power.dir/oracle.cc.o"
+  "CMakeFiles/wg_power.dir/oracle.cc.o.d"
+  "libwg_power.a"
+  "libwg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_report.dir/export.cc.o"
+  "CMakeFiles/wg_report.dir/export.cc.o.d"
+  "libwg_report.a"
+  "libwg_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

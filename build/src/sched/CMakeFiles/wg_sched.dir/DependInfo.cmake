@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/gates.cc" "src/sched/CMakeFiles/wg_sched.dir/gates.cc.o" "gcc" "src/sched/CMakeFiles/wg_sched.dir/gates.cc.o.d"
+  "/root/repo/src/sched/gto.cc" "src/sched/CMakeFiles/wg_sched.dir/gto.cc.o" "gcc" "src/sched/CMakeFiles/wg_sched.dir/gto.cc.o.d"
+  "/root/repo/src/sched/scoreboard.cc" "src/sched/CMakeFiles/wg_sched.dir/scoreboard.cc.o" "gcc" "src/sched/CMakeFiles/wg_sched.dir/scoreboard.cc.o.d"
+  "/root/repo/src/sched/twolevel.cc" "src/sched/CMakeFiles/wg_sched.dir/twolevel.cc.o" "gcc" "src/sched/CMakeFiles/wg_sched.dir/twolevel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/wg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_sched.dir/gates.cc.o"
+  "CMakeFiles/wg_sched.dir/gates.cc.o.d"
+  "CMakeFiles/wg_sched.dir/gto.cc.o"
+  "CMakeFiles/wg_sched.dir/gto.cc.o.d"
+  "CMakeFiles/wg_sched.dir/scoreboard.cc.o"
+  "CMakeFiles/wg_sched.dir/scoreboard.cc.o.d"
+  "CMakeFiles/wg_sched.dir/twolevel.cc.o"
+  "CMakeFiles/wg_sched.dir/twolevel.cc.o.d"
+  "libwg_sched.a"
+  "libwg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_sim.dir/gpu.cc.o"
+  "CMakeFiles/wg_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/wg_sim.dir/result.cc.o"
+  "CMakeFiles/wg_sim.dir/result.cc.o.d"
+  "CMakeFiles/wg_sim.dir/sm.cc.o"
+  "CMakeFiles/wg_sim.dir/sm.cc.o.d"
+  "libwg_sim.a"
+  "libwg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wg_workload.dir/generator.cc.o"
+  "CMakeFiles/wg_workload.dir/generator.cc.o.d"
+  "CMakeFiles/wg_workload.dir/profile.cc.o"
+  "CMakeFiles/wg_workload.dir/profile.cc.o.d"
+  "CMakeFiles/wg_workload.dir/synthetic.cc.o"
+  "CMakeFiles/wg_workload.dir/synthetic.cc.o.d"
+  "libwg_workload.a"
+  "libwg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

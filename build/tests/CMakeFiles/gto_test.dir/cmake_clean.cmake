@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gto_test.dir/gto_test.cc.o"
+  "CMakeFiles/gto_test.dir/gto_test.cc.o.d"
+  "gto_test"
+  "gto_test.pdb"
+  "gto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

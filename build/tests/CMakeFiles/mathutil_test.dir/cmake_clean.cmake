@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mathutil_test.dir/mathutil_test.cc.o"
+  "CMakeFiles/mathutil_test.dir/mathutil_test.cc.o.d"
+  "mathutil_test"
+  "mathutil_test.pdb"
+  "mathutil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mathutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_adaptive_test.dir/pg_adaptive_test.cc.o"
+  "CMakeFiles/pg_adaptive_test.dir/pg_adaptive_test.cc.o.d"
+  "pg_adaptive_test"
+  "pg_adaptive_test.pdb"
+  "pg_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_controller_test.dir/pg_controller_test.cc.o"
+  "CMakeFiles/pg_controller_test.dir/pg_controller_test.cc.o.d"
+  "pg_controller_test"
+  "pg_controller_test.pdb"
+  "pg_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_domain_test.dir/pg_domain_test.cc.o"
+  "CMakeFiles/pg_domain_test.dir/pg_domain_test.cc.o.d"
+  "pg_domain_test"
+  "pg_domain_test.pdb"
+  "pg_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoreboard_test.dir/scoreboard_test.cc.o"
+  "CMakeFiles/scoreboard_test.dir/scoreboard_test.cc.o.d"
+  "scoreboard_test"
+  "scoreboard_test.pdb"
+  "scoreboard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoreboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

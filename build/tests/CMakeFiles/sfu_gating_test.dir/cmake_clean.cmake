@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfu_gating_test.dir/sfu_gating_test.cc.o"
+  "CMakeFiles/sfu_gating_test.dir/sfu_gating_test.cc.o.d"
+  "sfu_gating_test"
+  "sfu_gating_test.pdb"
+  "sfu_gating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfu_gating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

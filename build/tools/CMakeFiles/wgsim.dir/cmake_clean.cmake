@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgsim.dir/wgsim.cc.o"
+  "CMakeFiles/wgsim.dir/wgsim.cc.o.d"
+  "wgsim"
+  "wgsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
