@@ -64,6 +64,10 @@ main()
     using namespace wg;
     ExperimentRunner runner;
 
+    // Schedule the whole (suite x technique) sweep on the thread pool
+    // up front; the report loops below then read from the cache.
+    runner.prefetch(benchmarkNames(), kTechs);
+
     report(runner, UnitClass::Int,
            "Fig. 9a: INT static energy savings (paper avg: ConvPG 20.1%, "
            "GATES 21.5%, Naive 27.8%, Coord 31.5%, Warped 31.6%)",

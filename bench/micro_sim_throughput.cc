@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "common/threadpool.hh"
 #include "core/warped_gates.hh"
 
 namespace {
@@ -66,6 +70,104 @@ BM_PgDomainTick(benchmark::State& state)
     benchmark::DoNotOptimize(domain.stats().gatingEvents);
 }
 
+// ---- sweep mode: serial vs pooled figure-sweep wall clock ----
+//
+// The figure harnesses (Figs. 8-11) run the full (suite x technique)
+// cross product through ExperimentRunner. These two benchmarks measure
+// that sweep end-to-end, cold-cache, with and without the shared
+// thread pool, and verify the pooled results stay bit-identical to
+// the serial path. On an N-core host the pooled sweep should approach
+// N-fold speedup (>= 2x on 4 cores).
+
+const std::vector<Technique> kSweepTechs = {
+    Technique::Baseline,
+    Technique::ConvPG,
+    Technique::WarpedGates,
+};
+
+ExperimentOptions
+sweepOpts()
+{
+    ExperimentOptions opts;
+    opts.numSms = 4;
+    return opts;
+}
+
+/** Order-independent content fingerprint of one simulation result. */
+std::uint64_t
+fingerprint(const SimResult& r)
+{
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return h;
+    };
+    auto dbl = [](double d) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, sizeof(bits));
+        return bits;
+    };
+    std::uint64_t h = r.cycles;
+    h = mix(h, r.totalSmCycles);
+    h = mix(h, r.aggregate.issuedTotal);
+    for (Cycle c : r.smCycles)
+        h = mix(h, c);
+    h = mix(h, dbl(r.intEnergy.total()));
+    h = mix(h, dbl(r.fpEnergy.total()));
+    h = mix(h, r.intIdleHist.sum());
+    h = mix(h, r.fpIdleHist.sum());
+    return h;
+}
+
+std::uint64_t
+sweepFingerprint(const std::vector<const SimResult*>& results)
+{
+    std::uint64_t h = 0;
+    for (const SimResult* r : results)
+        h = h * 1099511628211ULL + fingerprint(*r);
+    return h;
+}
+
+/** One cold-cache sweep; pool=nullptr is the serial reference. */
+std::uint64_t
+runSweep(ThreadPool* pool)
+{
+    ExperimentRunner runner(sweepOpts(), pool);
+    return sweepFingerprint(runner.runAll(benchmarkNames(), kSweepTechs));
+}
+
+void
+BM_SuiteSweepSerial(benchmark::State& state)
+{
+    std::uint64_t fp = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fp = runSweep(nullptr));
+    state.counters["sims"] = static_cast<double>(
+        benchmarkNames().size() * kSweepTechs.size());
+}
+
+void
+BM_SuiteSweepPooled(benchmark::State& state)
+{
+    // Bit-identity gate: the pooled sweep must reproduce the serial
+    // sweep exactly (aggregation merges in SM order; per-SM seeds do
+    // not depend on scheduling).
+    static const std::uint64_t serial_fp = runSweep(nullptr);
+    std::uint64_t fp = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fp = runSweep(&ThreadPool::global()));
+        if (fp != serial_fp) {
+            state.SkipWithError(
+                "pooled sweep diverged from the serial path");
+            return;
+        }
+    }
+    state.counters["sims"] = static_cast<double>(
+        benchmarkNames().size() * kSweepTechs.size());
+    state.counters["threads"] =
+        static_cast<double>(ThreadPool::global().size());
+}
+
 /** Scoreboard hot path. */
 void
 BM_Scoreboard(benchmark::State& state)
@@ -91,6 +193,14 @@ BENCHMARK(BM_SmHotspot)
     ->Arg(static_cast<int>(Technique::WarpedGates))
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenerateProgram);
+BENCHMARK(BM_SuiteSweepSerial)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+BENCHMARK(BM_SuiteSweepPooled)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
 BENCHMARK(BM_PgDomainTick);
 BENCHMARK(BM_Scoreboard);
 

@@ -79,6 +79,9 @@ Histogram::fractionAbove(std::uint64_t bound) const
 {
     if (total_ == 0)
         return 0.0;
+    // Saturate at max_bin_: overflow samples carry no per-value
+    // information, so any bound beyond the last real bin can only
+    // answer "everything in the overflow bin" (see header contract).
     if (bound >= max_bin_) {
         return static_cast<double>(overflow_) /
                static_cast<double>(total_);

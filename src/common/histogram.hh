@@ -57,7 +57,17 @@ class Histogram
      */
     double fractionBetween(std::uint64_t lo, std::uint64_t hi) const;
 
-    /** Fraction of samples with value strictly greater than @p bound. */
+    /**
+     * Fraction of samples with value strictly greater than @p bound.
+     *
+     * Contract: @p bound saturates at maxBin(). Samples above maxBin()
+     * are pooled in the overflow bin with their individual values
+     * erased, so for bound > maxBin() the true fraction is
+     * unknowable; the clamp makes fractionAbove(bound) ==
+     * fractionAbove(maxBin()) (the whole overflow mass, an upper
+     * bound on the truth) instead of silently pretending bin-level
+     * resolution exists up there.
+     */
     double fractionAbove(std::uint64_t bound) const;
 
   private:

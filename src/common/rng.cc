@@ -4,6 +4,26 @@
 
 namespace wg {
 
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+streamSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    // Jump the SplitMix64 sequence seeded at `seed` to position
+    // `stream` (its state advances by the golden-ratio constant per
+    // draw), then mix once more so seed pairs at exactly that offset
+    // cannot alias.
+    return splitmix64(
+        splitmix64(seed + stream * 0x9e3779b97f4a7c15ULL));
+}
+
 Rng::Rng(std::uint64_t seed, std::uint64_t stream)
     : state_(0), inc_((stream << 1u) | 1u)
 {
@@ -75,10 +95,7 @@ Rng::fork(std::uint64_t salt)
 {
     // Mix the salt through SplitMix64 so nearby salts give unrelated
     // streams.
-    std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    z ^= (z >> 31);
+    std::uint64_t z = splitmix64(salt);
     std::uint64_t seed = state_ ^ z;
     std::uint64_t stream = inc_ ^ (z * 0xda942042e4dd58b5ULL);
     return Rng(seed, stream);

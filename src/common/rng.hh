@@ -15,6 +15,25 @@
 namespace wg {
 
 /**
+ * SplitMix64 step: advance @p x by the golden-ratio increment and run
+ * the finalizer. Nearby inputs produce statistically unrelated outputs
+ * (full avalanche), which is what makes it safe for deriving seed
+ * streams from small consecutive indices.
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
+ * Derive the seed for sub-stream @p stream of experiment seed @p seed
+ * (e.g. the per-SM RNG streams of one GPU run). Both arguments go
+ * through SplitMix64 mixing, so distinct (seed, stream) pairs give
+ * decorrelated streams even when seeds or stream indices are adjacent
+ * small integers — unlike a linear a*seed + b*stream mix, where nearby
+ * pairs yield seeds at a constant offset and thus correlated PCG
+ * sequences.
+ */
+std::uint64_t streamSeed(std::uint64_t seed, std::uint64_t stream);
+
+/**
  * PCG32 (pcg_xsh_rr_64_32) generator. Small state, excellent statistical
  * quality, and fully deterministic given (seed, stream).
  */

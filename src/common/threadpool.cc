@@ -1,0 +1,139 @@
+#include "threadpool.hh"
+
+namespace wg {
+
+namespace {
+
+/** Identity of the pool worker running on this thread, if any. */
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_index = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    deques_.resize(threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    // Intentionally leaked: the shared pool must outlive every static
+    // object that might touch it during teardown, and exit() from a
+    // forked child (gtest death tests fork after the workers exist in
+    // the parent only) must not try to join threads this process never
+    // had. Skipping the destructor sidesteps both; the OS reclaims the
+    // workers at process exit.
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // A worker keeps its fan-out local; external submitters spread
+        // round-robin so idle workers have something to steal.
+        std::size_t target = (tls_pool == this)
+                                 ? tls_index
+                                 : (next_++ % deques_.size());
+        deques_[target].push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+bool
+ThreadPool::popTask(unsigned preferred, std::function<void()>& out)
+{
+    // LIFO on the own deque (cache-warm, depth-first fan-out), FIFO
+    // steals from siblings (oldest work first).
+    if (!deques_[preferred].empty()) {
+        out = std::move(deques_[preferred].back());
+        deques_[preferred].pop_back();
+        return true;
+    }
+    for (std::size_t i = 1; i < deques_.size(); ++i) {
+        std::size_t victim = (preferred + i) % deques_.size();
+        if (!deques_[victim].empty()) {
+            out = std::move(deques_[victim].front());
+            deques_[victim].pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ThreadPool::tryRunOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        unsigned preferred = (tls_pool == this) ? tls_index : 0;
+        if (!popTask(preferred, task))
+            return false;
+    }
+    task();
+    return true;
+}
+
+void
+ThreadPool::helpWhile(const std::function<bool()>& busy)
+{
+    while (busy()) {
+        if (!tryRunOne()) {
+            // Nothing to steal: the awaited task is already running on
+            // another thread. Back off briefly instead of spinning.
+            std::this_thread::yield();
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    tls_pool = this;
+    tls_index = index;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this, index] {
+                if (stop_)
+                    return true;
+                for (const auto& d : deques_)
+                    if (!d.empty())
+                        return true;
+                return false;
+            });
+            if (stop_ && !popTask(index, task))
+                return;
+            if (!task && !popTask(index, task))
+                continue;
+        }
+        task();
+    }
+}
+
+} // namespace wg

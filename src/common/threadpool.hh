@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared fixed-size work-stealing thread pool.
+ *
+ * All simulator parallelism funnels through one pool sized to the
+ * hardware (ThreadPool::global()): Gpu::runPrograms submits per-SM
+ * jobs, ExperimentRunner::runAll submits whole simulations, and wgsim
+ * submits per-benchmark sweeps. A single pool keeps the host fully
+ * busy without oversubscribing it the way one-OS-thread-per-SM
+ * std::async did.
+ *
+ * Nested submission is deadlock-free by construction: each worker owns
+ * a deque and steals from its siblings when drained, and a thread that
+ * must block on a future calls wait(), which *helps* — it executes
+ * queued tasks instead of sleeping. A pool of size 1 (or a pool task
+ * that fans out sub-tasks) therefore still makes progress: the waiter
+ * runs the work itself.
+ */
+
+#ifndef WG_COMMON_THREADPOOL_HH
+#define WG_COMMON_THREADPOOL_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wg {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means
+     *        std::thread::hardware_concurrency() (at least 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * The process-wide pool, created on first use and sized to the
+     * hardware. Every subsystem shares it so concurrent sweeps cannot
+     * oversubscribe the host.
+     */
+    static ThreadPool& global();
+
+    /** Worker-thread count. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Submit a nullary callable; its result arrives via the future. */
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Block until @p fut is ready, executing queued pool tasks while
+     * waiting. Safe to call from inside a pool task (this is what makes
+     * nested fan-out deadlock-free).
+     */
+    template <typename T>
+    T wait(std::future<T>& fut)
+    {
+        helpWhile([&fut] {
+            return fut.wait_for(std::chrono::seconds(0)) !=
+                   std::future_status::ready;
+        });
+        return fut.get();
+    }
+
+    /** wait() over a whole batch, in order. */
+    template <typename T>
+    std::vector<T> waitAll(std::vector<std::future<T>>& futs)
+    {
+        std::vector<T> out;
+        out.reserve(futs.size());
+        for (auto& f : futs)
+            out.push_back(wait(f));
+        return out;
+    }
+
+    /**
+     * Pop-and-run one pending task (own deque first, then steal).
+     * @return false if every deque was empty.
+     */
+    bool tryRunOne();
+
+  private:
+    void enqueue(std::function<void()> fn);
+    void workerLoop(unsigned index);
+    bool popTask(unsigned preferred, std::function<void()>& out);
+    void helpWhile(const std::function<bool()>& busy);
+
+    // One deque per worker. A coarse lock keeps the stealing protocol
+    // simple (contention is negligible next to a simulation task);
+    // the per-worker split still gives submit/steal locality.
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::deque<std::function<void()>>> deques_;
+    std::vector<std::thread> workers_;
+    std::size_t next_ = 0; ///< round-robin target for external submits
+    bool stop_ = false;
+};
+
+} // namespace wg
+
+#endif // WG_COMMON_THREADPOOL_HH

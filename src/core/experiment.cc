@@ -6,8 +6,9 @@
 
 namespace wg {
 
-ExperimentRunner::ExperimentRunner(const ExperimentOptions& opts)
-    : opts_(opts)
+ExperimentRunner::ExperimentRunner(const ExperimentOptions& opts,
+                                   ThreadPool* pool)
+    : opts_(opts), pool_(pool)
 {
 }
 
@@ -33,18 +34,88 @@ ExperimentRunner::run(const std::string& bench, Technique t,
                       const ExperimentOptions& opts)
 {
     std::string k = key(bench, t, opts);
-    auto it = cache_.find(k);
-    if (it != cache_.end())
-        return it->second;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    auto [it, inserted] = cache_.try_emplace(k);
+    CacheEntry& entry = it->second;
+    if (!inserted) {
+        // Single-flight: the owner computes on its own thread (never
+        // parked in a pool queue), so waiting here cannot deadlock.
+        ready_cv_.wait(lock, [&entry] { return entry.ready; });
+        if (entry.truncated)
+            warn("experiment ", k,
+                 " hit maxCycles before draining (cached result is "
+                 "incomplete)");
+        return entry.result;
+    }
+    lock.unlock();
 
     const BenchmarkProfile& profile = findBenchmark(bench);
     Gpu gpu(makeConfig(t, opts));
-    SimResult result = gpu.run(profile);
-    if (!result.aggregate.completed)
+    SimResult result = gpu.run(profile, pool_);
+    bool truncated = !result.aggregate.completed;
+    if (truncated)
         warn("experiment ", k, " hit maxCycles before draining");
-    auto [pos, inserted] = cache_.emplace(k, std::move(result));
-    (void)inserted;
-    return pos->second;
+
+    lock.lock();
+    entry.result = std::move(result);
+    entry.truncated = truncated;
+    entry.ready = true;
+    lock.unlock();
+    ready_cv_.notify_all();
+    return entry.result;
+}
+
+std::vector<const SimResult*>
+ExperimentRunner::runAll(const std::vector<std::string>& benches,
+                         const std::vector<Technique>& techniques)
+{
+    return runAll(benches, techniques, opts_);
+}
+
+std::vector<const SimResult*>
+ExperimentRunner::runAll(const std::vector<std::string>& benches,
+                         const std::vector<Technique>& techniques,
+                         const ExperimentOptions& opts)
+{
+    std::vector<const SimResult*> out(benches.size() * techniques.size(),
+                                      nullptr);
+    if (pool_ == nullptr) {
+        std::size_t i = 0;
+        for (const std::string& bench : benches)
+            for (Technique t : techniques)
+                out[i++] = &run(bench, t, opts);
+        return out;
+    }
+
+    // One pool job per simulation. Each job may itself fan per-SM jobs
+    // into the same pool; submit() + wait() helping keeps that
+    // deadlock-free, and the cache's single-flight keeps duplicate
+    // keys (and concurrent external run() calls) from running twice.
+    std::vector<std::future<const SimResult*>> futures;
+    futures.reserve(out.size());
+    for (const std::string& bench : benches)
+        for (Technique t : techniques)
+            futures.push_back(pool_->submit(
+                [this, bench, t, opts] { return &run(bench, t, opts); }));
+    for (std::size_t i = 0; i < futures.size(); ++i)
+        out[i] = pool_->wait(futures[i]);
+    return out;
+}
+
+void
+ExperimentRunner::prefetch(const std::vector<std::string>& benches,
+                           const std::vector<Technique>& techniques)
+{
+    runAll(benches, techniques, opts_);
+}
+
+void
+ExperimentRunner::prefetch(const std::vector<std::string>& benches,
+                           const std::vector<Technique>& techniques,
+                           const ExperimentOptions& opts)
+{
+    runAll(benches, techniques, opts);
 }
 
 std::vector<std::string>

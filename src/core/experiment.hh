@@ -4,15 +4,25 @@
  * integration tests share. Runs (benchmark x technique) simulations
  * and provides suite-level helpers (normalisation against baselines,
  * FP-benchmark filtering, result caching within one process).
+ *
+ * The runner is thread-safe. Results are cached behind a mutex with
+ * single-flight semantics: two threads asking for the same key run the
+ * simulation once, the second blocks until the first finishes. The
+ * batch API (runAll / prefetch) schedules whole simulations
+ * concurrently on the shared thread pool, so a figure sweep keeps
+ * every core busy instead of running dozens of simulations serially.
  */
 
 #ifndef WG_CORE_EXPERIMENT_HH
 #define WG_CORE_EXPERIMENT_HH
 
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/threadpool.hh"
 #include "core/presets.hh"
 #include "sim/gpu.hh"
 #include "workload/profile.hh"
@@ -23,9 +33,15 @@ namespace wg {
 class ExperimentRunner
 {
   public:
-    explicit ExperimentRunner(const ExperimentOptions& opts = {});
+    /**
+     * @param pool pool for per-SM jobs and batch scheduling; nullptr
+     *        runs everything serially on the calling thread (results
+     *        are bit-identical to the pooled path).
+     */
+    explicit ExperimentRunner(const ExperimentOptions& opts = {},
+                              ThreadPool* pool = &ThreadPool::global());
 
-    /** Run one benchmark under one technique (cached). */
+    /** Run one benchmark under one technique (cached, single-flight). */
     const SimResult& run(const std::string& bench, Technique t);
 
     /**
@@ -35,17 +51,62 @@ class ExperimentRunner
     const SimResult& run(const std::string& bench, Technique t,
                          const ExperimentOptions& opts);
 
+    /**
+     * Run the full (benches x techniques) cross product concurrently
+     * on the pool. Returns results in bench-major order:
+     * out[b * techniques.size() + t]. Cached entries are reused; the
+     * rest run as parallel pool jobs.
+     */
+    std::vector<const SimResult*>
+    runAll(const std::vector<std::string>& benches,
+           const std::vector<Technique>& techniques);
+
+    /** runAll under explicit options. */
+    std::vector<const SimResult*>
+    runAll(const std::vector<std::string>& benches,
+           const std::vector<Technique>& techniques,
+           const ExperimentOptions& opts);
+
+    /**
+     * Warm the cache for (benches x techniques) concurrently; later
+     * run() calls hit the cache. Sugar for discarding runAll's result.
+     */
+    void prefetch(const std::vector<std::string>& benches,
+                  const std::vector<Technique>& techniques);
+
+    /** prefetch under explicit options. */
+    void prefetch(const std::vector<std::string>& benches,
+                  const std::vector<Technique>& techniques,
+                  const ExperimentOptions& opts);
+
     /** Benchmarks with meaningful FP activity (paper Fig. 9b filter). */
     static std::vector<std::string> fpBenchmarks();
 
     const ExperimentOptions& options() const { return opts_; }
 
+    /** The pool batch jobs are scheduled on (nullptr = serial). */
+    ThreadPool* pool() const { return pool_; }
+
   private:
+    /**
+     * A cache slot. Lives in a node-based map, so the SimResult
+     * reference stays valid while other threads mutate the cache.
+     */
+    struct CacheEntry
+    {
+        SimResult result;
+        bool ready = false;     ///< single-flight: owner still running
+        bool truncated = false; ///< hit maxCycles; re-warn on every hit
+    };
+
     static std::string key(const std::string& bench, Technique t,
                            const ExperimentOptions& opts);
 
     ExperimentOptions opts_;
-    std::map<std::string, SimResult> cache_;
+    ThreadPool* pool_;
+    std::mutex mu_;
+    std::condition_variable ready_cv_;
+    std::map<std::string, CacheEntry> cache_;
 };
 
 /**

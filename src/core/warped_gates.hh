@@ -26,6 +26,7 @@
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 #include "common/table.hh"
+#include "common/threadpool.hh"
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "pg/controller.hh"

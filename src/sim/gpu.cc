@@ -3,6 +3,8 @@
 #include <future>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/threadpool.hh"
 #include "workload/generator.hh"
 
 namespace wg {
@@ -13,42 +15,49 @@ Gpu::Gpu(const GpuConfig& config) : config_(config)
         fatal("GpuConfig: numSms must be positive");
 }
 
+std::uint64_t
+Gpu::smSeed(std::uint64_t seed, unsigned sm)
+{
+    return streamSeed(seed, sm);
+}
+
 SimResult
-Gpu::run(const BenchmarkProfile& profile) const
+Gpu::run(const BenchmarkProfile& profile, ThreadPool* pool) const
 {
     ProgramGenerator gen(config_.seed);
     std::vector<std::vector<Program>> per_sm;
     per_sm.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s)
         per_sm.push_back(gen.generateSm(profile, s));
-    return runPrograms(per_sm);
+    return runPrograms(per_sm, pool);
 }
 
 SimResult
-Gpu::runPrograms(const std::vector<std::vector<Program>>& per_sm) const
+Gpu::runPrograms(const std::vector<std::vector<Program>>& per_sm,
+                 ThreadPool* pool) const
 {
     if (per_sm.empty())
         fatal("Gpu::runPrograms: no SM workloads");
 
     auto run_sm = [&](unsigned s) {
-        Sm sm(config_.sm, per_sm[s],
-              config_.seed * 7919ULL + s * 104729ULL + 1ULL);
+        Sm sm(config_.sm, per_sm[s], smSeed(config_.seed, s));
         return sm.run();
     };
 
+    // Stats land in `stats[s]` regardless of execution order and are
+    // aggregated in SM index order, so the pooled and serial paths are
+    // bit-identical.
     std::vector<SmStats> stats(per_sm.size());
-    if (per_sm.size() == 1) {
-        stats[0] = run_sm(0);
+    if (pool == nullptr || per_sm.size() == 1) {
+        for (unsigned s = 0; s < per_sm.size(); ++s)
+            stats[s] = run_sm(s);
     } else {
         std::vector<std::future<SmStats>> futures;
         futures.reserve(per_sm.size());
-        for (unsigned s = 0; s < per_sm.size(); ++s) {
-            futures.push_back(std::async(
-                std::launch::async,
-                [&run_sm, s]() { return run_sm(s); }));
-        }
         for (unsigned s = 0; s < per_sm.size(); ++s)
-            stats[s] = futures[s].get();
+            futures.push_back(pool->submit([&run_sm, s] { return run_sm(s); }));
+        for (unsigned s = 0; s < per_sm.size(); ++s)
+            stats[s] = pool->wait(futures[s]);
     }
     return aggregate(std::move(stats));
 }

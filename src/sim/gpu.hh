@@ -2,8 +2,10 @@
  * @file
  * Multi-SM GPU driver. SMs are independent in this study (the paper
  * gates per-SM execution units and all inter-SM interaction is folded
- * into the memory-latency model), so each SM simulates on its own
- * thread and results are merged deterministically in SM order.
+ * into the memory-latency model), so per-SM simulations run as jobs on
+ * the shared thread pool and results are merged deterministically in
+ * SM order — the pooled and serial paths produce bit-identical
+ * SimResults.
  */
 
 #ifndef WG_SIM_GPU_HH
@@ -11,6 +13,7 @@
 
 #include <vector>
 
+#include "common/threadpool.hh"
 #include "sim/result.hh"
 #include "sim/sm.hh"
 #include "workload/profile.hh"
@@ -25,15 +28,25 @@ class Gpu
 
     /**
      * Run @p profile on every SM (per-SM program variants are derived
-     * from the experiment seed) and aggregate.
+     * from the experiment seed) and aggregate. Per-SM jobs go to
+     * @p pool (nullptr = run serially on the calling thread; the
+     * result is bit-identical either way).
      */
-    SimResult run(const BenchmarkProfile& profile) const;
+    SimResult run(const BenchmarkProfile& profile,
+                  ThreadPool* pool = &ThreadPool::global()) const;
 
     /**
      * Run explicit per-SM workloads; perSm.size() overrides numSms.
      */
-    SimResult runPrograms(
-        const std::vector<std::vector<Program>>& per_sm) const;
+    SimResult runPrograms(const std::vector<std::vector<Program>>& per_sm,
+                          ThreadPool* pool = &ThreadPool::global()) const;
+
+    /**
+     * RNG seed of SM @p sm under experiment seed @p seed: a
+     * SplitMix64-mixed stream so nearby (seed, sm) pairs are
+     * decorrelated. Exposed for the regression test.
+     */
+    static std::uint64_t smSeed(std::uint64_t seed, unsigned sm);
 
     const GpuConfig& config() const { return config_; }
 

@@ -252,10 +252,13 @@ Sm::tryIssueLdst(WarpId warp, const Instruction& instr)
 void
 Sm::commitIssue(WarpId warp, const Instruction& instr)
 {
+    // `instr` aliases the warp's i-buffer head; popHead() may free the
+    // deque node it lives in, so capture the unit class first.
+    const auto unit = static_cast<std::size_t>(instr.unit);
     scoreboard_.markIssued(warp, instr);
     warps_[warp].noteIssue();
     warps_[warp].popHead();
-    ++stats_.issuedByClass[static_cast<std::size_t>(instr.unit)];
+    ++stats_.issuedByClass[unit];
     ++stats_.issuedTotal;
 }
 

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Locks in the concurrency determinism guarantee: a multi-SM Gpu::run
+ * produces a SimResult bit-identical to the single-threaded path,
+ * under the shared pool, a pool of size 1, and across repeated runs.
+ * The figure sweeps rely on this — pooling is purely a wall-clock
+ * optimisation, never a result change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/threadpool.hh"
+#include "core/experiment.hh"
+#include "core/presets.hh"
+#include "sim/gpu.hh"
+
+namespace wg {
+namespace {
+
+GpuConfig
+config(unsigned sms)
+{
+    ExperimentOptions opts;
+    opts.numSms = sms;
+    return makeConfig(Technique::WarpedGates, opts);
+}
+
+BenchmarkProfile
+profile()
+{
+    BenchmarkProfile p = findBenchmark("hotspot");
+    p.kernelLength = 400;
+    p.residentWarps = 16;
+    return p;
+}
+
+void
+expectHistogramsIdentical(const Histogram& a, const Histogram& b)
+{
+    ASSERT_EQ(a.maxBin(), b.maxBin());
+    EXPECT_EQ(a.total(), b.total());
+    EXPECT_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.overflow(), b.overflow());
+    for (std::uint64_t bin = 0; bin <= a.maxBin(); ++bin)
+        EXPECT_EQ(a.bin(bin), b.bin(bin)) << "bin " << bin;
+}
+
+void
+expectEnergyIdentical(const UnitEnergy& a, const UnitEnergy& b)
+{
+    // Bit-identical, not nearly-equal: the pooled path must do the
+    // exact same arithmetic in the exact same order.
+    EXPECT_EQ(a.dynamicE, b.dynamicE);
+    EXPECT_EQ(a.staticE, b.staticE);
+    EXPECT_EQ(a.overheadE, b.overheadE);
+    EXPECT_EQ(a.staticSaved, b.staticSaved);
+    EXPECT_EQ(a.staticNoPg, b.staticNoPg);
+}
+
+void
+expectResultsIdentical(const SimResult& a, const SimResult& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.totalSmCycles, b.totalSmCycles);
+    ASSERT_EQ(a.smCycles.size(), b.smCycles.size());
+    for (std::size_t s = 0; s < a.smCycles.size(); ++s)
+        EXPECT_EQ(a.smCycles[s], b.smCycles[s]) << "SM " << s;
+
+    EXPECT_EQ(a.aggregate.completed, b.aggregate.completed);
+    EXPECT_EQ(a.aggregate.issuedTotal, b.aggregate.issuedTotal);
+    for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+        EXPECT_EQ(a.aggregate.issuedByClass[c],
+                  b.aggregate.issuedByClass[c]);
+    for (unsigned t = 0; t < 2; ++t) {
+        for (unsigned c = 0; c < 2; ++c) {
+            const ClusterStats& ca = a.aggregate.clusters[t][c];
+            const ClusterStats& cb = b.aggregate.clusters[t][c];
+            EXPECT_EQ(ca.issues, cb.issues);
+            EXPECT_EQ(ca.pg.busyCycles, cb.pg.busyCycles);
+            EXPECT_EQ(ca.pg.idleOnCycles, cb.pg.idleOnCycles);
+            EXPECT_EQ(ca.pg.uncompCycles, cb.pg.uncompCycles);
+            EXPECT_EQ(ca.pg.compCycles, cb.pg.compCycles);
+            EXPECT_EQ(ca.pg.wakeupCycles, cb.pg.wakeupCycles);
+            EXPECT_EQ(ca.pg.gatingEvents, cb.pg.gatingEvents);
+            EXPECT_EQ(ca.pg.wakeups, cb.pg.wakeups);
+            EXPECT_EQ(ca.pg.criticalWakeups, cb.pg.criticalWakeups);
+            expectHistogramsIdentical(ca.idleHist, cb.idleHist);
+        }
+    }
+    EXPECT_EQ(a.aggregate.memHits, b.aggregate.memHits);
+    EXPECT_EQ(a.aggregate.memMisses, b.aggregate.memMisses);
+    EXPECT_EQ(a.aggregate.prioritySwitches, b.aggregate.prioritySwitches);
+
+    expectEnergyIdentical(a.intEnergy, b.intEnergy);
+    expectEnergyIdentical(a.fpEnergy, b.fpEnergy);
+    expectEnergyIdentical(a.sfuEnergy, b.sfuEnergy);
+    expectEnergyIdentical(a.ldstEnergy, b.ldstEnergy);
+    expectHistogramsIdentical(a.intIdleHist, b.intIdleHist);
+    expectHistogramsIdentical(a.fpIdleHist, b.fpIdleHist);
+}
+
+TEST(Determinism, PooledMatchesSerialBitIdentical)
+{
+    Gpu gpu(config(4));
+    BenchmarkProfile p = profile();
+    SimResult serial = gpu.run(p, nullptr);
+    SimResult pooled = gpu.run(p, &ThreadPool::global());
+    expectResultsIdentical(serial, pooled);
+}
+
+TEST(Determinism, PoolOfSizeOneMatchesSerial)
+{
+    ThreadPool one(1);
+    Gpu gpu(config(4));
+    BenchmarkProfile p = profile();
+    SimResult serial = gpu.run(p, nullptr);
+    SimResult pooled = gpu.run(p, &one);
+    expectResultsIdentical(serial, pooled);
+}
+
+TEST(Determinism, StableAcrossRepeatedPooledRuns)
+{
+    Gpu gpu(config(6));
+    BenchmarkProfile p = profile();
+    SimResult first = gpu.run(p, &ThreadPool::global());
+    for (int rep = 0; rep < 2; ++rep) {
+        SimResult again = gpu.run(p, &ThreadPool::global());
+        expectResultsIdentical(first, again);
+    }
+}
+
+TEST(Determinism, BatchedSweepMatchesSerialSweep)
+{
+    // The ExperimentRunner layer on top of Gpu: one serial runner, one
+    // pooled runner, same sweep — every result must agree exactly.
+    ExperimentOptions opts;
+    opts.numSms = 4;
+    const std::vector<std::string> benches = {"hotspot", "bfs", "NN"};
+    const std::vector<Technique> techs = {Technique::Baseline,
+                                          Technique::WarpedGates};
+    ExperimentRunner serial(opts, nullptr);
+    ExperimentRunner pooled(opts, &ThreadPool::global());
+    auto serial_results = serial.runAll(benches, techs);
+    auto pooled_results = pooled.runAll(benches, techs);
+    ASSERT_EQ(serial_results.size(), pooled_results.size());
+    for (std::size_t i = 0; i < serial_results.size(); ++i)
+        expectResultsIdentical(*serial_results[i], *pooled_results[i]);
+}
+
+} // namespace
+} // namespace wg

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 #include "core/experiment.hh"
 
@@ -48,6 +50,73 @@ TEST(Experiment, FpBenchmarksExcludeIntegerOnly)
     EXPECT_NE(std::find(fp.begin(), fp.end(), "bfs"), fp.end())
         << "a sliver of FP activity keeps a benchmark in the FP charts";
     EXPECT_EQ(fp.size(), 17u);
+}
+
+TEST(Experiment, RunAllSharesTheCacheWithRun)
+{
+    ExperimentRunner runner(fastOpts());
+    const std::vector<std::string> benches = {"NN", "bfs"};
+    const std::vector<Technique> techs = {Technique::Baseline,
+                                          Technique::ConvPG};
+    auto grid = runner.runAll(benches, techs);
+    ASSERT_EQ(grid.size(), 4u);
+    // bench-major order, and later run() calls hit the same entries
+    for (std::size_t b = 0; b < benches.size(); ++b)
+        for (std::size_t t = 0; t < techs.size(); ++t)
+            EXPECT_EQ(grid[b * techs.size() + t],
+                      &runner.run(benches[b], techs[t]));
+}
+
+TEST(Experiment, PrefetchWarmsTheCache)
+{
+    ExperimentRunner runner(fastOpts());
+    runner.prefetch({"NN"}, {Technique::Baseline});
+    const SimResult& a = runner.run("NN", Technique::Baseline);
+    const SimResult& b = runner.run("NN", Technique::Baseline);
+    EXPECT_EQ(&a, &b);
+    EXPECT_GT(a.cycles, 0u);
+}
+
+TEST(Experiment, SerialRunnerMatchesPooledRunner)
+{
+    ExperimentRunner serial(fastOpts(), nullptr);
+    ExperimentRunner pooled(fastOpts(), &ThreadPool::global());
+    const SimResult& a = serial.run("NN", Technique::WarpedGates);
+    const SimResult& b = pooled.run("NN", Technique::WarpedGates);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.aggregate.issuedTotal, b.aggregate.issuedTotal);
+    EXPECT_EQ(a.intEnergy.total(), b.intEnergy.total());
+}
+
+TEST(Experiment, ConcurrentSameKeyIsSingleFlight)
+{
+    // Many threads racing on one key must all observe the same cached
+    // object (the simulation ran once; everyone else waited).
+    ExperimentRunner runner(fastOpts());
+    constexpr int kThreads = 8;
+    std::vector<const SimResult*> seen(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&runner, &seen, i] {
+            seen[i] = &runner.run("bfs", Technique::ConvPG);
+        });
+    for (auto& t : threads)
+        t.join();
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(seen[i], seen[0]);
+}
+
+TEST(Experiment, ConcurrentDistinctKeysAllComplete)
+{
+    ExperimentRunner runner(fastOpts());
+    auto grid = runner.runAll(
+        {"NN", "bfs", "hotspot"},
+        {Technique::Baseline, Technique::ConvPG, Technique::WarpedGates});
+    ASSERT_EQ(grid.size(), 9u);
+    for (const SimResult* r : grid) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_GT(r->cycles, 0u);
+    }
 }
 
 TEST(Experiment, NormalizedRuntime)

@@ -108,6 +108,34 @@ TEST(Histogram, FractionAbove)
         << "everything above maxBin lives in the overflow bin";
 }
 
+TEST(Histogram, FractionAboveSaturatesAtMaxBin)
+{
+    // Contract: bounds beyond maxBin clamp to maxBin. Overflow samples
+    // lose their values, so fractionAbove cannot resolve finer than
+    // "the whole overflow mass" up there.
+    Histogram h(10);
+    h.add(3);
+    h.add(30);
+    h.add(200);
+    double at_max = h.fractionAbove(10);
+    EXPECT_NEAR(at_max, 2.0 / 3.0, 1e-12);
+    for (std::uint64_t bound : {11ull, 31ull, 199ull, 1ull << 40}) {
+        EXPECT_DOUBLE_EQ(h.fractionAbove(bound), at_max)
+            << "bound " << bound << " must saturate at maxBin";
+    }
+}
+
+TEST(Histogram, FractionAboveClampConsistentWithFractionBetween)
+{
+    // The saturated value equals the overflow share reported by
+    // fractionBetween's above-max tail.
+    Histogram h(8);
+    for (std::uint64_t v = 0; v < 20; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(100),
+                     h.fractionBetween(9, 1000));
+}
+
 TEST(Histogram, FractionsOnEmpty)
 {
     Histogram h(10);

@@ -177,5 +177,72 @@ TEST(Rng, RoughUniformity)
         EXPECT_NEAR(count, n / 16, n / 16 / 10);
 }
 
+TEST(SplitMix64, MatchesReferenceVectors)
+{
+    // Reference outputs of the canonical splitmix64 (Vigna) seeded
+    // with 0: successive next() calls, i.e. splitmix64(k * golden).
+    EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(splitmix64(0x9e3779b97f4a7c15ULL), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(SplitMix64, AvalanchesOnSingleBitFlips)
+{
+    // Flipping any one input bit should flip roughly half the output
+    // bits — the property the old linear a*seed + b*sm mix lacked.
+    for (int bit = 0; bit < 64; ++bit) {
+        std::uint64_t a = splitmix64(42);
+        std::uint64_t b = splitmix64(42ULL ^ (1ULL << bit));
+        int flipped = __builtin_popcountll(a ^ b);
+        EXPECT_GE(flipped, 16) << "bit " << bit;
+        EXPECT_LE(flipped, 48) << "bit " << bit;
+    }
+}
+
+TEST(StreamSeed, DistinctSeedSmPairsGiveDistinctStreams)
+{
+    // Regression for the per-SM seed derivation: every (seed, sm) pair
+    // in a dense grid must map to a unique stream seed, including the
+    // cross-pair aliases a linear mix admits.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t seed = 0; seed < 64; ++seed)
+        for (std::uint64_t sm = 0; sm < 32; ++sm)
+            seen.insert(streamSeed(seed, sm));
+    EXPECT_EQ(seen.size(), 64u * 32u);
+}
+
+TEST(StreamSeed, NearbySeedsDecorrelated)
+{
+    // Under the old mix, streams for seed and seed+1 (same SM) sat at
+    // a constant additive offset. Require avalanche instead.
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        for (unsigned sm = 0; sm < 4; ++sm) {
+            std::uint64_t a = streamSeed(seed, sm);
+            std::uint64_t b = streamSeed(seed + 1, sm);
+            int flipped = __builtin_popcountll(a ^ b);
+            EXPECT_GE(flipped, 16) << "seed " << seed << " sm " << sm;
+            std::uint64_t c = streamSeed(seed, sm + 1);
+            EXPECT_GE(__builtin_popcountll(a ^ c), 16)
+                << "seed " << seed << " sm " << sm;
+        }
+    }
+}
+
+TEST(StreamSeed, FirstDrawsOfDerivedRngsAreDistinct)
+{
+    // End-to-end: the actual per-SM generators (as Gpu seeds them)
+    // must not replay each other's sequences.
+    std::set<std::uint64_t> first_draws;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (unsigned sm = 0; sm < 8; ++sm) {
+            Rng rng(streamSeed(seed, sm));
+            std::uint64_t sig = (static_cast<std::uint64_t>(rng.nextU32())
+                                 << 32) |
+                                rng.nextU32();
+            first_draws.insert(sig);
+        }
+    }
+    EXPECT_EQ(first_draws.size(), 64u);
+}
+
 } // namespace
 } // namespace wg

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the shared work-stealing thread pool: result
+ * delivery, exception propagation, nested fan-out (the Gpu-inside-
+ * ExperimentRunner shape), and deadlock-freedom at pool size 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/threadpool.hh"
+
+namespace wg {
+namespace {
+
+TEST(ThreadPool, GlobalPoolSizedToHardware)
+{
+    ThreadPool& pool = ThreadPool::global();
+    EXPECT_GE(pool.size(), 1u);
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) {
+        EXPECT_EQ(pool.size(), hw);
+    }
+    EXPECT_EQ(&pool, &ThreadPool::global()) << "one shared instance";
+}
+
+TEST(ThreadPool, SubmitReturnsResults)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(pool.wait(f), 42);
+}
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(3);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 1; i <= 100; ++i)
+        futs.push_back(pool.submit([&sum, i] { sum += i; }));
+    for (auto& f : futs)
+        pool.wait(f);
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WaitAllPreservesOrder)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 20; ++i)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    std::vector<int> out = pool.waitAll(futs);
+    ASSERT_EQ(out.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(f), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedFanOutDoesNotDeadlockAtSizeOne)
+{
+    // The critical shape: a pool task fans sub-tasks into the same
+    // pool and blocks on them. With one worker this can only complete
+    // if wait() helps execute queued work.
+    ThreadPool pool(1);
+    auto outer = pool.submit([&pool] {
+        std::vector<std::future<int>> inner;
+        for (int i = 0; i < 8; ++i)
+            inner.push_back(pool.submit([i] { return i; }));
+        int sum = 0;
+        for (auto& f : inner)
+            sum += pool.wait(f);
+        return sum;
+    });
+    EXPECT_EQ(pool.wait(outer), 28);
+}
+
+TEST(ThreadPool, TwoLevelNestingDrains)
+{
+    // Sweep shape: simulations fan per-SM jobs, several simulations in
+    // flight at once, pool smaller than the task count.
+    ThreadPool pool(2);
+    std::vector<std::future<int>> sims;
+    for (int s = 0; s < 6; ++s) {
+        sims.push_back(pool.submit([&pool, s] {
+            std::vector<std::future<int>> sm_jobs;
+            for (int k = 0; k < 4; ++k)
+                sm_jobs.push_back(
+                    pool.submit([s, k] { return s * 10 + k; }));
+            int total = 0;
+            for (auto& f : sm_jobs)
+                total += pool.wait(f);
+            return total;
+        }));
+    }
+    int grand = 0;
+    for (auto& f : sims)
+        grand += pool.wait(f);
+    // sum over s of (40s + 6)
+    EXPECT_EQ(grand, 40 * 15 + 6 * 6);
+}
+
+TEST(ThreadPool, TryRunOneFromOutsideHelps)
+{
+    ThreadPool pool(1);
+    std::atomic<bool> block{true};
+    // Occupy the single worker...
+    auto hog = pool.submit([&block] {
+        while (block.load())
+            std::this_thread::yield();
+    });
+    // ...then drain a queued task from the caller thread.
+    std::atomic<bool> ran{false};
+    auto f = pool.submit([&ran] { ran = true; });
+    while (!ran.load()) {
+        if (!pool.tryRunOne())
+            std::this_thread::yield();
+    }
+    EXPECT_TRUE(ran.load());
+    block = false;
+    pool.wait(hog);
+    pool.wait(f);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ran++; });
+    }
+    EXPECT_EQ(ran.load(), 50) << "destructor joins after draining";
+}
+
+} // namespace
+} // namespace wg

@@ -124,6 +124,9 @@ main(int argc, char** argv)
     args.addString("json", "", "write a JSON report to this file");
     args.addBool("list", "list the benchmark suite and exit");
     args.addBool("quiet", "suppress the human-readable summary");
+    args.addBool("serial",
+                 "run simulations serially instead of on the shared "
+                 "thread pool (results are identical)");
 
     if (!args.parse(argc, argv))
         return 2;
@@ -185,10 +188,33 @@ main(int argc, char** argv)
     std::ostringstream csv;
     csv << csvHeader() << "\n";
 
+    // Schedule every benchmark's simulation on the shared pool (each
+    // one additionally fans its per-SM jobs into the same pool), then
+    // report in suite order. --serial keeps everything on this thread;
+    // either way the results are bit-identical.
+    ThreadPool* pool =
+        args.getBool("serial") ? nullptr : &ThreadPool::global();
     Gpu gpu(config);
+    std::vector<SimResult> results;
+    results.reserve(benches.size());
+    if (pool == nullptr) {
+        for (const std::string& bench : benches)
+            results.push_back(gpu.run(findBenchmark(bench), nullptr));
+    } else {
+        std::vector<std::future<SimResult>> futures;
+        futures.reserve(benches.size());
+        for (const std::string& bench : benches) {
+            const BenchmarkProfile& profile = findBenchmark(bench);
+            futures.push_back(pool->submit(
+                [&gpu, &profile, pool] { return gpu.run(profile, pool); }));
+        }
+        results = pool->waitAll(futures);
+    }
+
     std::string json;
-    for (const std::string& bench : benches) {
-        SimResult r = gpu.run(findBenchmark(bench));
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const std::string& bench = benches[i];
+        const SimResult& r = results[i];
         if (!args.getBool("quiet"))
             printSummary(bench, r);
         csv << toCsvRow(bench, r) << "\n";
