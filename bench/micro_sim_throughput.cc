@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
 #include "common/threadpool.hh"
 #include "core/warped_gates.hh"
+#include "trace/recorder.hh"
 
 namespace {
 
@@ -35,6 +38,60 @@ BM_SmHotspot(benchmark::State& state)
     }
     state.counters["cycles/s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+/**
+ * Event-trace overhead: the identical hotspot SM simulation with
+ * tracing off (null recorder — the shipping default) and with every
+ * event recorded. Reports both times and the recording overhead, and
+ * fails if the tracing-OFF path comes out measurably slower than the
+ * fully-recording path: the disabled path is a single predictable
+ * branch per would-be event, so "off slower than on" by more than the
+ * 2% tolerance means the null-check stopped folding away and the
+ * zero-cost-when-disabled contract has regressed.
+ */
+void
+BM_TraceOverheadHotspot(benchmark::State& state)
+{
+    GpuConfig config = makeConfig(Technique::WarpedGates);
+    ProgramGenerator gen(1);
+    auto programs = gen.generateSm(findBenchmark("hotspot"), 0);
+
+    auto run_once = [&](trace::Recorder* rec) {
+        auto t0 = std::chrono::steady_clock::now();
+        Sm sm(config.sm, programs, 42, rec);
+        const SmStats& s = sm.run();
+        benchmark::DoNotOptimize(s.issuedTotal);
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    constexpr int kReps = 5;
+    double best_off = 1e9;
+    double best_on = 1e9;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        // Interleave the two modes, keep the best of each: minimum-of-N
+        // is robust against scheduling noise on shared CI runners.
+        for (int rep = 0; rep < kReps; ++rep) {
+            best_off = std::min(best_off, run_once(nullptr));
+            trace::Recorder rec(0, std::size_t{1} << 22);
+            best_on = std::min(best_on, run_once(&rec));
+            events = rec.size() + rec.overwritten();
+        }
+    }
+
+    state.counters["off_ms"] = best_off * 1e3;
+    state.counters["on_ms"] = best_on * 1e3;
+    state.counters["overhead_pct"] = (best_on / best_off - 1.0) * 100.0;
+    state.counters["events"] = static_cast<double>(events);
+
+    if (best_off > best_on * 1.02) {
+        state.SkipWithError(
+            "tracing-off path is >2% slower than full recording: the "
+            "disabled-trace branch has regressed");
+    }
 }
 
 /** Program-generation throughput. */
@@ -192,6 +249,10 @@ BENCHMARK(BM_SmHotspot)
     ->Arg(static_cast<int>(Technique::ConvPG))
     ->Arg(static_cast<int>(Technique::WarpedGates))
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceOverheadHotspot)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
 BENCHMARK(BM_GenerateProgram);
 BENCHMARK(BM_SuiteSweepSerial)
     ->Unit(benchmark::kMillisecond)

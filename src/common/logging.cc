@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -8,8 +9,14 @@ namespace wg {
 
 namespace {
 
+// Serialises whole formatted lines: thread-pool workers log
+// concurrently, and interleaved fprintf output is useless. Message
+// formatting (detail::concat) happens before the lock is taken.
 std::mutex log_mutex;
-bool quiet = false;
+
+// Atomic, not mutex-guarded: tests and benches flip quiet from the
+// main thread while workers are mid-logMessage.
+std::atomic<bool> quiet{false};
 
 const char*
 prefix(LogLevel level)
@@ -28,13 +35,13 @@ prefix(LogLevel level)
 void
 setQuiet(bool q)
 {
-    quiet = q;
+    quiet.store(q, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quiet;
+    return quiet.load(std::memory_order_relaxed);
 }
 
 void
@@ -42,7 +49,7 @@ logMessage(LogLevel level, const std::string& msg)
 {
     {
         std::lock_guard<std::mutex> lock(log_mutex);
-        if (level != LogLevel::Inform || !quiet)
+        if (level != LogLevel::Inform || !isQuiet())
             std::fprintf(stderr, "%s: %s\n", prefix(level), msg.c_str());
     }
     if (level == LogLevel::Fatal)

@@ -59,6 +59,10 @@ MemorySystem::access(Cycle now, MemClass mem, bool is_store)
     ++batch_used_;
     Cycle done = batch_time_ + batch_latency_;
     inflight_.push(done);
+    if (trace_)
+        trace_->record(now, trace::EventKind::MshrFill,
+                       static_cast<std::uint8_t>(UnitClass::Ldst),
+                       trace::kNoCluster, 0, outstanding());
     return done;
 }
 
@@ -73,8 +77,13 @@ MemorySystem::drawMissLatency()
 void
 MemorySystem::tick(Cycle now)
 {
-    while (!inflight_.empty() && inflight_.top() <= now)
+    while (!inflight_.empty() && inflight_.top() <= now) {
         inflight_.pop();
+        if (trace_)
+            trace_->record(now, trace::EventKind::MshrDrain,
+                           static_cast<std::uint8_t>(UnitClass::Ldst),
+                           trace::kNoCluster, 0, outstanding());
+    }
 }
 
 } // namespace wg

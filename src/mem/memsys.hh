@@ -20,6 +20,7 @@
 #include "arch/instr.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "trace/recorder.hh"
 
 namespace wg {
 
@@ -87,7 +88,18 @@ class MemorySystem
     std::uint64_t mshrRejects() const { return mshr_rejects_; }
 
     /** Record an issue attempt rejected for MSHR capacity. */
-    void noteReject() { ++mshr_rejects_; }
+    void
+    noteReject(Cycle now = 0)
+    {
+        ++mshr_rejects_;
+        if (trace_)
+            trace_->record(now, trace::EventKind::MshrReject,
+                           static_cast<std::uint8_t>(UnitClass::Ldst),
+                           trace::kNoCluster, 0, outstanding());
+    }
+
+    /** Attach a trace recorder (null = tracing off). */
+    void setTrace(trace::Recorder* recorder) { trace_ = recorder; }
 
   private:
     /** Draw one DRAM round-trip latency. */
@@ -106,6 +118,7 @@ class MemorySystem
     std::uint64_t misses_ = 0;
     std::uint64_t stores_ = 0;
     std::uint64_t mshr_rejects_ = 0;
+    trace::Recorder* trace_ = nullptr;
 };
 
 } // namespace wg

@@ -143,9 +143,33 @@ PgController::tick(Cycle now,
                 domains_[t][c].resetEpochCriticalWakeups();
             }
             adaptive_[t].endEpoch(criticals);
+            if (trace_)
+                trace_->record(
+                    now, trace::EventKind::EpochUpdate,
+                    static_cast<std::uint8_t>(t == 0 ? UnitClass::Int
+                                                     : UnitClass::Fp),
+                    trace::kNoCluster,
+                    static_cast<std::uint8_t>(
+                        criticals > 255 ? 255 : criticals),
+                    static_cast<std::uint32_t>(adaptive_[t].value()));
         }
         epoch_start_ = now + 1;
     }
+}
+
+void
+PgController::setTrace(trace::Recorder* recorder)
+{
+    trace_ = recorder;
+    for (unsigned t = 0; t < 2; ++t) {
+        auto unit = static_cast<std::uint8_t>(t == 0 ? UnitClass::Int
+                                                     : UnitClass::Fp);
+        for (unsigned c = 0; c < kClustersPerType; ++c)
+            domains_[t][c].setTrace(recorder, unit,
+                                    static_cast<std::uint8_t>(c));
+    }
+    sfu_domain_.setTrace(recorder,
+                         static_cast<std::uint8_t>(UnitClass::Sfu), 0);
 }
 
 void

@@ -79,6 +79,12 @@ class PgController
     /** Populate the blackout flags of a SchedView for the scheduler. */
     void fillView(SchedView& view) const;
 
+    /**
+     * Attach a trace recorder (null = tracing off) to the controller
+     * and all of its domains.
+     */
+    void setTrace(trace::Recorder* recorder);
+
     const PgParams& params() const { return params_; }
 
   private:
@@ -91,6 +97,7 @@ class PgController
     PgDomain sfu_domain_;  ///< conventional gating when gateSfu is set
     std::array<AdaptiveIdleDetect, 2> adaptive_;
     Cycle epoch_start_ = 0;
+    trace::Recorder* trace_ = nullptr;
 };
 
 } // namespace wg

@@ -56,13 +56,17 @@ PgDomain::requestWakeup(Cycle now)
 }
 
 void
-PgDomain::enterGated(Cycle now)
+PgDomain::enterGated(Cycle now, trace::GateReason reason,
+                     std::uint32_t actv)
 {
     ++stats_.gatingEvents;
     idle_count_ = 0;
+    traceEvent(now, trace::EventKind::Gate,
+               static_cast<std::uint8_t>(reason), actv);
     if (params_.breakEven == 0) {
         state_ = PgState::Compensated;
         compensated_at_ = now;
+        traceEvent(now, trace::EventKind::BetExpire, 0, 0);
     } else {
         state_ = PgState::Uncompensated;
         bet_remaining_ = params_.breakEven;
@@ -70,17 +74,19 @@ PgDomain::enterGated(Cycle now)
 }
 
 void
-PgDomain::beginWakeup(Cycle now)
+PgDomain::beginWakeup(Cycle now, trace::WakeReason reason)
 {
     ++stats_.wakeups;
+    traceEvent(now, trace::EventKind::Wakeup,
+               static_cast<std::uint8_t>(reason));
     if (params_.wakeupDelay == 0) {
         state_ = PgState::On;
         idle_count_ = 0;
+        traceEvent(now, trace::EventKind::WakeupDone);
         return;
     }
     state_ = PgState::Wakeup;
     wakeup_remaining_ = params_.wakeupDelay;
-    (void)now;
 }
 
 void
@@ -95,11 +101,15 @@ PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
     // period is any maximal run of pipeline-empty cycles (Fig. 3).
     if (busy) {
         if (idle_run_ > 0) {
+            traceEvent(now, trace::EventKind::UnitBusy, 0,
+                       static_cast<std::uint32_t>(idle_run_));
             idle_hist_.add(idle_run_);
             idle_run_ = 0;
         }
     } else {
         ++idle_run_;
+        if (idle_run_ == 1)
+            traceEvent(now, trace::EventKind::UnitIdle);
     }
 
     switch (state_) {
@@ -112,14 +122,17 @@ PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
             ++idle_count_;
             if (params_.policy != PgPolicy::None) {
                 bool gate = false;
+                trace::GateReason reason = trace::GateReason::IdleDetect;
                 if (params_.policy == PgPolicy::CoordinatedBlackout &&
                     coord_peer_gated) {
                     if (coord_actv == 0) {
                         // Second cluster gates immediately: nothing of
                         // this type is even waiting to become ready.
                         gate = true;
-                        if (idle_count_ < idle_detect)
+                        if (idle_count_ < idle_detect) {
                             ++stats_.coordImmediateGates;
+                            reason = trace::GateReason::CoordDrain;
+                        }
                     } else if (idle_count_ >= idle_detect) {
                         // Would have gated, but a warp of this type
                         // waits in the active subset: keep one cluster
@@ -130,7 +143,7 @@ PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
                     gate = true;
                 }
                 if (gate)
-                    enterGated(now);
+                    enterGated(now, reason, coord_actv);
             }
         }
         break;
@@ -140,6 +153,8 @@ PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
         if (--bet_remaining_ == 0) {
             state_ = PgState::Compensated;
             compensated_at_ = now;
+            traceEvent(now, trace::EventKind::BetExpire, 0,
+                       static_cast<std::uint32_t>(params_.breakEven));
             // Fall through behaviour: a request pending at the exact
             // cycle the blackout ends is the paper's critical wakeup
             // (a blackout-only concept; conventional gating would have
@@ -148,15 +163,22 @@ PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
                 if (params_.policy != PgPolicy::Conventional) {
                     ++stats_.criticalWakeups;
                     ++epoch_critical_;
+                    beginWakeup(now, trace::WakeReason::Critical);
+                } else {
+                    beginWakeup(now, trace::WakeReason::Demand);
                 }
-                beginWakeup(now);
             }
-        } else if (wakeup_requested_ &&
-                   params_.policy == PgPolicy::Conventional) {
-            // Conventional gating may wake before break-even: the
-            // gating attempt nets an energy loss.
-            ++stats_.uncompWakeups;
-            beginWakeup(now);
+        } else if (wakeup_requested_) {
+            if (params_.policy == PgPolicy::Conventional) {
+                // Conventional gating may wake before break-even: the
+                // gating attempt nets an energy loss.
+                ++stats_.uncompWakeups;
+                beginWakeup(now, trace::WakeReason::Uncompensated);
+            } else {
+                // Blackout hold: the request is remembered by the SM's
+                // demand logic, not honoured before break-even.
+                traceEvent(now, trace::EventKind::WakeupDenied);
+            }
         }
         break;
 
@@ -167,8 +189,10 @@ PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
                 params_.policy != PgPolicy::Conventional) {
                 ++stats_.criticalWakeups;
                 ++epoch_critical_;
+                beginWakeup(now, trace::WakeReason::Critical);
+            } else {
+                beginWakeup(now, trace::WakeReason::Demand);
             }
-            beginWakeup(now);
         }
         break;
 
@@ -177,6 +201,7 @@ PgDomain::tick(Cycle now, bool busy, Cycle idle_detect,
         if (--wakeup_remaining_ == 0) {
             state_ = PgState::On;
             idle_count_ = 0;
+            traceEvent(now, trace::EventKind::WakeupDone);
         }
         break;
     }

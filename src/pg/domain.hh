@@ -11,6 +11,7 @@
 #include "common/histogram.hh"
 #include "common/types.hh"
 #include "pg/params.hh"
+#include "trace/recorder.hh"
 
 namespace wg {
 
@@ -102,6 +103,19 @@ class PgDomain
     /** Flush the in-progress idle period into the histogram. */
     void finalize(Cycle now);
 
+    /**
+     * Attach a trace recorder (null = tracing off) and this domain's
+     * identity in the event stream.
+     */
+    void
+    setTrace(trace::Recorder* recorder, std::uint8_t unit,
+             std::uint8_t cluster)
+    {
+        trace_ = recorder;
+        trace_unit_ = unit;
+        trace_cluster_ = cluster;
+    }
+
     PgState state() const { return state_; }
 
     /** Cycles left until a gated cluster compensates (0 otherwise). */
@@ -121,8 +135,19 @@ class PgDomain
     void resetEpochCriticalWakeups() { epoch_critical_ = 0; }
 
   private:
-    void enterGated(Cycle now);
-    void beginWakeup(Cycle now);
+    void enterGated(Cycle now, trace::GateReason reason,
+                    std::uint32_t actv);
+    void beginWakeup(Cycle now, trace::WakeReason reason);
+
+    /** Record a trace event when a recorder is attached. */
+    void
+    traceEvent(Cycle now, trace::EventKind kind, std::uint8_t arg = 0,
+               std::uint32_t value = 0)
+    {
+        if (trace_)
+            trace_->record(now, kind, trace_unit_, trace_cluster_, arg,
+                           value);
+    }
 
     PgParams params_;
     PgState state_ = PgState::On;
@@ -138,6 +163,10 @@ class PgDomain
     PgDomainStats stats_;
     Histogram idle_hist_;
     std::uint32_t epoch_critical_ = 0;
+
+    trace::Recorder* trace_ = nullptr;
+    std::uint8_t trace_unit_ = trace::kNoUnit;
+    std::uint8_t trace_cluster_ = trace::kNoCluster;
 };
 
 } // namespace wg

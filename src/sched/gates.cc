@@ -14,6 +14,9 @@ GatesScheduler::switchPriority(Cycle now)
     hi_ = hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
     last_switch_ = now;
     ++switches_;
+    if (trace_)
+        trace_->record(now, trace::EventKind::PrioritySwitch,
+                       static_cast<std::uint8_t>(hi_));
 }
 
 std::array<UnitClass, kNumUnitClasses>

@@ -8,8 +8,8 @@ namespace wg {
 void
 GtoScheduler::beginCycle(Cycle now, const SchedView& view)
 {
-    (void)now;
     (void)view;
+    now_ = now;
 }
 
 void
@@ -37,6 +37,10 @@ GtoScheduler::order(const std::vector<WarpId>& active,
 void
 GtoScheduler::notifyIssue(WarpId warp, UnitClass uc)
 {
+    if (trace_ && warp != greedy_warp_)
+        trace_->record(now_, trace::EventKind::GreedySwitch,
+                       static_cast<std::uint8_t>(uc), trace::kNoCluster, 0,
+                       static_cast<std::uint32_t>(warp));
     greedy_warp_ = warp;
     last_class_ = uc;
 }

@@ -39,6 +39,7 @@ class GtoScheduler : public Scheduler
   private:
     WarpId greedy_warp_ = ~WarpId(0);
     UnitClass last_class_ = UnitClass::Int;
+    Cycle now_ = 0;
 };
 
 } // namespace wg

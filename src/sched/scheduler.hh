@@ -18,6 +18,7 @@
 
 #include "arch/instr.hh"
 #include "common/types.hh"
+#include "trace/recorder.hh"
 
 namespace wg {
 
@@ -73,6 +74,12 @@ class Scheduler
 
     /** Count of dynamic priority switches (diagnostics). */
     virtual std::uint64_t prioritySwitches() const { return 0; }
+
+    /** Attach a trace recorder (null = tracing off). */
+    void setTrace(trace::Recorder* recorder) { trace_ = recorder; }
+
+  protected:
+    trace::Recorder* trace_ = nullptr;
 };
 
 } // namespace wg

@@ -9,6 +9,27 @@
 
 namespace wg {
 
+trace::Meta
+makeTraceMeta(const GpuConfig& config, unsigned num_sms)
+{
+    const PgParams& pg = config.sm.pg;
+    trace::Meta meta;
+    meta.policy = pgPolicyName(pg.policy);
+    meta.scheduler = schedulerPolicyName(config.sm.scheduler);
+    meta.numSms = num_sms;
+    meta.idleDetect = pg.idleDetect;
+    meta.breakEven = pg.breakEven;
+    meta.wakeupDelay = pg.wakeupDelay;
+    meta.adaptive = pg.adaptiveIdleDetect;
+    meta.idleDetectMin = pg.idleDetectMin;
+    meta.idleDetectMax = pg.idleDetectMax;
+    meta.epochLength = pg.epochLength;
+    meta.criticalThreshold = pg.criticalThreshold;
+    meta.decrementEpochs = pg.decrementEpochs;
+    meta.gateSfu = pg.gateSfu;
+    return meta;
+}
+
 Gpu::Gpu(const GpuConfig& config) : config_(config)
 {
     if (config_.numSms == 0)
@@ -22,25 +43,36 @@ Gpu::smSeed(std::uint64_t seed, unsigned sm)
 }
 
 SimResult
-Gpu::run(const BenchmarkProfile& profile, ThreadPool* pool) const
+Gpu::run(const BenchmarkProfile& profile, ThreadPool* pool,
+         trace::Collector* collector) const
 {
     ProgramGenerator gen(config_.seed);
     std::vector<std::vector<Program>> per_sm;
     per_sm.reserve(config_.numSms);
     for (unsigned s = 0; s < config_.numSms; ++s)
         per_sm.push_back(gen.generateSm(profile, s));
-    return runPrograms(per_sm, pool);
+    return runPrograms(per_sm, pool, collector);
 }
 
 SimResult
 Gpu::runPrograms(const std::vector<std::vector<Program>>& per_sm,
-                 ThreadPool* pool) const
+                 ThreadPool* pool, trace::Collector* collector) const
 {
     if (per_sm.empty())
         fatal("Gpu::runPrograms: no SM workloads");
 
+    // Pre-create every per-SM recorder before any job is dispatched:
+    // each SM then touches only its own ring buffer, so the pooled and
+    // serial paths emit bit-identical traces.
+    if (collector) {
+        collector->prepare(static_cast<unsigned>(per_sm.size()));
+        collector->meta =
+            makeTraceMeta(config_, static_cast<unsigned>(per_sm.size()));
+    }
+
     auto run_sm = [&](unsigned s) {
-        Sm sm(config_.sm, per_sm[s], smSeed(config_.seed, s));
+        Sm sm(config_.sm, per_sm[s], smSeed(config_.seed, s),
+              collector ? collector->recorder(s) : nullptr);
         return sm.run();
     };
 

@@ -16,9 +16,13 @@
 #include "common/threadpool.hh"
 #include "sim/result.hh"
 #include "sim/sm.hh"
+#include "trace/recorder.hh"
 #include "workload/profile.hh"
 
 namespace wg {
+
+/** Trace metadata describing a GPU configuration (for trace sinks). */
+trace::Meta makeTraceMeta(const GpuConfig& config, unsigned num_sms);
 
 /** A GTX480-like GPU: numSms independent SMs. */
 class Gpu
@@ -30,16 +34,21 @@ class Gpu
      * Run @p profile on every SM (per-SM program variants are derived
      * from the experiment seed) and aggregate. Per-SM jobs go to
      * @p pool (nullptr = run serially on the calling thread; the
-     * result is bit-identical either way).
+     * result is bit-identical either way). When @p collector is given,
+     * every SM records its event trace into the collector's per-SM
+     * ring buffers (pre-created before dispatch, so the pooled and
+     * serial traces are also bit-identical).
      */
     SimResult run(const BenchmarkProfile& profile,
-                  ThreadPool* pool = &ThreadPool::global()) const;
+                  ThreadPool* pool = &ThreadPool::global(),
+                  trace::Collector* collector = nullptr) const;
 
     /**
      * Run explicit per-SM workloads; perSm.size() overrides numSms.
      */
     SimResult runPrograms(const std::vector<std::vector<Program>>& per_sm,
-                          ThreadPool* pool = &ThreadPool::global()) const;
+                          ThreadPool* pool = &ThreadPool::global(),
+                          trace::Collector* collector = nullptr) const;
 
     /**
      * RNG seed of SM @p sm under experiment seed @p seed: a

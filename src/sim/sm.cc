@@ -22,6 +22,14 @@ schedulerPolicyName(SchedulerPolicy policy)
 
 namespace {
 
+// The trace sinks print WarpMigrate args via a location-name table;
+// keep the wire encoding pinned to the enum it mirrors.
+static_assert(static_cast<int>(WarpLoc::Active) == 0 &&
+                  static_cast<int>(WarpLoc::Pending) == 1 &&
+                  static_cast<int>(WarpLoc::Waiting) == 2 &&
+                  static_cast<int>(WarpLoc::Finished) == 3,
+              "trace sinks assume these WarpLoc values");
+
 std::unique_ptr<Scheduler>
 makeScheduler(const SmConfig& config)
 {
@@ -39,7 +47,7 @@ makeScheduler(const SmConfig& config)
 } // namespace
 
 Sm::Sm(const SmConfig& config, std::vector<Program> programs,
-       std::uint64_t seed)
+       std::uint64_t seed, trace::Recorder* trace)
     : config_(config), programs_(std::move(programs)),
       scoreboard_(programs_.size()), scheduler_(makeScheduler(config)),
       int_{ExecUnit(UnitClass::Int, 0, config.alu),
@@ -49,8 +57,12 @@ Sm::Sm(const SmConfig& config, std::vector<Program> programs,
       sfu_(UnitClass::Sfu, 0, config.sfu),
       ldst_(UnitClass::Ldst, 0, config.ldst),
       mem_(config.mem, Rng(seed, 0xcafef00dd15ea5e5ULL)),
-      pg_(config.pg)
+      pg_(config.pg), trace_(trace)
 {
+    pg_.setTrace(trace_);
+    mem_.setTrace(trace_);
+    scheduler_->setTrace(trace_);
+
     if (programs_.empty())
         fatal("Sm: no warps to run");
     if (config_.issueWidth == 0)
@@ -104,6 +116,7 @@ Sm::writebackPhase()
                 pending_[kept++] = w;
             } else {
                 warps_[w].setLoc(WarpLoc::Waiting);
+                traceMigrate(w, WarpLoc::Waiting);
                 waiting_.push_back(w);
             }
         }
@@ -119,6 +132,7 @@ Sm::promotePhase()
            take < waiting_.size()) {
         WarpId w = waiting_[take++];
         warps_[w].setLoc(WarpLoc::Active);
+        traceMigrate(w, WarpLoc::Active);
         active_.push_back(w);
     }
     if (take > 0)
@@ -146,6 +160,7 @@ Sm::demotePhase()
         WarpContext& warp = warps_[w];
         if (warp.drained()) {
             warp.setLoc(WarpLoc::Finished);
+            traceMigrate(w, WarpLoc::Finished);
             --live_warps_;
             continue;
         }
@@ -153,6 +168,7 @@ Sm::demotePhase()
             scoreboard_.blockedOnLong(w, warp.head())) {
             // Waiting on a long-latency event: two-level demotion.
             warp.setLoc(WarpLoc::Pending);
+            traceMigrate(w, WarpLoc::Pending);
             pending_.push_back(w);
             continue;
         }
@@ -198,7 +214,7 @@ Sm::tryIssueAlu(WarpId warp, const Instruction& instr)
         units[idx].issue(now_, now_ + config_.alu.latency, warp,
                          instr.dest, false);
         rr_cluster_[t] = (idx + 1) % kClustersPerType;
-        commitIssue(warp, instr);
+        commitIssue(warp, instr, idx);
         return true;
     }
 
@@ -230,7 +246,7 @@ Sm::tryIssueSfu(WarpId warp, const Instruction& instr)
     if (!sfu_.canAccept(now_))
         return false;
     sfu_.issue(now_, now_ + config_.sfu.latency, warp, instr.dest, false);
-    commitIssue(warp, instr);
+    commitIssue(warp, instr, 0);
     return true;
 }
 
@@ -240,26 +256,40 @@ Sm::tryIssueLdst(WarpId warp, const Instruction& instr)
     if (!ldst_.canAccept(now_))
         return false;
     if (!instr.isStore && !mem_.canAccept(instr.mem)) {
-        mem_.noteReject();
+        mem_.noteReject(now_);
         return false;
     }
     Cycle complete = mem_.access(now_, instr.mem, instr.isStore);
     ldst_.issue(now_, complete, warp, instr.dest, instr.isLongLatency());
-    commitIssue(warp, instr);
+    commitIssue(warp, instr, 0);
     return true;
 }
 
 void
-Sm::commitIssue(WarpId warp, const Instruction& instr)
+Sm::commitIssue(WarpId warp, const Instruction& instr, unsigned cluster)
 {
     // `instr` aliases the warp's i-buffer head; popHead() may free the
     // deque node it lives in, so capture the unit class first.
     const auto unit = static_cast<std::size_t>(instr.unit);
+    if (trace_)
+        trace_->record(now_, trace::EventKind::Issue,
+                       static_cast<std::uint8_t>(unit),
+                       static_cast<std::uint8_t>(cluster), 0,
+                       static_cast<std::uint32_t>(warp));
     scoreboard_.markIssued(warp, instr);
     warps_[warp].noteIssue();
     warps_[warp].popHead();
     ++stats_.issuedByClass[unit];
     ++stats_.issuedTotal;
+}
+
+void
+Sm::traceMigrate(WarpId warp, WarpLoc to)
+{
+    if (trace_)
+        trace_->record(now_, trace::EventKind::WarpMigrate, trace::kNoUnit,
+                       trace::kNoCluster, static_cast<std::uint8_t>(to),
+                       static_cast<std::uint32_t>(warp));
 }
 
 bool
@@ -358,6 +388,25 @@ Sm::step()
     SchedView view;
     buildView(view);
     schedulePhase(view);
+
+    // LD/ST idle-period tracking for the trace (the unit is never
+    // gated, so the PG domains don't observe it). Mirrors PgDomain's
+    // idle-run semantics: UnitIdle opens a run, UnitBusy closes it with
+    // the run length.
+    if (trace_) {
+        if (ldst_.busy()) {
+            if (ldst_idle_run_ > 0) {
+                trace_->record(
+                    now_, trace::EventKind::UnitBusy,
+                    static_cast<std::uint8_t>(UnitClass::Ldst), 0, 0,
+                    static_cast<std::uint32_t>(ldst_idle_run_));
+                ldst_idle_run_ = 0;
+            }
+        } else if (++ldst_idle_run_ == 1) {
+            trace_->record(now_, trace::EventKind::UnitIdle,
+                           static_cast<std::uint8_t>(UnitClass::Ldst), 0);
+        }
+    }
 
     const std::array<bool, kClustersPerType> int_busy = {int_[0].busy(),
                                                          int_[1].busy()};

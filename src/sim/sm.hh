@@ -37,6 +37,7 @@
 #include "sched/warp.hh"
 #include "sim/config.hh"
 #include "sim/smstats.hh"
+#include "trace/recorder.hh"
 
 namespace wg {
 
@@ -48,9 +49,11 @@ class Sm
      * @param config microarchitecture configuration
      * @param programs one program per resident warp
      * @param seed per-SM seed (memory-latency stream)
+     * @param trace event recorder, or null for tracing off (the
+     *        disabled path is a single branch per would-be event)
      */
     Sm(const SmConfig& config, std::vector<Program> programs,
-       std::uint64_t seed);
+       std::uint64_t seed, trace::Recorder* trace = nullptr);
 
     /** Advance one cycle. @return true when the SM has drained. */
     bool step();
@@ -102,7 +105,11 @@ class Sm
     bool tryIssueLdst(WarpId warp, const Instruction& instr);
 
     /** Post-issue bookkeeping shared by the helpers. */
-    void commitIssue(WarpId warp, const Instruction& instr);
+    void commitIssue(WarpId warp, const Instruction& instr,
+                     unsigned cluster);
+
+    /** Record a warp moving between the two-level scheduler's sets. */
+    void traceMigrate(WarpId warp, WarpLoc to);
 
     SmConfig config_;
     std::vector<Program> programs_;
@@ -131,6 +138,9 @@ class Sm
     bool done_ = false;
     bool finished_stats_ = false;
     std::size_t live_warps_ = 0;
+
+    trace::Recorder* trace_ = nullptr;
+    std::uint64_t ldst_idle_run_ = 0; ///< LD/ST idle-period tracker
 
     /** Warps that issued this cycle (for LRR reordering). */
     std::vector<WarpId> issued_this_cycle_;

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Per-SM ring-buffer event recorder and the whole-GPU collector.
+ *
+ * Instrumentation sites hold a `Recorder*` that is null when tracing is
+ * off, so the disabled path is a single predictable branch — no event
+ * is ever allocated. One Recorder belongs to exactly one SM and is only
+ * touched from that SM's simulation thread; the Collector pre-creates
+ * all recorders before any worker starts, so pooled runs never share or
+ * race on trace state and serial/pooled traces are bit-identical.
+ *
+ * The buffer is a true ring: when capacity is exceeded the oldest
+ * events are overwritten (the most recent window is what post-mortem
+ * debugging wants) and `overwritten()` reports how many were lost so
+ * sinks and the invariant checker can flag truncated streams.
+ */
+
+#ifndef WG_TRACE_RECORDER_HH
+#define WG_TRACE_RECORDER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/event.hh"
+
+namespace wg::trace {
+
+/** Recording limits and filters. */
+struct RecorderConfig
+{
+    /** Events retained per SM before the ring wraps. */
+    std::size_t capacity = 1u << 20;
+    /** Record only this SM id; -1 records every SM. */
+    std::int64_t smFilter = -1;
+};
+
+/** Event ring of one SM. */
+class Recorder
+{
+  public:
+    Recorder(SmId sm, std::size_t capacity);
+
+    /** Append one event (overwrites the oldest when full). */
+    void
+    record(Cycle cycle, EventKind kind, std::uint8_t unit = kNoUnit,
+           std::uint8_t cluster = kNoCluster, std::uint8_t arg = 0,
+           std::uint32_t value = 0)
+    {
+        Event& e = ring_[next_];
+        e.cycle = cycle;
+        e.kind = kind;
+        e.unit = unit;
+        e.cluster = cluster;
+        e.arg = arg;
+        e.value = value;
+        next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+        if (size_ < ring_.size())
+            ++size_;
+        else
+            ++overwritten_;
+    }
+
+    SmId sm() const { return sm_; }
+
+    /** Events currently retained. */
+    std::size_t size() const { return size_; }
+
+    /** Events lost to ring wrap-around. */
+    std::uint64_t overwritten() const { return overwritten_; }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Retained events, oldest first. */
+    std::vector<Event> events() const;
+
+    /** Visit retained events oldest-first without copying. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        std::size_t start = size_ == ring_.size() ? next_ : 0;
+        for (std::size_t i = 0; i < size_; ++i)
+            fn(ring_[(start + i) % ring_.size()]);
+    }
+
+  private:
+    SmId sm_;
+    std::vector<Event> ring_;
+    std::size_t next_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t overwritten_ = 0;
+};
+
+/**
+ * Owns the per-SM recorders of one traced simulation. The driver
+ * (Gpu::runPrograms) calls prepare() before dispatching SM jobs and
+ * each job fetches its own recorder with recorder(sm) — null when the
+ * SM is filtered out.
+ */
+class Collector
+{
+  public:
+    explicit Collector(const RecorderConfig& config = {});
+
+    /** Create (or re-create) one recorder per SM. Not thread-safe. */
+    void prepare(std::uint32_t num_sms);
+
+    /** Recorder of @p sm, or null when filtered / not prepared. */
+    Recorder* recorder(SmId sm);
+    const Recorder* recorder(SmId sm) const;
+
+    /** Number of prepared SM slots (filtered slots included). */
+    std::uint32_t numSms() const
+    {
+        return static_cast<std::uint32_t>(recorders_.size());
+    }
+
+    /** Events retained across all SMs. */
+    std::size_t totalEvents() const;
+
+    /** Events lost to wrap-around across all SMs. */
+    std::uint64_t totalOverwritten() const;
+
+    const RecorderConfig& config() const { return config_; }
+
+    /** Run metadata; filled by the driver, consumed by sinks. */
+    Meta meta;
+
+  private:
+    RecorderConfig config_;
+    std::vector<std::unique_ptr<Recorder>> recorders_;
+};
+
+} // namespace wg::trace
+
+#endif // WG_TRACE_RECORDER_HH

@@ -1,0 +1,330 @@
+#include "sink.hh"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "arch/instr.hh"
+#include "common/logging.hh"
+
+namespace wg::trace {
+
+namespace {
+
+/** WarpLoc spellings (values match wg::WarpLoc; see sched/warp.hh). */
+constexpr std::array<const char*, 4> kLocNames = {"active", "pending",
+                                                 "waiting", "finished"};
+
+const char*
+locName(std::uint8_t loc)
+{
+    return loc < kLocNames.size() ? kLocNames[loc] : "?";
+}
+
+const char*
+unitName(std::uint8_t unit)
+{
+    if (unit == kNoUnit)
+        return nullptr;
+    return unitClassName(static_cast<UnitClass>(unit));
+}
+
+/** Append `,"key":value` pairs specific to the event kind. */
+void
+appendArgs(std::ostream& os, const Event& e)
+{
+    switch (e.kind) {
+      case EventKind::Issue:
+      case EventKind::GreedySwitch:
+        os << ",\"warp\":" << e.value;
+        break;
+      case EventKind::UnitBusy:
+        os << ",\"idleRun\":" << e.value;
+        break;
+      case EventKind::Gate:
+        os << ",\"reason\":\""
+           << gateReasonName(static_cast<GateReason>(e.arg))
+           << "\",\"actv\":" << e.value;
+        break;
+      case EventKind::BetExpire:
+        os << ",\"held\":" << e.value;
+        break;
+      case EventKind::Wakeup:
+        os << ",\"reason\":\""
+           << wakeReasonName(static_cast<WakeReason>(e.arg)) << "\"";
+        break;
+      case EventKind::EpochUpdate:
+        os << ",\"criticals\":" << static_cast<unsigned>(e.arg)
+           << ",\"window\":" << e.value;
+        break;
+      case EventKind::WarpMigrate:
+        os << ",\"loc\":\"" << locName(e.arg) << "\",\"warp\":" << e.value;
+        break;
+      case EventKind::MshrFill:
+      case EventKind::MshrDrain:
+        os << ",\"outstanding\":" << e.value;
+        break;
+      case EventKind::UnitIdle:
+      case EventKind::WakeupDenied:
+      case EventKind::WakeupDone:
+      case EventKind::PrioritySwitch:
+      case EventKind::MshrReject:
+        break;
+    }
+}
+
+void
+appendMeta(std::ostream& os, const Meta& m)
+{
+    os << "{\"meta\":{\"version\":" << m.version << ",\"policy\":\""
+       << m.policy << "\",\"scheduler\":\"" << m.scheduler
+       << "\",\"sms\":" << m.numSms << ",\"idleDetect\":" << m.idleDetect
+       << ",\"breakEven\":" << m.breakEven
+       << ",\"wakeupDelay\":" << m.wakeupDelay
+       << ",\"adaptive\":" << (m.adaptive ? "true" : "false")
+       << ",\"idleDetectMin\":" << m.idleDetectMin
+       << ",\"idleDetectMax\":" << m.idleDetectMax
+       << ",\"epochLength\":" << m.epochLength
+       << ",\"criticalThreshold\":" << m.criticalThreshold
+       << ",\"decrementEpochs\":" << m.decrementEpochs
+       << ",\"gateSfu\":" << (m.gateSfu ? "true" : "false") << "}}";
+}
+
+/** chrome://tracing tid for an event (one lane per pipeline). */
+unsigned
+chromeTid(const Event& e)
+{
+    if (e.unit == kNoUnit)
+        return 8; // control lane: scheduler / warps / MSHRs
+    auto uc = static_cast<UnitClass>(e.unit);
+    unsigned cluster = e.cluster == kNoCluster ? 0 : e.cluster;
+    switch (uc) {
+      case UnitClass::Int: return 0 + cluster;
+      case UnitClass::Fp: return 2 + cluster;
+      case UnitClass::Sfu: return 4;
+      case UnitClass::Ldst: return 5;
+    }
+    return 8;
+}
+
+const char*
+chromeTidName(unsigned tid)
+{
+    switch (tid) {
+      case 0: return "INT0";
+      case 1: return "INT1";
+      case 2: return "FP0";
+      case 3: return "FP1";
+      case 4: return "SFU";
+      case 5: return "LDST";
+      case 8: return "control";
+    }
+    return "?";
+}
+
+} // namespace
+
+const char*
+sinkFormatName(SinkFormat format)
+{
+    switch (format) {
+      case SinkFormat::Chrome: return "chrome";
+      case SinkFormat::Jsonl: return "jsonl";
+      case SinkFormat::Csv: return "csv";
+    }
+    return "?";
+}
+
+bool
+parseSinkFormat(const std::string& name, SinkFormat& out)
+{
+    for (SinkFormat f :
+         {SinkFormat::Chrome, SinkFormat::Jsonl, SinkFormat::Csv}) {
+        if (name == sinkFormatName(f)) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+eventToJson(SmId sm, const Event& e)
+{
+    std::ostringstream os;
+    os << "{\"sm\":" << sm << ",\"cycle\":" << e.cycle << ",\"kind\":\""
+       << eventKindName(e.kind) << "\"";
+    if (const char* u = unitName(e.unit)) {
+        os << ",\"unit\":\"" << u << "\"";
+        if (e.cluster != kNoCluster)
+            os << ",\"cluster\":" << static_cast<unsigned>(e.cluster);
+    }
+    appendArgs(os, e);
+    os << "}";
+    return os.str();
+}
+
+void
+writeJsonl(std::ostream& os, const Collector& collector)
+{
+    appendMeta(os, collector.meta);
+    os << "\n";
+    for (SmId s = 0; s < collector.numSms(); ++s) {
+        const Recorder* r = collector.recorder(s);
+        if (!r)
+            continue;
+        if (r->overwritten() > 0)
+            os << "{\"sm\":" << s << ",\"truncated\":" << r->overwritten()
+               << "}\n";
+        r->forEach([&os, s](const Event& e) {
+            os << eventToJson(s, e) << "\n";
+        });
+    }
+}
+
+void
+writeChromeTrace(std::ostream& os, const Collector& collector)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&os, &first](const std::string& obj) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << obj;
+    };
+
+    for (SmId s = 0; s < collector.numSms(); ++s) {
+        const Recorder* r = collector.recorder(s);
+        if (!r)
+            continue;
+        {
+            std::ostringstream m;
+            m << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << s
+              << ",\"args\":{\"name\":\"SM " << s << "\"}}";
+            emit(m.str());
+        }
+        for (unsigned tid : {0u, 1u, 2u, 3u, 4u, 5u, 8u}) {
+            std::ostringstream m;
+            m << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << s
+              << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+              << chromeTidName(tid) << "\"}}";
+            emit(m.str());
+        }
+        r->forEach([&](const Event& e) {
+            std::ostringstream ev;
+            ev << "{\"name\":\"" << eventKindName(e.kind)
+               << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.cycle
+               << ",\"pid\":" << s << ",\"tid\":" << chromeTid(e)
+               << ",\"args\":{\"detail\":" << eventToJson(s, e) << "}}";
+            emit(ev.str());
+        });
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void
+writeEpochCsv(std::ostream& os, const Collector& collector)
+{
+    const Cycle epoch_len =
+        collector.meta.epochLength > 0 ? collector.meta.epochLength : 1000;
+
+    os << "sm,epoch,start_cycle,issues_int,issues_fp,issues_sfu,"
+          "issues_ldst,gates,bet_expiries,wakeups,critical_wakeups,"
+          "wakeups_denied,mshr_fills,mshr_rejects,window_int,window_fp\n";
+
+    struct EpochRow
+    {
+        std::array<std::uint64_t, kNumUnitClasses> issues = {};
+        std::uint64_t gates = 0, betExpiries = 0, wakeups = 0;
+        std::uint64_t criticals = 0, denied = 0;
+        std::uint64_t mshrFills = 0, mshrRejects = 0;
+        std::int64_t windowInt = -1, windowFp = -1;
+    };
+
+    for (SmId s = 0; s < collector.numSms(); ++s) {
+        const Recorder* r = collector.recorder(s);
+        if (!r)
+            continue;
+        EpochRow row;
+        std::int64_t epoch = -1;
+        auto flush = [&]() {
+            if (epoch < 0)
+                return;
+            os << s << "," << epoch << ","
+               << static_cast<Cycle>(epoch) * epoch_len;
+            for (std::uint64_t v : row.issues)
+                os << "," << v;
+            os << "," << row.gates << "," << row.betExpiries << ","
+               << row.wakeups << "," << row.criticals << "," << row.denied
+               << "," << row.mshrFills << "," << row.mshrRejects << ",";
+            if (row.windowInt >= 0)
+                os << row.windowInt;
+            os << ",";
+            if (row.windowFp >= 0)
+                os << row.windowFp;
+            os << "\n";
+        };
+        r->forEach([&](const Event& e) {
+            auto ep = static_cast<std::int64_t>(e.cycle / epoch_len);
+            if (ep != epoch) {
+                flush();
+                epoch = ep;
+                row = EpochRow();
+            }
+            switch (e.kind) {
+              case EventKind::Issue:
+                if (e.unit < kNumUnitClasses)
+                    ++row.issues[e.unit];
+                break;
+              case EventKind::Gate: ++row.gates; break;
+              case EventKind::BetExpire: ++row.betExpiries; break;
+              case EventKind::Wakeup:
+                ++row.wakeups;
+                if (static_cast<WakeReason>(e.arg) == WakeReason::Critical)
+                    ++row.criticals;
+                break;
+              case EventKind::WakeupDenied: ++row.denied; break;
+              case EventKind::MshrFill: ++row.mshrFills; break;
+              case EventKind::MshrReject: ++row.mshrRejects; break;
+              case EventKind::EpochUpdate:
+                if (e.unit == static_cast<std::uint8_t>(UnitClass::Int))
+                    row.windowInt = e.value;
+                else if (e.unit ==
+                         static_cast<std::uint8_t>(UnitClass::Fp))
+                    row.windowFp = e.value;
+                break;
+              default:
+                break;
+            }
+        });
+        flush();
+    }
+}
+
+void
+writeTrace(std::ostream& os, const Collector& collector, SinkFormat format)
+{
+    switch (format) {
+      case SinkFormat::Chrome: writeChromeTrace(os, collector); return;
+      case SinkFormat::Jsonl: writeJsonl(os, collector); return;
+      case SinkFormat::Csv: writeEpochCsv(os, collector); return;
+    }
+    panic("writeTrace: unknown sink format");
+}
+
+void
+writeTraceFile(const std::string& path, const Collector& collector,
+               SinkFormat format)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file '", path, "' for writing");
+    writeTrace(out, collector, format);
+    out.flush();
+    if (!out)
+        fatal("short write to trace file '", path, "'");
+}
+
+} // namespace wg::trace

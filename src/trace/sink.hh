@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace sinks: serialise a Collector's per-SM event rings.
+ *
+ * Three formats:
+ *   - Chrome  — a `chrome://tracing` / Perfetto-loadable JSON document
+ *               (pid = SM, tid = unit pipeline, instant events)
+ *   - JSONL   — one flat JSON object per line; the lossless machine
+ *               format the offline checker (wgtrace) replays
+ *   - CSV     — per-epoch per-SM activity timeseries for spreadsheets
+ *               and plotting scripts
+ *
+ * All sinks drain recorders in ascending SM order and events in record
+ * order, so output depends only on the simulated work — never on the
+ * thread pool's scheduling. A wrapped ring is flagged (`truncated`)
+ * rather than silently shortened.
+ */
+
+#ifndef WG_TRACE_SINK_HH
+#define WG_TRACE_SINK_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/recorder.hh"
+
+namespace wg::trace {
+
+/** Serialisation formats. */
+enum class SinkFormat : std::uint8_t { Chrome, Jsonl, Csv };
+
+/** Printable format name (the --trace-format spelling). */
+const char* sinkFormatName(SinkFormat format);
+
+/** Parse a --trace-format value. @return false when unknown. */
+bool parseSinkFormat(const std::string& name, SinkFormat& out);
+
+/** Serialise @p collector to @p os in the given format. */
+void writeTrace(std::ostream& os, const Collector& collector,
+                SinkFormat format);
+
+/** Chrome about://tracing JSON document. */
+void writeChromeTrace(std::ostream& os, const Collector& collector);
+
+/** JSONL: meta line, then one event object per line. */
+void writeJsonl(std::ostream& os, const Collector& collector);
+
+/** Per-epoch CSV timeseries (epoch length from the meta; 1000 if 0). */
+void writeEpochCsv(std::ostream& os, const Collector& collector);
+
+/** Serialise to @p path; fatal() on I/O failure. */
+void writeTraceFile(const std::string& path, const Collector& collector,
+                    SinkFormat format);
+
+/** Serialise one event as the JSONL object (no trailing newline). */
+std::string eventToJson(SmId sm, const Event& event);
+
+} // namespace wg::trace
+
+#endif // WG_TRACE_SINK_HH

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/threadpool.hh"
 #include "core/experiment.hh"
 #include "core/presets.hh"
 #include "sim/gpu.hh"
+#include "trace/sink.hh"
 
 namespace wg {
 namespace {
@@ -127,6 +130,39 @@ TEST(Determinism, StableAcrossRepeatedPooledRuns)
         SimResult again = gpu.run(p, &ThreadPool::global());
         expectResultsIdentical(first, again);
     }
+}
+
+TEST(Determinism, TraceBitIdenticalSerialVsPooled)
+{
+    // Tracing inherits the determinism guarantee: the serialised JSONL
+    // stream (meta line, every event, truncation markers) of a pooled
+    // run must equal the serial run's byte for byte.
+    Gpu gpu(config(4));
+    BenchmarkProfile p = profile();
+
+    trace::Collector serial_collector;
+    SimResult serial = gpu.run(p, nullptr, &serial_collector);
+    trace::Collector pooled_collector;
+    SimResult pooled = gpu.run(p, &ThreadPool::global(),
+                               &pooled_collector);
+    expectResultsIdentical(serial, pooled);
+
+    ASSERT_GT(serial_collector.totalEvents(), 0u);
+    std::ostringstream serial_os, pooled_os;
+    trace::writeJsonl(serial_os, serial_collector);
+    trace::writeJsonl(pooled_os, pooled_collector);
+    EXPECT_EQ(serial_os.str(), pooled_os.str());
+}
+
+TEST(Determinism, TracedRunMatchesUntracedRun)
+{
+    // Attaching a collector must never perturb the simulation itself.
+    Gpu gpu(config(4));
+    BenchmarkProfile p = profile();
+    SimResult plain = gpu.run(p, nullptr);
+    trace::Collector collector;
+    SimResult traced = gpu.run(p, nullptr, &collector);
+    expectResultsIdentical(plain, traced);
 }
 
 TEST(Determinism, BatchedSweepMatchesSerialSweep)

@@ -141,6 +141,80 @@ TEST(MemSys, CountersTrackClasses)
     EXPECT_EQ(mem.stores(), 1u);
 }
 
+TEST(MemSys, BatchLargerThanOutstandingMisses)
+{
+    // serviceBatchSize above the MSHR limit: the batch can never fill,
+    // every concurrently-outstanding miss lands in the open batch, and
+    // they all complete together.
+    MemConfig cfg = smallConfig();
+    cfg.serviceBatchSize = 16; // > mshrLimit (4)
+    MemorySystem mem(cfg, Rng(11));
+    Cycle first = mem.access(0, MemClass::Miss, false);
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(mem.access(0, MemClass::Miss, false), first)
+            << "an underfilled batch must absorb every pending miss";
+    EXPECT_EQ(mem.outstanding(), 4u);
+    EXPECT_FALSE(mem.canAccept(MemClass::Miss));
+}
+
+TEST(MemSys, ExactlyFullMshrPoolDrainsAndRefills)
+{
+    // Fill the pool to exactly mshrLimit, drain one completion, and
+    // verify acceptance flips at exactly the boundary both ways.
+    MemConfig cfg = smallConfig();
+    MemorySystem mem(cfg, Rng(13));
+    Cycle last = 0;
+    for (unsigned i = 0; i < cfg.mshrLimit; ++i) {
+        ASSERT_TRUE(mem.canAccept(MemClass::Miss));
+        Cycle d = mem.access(0, MemClass::Miss, false);
+        if (d > last)
+            last = d;
+    }
+    ASSERT_EQ(mem.outstanding(), cfg.mshrLimit);
+    ASSERT_FALSE(mem.canAccept(MemClass::Miss));
+
+    // The two batches complete at different cycles; retiring the first
+    // batch frees exactly those MSHRs.
+    mem.tick(last - 1);
+    EXPECT_GT(mem.outstanding(), 0u);
+    EXPECT_LT(mem.outstanding(), cfg.mshrLimit);
+    EXPECT_TRUE(mem.canAccept(MemClass::Miss));
+
+    // Refill to exactly full again from the partially-drained state.
+    while (mem.canAccept(MemClass::Miss))
+        mem.access(last, MemClass::Miss, false);
+    EXPECT_EQ(mem.outstanding(), cfg.mshrLimit);
+
+    mem.tick(kNeverCycle - 1);
+    EXPECT_EQ(mem.outstanding(), 0u);
+}
+
+TEST(MemSys, StoresBypassFullMshrPool)
+{
+    // Store vs miss ordering: stores retire through the write buffer
+    // with fixed latency even while the MSHR pool is saturated, and
+    // never perturb the miss stream's completion times.
+    MemConfig cfg = smallConfig();
+    MemorySystem with_stores(cfg, Rng(17));
+    MemorySystem without(cfg, Rng(17));
+
+    std::vector<Cycle> a, b;
+    for (unsigned i = 0; i < cfg.mshrLimit; ++i) {
+        a.push_back(with_stores.access(5, MemClass::Miss, false));
+        b.push_back(without.access(5, MemClass::Miss, false));
+        // Interleave a store between every miss on one instance only.
+        EXPECT_EQ(with_stores.access(5, MemClass::Miss, true),
+                  5 + cfg.storeLatency);
+    }
+    EXPECT_FALSE(with_stores.canAccept(MemClass::Miss));
+    EXPECT_TRUE(with_stores.canAccept(MemClass::Hit));
+    EXPECT_EQ(with_stores.access(6, MemClass::Hit, true),
+              6 + cfg.storeLatency)
+        << "stores are accepted while the pool is full";
+    EXPECT_EQ(a, b) << "stores must not shift miss batching or latency";
+    EXPECT_EQ(with_stores.stores(), cfg.mshrLimit + 1);
+}
+
 TEST(MemSysDeath, AccessWithNoneClassPanics)
 {
     MemorySystem mem(smallConfig(), Rng(5));

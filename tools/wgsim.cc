@@ -7,6 +7,7 @@
  *   wgsim --bench all --technique ConvPG --csv results.csv
  *   wgsim --bench sgemm --scheduler gates --pg coordinated-blackout \
  *         --idle-detect 8 --bet 19 --wakeup 6 --adaptive --json out.json
+ *   wgsim --bench hotspot --trace=trace.jsonl --trace-format=jsonl
  *   wgsim --list
  */
 
@@ -18,6 +19,7 @@
 #include "common/args.hh"
 #include "core/warped_gates.hh"
 #include "report/export.hh"
+#include "trace/sink.hh"
 
 namespace {
 
@@ -127,6 +129,13 @@ main(int argc, char** argv)
     args.addBool("serial",
                  "run simulations serially instead of on the shared "
                  "thread pool (results are identical)");
+    args.addString("trace", "",
+                   "record a cycle-level event trace to this file "
+                   "(single benchmark only)");
+    args.addString("trace-format", "jsonl",
+                   "trace serialisation: chrome|jsonl|csv");
+    args.addInt("trace-sm", -1,
+                "record only this SM id (-1 = every SM)");
 
     if (!args.parse(argc, argv))
         return 2;
@@ -185,6 +194,24 @@ main(int argc, char** argv)
     else
         benches.push_back(args.getString("bench"));
 
+    trace::SinkFormat trace_format = trace::SinkFormat::Jsonl;
+    if (!trace::parseSinkFormat(args.getString("trace-format"),
+                                trace_format)) {
+        std::fprintf(stderr, "unknown trace format '%s'\n",
+                     args.getString("trace-format").c_str());
+        return 2;
+    }
+    const bool tracing = args.given("trace");
+    if (tracing && benches.size() != 1) {
+        std::fprintf(stderr,
+                     "--trace records one benchmark per file; pick a "
+                     "single --bench\n");
+        return 2;
+    }
+    trace::RecorderConfig trace_config;
+    trace_config.smFilter = args.getInt("trace-sm");
+    trace::Collector collector(trace_config);
+
     std::ostringstream csv;
     csv << csvHeader() << "\n";
 
@@ -197,16 +224,19 @@ main(int argc, char** argv)
     Gpu gpu(config);
     std::vector<SimResult> results;
     results.reserve(benches.size());
+    trace::Collector* coll = tracing ? &collector : nullptr;
     if (pool == nullptr) {
         for (const std::string& bench : benches)
-            results.push_back(gpu.run(findBenchmark(bench), nullptr));
+            results.push_back(
+                gpu.run(findBenchmark(bench), nullptr, coll));
     } else {
         std::vector<std::future<SimResult>> futures;
         futures.reserve(benches.size());
         for (const std::string& bench : benches) {
             const BenchmarkProfile& profile = findBenchmark(bench);
-            futures.push_back(pool->submit(
-                [&gpu, &profile, pool] { return gpu.run(profile, pool); }));
+            futures.push_back(pool->submit([&gpu, &profile, pool, coll] {
+                return gpu.run(profile, pool, coll);
+            }));
         }
         results = pool->waitAll(futures);
     }
@@ -228,6 +258,13 @@ main(int argc, char** argv)
     if (args.given("json") && !json.empty()) {
         writeFile(args.getString("json"), json);
         inform("wrote ", args.getString("json"));
+    }
+    if (tracing) {
+        trace::writeTraceFile(args.getString("trace"), collector,
+                              trace_format);
+        inform("wrote ", args.getString("trace"), " (",
+               collector.totalEvents(), " events, ",
+               collector.totalOverwritten(), " lost to wrap)");
     }
     return 0;
 }
