@@ -10,6 +10,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/threadpool.hh"
@@ -242,6 +247,105 @@ BM_Scoreboard(benchmark::State& state)
     }
 }
 
+/**
+ * Console reporter that additionally captures every run's adjusted
+ * real time and counters, so main() can derive the machine-readable
+ * BENCH summary (cycles/sec per technique, trace-overhead ratio, pool
+ * speedup) without re-running anything.
+ */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        double realMs = 0.0;
+        std::map<std::string, double> counters;
+    };
+
+    std::map<std::string, Entry> captured;
+
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& run : runs) {
+            if (run.error_occurred)
+                continue;
+            Entry e;
+            e.realMs = run.GetAdjustedRealTime();
+            for (const auto& kv : run.counters)
+                e.counters[kv.first] = kv.second.value;
+            captured[run.benchmark_name()] = e;
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+/** First captured entry whose name starts with @p prefix, or null. */
+const CaptureReporter::Entry*
+findRun(const CaptureReporter& rep, const std::string& prefix)
+{
+    for (const auto& [name, entry] : rep.captured)
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            return &entry;
+    return nullptr;
+}
+
+/**
+ * Derive the BENCH summary JSON. Sections whose benchmarks were
+ * filtered out of the run are omitted rather than zero-filled.
+ */
+std::string
+benchSummaryJson(const CaptureReporter& rep)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << "{\n  \"schema\": \"wg-bench-v1\",\n"
+       << "  \"benchmark\": \"micro_sim_throughput\"";
+
+    bool have_cps = false;
+    std::ostringstream cps;
+    for (Technique t : {Technique::Baseline, Technique::ConvPG,
+                        Technique::WarpedGates}) {
+        const auto* e = findRun(
+            rep, "BM_SmHotspot/" +
+                     std::to_string(static_cast<int>(t)));
+        if (!e)
+            continue;
+        auto it = e->counters.find("cycles/s");
+        if (it == e->counters.end())
+            continue;
+        if (have_cps)
+            cps << ",\n";
+        cps << "    \"" << techniqueName(t) << "\": " << it->second;
+        have_cps = true;
+    }
+    if (have_cps)
+        os << ",\n  \"sm_cycles_per_sec\": {\n" << cps.str() << "\n  }";
+
+    if (const auto* e = findRun(rep, "BM_TraceOverheadHotspot")) {
+        os << ",\n  \"trace\": {\"off_ms\": "
+           << e->counters.at("off_ms")
+           << ", \"on_ms\": " << e->counters.at("on_ms")
+           << ", \"overhead_pct\": " << e->counters.at("overhead_pct")
+           << ", \"events\": " << e->counters.at("events") << "}";
+    }
+
+    const auto* serial = findRun(rep, "BM_SuiteSweepSerial");
+    const auto* pooled = findRun(rep, "BM_SuiteSweepPooled");
+    if (serial && pooled) {
+        os << ",\n  \"sweep\": {\"serial_ms\": " << serial->realMs
+           << ", \"pooled_ms\": " << pooled->realMs
+           << ", \"pool_speedup\": "
+           << (pooled->realMs > 0.0 ? serial->realMs / pooled->realMs
+                                    : 0.0)
+           << ", \"sims\": " << serial->counters.at("sims")
+           << ", \"threads\": " << pooled->counters.at("threads")
+           << "}";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
 } // namespace
 
 BENCHMARK(BM_SmHotspot)
@@ -265,4 +369,44 @@ BENCHMARK(BM_SuiteSweepPooled)
 BENCHMARK(BM_PgDomainTick);
 BENCHMARK(BM_Scoreboard);
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: standard google-benchmark flags plus
+ * `--bench-json=PATH` (default BENCH_micro_sim_throughput.json, empty
+ * disables) for the machine-readable summary CI archives.
+ */
+int
+main(int argc, char** argv)
+{
+    std::string json_path = "BENCH_micro_sim_throughput.json";
+    std::vector<char*> passthrough;
+    passthrough.reserve(static_cast<std::size_t>(argc));
+    const std::string kFlag = "--bench-json=";
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.compare(0, kFlag.size(), kFlag) == 0)
+            json_path = arg.substr(kFlag.size());
+        else
+            passthrough.push_back(argv[i]);
+    }
+    int pass_argc = static_cast<int>(passthrough.size());
+
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data()))
+        return 1;
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "cannot open '" << json_path
+                      << "' for writing\n";
+            return 1;
+        }
+        out << benchSummaryJson(reporter);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}

@@ -93,8 +93,32 @@ ThreadPool::tryRunOne()
         if (!popTask(preferred, task))
             return false;
     }
-    task();
+    runTask(task);
     return true;
+}
+
+void
+ThreadPool::runTask(std::function<void()>& task)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    task();
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    busy_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                       std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    PoolStats s;
+    s.tasksExecuted = tasks_executed_.load(std::memory_order_relaxed);
+    s.busySeconds =
+        static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
+        1e-9;
+    return s;
 }
 
 void
@@ -132,7 +156,7 @@ ThreadPool::workerLoop(unsigned index)
             if (!task && !popTask(index, task))
                 continue;
         }
-        task();
+        runTask(task);
     }
 }
 

@@ -20,8 +20,10 @@
 #ifndef WG_COMMON_THREADPOOL_HH
 #define WG_COMMON_THREADPOOL_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -32,6 +34,13 @@
 #include <vector>
 
 namespace wg {
+
+/** Lifetime execution counters of a pool (self-profiling). */
+struct PoolStats
+{
+    std::uint64_t tasksExecuted = 0; ///< tasks run to completion
+    double busySeconds = 0.0;        ///< summed task execution time
+};
 
 class ThreadPool
 {
@@ -100,8 +109,18 @@ class ThreadPool
      */
     bool tryRunOne();
 
+    /**
+     * Tasks executed and summed busy time since construction. The two
+     * counters are sampled independently (not a consistent snapshot);
+     * utilization derived from them is a profiling estimate. Summed
+     * busy time can exceed wall-clock time on a multi-worker pool —
+     * utilization = busySeconds / (elapsed * size()).
+     */
+    PoolStats stats() const;
+
   private:
     void enqueue(std::function<void()> fn);
+    void runTask(std::function<void()>& task);
     void workerLoop(unsigned index);
     bool popTask(unsigned preferred, std::function<void()>& out);
     void helpWhile(const std::function<bool()>& busy);
@@ -115,6 +134,11 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::size_t next_ = 0; ///< round-robin target for external submits
     bool stop_ = false;
+
+    // Self-profiling counters; relaxed atomics, the two are not a
+    // consistent pair (see stats()).
+    std::atomic<std::uint64_t> tasks_executed_{0};
+    std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 } // namespace wg

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tolerance-gated comparison of two metric registries — the engine
+ * behind `wgreport`, usable from CI as a perf/energy trajectory gate.
+ */
+
+#ifndef WG_METRICS_COMPARE_HH
+#define WG_METRICS_COMPARE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace wg::metrics {
+
+/** Comparison policy. */
+struct CompareOptions
+{
+    /** Global relative tolerance: |test - base| / |base| above this
+     *  flags the metric. 0 = exact match required. */
+    double relTol = 0.0;
+
+    /** Absolute floor: deltas at or below this never flag, and a
+     *  zero-baseline metric flags only beyond it. Absorbs FP noise. */
+    double absTol = 1e-12;
+
+    /** Per-metric relative-tolerance overrides (exact-name match). */
+    std::map<std::string, double> perMetric;
+
+    /** Name prefixes excluded from comparison. `profile.` metrics are
+     *  wall-clock and never comparable across runs. */
+    std::vector<std::string> ignorePrefixes = {"profile."};
+};
+
+/** One metric's comparison outcome. */
+struct MetricDelta
+{
+    std::string name;
+    double base = 0.0;
+    double test = 0.0;
+    double delta = 0.0;     ///< test - base
+    double rel = 0.0;       ///< delta / |base| (0 when base == 0)
+    bool onlyInBase = false;
+    bool onlyInTest = false;
+    bool beyondTolerance = false;
+};
+
+/** Full comparison outcome. */
+struct CompareReport
+{
+    std::vector<MetricDelta> deltas; ///< union of names, name order
+    std::size_t compared = 0;        ///< metrics examined
+    std::size_t changed = 0;         ///< nonzero delta or missing
+    std::size_t regressions = 0;     ///< beyond tolerance
+};
+
+/** Compare @p test against @p base under @p opts. */
+CompareReport compareStatSets(const StatSet& base, const StatSet& test,
+                              const CompareOptions& opts = {});
+
+/**
+ * Render the report as a terminal table. @p show_all includes
+ * unchanged metrics; otherwise only changed ones are listed.
+ */
+Table renderComparison(const CompareReport& report,
+                       const std::string& base_label,
+                       const std::string& test_label, bool show_all);
+
+} // namespace wg::metrics
+
+#endif // WG_METRICS_COMPARE_HH

@@ -1,0 +1,236 @@
+#include "exporters.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace wg::metrics {
+
+namespace {
+
+/**
+ * The epoch-sample schema, shared by the CSV header, the CSV rows and
+ * the JSONL epoch objects so the two series formats cannot diverge.
+ */
+struct EpochField
+{
+    const char* name;
+    std::uint64_t (*get)(const EpochSample&);
+};
+
+constexpr EpochField kEpochFields[] = {
+    {"issued", [](const EpochSample& s) { return s.delta.issued; }},
+    {"intBusyCycles",
+     [](const EpochSample& s) { return s.delta.intBusyCycles; }},
+    {"intGatedCycles",
+     [](const EpochSample& s) { return s.delta.intGatedCycles; }},
+    {"intCompCycles",
+     [](const EpochSample& s) { return s.delta.intCompCycles; }},
+    {"intGatingEvents",
+     [](const EpochSample& s) { return s.delta.intGatingEvents; }},
+    {"intWakeups",
+     [](const EpochSample& s) { return s.delta.intWakeups; }},
+    {"intCriticalWakeups",
+     [](const EpochSample& s) { return s.delta.intCriticalWakeups; }},
+    {"intIdleDetect",
+     [](const EpochSample& s) {
+         return static_cast<std::uint64_t>(s.delta.intIdleDetect);
+     }},
+    {"fpBusyCycles",
+     [](const EpochSample& s) { return s.delta.fpBusyCycles; }},
+    {"fpGatedCycles",
+     [](const EpochSample& s) { return s.delta.fpGatedCycles; }},
+    {"fpCompCycles",
+     [](const EpochSample& s) { return s.delta.fpCompCycles; }},
+    {"fpGatingEvents",
+     [](const EpochSample& s) { return s.delta.fpGatingEvents; }},
+    {"fpWakeups",
+     [](const EpochSample& s) { return s.delta.fpWakeups; }},
+    {"fpCriticalWakeups",
+     [](const EpochSample& s) { return s.delta.fpCriticalWakeups; }},
+    {"fpIdleDetect",
+     [](const EpochSample& s) {
+         return static_cast<std::uint64_t>(s.delta.fpIdleDetect);
+     }},
+    {"memMisses",
+     [](const EpochSample& s) { return s.delta.memMisses; }},
+    {"mshrRejects",
+     [](const EpochSample& s) { return s.delta.mshrRejects; }},
+    {"wakeupRequests",
+     [](const EpochSample& s) { return s.delta.wakeupRequests; }},
+    {"activeAccum",
+     [](const EpochSample& s) { return s.delta.activeAccum; }},
+};
+
+/** Visit every sample in SM-major, epoch-minor order. */
+template <typename Fn>
+void
+forEachSample(const Collector& collector, Fn&& fn)
+{
+    for (SmId sm = 0; sm < collector.numSms(); ++sm) {
+        const EpochSampler* sampler = collector.sampler(sm);
+        if (!sampler)
+            continue;
+        for (const EpochSample& s : sampler->samples())
+            fn(sm, s);
+    }
+}
+
+} // namespace
+
+const char*
+metricsFormatName(MetricsFormat format)
+{
+    switch (format) {
+      case MetricsFormat::Csv: return "csv";
+      case MetricsFormat::Jsonl: return "jsonl";
+      case MetricsFormat::Prom: return "prom";
+    }
+    return "?";
+}
+
+bool
+parseMetricsFormat(const std::string& name, MetricsFormat& out)
+{
+    for (MetricsFormat f : {MetricsFormat::Csv, MetricsFormat::Jsonl,
+                            MetricsFormat::Prom}) {
+        if (name == metricsFormatName(f)) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+formatMetricValue(double value)
+{
+    constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < kMaxExactInt) {
+        return std::to_string(static_cast<long long>(value));
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+promName(const std::string& name)
+{
+    std::string out = "wg_";
+    out.reserve(name.size() + 3);
+    for (char c : name)
+        out += c == '.' ? '_' : c;
+    return out;
+}
+
+void
+writeProm(std::ostream& os, const StatSet& set)
+{
+    for (const auto& [name, value] : set.entries()) {
+        std::string pn = promName(name);
+        os << "# TYPE " << pn << " gauge\n"
+           << pn << ' ' << formatMetricValue(value) << '\n';
+    }
+    os << "# EOF\n";
+}
+
+void
+writeMetricsJsonl(std::ostream& os, const Collector* collector,
+                  const StatSet& set)
+{
+    os << "{\"type\":\"meta\",\"format\":\"wgmetrics\",\"version\":1";
+    if (collector) {
+        os << ",\"epochLength\":" << collector->epochLength()
+           << ",\"numSms\":" << collector->numSms();
+    }
+    os << "}\n";
+
+    if (collector) {
+        forEachSample(*collector, [&](SmId sm, const EpochSample& s) {
+            os << "{\"type\":\"epoch\",\"sm\":" << sm
+               << ",\"epoch\":" << s.epoch
+               << ",\"cycleEnd\":" << s.cycleEnd
+               << ",\"cycles\":" << s.cycles;
+            for (const EpochField& f : kEpochFields)
+                os << ",\"" << f.name << "\":" << f.get(s);
+            os << "}\n";
+        });
+    }
+
+    os << "{\"type\":\"final\",\"stats\":{";
+    bool first = true;
+    for (const auto& [name, value] : set.entries()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << name << "\":" << formatMetricValue(value);
+    }
+    os << "}}\n";
+}
+
+void
+writeMetricsCsv(std::ostream& os, const Collector* collector,
+                const StatSet& set)
+{
+    os << "# wgmetrics v1";
+    if (collector) {
+        os << " epochLength=" << collector->epochLength()
+           << " numSms=" << collector->numSms();
+    }
+    os << '\n';
+
+    if (collector) {
+        os << "sm,epoch,cycleEnd,cycles";
+        for (const EpochField& f : kEpochFields)
+            os << ',' << f.name;
+        os << '\n';
+        forEachSample(*collector, [&](SmId sm, const EpochSample& s) {
+            os << sm << ',' << s.epoch << ',' << s.cycleEnd << ','
+               << s.cycles;
+            for (const EpochField& f : kEpochFields)
+                os << ',' << f.get(s);
+            os << '\n';
+        });
+    }
+
+    os << "# final\nname,value\n";
+    for (const auto& [name, value] : set.entries())
+        os << name << ',' << formatMetricValue(value) << '\n';
+}
+
+void
+writeMetrics(std::ostream& os, const Collector* collector,
+             const StatSet& set, MetricsFormat format)
+{
+    switch (format) {
+      case MetricsFormat::Csv:
+        writeMetricsCsv(os, collector, set);
+        return;
+      case MetricsFormat::Jsonl:
+        writeMetricsJsonl(os, collector, set);
+        return;
+      case MetricsFormat::Prom:
+        writeProm(os, set);
+        return;
+    }
+    panic("writeMetrics: bad format");
+}
+
+void
+writeMetricsFile(const std::string& path, const Collector* collector,
+                 const StatSet& set, MetricsFormat format)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    writeMetrics(out, collector, set, format);
+    if (!out)
+        fatal("write to '", path, "' failed");
+}
+
+} // namespace wg::metrics

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Metrics serialisation: the final StatSet registry and the per-SM
+ * epoch time-series, in three formats.
+ *
+ *   - prom  — OpenMetrics/Prometheus text exposition of the final
+ *             registry only (`wg_` prefix, '.' -> '_', `# EOF`).
+ *   - jsonl — one meta line, one flat JSON object per epoch sample,
+ *             then a `{"type":"final","stats":{...}}` registry line.
+ *             The lossless machine format wgreport consumes.
+ *   - csv   — `# wgmetrics` header, the epoch series as rows, then a
+ *             `# final` section of name,value registry lines.
+ *
+ * All exporters drain samplers in ascending SM order and samples in
+ * epoch order, and format numbers deterministically (integers exactly,
+ * doubles with round-trip precision), so output depends only on the
+ * simulated work — a pooled run's file is byte-identical to the serial
+ * run's.
+ */
+
+#ifndef WG_METRICS_EXPORTERS_HH
+#define WG_METRICS_EXPORTERS_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "common/stats.hh"
+#include "metrics/sampler.hh"
+
+namespace wg::metrics {
+
+/** Serialisation formats (the --metrics-format spellings). */
+enum class MetricsFormat : std::uint8_t { Csv, Jsonl, Prom };
+
+/** Printable format name. */
+const char* metricsFormatName(MetricsFormat format);
+
+/** Parse a --metrics-format value. @return false when unknown. */
+bool parseMetricsFormat(const std::string& name, MetricsFormat& out);
+
+/**
+ * Deterministic number formatting: integral values (|v| < 2^53) print
+ * without a decimal point, everything else with round-trip (%.17g)
+ * precision, so load(export(set)) == set exactly.
+ */
+std::string formatMetricValue(double value);
+
+/**
+ * Serialise @p set (and, for csv/jsonl, @p collector's epoch series)
+ * to @p os. @p collector may be null: csv/jsonl then carry the final
+ * registry only.
+ */
+void writeMetrics(std::ostream& os, const Collector* collector,
+                  const StatSet& set, MetricsFormat format);
+
+/** OpenMetrics text exposition of the registry (no series). */
+void writeProm(std::ostream& os, const StatSet& set);
+
+/** JSONL: meta, epoch samples, final registry. */
+void writeMetricsJsonl(std::ostream& os, const Collector* collector,
+                       const StatSet& set);
+
+/** CSV: epoch-series rows plus a `# final` registry section. */
+void writeMetricsCsv(std::ostream& os, const Collector* collector,
+                     const StatSet& set);
+
+/** Serialise to @p path; fatal() on I/O failure. */
+void writeMetricsFile(const std::string& path,
+                      const Collector* collector, const StatSet& set,
+                      MetricsFormat format);
+
+/** Registry name -> Prometheus sample name (`wg_` + '.' -> '_'). */
+std::string promName(const std::string& name);
+
+} // namespace wg::metrics
+
+#endif // WG_METRICS_EXPORTERS_HH

@@ -1,0 +1,359 @@
+#include "loader.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace wg::metrics {
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON reader, just enough for the wgsim
+ * result documents and the wgmetrics JSONL lines. Numeric/boolean
+ * leaves are emitted into a StatSet under dotted keys; strings and
+ * nulls parse but emit nothing.
+ */
+class JsonFlattener
+{
+  public:
+    JsonFlattener(const std::string& text, StatSet& out)
+        : text_(text), out_(out)
+    {
+    }
+
+    bool
+    run(std::string& error)
+    {
+        pos_ = 0;
+        if (!value("")) {
+            error = error_.empty() ? "malformed JSON" : error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = "trailing content after JSON document";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    fail(const std::string& what)
+    {
+        error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("bad escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u':
+                    // Registry names are ASCII; keep the raw escape.
+                    if (pos_ + 4 > text_.size())
+                        return fail("bad \\u escape");
+                    out += "\\u" + text_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                  default: return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    value(const std::string& key)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return object(key);
+        if (c == '[')
+            return array(key);
+        if (c == '"') {
+            std::string ignored;
+            return parseString(ignored);
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            if (!key.empty())
+                out_.set(key, 1.0);
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            if (!key.empty())
+                out_.set(key, 0.0);
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        return number(key);
+    }
+
+    bool
+    number(const std::string& key)
+    {
+        const char* start = text_.c_str() + pos_;
+        char* end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a value");
+        pos_ += static_cast<std::size_t>(end - start);
+        if (!key.empty())
+            out_.set(key, v);
+        return true;
+    }
+
+    bool
+    object(const std::string& prefix)
+    {
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string name;
+            skipWs();
+            if (!parseString(name))
+                return false;
+            if (!consume(':'))
+                return false;
+            std::string key =
+                prefix.empty() ? name : prefix + "." + name;
+            if (!value(key))
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    array(const std::string& prefix)
+    {
+        if (!consume('['))
+            return false;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        std::size_t index = 0;
+        for (;;) {
+            std::string key = prefix.empty()
+                                  ? std::to_string(index)
+                                  : prefix + "." +
+                                        std::to_string(index);
+            if (!value(key))
+                return false;
+            ++index;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+
+    const std::string& text_;
+    StatSet& out_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+/** Dotted registry name from a Prometheus sample name. */
+std::string
+fromPromName(const std::string& name)
+{
+    std::string out =
+        name.compare(0, 3, "wg_") == 0 ? name.substr(3) : name;
+    for (char& c : out)
+        if (c == '_')
+            c = '.';
+    return out;
+}
+
+bool
+parseProm(const std::string& content, StatSet& out, std::string& error)
+{
+    std::istringstream is(content);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::size_t space = line.find(' ');
+        if (space == std::string::npos) {
+            error = "malformed exposition line: " + line;
+            return false;
+        }
+        char* end = nullptr;
+        double v = std::strtod(line.c_str() + space + 1, &end);
+        if (end == line.c_str() + space + 1) {
+            error = "bad sample value: " + line;
+            return false;
+        }
+        out.set(fromPromName(line.substr(0, space)), v);
+    }
+    return true;
+}
+
+bool
+parseFinalCsv(const std::string& content, StatSet& out,
+              std::string& error)
+{
+    std::istringstream is(content);
+    std::string line;
+    bool in_final = false;
+    bool seen_final = false;
+    while (std::getline(is, line)) {
+        if (line.rfind("# final", 0) == 0) {
+            in_final = true;
+            seen_final = true;
+            continue;
+        }
+        if (!in_final || line.empty() || line[0] == '#' ||
+            line == "name,value")
+            continue;
+        std::size_t comma = line.rfind(',');
+        if (comma == std::string::npos) {
+            error = "malformed final-section line: " + line;
+            return false;
+        }
+        out.set(line.substr(0, comma),
+                std::strtod(line.c_str() + comma + 1, nullptr));
+    }
+    if (!seen_final) {
+        error = "no '# final' section in metrics CSV";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseJsonl(const std::string& content, StatSet& out, std::string& error)
+{
+    std::istringstream is(content);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.find("\"type\":\"final\"") == std::string::npos)
+            continue;
+        StatSet flat;
+        if (!flattenJson(line, flat, error))
+            return false;
+        // Strip the enclosing {"type":"final","stats":{...}} level.
+        for (const auto& [name, value] : flat.entries()) {
+            if (name.rfind("stats.", 0) == 0)
+                out.set(name.substr(6), value);
+        }
+        return true;
+    }
+    error = "no final-registry line in metrics JSONL";
+    return false;
+}
+
+} // namespace
+
+bool
+flattenJson(const std::string& json, StatSet& out, std::string& error)
+{
+    return JsonFlattener(json, out).run(error);
+}
+
+bool
+parseStatSet(const std::string& content, StatSet& out,
+             std::string& error)
+{
+    std::size_t first = content.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+        error = "empty input";
+        return false;
+    }
+    if (content[first] == '{') {
+        // wgmetrics JSONL (typed lines) or a plain JSON document.
+        std::size_t eol = content.find('\n', first);
+        std::string head = content.substr(
+            first, eol == std::string::npos ? std::string::npos
+                                            : eol - first);
+        if (head.find("\"wgmetrics\"") != std::string::npos)
+            return parseJsonl(content, out, error);
+        return flattenJson(content, out, error);
+    }
+    if (content.compare(first, 11, "# wgmetrics") == 0)
+        return parseFinalCsv(content, out, error);
+    // Everything else: OpenMetrics text exposition.
+    return parseProm(content, out, error);
+}
+
+StatSet
+loadStatSet(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    StatSet out;
+    std::string error;
+    if (!parseStatSet(buf.str(), out, error))
+        fatal("cannot parse '", path, "': ", error);
+    return out;
+}
+
+} // namespace wg::metrics

@@ -1,0 +1,161 @@
+#include "registry.hh"
+
+namespace wg::metrics {
+
+void
+appendPgDomainStats(StatSet& set, const std::string& prefix,
+                    const PgDomainStats& s)
+{
+    set.set(prefix + ".busyCycles", static_cast<double>(s.busyCycles));
+    set.set(prefix + ".idleOnCycles",
+            static_cast<double>(s.idleOnCycles));
+    set.set(prefix + ".uncompCycles",
+            static_cast<double>(s.uncompCycles));
+    set.set(prefix + ".compCycles", static_cast<double>(s.compCycles));
+    set.set(prefix + ".wakeupCycles",
+            static_cast<double>(s.wakeupCycles));
+    set.set(prefix + ".gatingEvents",
+            static_cast<double>(s.gatingEvents));
+    set.set(prefix + ".wakeups", static_cast<double>(s.wakeups));
+    set.set(prefix + ".uncompWakeups",
+            static_cast<double>(s.uncompWakeups));
+    set.set(prefix + ".criticalWakeups",
+            static_cast<double>(s.criticalWakeups));
+    set.set(prefix + ".coordImmediateGates",
+            static_cast<double>(s.coordImmediateGates));
+    set.set(prefix + ".coordGateVetoes",
+            static_cast<double>(s.coordGateVetoes));
+}
+
+void
+appendClusterStats(StatSet& set, const std::string& prefix,
+                   const ClusterStats& s)
+{
+    appendPgDomainStats(set, prefix, s.pg);
+    set.set(prefix + ".issues", static_cast<double>(s.issues));
+}
+
+void
+appendUnitEnergy(StatSet& set, const std::string& prefix,
+                 const UnitEnergy& e)
+{
+    set.set(prefix + ".dynamicJ", e.dynamicE);
+    set.set(prefix + ".staticJ", e.staticE);
+    set.set(prefix + ".overheadJ", e.overheadE);
+    set.set(prefix + ".staticSavedJ", e.staticSaved);
+    set.set(prefix + ".staticNoPgJ", e.staticNoPg);
+    set.set(prefix + ".totalJ", e.total());
+    set.set(prefix + ".savingsRatio", e.staticSavingsRatio());
+}
+
+void
+appendSmStats(StatSet& set, const std::string& prefix, const SmStats& s)
+{
+    set.set(prefix + ".cycles", static_cast<double>(s.cycles));
+    set.set(prefix + ".completed", s.completed ? 1.0 : 0.0);
+
+    set.set(prefix + ".instructions",
+            static_cast<double>(s.issuedTotal));
+    static const char* kClassNames[kNumUnitClasses] = {"int", "fp",
+                                                       "sfu", "ldst"};
+    for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+        set.set(prefix + ".issued." + kClassNames[c],
+                static_cast<double>(s.issuedByClass[c]));
+
+    static const char* kClusterNames[2][2] = {{"int0", "int1"},
+                                              {"fp0", "fp1"}};
+    for (unsigned t = 0; t < 2; ++t)
+        for (unsigned c = 0; c < 2; ++c)
+            appendClusterStats(set,
+                               prefix + ".pg." + kClusterNames[t][c],
+                               s.clusters[t][c]);
+    appendClusterStats(set, prefix + ".pg.sfu", s.sfuCluster);
+
+    set.set(prefix + ".units.sfuBusyCycles",
+            static_cast<double>(s.sfuBusyCycles));
+    set.set(prefix + ".units.ldstBusyCycles",
+            static_cast<double>(s.ldstBusyCycles));
+
+    set.set(prefix + ".sched.activeSizeAccum",
+            static_cast<double>(s.activeSizeAccum));
+    set.set(prefix + ".sched.activeSizeMax",
+            static_cast<double>(s.activeSizeMax));
+    set.set(prefix + ".sched.prioritySwitches",
+            static_cast<double>(s.prioritySwitches));
+    set.set(prefix + ".sched.wakeupRequests",
+            static_cast<double>(s.wakeupRequests));
+
+    set.set(prefix + ".mem.hits", static_cast<double>(s.memHits));
+    set.set(prefix + ".mem.misses", static_cast<double>(s.memMisses));
+    set.set(prefix + ".mem.stores", static_cast<double>(s.memStores));
+    set.set(prefix + ".mem.mshrRejects",
+            static_cast<double>(s.mshrRejects));
+
+    static const char* kTypeNames[2] = {"int", "fp"};
+    for (unsigned t = 0; t < 2; ++t) {
+        const std::string p = prefix + ".adaptive." + kTypeNames[t];
+        set.set(p + ".finalIdleDetect",
+                static_cast<double>(s.finalIdleDetect[t]));
+        set.set(p + ".increments",
+                static_cast<double>(s.adaptIncrements[t]));
+        set.set(p + ".decrements",
+                static_cast<double>(s.adaptDecrements[t]));
+    }
+}
+
+StatSet
+toStatSet(const SimResult& r)
+{
+    StatSet set;
+
+    // The aggregate is an SmStats whose `cycles` is the per-SM sum;
+    // correct the headline entries to the result's semantics below.
+    appendSmStats(set, "gpu", r.aggregate);
+    set.set("gpu.cycles", static_cast<double>(r.cycles));
+    set.set("gpu.totalSmCycles", static_cast<double>(r.totalSmCycles));
+
+    set.set("gpu.ipc", r.ipc());
+    set.set("gpu.avgActiveWarps", r.aggregate.avgActiveWarps());
+    set.set("gpu.numSms", static_cast<double>(r.smCycles.size()));
+
+    // Per-type rollups (both clusters of the type) plus the derived
+    // per-figure fractions, so every CSV/JSON export column has a
+    // registry twin.
+    for (UnitClass uc : {UnitClass::Int, UnitClass::Fp}) {
+        const std::string p = std::string("gpu.pg.") +
+                              (uc == UnitClass::Int ? "int" : "fp");
+        appendPgDomainStats(set, p, r.typeStats(uc));
+        double busy_frac = 0.0;
+        if (r.totalSmCycles > 0)
+            busy_frac = static_cast<double>(r.typeStats(uc).busyCycles) /
+                        (2.0 * static_cast<double>(r.totalSmCycles));
+        set.set(p + ".busyFraction", busy_frac);
+        set.set(p + ".idleFraction", r.idleFraction(uc));
+        set.set(p + ".compensatedNetFraction",
+                r.compensatedNetFraction(uc));
+        set.set(p + ".criticalWakeupsPer1k",
+                r.criticalWakeupsPer1k(uc));
+    }
+
+    appendUnitEnergy(set, "gpu.energy.int", r.intEnergy);
+    appendUnitEnergy(set, "gpu.energy.fp", r.fpEnergy);
+    appendUnitEnergy(set, "gpu.energy.sfu", r.sfuEnergy);
+    appendUnitEnergy(set, "gpu.energy.ldst", r.ldstEnergy);
+
+    for (std::size_t s = 0; s < r.smCycles.size(); ++s)
+        set.set("sm" + std::to_string(s) + ".cycles",
+                static_cast<double>(r.smCycles[s]));
+
+    const PgParams& pg = r.config.sm.pg;
+    set.set("config.numSms", static_cast<double>(r.config.numSms));
+    set.set("config.seed", static_cast<double>(r.config.seed));
+    set.set("config.adaptive", pg.adaptiveIdleDetect ? 1.0 : 0.0);
+    set.set("config.gateSfu", pg.gateSfu ? 1.0 : 0.0);
+    set.set("config.idleDetect", static_cast<double>(pg.idleDetect));
+    set.set("config.breakEven", static_cast<double>(pg.breakEven));
+    set.set("config.wakeupDelay", static_cast<double>(pg.wakeupDelay));
+    set.set("config.epochLength", static_cast<double>(pg.epochLength));
+    return set;
+}
+
+} // namespace wg::metrics

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Conversion of the simulator's statistics structs into the common
+ * StatSet registry under stable dotted names.
+ *
+ * Naming scheme (see DESIGN.md §11):
+ *   gpu.cycles, gpu.ipc, gpu.instructions, ...      headline metrics
+ *   gpu.issued.{int,fp,sfu,ldst}                    per-class issues
+ *   gpu.pg.{int0,int1,fp0,fp1,sfu}.<counter>        per-cluster gating
+ *   gpu.pg.{int,fp}.<counter|busyFraction|...>      per-type rollups
+ *   gpu.sched.*, gpu.mem.*, gpu.adaptive.{int,fp}.* subsystems
+ *   gpu.energy.{int,fp,sfu,ldst}.<ledger>           energy ledgers
+ *   sm<N>.cycles                                    per-SM runtimes
+ *   config.*                                        numeric run config
+ *
+ * Names never contain '_' so the Prometheus exposition's '.' -> '_'
+ * mapping stays bijective. Everything is enumerable, mergeable
+ * (StatSet::merge / mergePrefixed) and exportable without bespoke
+ * plumbing per figure.
+ */
+
+#ifndef WG_METRICS_REGISTRY_HH
+#define WG_METRICS_REGISTRY_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "pg/domain.hh"
+#include "power/energymodel.hh"
+#include "sim/result.hh"
+#include "sim/smstats.hh"
+
+namespace wg::metrics {
+
+/** Add a domain's counters under `<prefix>.<counter>`. */
+void appendPgDomainStats(StatSet& set, const std::string& prefix,
+                         const PgDomainStats& stats);
+
+/** Add a cluster's gating counters and issue count. */
+void appendClusterStats(StatSet& set, const std::string& prefix,
+                        const ClusterStats& stats);
+
+/** Add an energy ledger under `<prefix>.<field>J` / ratios. */
+void appendUnitEnergy(StatSet& set, const std::string& prefix,
+                      const UnitEnergy& energy);
+
+/**
+ * Add everything one SM run produced under `<prefix>.`:
+ * cycles, issued.*, pg.*, sched.*, mem.*, adaptive.*.
+ */
+void appendSmStats(StatSet& set, const std::string& prefix,
+                   const SmStats& stats);
+
+/**
+ * Full registry of one simulation result: the aggregate SmStats under
+ * `gpu.` (with gpu.cycles corrected to the wall-clock runtime and
+ * gpu.totalSmCycles holding the per-SM sum), per-type rollups, derived
+ * figure metrics, energy ledgers, per-SM runtimes, and the numeric
+ * configuration under `config.`.
+ */
+StatSet toStatSet(const SimResult& result);
+
+} // namespace wg::metrics
+
+#endif // WG_METRICS_REGISTRY_HH

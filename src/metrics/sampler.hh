@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Epoch-resolution metrics sampling.
+ *
+ * The paper's adaptive idle-detect mechanism works in 1000-cycle
+ * epochs; this sampler snapshots the key gating/scheduler/memory
+ * counters at exactly those boundaries so a run becomes a compact
+ * time-series instead of a single end-of-run aggregate. The SM fills
+ * an EpochCounters snapshot from its live counters and the sampler
+ * stores the per-epoch deltas.
+ *
+ * Everything here is header-only on purpose: the SM (wg::sim) drives
+ * the sampler from its step loop, while the exporters (wg::metrics)
+ * sit above wg::sim — keeping the sampler header-only avoids a link
+ * cycle between the two libraries.
+ *
+ * Concurrency contract (mirrors trace::Collector): the Collector
+ * pre-creates one EpochSampler per SM before any pool job is
+ * dispatched, each SM touches only its own sampler, and serialisation
+ * drains samplers in SM order — so pooled and serial runs produce
+ * bit-identical metrics files.
+ */
+
+#ifndef WG_METRICS_SAMPLER_HH
+#define WG_METRICS_SAMPLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "metrics/phase_timer.hh"
+
+namespace wg::metrics {
+
+/**
+ * Cumulative counter snapshot one SM hands to its sampler at an epoch
+ * boundary. INT/FP values are summed over both clusters of the type.
+ */
+struct EpochCounters
+{
+    std::uint64_t issued = 0;         ///< warp instructions issued
+
+    std::uint64_t intBusyCycles = 0;
+    std::uint64_t intGatedCycles = 0; ///< uncompensated + compensated
+    std::uint64_t intCompCycles = 0;
+    std::uint64_t intGatingEvents = 0;
+    std::uint64_t intWakeups = 0;
+    std::uint64_t intCriticalWakeups = 0;
+
+    std::uint64_t fpBusyCycles = 0;
+    std::uint64_t fpGatedCycles = 0;
+    std::uint64_t fpCompCycles = 0;
+    std::uint64_t fpGatingEvents = 0;
+    std::uint64_t fpWakeups = 0;
+    std::uint64_t fpCriticalWakeups = 0;
+
+    std::uint64_t memMisses = 0;
+    std::uint64_t mshrRejects = 0;
+    std::uint64_t wakeupRequests = 0;
+    std::uint64_t activeAccum = 0;    ///< sum of active-set sizes
+
+    Cycle intIdleDetect = 0;          ///< gauge: post-epoch window
+    Cycle fpIdleDetect = 0;           ///< gauge: post-epoch window
+};
+
+/** One epoch's deltas (gauges excepted) for one SM. */
+struct EpochSample
+{
+    std::uint32_t epoch = 0;  ///< epoch index, 0-based
+    Cycle cycleEnd = 0;       ///< cycles completed when sampled
+    Cycle cycles = 0;         ///< cycles covered (== epoch length,
+                              ///< except a final partial epoch)
+    EpochCounters delta;      ///< counter deltas; idle-detect fields
+                              ///< are end-of-epoch gauges, not deltas
+};
+
+/**
+ * Per-SM epoch time-series. The SM calls sample() whenever the epoch
+ * clock rolls over (the same (now+1) % epochLength == 0 boundary
+ * PgController uses for adaptive idle detect) and finalize() once at
+ * end of run to flush a trailing partial epoch.
+ */
+class EpochSampler
+{
+  public:
+    EpochSampler(SmId sm, Cycle epoch_length)
+        : sm_(sm), epoch_length_(epoch_length ? epoch_length : 1)
+    {
+    }
+
+    SmId sm() const { return sm_; }
+    Cycle epochLength() const { return epoch_length_; }
+
+    /** Close the epoch ending at @p cycle_end (cycles completed). */
+    void
+    sample(Cycle cycle_end, const EpochCounters& cum)
+    {
+        EpochSample s;
+        s.epoch = static_cast<std::uint32_t>(samples_.size());
+        s.cycleEnd = cycle_end;
+        s.cycles = cycle_end - last_cycle_;
+        s.delta = diff(cum, prev_);
+        samples_.push_back(s);
+        prev_ = cum;
+        last_cycle_ = cycle_end;
+    }
+
+    /**
+     * Flush the trailing partial epoch, if any cycles have elapsed
+     * since the last boundary. Idempotent for a fixed @p cycle_end.
+     */
+    void
+    finalize(Cycle cycle_end, const EpochCounters& cum)
+    {
+        if (cycle_end > last_cycle_)
+            sample(cycle_end, cum);
+    }
+
+    const std::vector<EpochSample>& samples() const { return samples_; }
+
+  private:
+    /** Counter deltas @p a - @p b; gauges are taken from @p a. */
+    static EpochCounters
+    diff(const EpochCounters& a, const EpochCounters& b)
+    {
+        EpochCounters d;
+        d.issued = a.issued - b.issued;
+        d.intBusyCycles = a.intBusyCycles - b.intBusyCycles;
+        d.intGatedCycles = a.intGatedCycles - b.intGatedCycles;
+        d.intCompCycles = a.intCompCycles - b.intCompCycles;
+        d.intGatingEvents = a.intGatingEvents - b.intGatingEvents;
+        d.intWakeups = a.intWakeups - b.intWakeups;
+        d.intCriticalWakeups =
+            a.intCriticalWakeups - b.intCriticalWakeups;
+        d.fpBusyCycles = a.fpBusyCycles - b.fpBusyCycles;
+        d.fpGatedCycles = a.fpGatedCycles - b.fpGatedCycles;
+        d.fpCompCycles = a.fpCompCycles - b.fpCompCycles;
+        d.fpGatingEvents = a.fpGatingEvents - b.fpGatingEvents;
+        d.fpWakeups = a.fpWakeups - b.fpWakeups;
+        d.fpCriticalWakeups = a.fpCriticalWakeups - b.fpCriticalWakeups;
+        d.memMisses = a.memMisses - b.memMisses;
+        d.mshrRejects = a.mshrRejects - b.mshrRejects;
+        d.wakeupRequests = a.wakeupRequests - b.wakeupRequests;
+        d.activeAccum = a.activeAccum - b.activeAccum;
+        d.intIdleDetect = a.intIdleDetect;
+        d.fpIdleDetect = a.fpIdleDetect;
+        return d;
+    }
+
+    SmId sm_;
+    Cycle epoch_length_;
+    Cycle last_cycle_ = 0;
+    EpochCounters prev_;
+    std::vector<EpochSample> samples_;
+};
+
+/**
+ * Owns the per-SM samplers of one metered simulation. The driver
+ * (Gpu::runPrograms) calls prepare() before dispatching SM jobs; each
+ * job fetches its own sampler with sampler(sm).
+ */
+class Collector
+{
+  public:
+    /**
+     * @param epoch_length sampling period override; 0 takes the
+     *        config's adaptive-epoch length at prepare() time.
+     */
+    explicit Collector(Cycle epoch_length = 0)
+        : epoch_override_(epoch_length)
+    {
+    }
+
+    /** Create (or re-create) one sampler per SM. Not thread-safe. */
+    void
+    prepare(std::uint32_t num_sms, Cycle config_epoch_length)
+    {
+        epoch_length_ = epoch_override_ ? epoch_override_
+                                        : config_epoch_length;
+        if (epoch_length_ == 0)
+            epoch_length_ = 1000;
+        samplers_.clear();
+        samplers_.reserve(num_sms);
+        for (std::uint32_t s = 0; s < num_sms; ++s)
+            samplers_.push_back(
+                std::make_unique<EpochSampler>(s, epoch_length_));
+    }
+
+    /** Sampler of @p sm, or null when not prepared. */
+    EpochSampler*
+    sampler(SmId sm)
+    {
+        return sm < samplers_.size() ? samplers_[sm].get() : nullptr;
+    }
+
+    const EpochSampler*
+    sampler(SmId sm) const
+    {
+        return sm < samplers_.size() ? samplers_[sm].get() : nullptr;
+    }
+
+    std::uint32_t
+    numSms() const
+    {
+        return static_cast<std::uint32_t>(samplers_.size());
+    }
+
+    /** Effective sampling period (valid after prepare()). */
+    Cycle epochLength() const { return epoch_length_; }
+
+    /** Samples retained across all SMs. */
+    std::size_t
+    totalSamples() const
+    {
+        std::size_t n = 0;
+        for (const auto& s : samplers_)
+            n += s->samples().size();
+        return n;
+    }
+
+    /**
+     * Wall-clock phase timers the driver fills while the collector is
+     * attached (workloadGen, simLoop, energyModel, export). Lives here
+     * so one handle carries both the deterministic time-series and the
+     * non-deterministic self-profile.
+     */
+    PhaseTimers profile;
+
+  private:
+    Cycle epoch_override_;
+    Cycle epoch_length_ = 0;
+    std::vector<std::unique_ptr<EpochSampler>> samplers_;
+};
+
+} // namespace wg::metrics
+
+#endif // WG_METRICS_SAMPLER_HH

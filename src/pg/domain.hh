@@ -44,6 +44,27 @@ struct PgDomainStats
     {
         return uncompCycles + compCycles;
     }
+
+    /**
+     * Sum another domain's counters into this one. Every aggregation
+     * path (ClusterStats::merge, SimResult::typeStats) delegates here,
+     * so a newly added counter only needs to be merged in one place.
+     */
+    void
+    merge(const PgDomainStats& other)
+    {
+        busyCycles += other.busyCycles;
+        idleOnCycles += other.idleOnCycles;
+        uncompCycles += other.uncompCycles;
+        compCycles += other.compCycles;
+        wakeupCycles += other.wakeupCycles;
+        gatingEvents += other.gatingEvents;
+        wakeups += other.wakeups;
+        uncompWakeups += other.uncompWakeups;
+        criticalWakeups += other.criticalWakeups;
+        coordImmediateGates += other.coordImmediateGates;
+        coordGateVetoes += other.coordGateVetoes;
+    }
 };
 
 /**

@@ -73,14 +73,104 @@ busyFraction(const SimResult& r, UnitClass uc)
 
 } // namespace
 
+const std::vector<ExportField>&
+csvSchema()
+{
+    // Column order is the wire format; toCsvRow emits in this order.
+    static const std::vector<ExportField> schema = {
+        {"label", ""},
+        {"scheduler", ""},
+        {"pg_policy", ""},
+        {"adaptive", "config.adaptive"},
+        {"num_sms", "config.numSms"},
+        {"cycles", "gpu.cycles"},
+        {"ipc", "gpu.ipc"},
+        {"avg_active_warps", "gpu.avgActiveWarps"},
+        {"int_busy_frac", "gpu.pg.int.busyFraction"},
+        {"fp_busy_frac", "gpu.pg.fp.busyFraction"},
+        {"int_static_savings", "gpu.energy.int.savingsRatio"},
+        {"fp_static_savings", "gpu.energy.fp.savingsRatio"},
+        {"int_wakeups", "gpu.pg.int.wakeups"},
+        {"fp_wakeups", "gpu.pg.fp.wakeups"},
+        {"int_critical", "gpu.pg.int.criticalWakeups"},
+        {"fp_critical", "gpu.pg.fp.criticalWakeups"},
+        {"int_gating_events", "gpu.pg.int.gatingEvents"},
+        {"fp_gating_events", "gpu.pg.fp.gatingEvents"},
+        {"mem_misses", "gpu.mem.misses"},
+    };
+    return schema;
+}
+
+const std::vector<ExportField>&
+jsonSchema()
+{
+    auto type_block = [](const std::string& json_type,
+                         const std::string& reg_type) {
+        std::vector<ExportField> fields = {
+            {json_type + ".stats.busy", "gpu.pg." + reg_type + ".busyCycles"},
+            {json_type + ".stats.idle_on",
+             "gpu.pg." + reg_type + ".idleOnCycles"},
+            {json_type + ".stats.uncomp",
+             "gpu.pg." + reg_type + ".uncompCycles"},
+            {json_type + ".stats.comp",
+             "gpu.pg." + reg_type + ".compCycles"},
+            {json_type + ".stats.wakeup_cycles",
+             "gpu.pg." + reg_type + ".wakeupCycles"},
+            {json_type + ".stats.gating_events",
+             "gpu.pg." + reg_type + ".gatingEvents"},
+            {json_type + ".stats.wakeups",
+             "gpu.pg." + reg_type + ".wakeups"},
+            {json_type + ".stats.uncomp_wakeups",
+             "gpu.pg." + reg_type + ".uncompWakeups"},
+            {json_type + ".stats.critical_wakeups",
+             "gpu.pg." + reg_type + ".criticalWakeups"},
+            {json_type + ".energy.dynamic_j",
+             "gpu.energy." + reg_type + ".dynamicJ"},
+            {json_type + ".energy.static_j",
+             "gpu.energy." + reg_type + ".staticJ"},
+            {json_type + ".energy.overhead_j",
+             "gpu.energy." + reg_type + ".overheadJ"},
+            {json_type + ".energy.static_saved_j",
+             "gpu.energy." + reg_type + ".staticSavedJ"},
+            {json_type + ".energy.static_no_pg_j",
+             "gpu.energy." + reg_type + ".staticNoPgJ"},
+            {json_type + ".energy.savings_ratio",
+             "gpu.energy." + reg_type + ".savingsRatio"},
+        };
+        return fields;
+    };
+    static const std::vector<ExportField> schema = [&type_block] {
+        std::vector<ExportField> s = {
+            {"config.adaptive", "config.adaptive"},
+            {"config.idle_detect", "config.idleDetect"},
+            {"config.break_even", "config.breakEven"},
+            {"config.wakeup_delay", "config.wakeupDelay"},
+            {"config.num_sms", "config.numSms"},
+            {"cycles", "gpu.cycles"},
+            {"total_sm_cycles", "gpu.totalSmCycles"},
+            {"ipc", "gpu.ipc"},
+            {"avg_active_warps", "gpu.avgActiveWarps"},
+            {"instructions", "gpu.instructions"},
+        };
+        for (const auto& f : type_block("int", "int"))
+            s.push_back(f);
+        for (const auto& f : type_block("fp", "fp"))
+            s.push_back(f);
+        return s;
+    }();
+    return schema;
+}
+
 std::string
 csvHeader()
 {
-    return "label,scheduler,pg_policy,adaptive,num_sms,cycles,ipc,"
-           "avg_active_warps,int_busy_frac,fp_busy_frac,"
-           "int_static_savings,fp_static_savings,int_wakeups,fp_wakeups,"
-           "int_critical,fp_critical,int_gating_events,fp_gating_events,"
-           "mem_misses";
+    std::string header;
+    for (const ExportField& f : csvSchema()) {
+        if (!header.empty())
+            header += ',';
+        header += f.column;
+    }
+    return header;
 }
 
 std::string

@@ -9,10 +9,35 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/result.hh"
 
 namespace wg {
+
+/**
+ * One exported CSV column (or dotted JSON path) and the name of the
+ * metrics-registry entry (metrics::toStatSet) carrying the same value.
+ * `metric` is empty for identification columns (label, policy names)
+ * that have no numeric registry twin. The schema-drift guard test
+ * cross-checks every mapped field against the registry, so a column
+ * added to one export path but not the other fails fast.
+ */
+struct ExportField
+{
+    std::string column; ///< CSV column name / dotted JSON path
+    std::string metric; ///< registry name, "" for non-numeric columns
+};
+
+/** The CSV columns, in order; csvHeader() is generated from this. */
+const std::vector<ExportField>& csvSchema();
+
+/**
+ * The numeric JSON leaves (as dotted paths, matching
+ * metrics::flattenJson) that have a registry twin. Histogram bins are
+ * deliberately absent: the registry keeps scalars only.
+ */
+const std::vector<ExportField>& jsonSchema();
 
 /**
  * Stable CSV schema for simulation results. Columns:

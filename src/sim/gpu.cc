@@ -44,35 +44,45 @@ Gpu::smSeed(std::uint64_t seed, unsigned sm)
 
 SimResult
 Gpu::run(const BenchmarkProfile& profile, ThreadPool* pool,
-         trace::Collector* collector) const
+         trace::Collector* collector, metrics::Collector* metrics) const
 {
     ProgramGenerator gen(config_.seed);
     std::vector<std::vector<Program>> per_sm;
-    per_sm.reserve(config_.numSms);
-    for (unsigned s = 0; s < config_.numSms; ++s)
-        per_sm.push_back(gen.generateSm(profile, s));
-    return runPrograms(per_sm, pool, collector);
+    {
+        metrics::PhaseTimers::Scope timer(
+            metrics ? &metrics->profile : nullptr, "workloadGen");
+        per_sm.reserve(config_.numSms);
+        for (unsigned s = 0; s < config_.numSms; ++s)
+            per_sm.push_back(gen.generateSm(profile, s));
+    }
+    return runPrograms(per_sm, pool, collector, metrics);
 }
 
 SimResult
 Gpu::runPrograms(const std::vector<std::vector<Program>>& per_sm,
-                 ThreadPool* pool, trace::Collector* collector) const
+                 ThreadPool* pool, trace::Collector* collector,
+                 metrics::Collector* metrics) const
 {
     if (per_sm.empty())
         fatal("Gpu::runPrograms: no SM workloads");
 
-    // Pre-create every per-SM recorder before any job is dispatched:
-    // each SM then touches only its own ring buffer, so the pooled and
-    // serial paths emit bit-identical traces.
+    // Pre-create every per-SM recorder/sampler before any job is
+    // dispatched: each SM then touches only its own ring buffer and
+    // sampler, so the pooled and serial paths emit bit-identical
+    // traces and metrics.
     if (collector) {
         collector->prepare(static_cast<unsigned>(per_sm.size()));
         collector->meta =
             makeTraceMeta(config_, static_cast<unsigned>(per_sm.size()));
     }
+    if (metrics)
+        metrics->prepare(static_cast<unsigned>(per_sm.size()),
+                         config_.sm.pg.epochLength);
 
     auto run_sm = [&](unsigned s) {
         Sm sm(config_.sm, per_sm[s], smSeed(config_.seed, s),
-              collector ? collector->recorder(s) : nullptr);
+              collector ? collector->recorder(s) : nullptr,
+              metrics ? metrics->sampler(s) : nullptr);
         return sm.run();
     };
 
@@ -80,22 +90,28 @@ Gpu::runPrograms(const std::vector<std::vector<Program>>& per_sm,
     // aggregated in SM index order, so the pooled and serial paths are
     // bit-identical.
     std::vector<SmStats> stats(per_sm.size());
-    if (pool == nullptr || per_sm.size() == 1) {
-        for (unsigned s = 0; s < per_sm.size(); ++s)
-            stats[s] = run_sm(s);
-    } else {
-        std::vector<std::future<SmStats>> futures;
-        futures.reserve(per_sm.size());
-        for (unsigned s = 0; s < per_sm.size(); ++s)
-            futures.push_back(pool->submit([&run_sm, s] { return run_sm(s); }));
-        for (unsigned s = 0; s < per_sm.size(); ++s)
-            stats[s] = pool->wait(futures[s]);
+    {
+        metrics::PhaseTimers::Scope timer(
+            metrics ? &metrics->profile : nullptr, "simLoop");
+        if (pool == nullptr || per_sm.size() == 1) {
+            for (unsigned s = 0; s < per_sm.size(); ++s)
+                stats[s] = run_sm(s);
+        } else {
+            std::vector<std::future<SmStats>> futures;
+            futures.reserve(per_sm.size());
+            for (unsigned s = 0; s < per_sm.size(); ++s)
+                futures.push_back(
+                    pool->submit([&run_sm, s] { return run_sm(s); }));
+            for (unsigned s = 0; s < per_sm.size(); ++s)
+                stats[s] = pool->wait(futures[s]);
+        }
     }
-    return aggregate(std::move(stats));
+    return aggregate(std::move(stats), metrics);
 }
 
 SimResult
-Gpu::aggregate(std::vector<SmStats> stats) const
+Gpu::aggregate(std::vector<SmStats> stats,
+               metrics::Collector* metrics) const
 {
     SimResult result;
     result.config = config_;
@@ -118,7 +134,11 @@ Gpu::aggregate(std::vector<SmStats> stats) const
     result.fpIdleHist = result.aggregate.clusters[1][0].idleHist;
     result.fpIdleHist.merge(result.aggregate.clusters[1][1].idleHist);
 
-    computeEnergy(result);
+    {
+        metrics::PhaseTimers::Scope timer(
+            metrics ? &metrics->profile : nullptr, "energyModel");
+        computeEnergy(result);
+    }
     return result;
 }
 

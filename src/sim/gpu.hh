@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/threadpool.hh"
+#include "metrics/sampler.hh"
 #include "sim/result.hh"
 #include "sim/sm.hh"
 #include "trace/recorder.hh"
@@ -37,18 +38,23 @@ class Gpu
      * result is bit-identical either way). When @p collector is given,
      * every SM records its event trace into the collector's per-SM
      * ring buffers (pre-created before dispatch, so the pooled and
-     * serial traces are also bit-identical).
+     * serial traces are also bit-identical). When @p metrics is given,
+     * every SM samples its counters into the collector's per-SM epoch
+     * samplers under the same pre-create-before-dispatch contract, and
+     * the driver fills the collector's wall-clock phase timers.
      */
     SimResult run(const BenchmarkProfile& profile,
                   ThreadPool* pool = &ThreadPool::global(),
-                  trace::Collector* collector = nullptr) const;
+                  trace::Collector* collector = nullptr,
+                  metrics::Collector* metrics = nullptr) const;
 
     /**
      * Run explicit per-SM workloads; perSm.size() overrides numSms.
      */
     SimResult runPrograms(const std::vector<std::vector<Program>>& per_sm,
                           ThreadPool* pool = &ThreadPool::global(),
-                          trace::Collector* collector = nullptr) const;
+                          trace::Collector* collector = nullptr,
+                          metrics::Collector* metrics = nullptr) const;
 
     /**
      * RNG seed of SM @p sm under experiment seed @p seed: a
@@ -60,7 +66,8 @@ class Gpu
     const GpuConfig& config() const { return config_; }
 
   private:
-    SimResult aggregate(std::vector<SmStats> stats) const;
+    SimResult aggregate(std::vector<SmStats> stats,
+                        metrics::Collector* metrics) const;
 
     GpuConfig config_;
 };

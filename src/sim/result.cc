@@ -32,18 +32,7 @@ SimResult::typeStats(UnitClass uc) const
 {
     unsigned t = uc == UnitClass::Int ? 0 : 1;
     PgDomainStats out = aggregate.clusters[t][0].pg;
-    const PgDomainStats& b = aggregate.clusters[t][1].pg;
-    out.busyCycles += b.busyCycles;
-    out.idleOnCycles += b.idleOnCycles;
-    out.uncompCycles += b.uncompCycles;
-    out.compCycles += b.compCycles;
-    out.wakeupCycles += b.wakeupCycles;
-    out.gatingEvents += b.gatingEvents;
-    out.wakeups += b.wakeups;
-    out.uncompWakeups += b.uncompWakeups;
-    out.criticalWakeups += b.criticalWakeups;
-    out.coordImmediateGates += b.coordImmediateGates;
-    out.coordGateVetoes += b.coordGateVetoes;
+    out.merge(aggregate.clusters[t][1].pg);
     return out;
 }
 

@@ -47,7 +47,8 @@ makeScheduler(const SmConfig& config)
 } // namespace
 
 Sm::Sm(const SmConfig& config, std::vector<Program> programs,
-       std::uint64_t seed, trace::Recorder* trace)
+       std::uint64_t seed, trace::Recorder* trace,
+       metrics::EpochSampler* sampler)
     : config_(config), programs_(std::move(programs)),
       scoreboard_(programs_.size()), scheduler_(makeScheduler(config)),
       int_{ExecUnit(UnitClass::Int, 0, config.alu),
@@ -57,7 +58,7 @@ Sm::Sm(const SmConfig& config, std::vector<Program> programs,
       sfu_(UnitClass::Sfu, 0, config.sfu),
       ldst_(UnitClass::Ldst, 0, config.ldst),
       mem_(config.mem, Rng(seed, 0xcafef00dd15ea5e5ULL)),
-      pg_(config.pg), trace_(trace)
+      pg_(config.pg), trace_(trace), sampler_(sampler)
 {
     pg_.setTrace(trace_);
     mem_.setTrace(trace_);
@@ -283,6 +284,49 @@ Sm::commitIssue(WarpId warp, const Instruction& instr, unsigned cluster)
     ++stats_.issuedTotal;
 }
 
+metrics::EpochCounters
+Sm::sampleCounters() const
+{
+    metrics::EpochCounters c;
+    c.issued = stats_.issuedTotal;
+    for (unsigned t = 0; t < 2; ++t) {
+        UnitClass uc = t == 0 ? UnitClass::Int : UnitClass::Fp;
+        std::uint64_t busy = 0, gated = 0, comp = 0, events = 0;
+        std::uint64_t wakeups = 0, critical = 0;
+        for (unsigned k = 0; k < kClustersPerType; ++k) {
+            const PgDomainStats& d = pg_.domain(uc, k).stats();
+            busy += d.busyCycles;
+            gated += d.uncompCycles + d.compCycles;
+            comp += d.compCycles;
+            events += d.gatingEvents;
+            wakeups += d.wakeups;
+            critical += d.criticalWakeups;
+        }
+        if (t == 0) {
+            c.intBusyCycles = busy;
+            c.intGatedCycles = gated;
+            c.intCompCycles = comp;
+            c.intGatingEvents = events;
+            c.intWakeups = wakeups;
+            c.intCriticalWakeups = critical;
+            c.intIdleDetect = pg_.idleDetectValue(uc);
+        } else {
+            c.fpBusyCycles = busy;
+            c.fpGatedCycles = gated;
+            c.fpCompCycles = comp;
+            c.fpGatingEvents = events;
+            c.fpWakeups = wakeups;
+            c.fpCriticalWakeups = critical;
+            c.fpIdleDetect = pg_.idleDetectValue(uc);
+        }
+    }
+    c.memMisses = mem_.misses();
+    c.mshrRejects = mem_.mshrRejects();
+    c.wakeupRequests = stats_.wakeupRequests;
+    c.activeAccum = stats_.activeSizeAccum;
+    return c;
+}
+
 void
 Sm::traceMigrate(WarpId warp, WarpLoc to)
 {
@@ -419,6 +463,12 @@ Sm::step()
     if (ldst_.busy())
         ++stats_.ldstBusyCycles;
 
+    // Epoch boundary: same (now+1) % epochLength arithmetic the
+    // adaptive idle-detect rollover in PgController::tick uses, so the
+    // time-series aligns with AdaptiveIdleDetect epoch updates.
+    if (sampler_ && (now_ + 1) % sampler_->epochLength() == 0)
+        sampler_->sample(now_ + 1, sampleCounters());
+
     ++now_;
 
     if (live_warps_ == 0) {
@@ -478,6 +528,11 @@ Sm::finish()
     stats_.memMisses = mem_.misses();
     stats_.memStores = mem_.stores();
     stats_.mshrRejects = mem_.mshrRejects();
+
+    // Flush the trailing partial epoch so the series covers every
+    // simulated cycle (pg_.finalize above closed the idle runs first).
+    if (sampler_)
+        sampler_->finalize(now_, sampleCounters());
 }
 
 } // namespace wg

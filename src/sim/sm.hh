@@ -31,6 +31,7 @@
 #include "common/rng.hh"
 #include "exec/unit.hh"
 #include "mem/memsys.hh"
+#include "metrics/sampler.hh"
 #include "pg/controller.hh"
 #include "sched/scheduler.hh"
 #include "sched/scoreboard.hh"
@@ -51,9 +52,12 @@ class Sm
      * @param seed per-SM seed (memory-latency stream)
      * @param trace event recorder, or null for tracing off (the
      *        disabled path is a single branch per would-be event)
+     * @param sampler epoch metrics sampler, or null for metrics off
+     *        (the disabled path is one branch per cycle)
      */
     Sm(const SmConfig& config, std::vector<Program> programs,
-       std::uint64_t seed, trace::Recorder* trace = nullptr);
+       std::uint64_t seed, trace::Recorder* trace = nullptr,
+       metrics::EpochSampler* sampler = nullptr);
 
     /** Advance one cycle. @return true when the SM has drained. */
     bool step();
@@ -111,6 +115,9 @@ class Sm
     /** Record a warp moving between the two-level scheduler's sets. */
     void traceMigrate(WarpId warp, WarpLoc to);
 
+    /** Snapshot the live cumulative counters for the epoch sampler. */
+    metrics::EpochCounters sampleCounters() const;
+
     SmConfig config_;
     std::vector<Program> programs_;
     std::vector<WarpContext> warps_;
@@ -140,6 +147,7 @@ class Sm
     std::size_t live_warps_ = 0;
 
     trace::Recorder* trace_ = nullptr;
+    metrics::EpochSampler* sampler_ = nullptr;
     std::uint64_t ldst_idle_run_ = 0; ///< LD/ST idle-period tracker
 
     /** Warps that issued this cycle (for LRR reordering). */

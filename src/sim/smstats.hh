@@ -26,17 +26,7 @@ struct ClusterStats
     void
     merge(const ClusterStats& other)
     {
-        pg.busyCycles += other.pg.busyCycles;
-        pg.idleOnCycles += other.pg.idleOnCycles;
-        pg.uncompCycles += other.pg.uncompCycles;
-        pg.compCycles += other.pg.compCycles;
-        pg.wakeupCycles += other.pg.wakeupCycles;
-        pg.gatingEvents += other.pg.gatingEvents;
-        pg.wakeups += other.pg.wakeups;
-        pg.uncompWakeups += other.pg.uncompWakeups;
-        pg.criticalWakeups += other.pg.criticalWakeups;
-        pg.coordImmediateGates += other.pg.coordImmediateGates;
-        pg.coordGateVetoes += other.pg.coordGateVetoes;
+        pg.merge(other.pg);
         issues += other.issues;
         idleHist.merge(other.idleHist);
     }

@@ -14,6 +14,8 @@
 #include "common/threadpool.hh"
 #include "core/experiment.hh"
 #include "core/presets.hh"
+#include "metrics/exporters.hh"
+#include "metrics/registry.hh"
 #include "sim/gpu.hh"
 #include "trace/sink.hh"
 
@@ -152,6 +154,48 @@ TEST(Determinism, TraceBitIdenticalSerialVsPooled)
     trace::writeJsonl(serial_os, serial_collector);
     trace::writeJsonl(pooled_os, pooled_collector);
     EXPECT_EQ(serial_os.str(), pooled_os.str());
+}
+
+TEST(Determinism, MetricsBitIdenticalSerialVsPooled)
+{
+    // The metrics files inherit the determinism guarantee: every
+    // serialisation (epoch series + final registry) of a pooled run
+    // must equal the serial run's byte for byte.
+    Gpu gpu(config(4));
+    BenchmarkProfile p = profile();
+
+    metrics::Collector serial_metrics;
+    SimResult serial = gpu.run(p, nullptr, nullptr, &serial_metrics);
+    metrics::Collector pooled_metrics;
+    SimResult pooled = gpu.run(p, &ThreadPool::global(), nullptr,
+                               &pooled_metrics);
+    expectResultsIdentical(serial, pooled);
+    ASSERT_GT(serial_metrics.totalSamples(), 0u);
+
+    StatSet serial_set = metrics::toStatSet(serial);
+    StatSet pooled_set = metrics::toStatSet(pooled);
+    for (metrics::MetricsFormat format :
+         {metrics::MetricsFormat::Jsonl, metrics::MetricsFormat::Csv,
+          metrics::MetricsFormat::Prom}) {
+        std::ostringstream serial_os, pooled_os;
+        metrics::writeMetrics(serial_os, &serial_metrics, serial_set,
+                              format);
+        metrics::writeMetrics(pooled_os, &pooled_metrics, pooled_set,
+                              format);
+        EXPECT_EQ(serial_os.str(), pooled_os.str())
+            << metrics::metricsFormatName(format);
+    }
+}
+
+TEST(Determinism, MeteredRunMatchesUnmeteredRun)
+{
+    // Attaching an epoch sampler must never perturb the simulation.
+    Gpu gpu(config(4));
+    BenchmarkProfile p = profile();
+    SimResult plain = gpu.run(p, nullptr);
+    metrics::Collector mets;
+    SimResult metered = gpu.run(p, nullptr, nullptr, &mets);
+    expectResultsIdentical(plain, metered);
 }
 
 TEST(Determinism, TracedRunMatchesUntracedRun)

@@ -8,9 +8,11 @@
  *   wgsim --bench sgemm --scheduler gates --pg coordinated-blackout \
  *         --idle-detect 8 --bet 19 --wakeup 6 --adaptive --json out.json
  *   wgsim --bench hotspot --trace=trace.jsonl --trace-format=jsonl
+ *   wgsim --bench hotspot --metrics=run.jsonl --metrics-format=jsonl
  *   wgsim --list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -18,6 +20,8 @@
 
 #include "common/args.hh"
 #include "core/warped_gates.hh"
+#include "metrics/exporters.hh"
+#include "metrics/registry.hh"
 #include "report/export.hh"
 #include "trace/sink.hh"
 
@@ -136,9 +140,19 @@ main(int argc, char** argv)
                    "trace serialisation: chrome|jsonl|csv");
     args.addInt("trace-sm", -1,
                 "record only this SM id (-1 = every SM)");
+    args.addString("metrics", "",
+                   "write epoch time-series + final metric registry to "
+                   "this file (single benchmark only)");
+    args.addString("metrics-format", "jsonl",
+                   "metrics serialisation: csv|jsonl|prom");
+    args.addBool("profile",
+                 "self-profile: include wall-clock phase timers and "
+                 "pool stats (profile.*) in the metrics registry");
 
     if (!args.parse(argc, argv))
         return 2;
+
+    const auto wall_start = std::chrono::steady_clock::now();
 
     if (args.getBool("list")) {
         Table table("benchmark suite (paper Section 7.1)");
@@ -153,7 +167,7 @@ main(int argc, char** argv)
         return 0;
     }
 
-    Technique tech;
+    Technique tech = Technique::Baseline;
     if (!findTechnique(args.getString("technique"), tech)) {
         std::fprintf(stderr, "unknown technique '%s'\n",
                      args.getString("technique").c_str());
@@ -212,6 +226,25 @@ main(int argc, char** argv)
     trace_config.smFilter = args.getInt("trace-sm");
     trace::Collector collector(trace_config);
 
+    metrics::MetricsFormat metrics_format = metrics::MetricsFormat::Jsonl;
+    if (!metrics::parseMetricsFormat(args.getString("metrics-format"),
+                                     metrics_format)) {
+        std::fprintf(stderr, "unknown metrics format '%s'\n",
+                     args.getString("metrics-format").c_str());
+        return 2;
+    }
+    const bool metering = args.given("metrics");
+    const bool profiling = args.getBool("profile");
+    if ((metering || profiling) && benches.size() != 1) {
+        std::fprintf(stderr,
+                     "--metrics/--profile record one benchmark per "
+                     "run; pick a single --bench\n");
+        return 2;
+    }
+    metrics::Collector mcollector;
+    metrics::Collector* mets =
+        (metering || profiling) ? &mcollector : nullptr;
+
     std::ostringstream csv;
     csv << csvHeader() << "\n";
 
@@ -228,15 +261,16 @@ main(int argc, char** argv)
     if (pool == nullptr) {
         for (const std::string& bench : benches)
             results.push_back(
-                gpu.run(findBenchmark(bench), nullptr, coll));
+                gpu.run(findBenchmark(bench), nullptr, coll, mets));
     } else {
         std::vector<std::future<SimResult>> futures;
         futures.reserve(benches.size());
         for (const std::string& bench : benches) {
             const BenchmarkProfile& profile = findBenchmark(bench);
-            futures.push_back(pool->submit([&gpu, &profile, pool, coll] {
-                return gpu.run(profile, pool, coll);
-            }));
+            futures.push_back(
+                pool->submit([&gpu, &profile, pool, coll, mets] {
+                    return gpu.run(profile, pool, coll, mets);
+                }));
         }
         results = pool->waitAll(futures);
     }
@@ -251,20 +285,69 @@ main(int argc, char** argv)
         json = toJson(bench, r); // JSON export keeps the last result
     }
 
-    if (args.given("csv")) {
-        writeFile(args.getString("csv"), csv.str());
-        inform("wrote ", args.getString("csv"));
+    {
+        metrics::PhaseTimers::Scope timer(
+            profiling ? &mcollector.profile : nullptr, "export");
+        if (args.given("csv")) {
+            writeFile(args.getString("csv"), csv.str());
+            inform("wrote ", args.getString("csv"));
+        }
+        if (args.given("json") && !json.empty()) {
+            writeFile(args.getString("json"), json);
+            inform("wrote ", args.getString("json"));
+        }
+        if (tracing) {
+            trace::writeTraceFile(args.getString("trace"), collector,
+                                  trace_format);
+            inform("wrote ", args.getString("trace"), " (",
+                   collector.totalEvents(), " events, ",
+                   collector.totalOverwritten(), " lost to wrap)");
+        }
     }
-    if (args.given("json") && !json.empty()) {
-        writeFile(args.getString("json"), json);
-        inform("wrote ", args.getString("json"));
-    }
-    if (tracing) {
-        trace::writeTraceFile(args.getString("trace"), collector,
-                              trace_format);
-        inform("wrote ", args.getString("trace"), " (",
-               collector.totalEvents(), " events, ",
-               collector.totalOverwritten(), " lost to wrap)");
+
+    if (metering || profiling) {
+        StatSet registry = metrics::toStatSet(results[0]);
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        PoolStats pool_stats = ThreadPool::global().stats();
+        if (profiling) {
+            // Wall-clock self-profiling is opt-in: these values differ
+            // between otherwise-identical runs, so including them by
+            // default would break the metrics files' byte-identity.
+            mcollector.profile.publish(registry);
+            const unsigned threads = ThreadPool::global().size();
+            registry.set("profile.elapsedSeconds", elapsed);
+            registry.set("profile.pool.threads", threads);
+            registry.set("profile.pool.tasksExecuted",
+                         static_cast<double>(pool_stats.tasksExecuted));
+            registry.set("profile.pool.busySeconds",
+                         pool_stats.busySeconds);
+            registry.set("profile.pool.utilization",
+                         elapsed > 0.0 ? pool_stats.busySeconds /
+                                             (elapsed * threads)
+                                       : 0.0);
+        }
+        if (metering) {
+            metrics::writeMetricsFile(args.getString("metrics"),
+                                      &mcollector, registry,
+                                      metrics_format);
+            inform("wrote ", args.getString("metrics"), " (",
+                   mcollector.totalSamples(), " epoch samples, ",
+                   registry.entries().size(), " metrics)");
+        }
+        if (profiling && !args.getBool("quiet")) {
+            Table table("self-profile (wall-clock)");
+            table.header({"phase", "seconds"});
+            for (const auto& [phase, secs] :
+                 mcollector.profile.seconds())
+                table.row({phase, Table::num(secs, 3)});
+            table.row({"total elapsed", Table::num(elapsed, 3)});
+            table.row({"pool busy (all tasks)",
+                       Table::num(pool_stats.busySeconds, 3)});
+            table.print();
+        }
     }
     return 0;
 }
