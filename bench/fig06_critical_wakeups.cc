@@ -35,8 +35,8 @@ main()
         for (Cycle id = 0; id <= 10; ++id) {
             ExperimentOptions opts = runner.options();
             opts.idleDetect = id;
-            const SimResult& r =
-                runner.run(name, Technique::CoordinatedBlackout, opts);
+            const SimResult& r = runner.run(
+                name, Technique::CoordinatedBlackout, std::optional(opts));
             double cw = r.criticalWakeupsPer1k(UnitClass::Int) +
                         r.criticalWakeupsPer1k(UnitClass::Fp);
             double rt = normalizedRuntime(r, base);

@@ -66,7 +66,7 @@ main()
 
     // Schedule the whole (suite x technique) sweep on the thread pool
     // up front; the report loops below then read from the cache.
-    runner.prefetch(benchmarkNames(), kTechs);
+    runner.prefetch({benchmarkNames(), kTechs});
 
     report(runner, UnitClass::Int,
            "Fig. 9a: INT static energy savings (paper avg: ConvPG 20.1%, "

@@ -27,7 +27,7 @@ main()
     // table loop below only hits the warm cache.
     std::vector<Technique> all_techs(techs.begin(), techs.end());
     all_techs.insert(all_techs.begin(), Technique::Baseline);
-    runner.prefetch(benchmarkNames(), all_techs);
+    runner.prefetch({benchmarkNames(), all_techs});
 
     Table table("Fig. 10: normalized performance (paper geomean: ConvPG "
                 "0.99, GATES 0.99, Naive 0.95, Coord 0.98, Warped 0.99)");

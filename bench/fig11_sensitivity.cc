@@ -33,7 +33,7 @@ sweepPoint(wg::ExperimentRunner& runner, wg::Technique tech,
     const auto fp_set = ExperimentRunner::fpBenchmarks();
     for (const std::string& name : benchmarkNames()) {
         const SimResult& base = runner.run(name, Technique::Baseline);
-        const SimResult& r = runner.run(name, tech, opts);
+        const SimResult& r = runner.run(name, tech, std::optional(opts));
         ints.push_back(r.intEnergy.staticSavingsRatio());
         if (std::find(fp_set.begin(), fp_set.end(), name) != fp_set.end())
             fps.push_back(r.fpEnergy.staticSavingsRatio());
@@ -57,18 +57,20 @@ main()
     // Batch-schedule every sweep point (plus the shared baselines) on
     // the thread pool before reporting; sweepPoint then reads the warm
     // cache.
-    runner.prefetch(benchmarkNames(), {Technique::Baseline});
+    runner.prefetch({benchmarkNames(), {Technique::Baseline}});
     for (Cycle bet : {Cycle(9), Cycle(14), Cycle(19)}) {
         ExperimentOptions opts = runner.options();
         opts.breakEven = bet;
-        runner.prefetch(benchmarkNames(),
-                        {Technique::ConvPG, Technique::WarpedGates}, opts);
+        runner.prefetch({benchmarkNames(),
+                         {Technique::ConvPG, Technique::WarpedGates},
+                         opts});
     }
     for (Cycle wake : {Cycle(3), Cycle(6), Cycle(9)}) {
         ExperimentOptions opts = runner.options();
         opts.wakeupDelay = wake;
-        runner.prefetch(benchmarkNames(),
-                        {Technique::ConvPG, Technique::WarpedGates}, opts);
+        runner.prefetch({benchmarkNames(),
+                         {Technique::ConvPG, Technique::WarpedGates},
+                         opts});
     }
 
     {

@@ -195,7 +195,7 @@ std::uint64_t
 runSweep(ThreadPool* pool)
 {
     ExperimentRunner runner(sweepOpts(), pool);
-    return sweepFingerprint(runner.runAll(benchmarkNames(), kSweepTechs));
+    return sweepFingerprint(runner.runAll({benchmarkNames(), kSweepTechs}));
 }
 
 void
@@ -228,6 +228,100 @@ BM_SuiteSweepPooled(benchmark::State& state)
         benchmarkNames().size() * kSweepTechs.size());
     state.counters["threads"] =
         static_cast<double>(ThreadPool::global().size());
+}
+
+// ---- event-horizon fast-forward: speedup + bit-identity gate ----
+//
+// The fast-forward engine (SmConfig::fastForward, on by default) jumps
+// the clock over provably-dead spans. These benchmarks run the same
+// full-GPU simulation with the engine on and off, serially, and report
+// the wall-clock speedup; the two results must fingerprint identically
+// or the run fails. CI archives ff_speedup and gates on its ratio, so
+// a regression in either the engine's coverage or its overhead shows
+// up as a number, not an anecdote.
+
+/**
+ * One FF-on/FF-off pair on @p bench. Minimum-of-N per mode, modes
+ * interleaved, for robustness on shared runners.
+ */
+void
+runFastForwardBench(benchmark::State& state, const char* bench)
+{
+    GpuConfig config = makeConfig(Technique::WarpedGates);
+    config.numSms = 2;
+    const BenchmarkProfile& profile = findBenchmark(bench);
+
+    // Generate the workload once, outside the timed region: the metric
+    // is simulated-cycles/sec, and program generation is setup both
+    // modes share, not simulation.
+    ProgramGenerator wgen(config.seed);
+    std::vector<std::vector<Program>> per_sm;
+    for (unsigned s = 0; s < config.numSms; ++s)
+        per_sm.push_back(wgen.generateSm(profile, s));
+
+    auto run_once = [&](bool ff, std::uint64_t* fp) {
+        GpuConfig c = config;
+        c.sm.fastForward = ff;
+        Gpu gpu(c);
+        auto t0 = std::chrono::steady_clock::now();
+        SimResult r = gpu.runPrograms(per_sm, nullptr);
+        double dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        *fp = fingerprint(r);
+        return dt;
+    };
+
+    constexpr int kReps = 3;
+    double best_off = 1e9;
+    double best_on = 1e9;
+    std::uint64_t fp_off = 0;
+    std::uint64_t fp_on = 0;
+    for (auto _ : state) {
+        for (int rep = 0; rep < kReps; ++rep) {
+            best_off = std::min(best_off, run_once(false, &fp_off));
+            best_on = std::min(best_on, run_once(true, &fp_on));
+            if (fp_on != fp_off) {
+                state.SkipWithError(
+                    "fast-forward result diverged from the "
+                    "cycle-stepped reference");
+                return;
+            }
+        }
+    }
+
+    // Fraction of simulated cycles the engine skipped, from one direct
+    // SM run (the diagnostic lives on Sm, not in the stats registry).
+    ProgramGenerator gen(1);
+    Sm sm(config.sm, gen.generateSm(profile, 0), 42);
+    const SmStats& s = sm.run();
+    double skipped_pct =
+        s.cycles > 0
+            ? 100.0 * static_cast<double>(sm.ffSkippedCycles()) /
+                  static_cast<double>(s.cycles)
+            : 0.0;
+
+    state.counters["off_ms"] = best_off * 1e3;
+    state.counters["on_ms"] = best_on * 1e3;
+    state.counters["ff_speedup"] = best_off / best_on;
+    state.counters["skipped_pct"] = skipped_pct;
+}
+
+void
+BM_FastForwardHotspot(benchmark::State& state)
+{
+    runFastForwardBench(state, "hotspot");
+}
+
+/**
+ * bfs is the suite's memory-bound profile (55% miss ratio, 31% loads,
+ * graph traversal): long MSHR-limited stalls are exactly the spans the
+ * event horizon skips.
+ */
+void
+BM_FastForwardBfs(benchmark::State& state)
+{
+    runFastForwardBench(state, "bfs");
 }
 
 /** Scoreboard hot path. */
@@ -330,6 +424,25 @@ benchSummaryJson(const CaptureReporter& rep)
            << ", \"events\": " << e->counters.at("events") << "}";
     }
 
+    bool have_ff = false;
+    std::ostringstream ff;
+    for (const char* bench : {"Hotspot", "Bfs"}) {
+        const auto* e = findRun(rep, std::string("BM_FastForward") + bench);
+        if (!e)
+            continue;
+        if (have_ff)
+            ff << ",\n";
+        ff << "    \"" << (bench[0] == 'H' ? "hotspot" : "bfs")
+           << "\": {\"off_ms\": " << e->counters.at("off_ms")
+           << ", \"on_ms\": " << e->counters.at("on_ms")
+           << ", \"ff_speedup\": " << e->counters.at("ff_speedup")
+           << ", \"skipped_pct\": " << e->counters.at("skipped_pct")
+           << "}";
+        have_ff = true;
+    }
+    if (have_ff)
+        os << ",\n  \"fastforward\": {\n" << ff.str() << "\n  }";
+
     const auto* serial = findRun(rep, "BM_SuiteSweepSerial");
     const auto* pooled = findRun(rep, "BM_SuiteSweepPooled");
     if (serial && pooled) {
@@ -358,6 +471,14 @@ BENCHMARK(BM_TraceOverheadHotspot)
     ->UseRealTime()
     ->Iterations(1);
 BENCHMARK(BM_GenerateProgram);
+BENCHMARK(BM_FastForwardHotspot)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+BENCHMARK(BM_FastForwardBfs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
 BENCHMARK(BM_SuiteSweepSerial)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Gate BENCH_micro_sim_throughput.json against the committed baseline.
+
+Compares only machine-independent *ratio* metrics, so the gate is
+robust across runner hardware generations:
+
+  fastforward.<profile>.ff_speedup   (event-horizon speedup, off/on)
+
+Absolute times (off_ms/on_ms) and cycles/sec vary with the host and are
+reported but never gated. Exits non-zero when any gated ratio drops
+more than --max-drop (default 10%) below the baseline, or when a
+section present in the baseline is missing from the new run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument("--max-drop", type=float, default=0.10,
+                    help="max fractional drop allowed (default 0.10)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures = []
+    base_ff = base.get("fastforward", {})
+    cur_ff = cur.get("fastforward", {})
+    for profile, metrics in sorted(base_ff.items()):
+        want = metrics.get("ff_speedup")
+        if want is None:
+            continue
+        got_section = cur_ff.get(profile)
+        if got_section is None:
+            failures.append(
+                f"fastforward.{profile}: missing from current run")
+            continue
+        got = got_section.get("ff_speedup")
+        floor = want * (1.0 - args.max_drop)
+        status = "OK" if got >= floor else "FAIL"
+        print(f"fastforward.{profile}.ff_speedup: baseline {want:.3f} "
+              f"current {got:.3f} floor {floor:.3f} [{status}]")
+        if got < floor:
+            failures.append(
+                f"fastforward.{profile}.ff_speedup regressed: "
+                f"{got:.3f} < {floor:.3f} ({want:.3f} - {args.max_drop:.0%})")
+
+    if not base_ff:
+        failures.append("baseline has no fastforward section to gate on")
+
+    for msg in failures:
+        print(f"REGRESSION: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

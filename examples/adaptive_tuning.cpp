@@ -29,8 +29,8 @@ main()
     for (Cycle id : {Cycle(0), Cycle(2), Cycle(5), Cycle(8), Cycle(10)}) {
         ExperimentOptions point = opts;
         point.idleDetect = id;
-        const SimResult& r =
-            runner.run(bench, Technique::CoordinatedBlackout, point);
+        const SimResult& r = runner.run(
+            bench, Technique::CoordinatedBlackout, std::optional(point));
         sweep.row({std::to_string(id),
                    Table::num(normalizedRuntime(r, base), 4),
                    Table::pct(r.intEnergy.staticSavingsRatio()),

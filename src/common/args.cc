@@ -13,6 +13,21 @@ ArgParser::ArgParser(std::string program, std::string description)
 {
 }
 
+ArgParser::ArgParser(std::string program, std::string description,
+                     std::span<const FlagSpec> flags)
+    : ArgParser(std::move(program), std::move(description))
+{
+    for (const FlagSpec& spec : flags) {
+        // Keep the default text exactly as written in the table (the
+        // typed accessors parse it on demand), so --help shows what
+        // the author wrote.
+        const std::string def =
+            spec.kind == FlagKind::Bool ? "false" : spec.def;
+        flags_[spec.name] = Flag{spec.kind, def, spec.help, def, false};
+        order_.push_back(spec.name);
+    }
+}
+
 void
 ArgParser::addString(const std::string& name, const std::string& def,
                      const std::string& help)
@@ -54,7 +69,8 @@ ArgParser::parse(int argc, const char* const* argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::fprintf(stderr, "%s", usage().c_str());
+            help_requested_ = true;
+            std::fprintf(stdout, "%s", usage().c_str());
             return false;
         }
         if (arg.rfind("--", 0) != 0) {

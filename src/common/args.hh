@@ -11,10 +11,28 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace wg {
+
+/** Value type of one command-line flag. */
+enum class FlagKind : std::uint8_t { String, Int, Double, Bool };
+
+/**
+ * One row of a declarative flag table. Tools declare their whole
+ * command line as a `constexpr FlagSpec[]` and hand it to ArgParser in
+ * one go — the table is the single source of truth for parsing and the
+ * generated --help text.
+ */
+struct FlagSpec
+{
+    const char* name; ///< flag name without the leading "--"
+    FlagKind kind;
+    const char* def;  ///< default, rendered verbatim (ignored for Bool)
+    const char* help; ///< one-line description for --help
+};
 
 /** Declarative flag set + parsed values. */
 class ArgParser
@@ -22,6 +40,10 @@ class ArgParser
   public:
     /** @param program name shown in usage output. */
     explicit ArgParser(std::string program, std::string description = "");
+
+    /** Declare every flag of @p flags up front (table form). */
+    ArgParser(std::string program, std::string description,
+              std::span<const FlagSpec> flags);
 
     /** Declare a string flag. */
     void addString(const std::string& name, const std::string& def,
@@ -44,6 +66,13 @@ class ArgParser
      */
     bool parse(int argc, const char* const* argv);
 
+    /**
+     * True when parse() returned false because --help/-h was given
+     * rather than because of a bad command line — tools use this to
+     * exit 0 for a help request and 2 for an actual usage error.
+     */
+    bool helpRequested() const { return help_requested_; }
+
     std::string getString(const std::string& name) const;
     std::int64_t getInt(const std::string& name) const;
     double getDouble(const std::string& name) const;
@@ -62,7 +91,7 @@ class ArgParser
     std::string usage() const;
 
   private:
-    enum class Kind { String, Int, Double, Bool };
+    using Kind = FlagKind;
 
     struct Flag
     {
@@ -80,6 +109,7 @@ class ArgParser
     std::map<std::string, Flag> flags_;
     std::vector<std::string> order_;
     std::vector<std::string> positional_;
+    bool help_requested_ = false;
 };
 
 } // namespace wg

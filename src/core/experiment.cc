@@ -24,16 +24,25 @@ ExperimentRunner::key(const std::string& bench, Technique t,
 }
 
 const SimResult&
-ExperimentRunner::run(const std::string& bench, Technique t)
-{
-    return run(bench, t, opts_);
-}
-
-const SimResult&
 ExperimentRunner::run(const std::string& bench, Technique t,
-                      const ExperimentOptions& opts)
+                      const std::optional<ExperimentOptions>& options)
 {
+    const ExperimentOptions& opts = options ? *options : opts_;
     std::string k = key(bench, t, opts);
+
+    {
+        // Reject invalid configurations up front, with every message:
+        // a bad sweep point (say, an inverted adaptive window) should
+        // abort here, not simulate for minutes and report garbage.
+        GpuConfig config = makeConfig(t, opts);
+        std::vector<std::string> errors = config.validate();
+        if (!errors.empty()) {
+            std::ostringstream os;
+            for (const std::string& e : errors)
+                os << "\n  - " << e;
+            fatal("experiment ", k, ": invalid configuration:", os.str());
+        }
+    }
 
     std::unique_lock<std::mutex> lock(mu_);
     auto [it, inserted] = cache_.try_emplace(k);
@@ -67,24 +76,15 @@ ExperimentRunner::run(const std::string& bench, Technique t,
 }
 
 std::vector<const SimResult*>
-ExperimentRunner::runAll(const std::vector<std::string>& benches,
-                         const std::vector<Technique>& techniques)
+ExperimentRunner::runAll(const SweepSpec& spec)
 {
-    return runAll(benches, techniques, opts_);
-}
-
-std::vector<const SimResult*>
-ExperimentRunner::runAll(const std::vector<std::string>& benches,
-                         const std::vector<Technique>& techniques,
-                         const ExperimentOptions& opts)
-{
-    std::vector<const SimResult*> out(benches.size() * techniques.size(),
-                                      nullptr);
+    std::vector<const SimResult*> out(
+        spec.benches.size() * spec.techniques.size(), nullptr);
     if (pool_ == nullptr) {
         std::size_t i = 0;
-        for (const std::string& bench : benches)
-            for (Technique t : techniques)
-                out[i++] = &run(bench, t, opts);
+        for (const std::string& bench : spec.benches)
+            for (Technique t : spec.techniques)
+                out[i++] = &run(bench, t, spec.options);
         return out;
     }
 
@@ -94,20 +94,51 @@ ExperimentRunner::runAll(const std::vector<std::string>& benches,
     // keys (and concurrent external run() calls) from running twice.
     std::vector<std::future<const SimResult*>> futures;
     futures.reserve(out.size());
-    for (const std::string& bench : benches)
-        for (Technique t : techniques)
-            futures.push_back(pool_->submit(
-                [this, bench, t, opts] { return &run(bench, t, opts); }));
+    for (const std::string& bench : spec.benches)
+        for (Technique t : spec.techniques)
+            futures.push_back(pool_->submit([this, bench, t, &spec] {
+                return &run(bench, t, spec.options);
+            }));
     for (std::size_t i = 0; i < futures.size(); ++i)
         out[i] = pool_->wait(futures[i]);
     return out;
 }
 
 void
+ExperimentRunner::prefetch(const SweepSpec& spec)
+{
+    runAll(spec);
+}
+
+// --- Deprecated pre-SweepSpec signatures (thin wrappers) ---
+
+const SimResult&
+ExperimentRunner::run(const std::string& bench, Technique t,
+                      const ExperimentOptions& opts)
+{
+    return run(bench, t, std::optional<ExperimentOptions>(opts));
+}
+
+std::vector<const SimResult*>
+ExperimentRunner::runAll(const std::vector<std::string>& benches,
+                         const std::vector<Technique>& techniques)
+{
+    return runAll(SweepSpec{benches, techniques, std::nullopt});
+}
+
+std::vector<const SimResult*>
+ExperimentRunner::runAll(const std::vector<std::string>& benches,
+                         const std::vector<Technique>& techniques,
+                         const ExperimentOptions& opts)
+{
+    return runAll(SweepSpec{benches, techniques, opts});
+}
+
+void
 ExperimentRunner::prefetch(const std::vector<std::string>& benches,
                            const std::vector<Technique>& techniques)
 {
-    runAll(benches, techniques, opts_);
+    runAll(SweepSpec{benches, techniques, std::nullopt});
 }
 
 void
@@ -115,7 +146,7 @@ ExperimentRunner::prefetch(const std::vector<std::string>& benches,
                            const std::vector<Technique>& techniques,
                            const ExperimentOptions& opts)
 {
-    runAll(benches, techniques, opts);
+    runAll(SweepSpec{benches, techniques, opts});
 }
 
 std::vector<std::string>

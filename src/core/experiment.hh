@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,28 @@
 #include "workload/profile.hh"
 
 namespace wg {
+
+/**
+ * One sweep: the (benches x techniques) cross product, optionally under
+ * explicit experiment options. This is the single value the batch APIs
+ * take — it replaces the old with/without-options overload pairs.
+ */
+struct SweepSpec
+{
+    /** @param options options for every cell; nullopt = the runner's
+     *         defaults. */
+    SweepSpec(std::vector<std::string> benches,
+              std::vector<Technique> techniques,
+              std::optional<ExperimentOptions> options = std::nullopt)
+        : benches(std::move(benches)), techniques(std::move(techniques)),
+          options(std::move(options))
+    {
+    }
+
+    std::vector<std::string> benches;
+    std::vector<Technique> techniques;
+    std::optional<ExperimentOptions> options;
+};
 
 /** Runs simulations and caches results keyed by (bench, config). */
 class ExperimentRunner
@@ -41,40 +64,55 @@ class ExperimentRunner
     explicit ExperimentRunner(const ExperimentOptions& opts = {},
                               ThreadPool* pool = &ThreadPool::global());
 
-    /** Run one benchmark under one technique (cached, single-flight). */
-    const SimResult& run(const std::string& bench, Technique t);
-
     /**
-     * Run one benchmark under explicit options (cached); used by the
-     * sensitivity and idle-detect sweeps.
+     * Run one benchmark under one technique (cached, single-flight).
+     * @param options explicit options for this cell; nullopt = the
+     *        runner's defaults. The derived GpuConfig is validated
+     *        first; an invalid configuration aborts with every
+     *        validation message rather than simulating nonsense.
      */
-    const SimResult& run(const std::string& bench, Technique t,
-                         const ExperimentOptions& opts);
+    const SimResult&
+    run(const std::string& bench, Technique t,
+        const std::optional<ExperimentOptions>& options = std::nullopt);
 
     /**
-     * Run the full (benches x techniques) cross product concurrently
-     * on the pool. Returns results in bench-major order:
+     * Run @p spec's full (benches x techniques) cross product
+     * concurrently on the pool. Returns results in bench-major order:
      * out[b * techniques.size() + t]. Cached entries are reused; the
      * rest run as parallel pool jobs.
      */
+    std::vector<const SimResult*> runAll(const SweepSpec& spec);
+
+    /**
+     * Warm the cache for @p spec concurrently; later run() calls hit
+     * the cache. Sugar for discarding runAll's result.
+     */
+    void prefetch(const SweepSpec& spec);
+
+    // --- Deprecated pre-SweepSpec signatures (thin wrappers) ---
+
+    [[deprecated("pass the options via run(bench, t, options)")]]
+    const SimResult& run(const std::string& bench, Technique t,
+                         const ExperimentOptions& opts);
+
+    [[deprecated("use runAll(SweepSpec{benches, techniques, options})")]]
     std::vector<const SimResult*>
     runAll(const std::vector<std::string>& benches,
            const std::vector<Technique>& techniques);
 
-    /** runAll under explicit options. */
+    [[deprecated("use runAll(SweepSpec{benches, techniques, options})")]]
     std::vector<const SimResult*>
     runAll(const std::vector<std::string>& benches,
            const std::vector<Technique>& techniques,
            const ExperimentOptions& opts);
 
-    /**
-     * Warm the cache for (benches x techniques) concurrently; later
-     * run() calls hit the cache. Sugar for discarding runAll's result.
-     */
+    [[deprecated(
+        "use prefetch(SweepSpec{benches, techniques, options})")]]
     void prefetch(const std::vector<std::string>& benches,
                   const std::vector<Technique>& techniques);
 
-    /** prefetch under explicit options. */
+    [[deprecated(
+        "use prefetch(SweepSpec{benches, techniques, options})")]]
     void prefetch(const std::vector<std::string>& benches,
                   const std::vector<Technique>& techniques,
                   const ExperimentOptions& opts);

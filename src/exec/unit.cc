@@ -37,20 +37,4 @@ ExecUnit::issue(Cycle now, Cycle complete, WarpId warp, RegId dest,
     completions_.push(Completion{complete, warp, dest, long_latency});
 }
 
-void
-ExecUnit::tick(Cycle now)
-{
-    while (!occupancy_.empty() && occupancy_.top() <= now)
-        occupancy_.pop();
-}
-
-void
-ExecUnit::drainCompletions(Cycle now, std::vector<Completion>& out)
-{
-    while (!completions_.empty() && completions_.top().done <= now) {
-        out.push_back(completions_.top());
-        completions_.pop();
-    }
-}
-
 } // namespace wg

@@ -75,13 +75,85 @@ class ExecUnit
                bool long_latency);
 
     /** Retire finished occupancy slots; call once per cycle. */
-    void tick(Cycle now);
+    void
+    tick(Cycle now)
+    {
+        while (!occupancy_.empty() && occupancy_.top() <= now)
+            occupancy_.pop();
+    }
 
     /** @return true while any instruction occupies the pipeline. */
     bool busy() const { return !occupancy_.empty(); }
 
+    /**
+     * First future cycle at which this unit's externally visible state
+     * changes on its own: an occupancy slot retires (busy() flips) or a
+     * completion becomes drainable. kNeverCycle when the unit is fully
+     * drained. Used by the event-horizon fast-forward to bound how far
+     * the SM may skip.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        Cycle e = kNeverCycle;
+        if (!occupancy_.empty())
+            e = occupancy_.top();
+        if (!completions_.empty() && completions_.top().done < e)
+            e = completions_.top().done;
+        return e;
+    }
+
+    /**
+     * First future cycle a completion becomes drainable, ignoring
+     * occupancy retires. The LD/ST pipeline's busy flag feeds nothing
+     * but a stats counter (no PG domain, not a pg.tick input), so the
+     * untraced fast-forward bounds its horizon with this instead of
+     * nextEventCycle() and replays the busy cycles via busyUntil().
+     */
+    Cycle
+    nextCompletionCycle() const
+    {
+        return completions_.empty() ? kNeverCycle
+                                    : completions_.top().done;
+    }
+
+    /**
+     * Cycle at which busy() flips to false if nothing more issues
+     * (0 when already idle). Occupancy ends are issue + occupancy with
+     * monotonically increasing issue cycles, so the latest end is the
+     * last issue's.
+     */
+    Cycle
+    busyUntil() const
+    {
+        return occupancy_.empty() ? 0
+                                  : last_issue_ + config_.occupancy;
+    }
+
+    /**
+     * First cycle the issue port accepts again (0 when it already
+     * does). Unlike nextEventCycle() this is not a state change — the
+     * port "frees" purely as a function of time — but the fast-forward
+     * must stop there when a ready instruction is waiting on the port,
+     * because the issue that follows is one.
+     */
+    Cycle
+    portFreeCycle() const
+    {
+        return last_issue_ == kNeverCycle
+                   ? 0
+                   : last_issue_ + config_.initiationInterval;
+    }
+
     /** Move completions due at or before @p now into @p out. */
-    void drainCompletions(Cycle now, std::vector<Completion>& out);
+    void
+    drainCompletions(Cycle now, std::vector<Completion>& out)
+    {
+        while (!completions_.empty() && completions_.top().done <= now) {
+            out.push_back(completions_.top());
+            completions_.pop();
+        }
+    }
 
     UnitClass unitClass() const { return class_; }
     unsigned index() const { return index_; }

@@ -73,6 +73,17 @@ class MemorySystem
     /** Retire misses whose data returned at or before @p now. */
     void tick(Cycle now);
 
+    /**
+     * Cycle of the next in-flight miss return (the next cycle tick()
+     * would change MSHR occupancy), or kNeverCycle when nothing is in
+     * flight. Used by the event-horizon fast-forward.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        return inflight_.empty() ? kNeverCycle : inflight_.top();
+    }
+
     /** @return outstanding long-latency misses. */
     unsigned outstanding() const
     {
@@ -97,6 +108,13 @@ class MemorySystem
                            static_cast<std::uint8_t>(UnitClass::Ldst),
                            trace::kNoCluster, 0, outstanding());
     }
+
+    /**
+     * Bulk form of noteReject for fast-forwarded stall spans. Only
+     * valid untraced: the per-cycle MshrReject events a traced run
+     * emits cannot be reproduced here.
+     */
+    void noteRejects(std::uint64_t count) { mshr_rejects_ += count; }
 
     /** Attach a trace recorder (null = tracing off). */
     void setTrace(trace::Recorder* recorder) { trace_ = recorder; }

@@ -61,6 +61,27 @@ class PgController
               const std::array<bool, kClustersPerType>& fp_busy,
               const SchedView& view, bool sfu_busy = false);
 
+    /**
+     * First cycle >= @p now at which any domain's per-cycle behaviour
+     * under these (constant) inputs stops being uniform, or at which
+     * the adaptive idle-detect epoch rolls over. kNeverCycle when every
+     * future tick is uniform. Inputs mirror tick().
+     */
+    Cycle nextEventCycle(Cycle now,
+                         const std::array<bool, kClustersPerType>& int_busy,
+                         const std::array<bool, kClustersPerType>& fp_busy,
+                         const SchedView& view, bool sfu_busy = false) const;
+
+    /**
+     * Replay @p n uniform ticks at once (no state transitions, trace
+     * events, or epoch rollovers inside the span — the caller bounds
+     * @p n by nextEventCycle). Bit-identical to n tick() calls.
+     */
+    void fastForward(Cycle now, Cycle n,
+                     const std::array<bool, kClustersPerType>& int_busy,
+                     const std::array<bool, kClustersPerType>& fp_busy,
+                     const SchedView& view, bool sfu_busy = false);
+
     /** The SFU gating domain (meaningful when params().gateSfu). */
     const PgDomain& sfuDomain() const { return sfu_domain_; }
 

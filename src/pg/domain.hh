@@ -121,6 +121,27 @@ class PgDomain
     void tick(Cycle now, bool busy, Cycle idle_detect,
               bool coord_peer_gated, std::uint32_t coord_actv);
 
+    /**
+     * First cycle >= @p now at which tick() under these (constant)
+     * inputs would do anything beyond uniform counter increments: a
+     * state transition, a trace event, or a per-cycle regime change
+     * (e.g. the coordinated-blackout veto counter starting to count).
+     * kNeverCycle when every future tick is uniform. Preconditions
+     * match tick(): no pending wakeup request, inputs constant.
+     */
+    Cycle nextEventCycle(Cycle now, bool busy, Cycle idle_detect,
+                         bool coord_peer_gated,
+                         std::uint32_t coord_actv) const;
+
+    /**
+     * Replay @p n uniform ticks at once. The caller guarantees
+     * now + n <= nextEventCycle(now, ...) for the same inputs, so no
+     * state transition or trace event falls inside the span; only the
+     * per-cycle counters advance. Bit-identical to n tick() calls.
+     */
+    void fastForward(Cycle n, bool busy, Cycle idle_detect,
+                     bool coord_peer_gated, std::uint32_t coord_actv);
+
     /** Flush the in-progress idle period into the histogram. */
     void finalize(Cycle now);
 

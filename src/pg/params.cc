@@ -1,0 +1,39 @@
+#include "params.hh"
+
+namespace wg {
+
+std::vector<std::string>
+PgParams::validate() const
+{
+    std::vector<std::string> errs;
+    // Note: idleDetect 0 is legal — it means "gate on the first idle
+    // cycle", a useful aggressive point in the sensitivity sweeps.
+    const bool gating = policy != PgPolicy::None || gateSfu;
+    if (gating && breakEven == 0)
+        errs.push_back("pg.breakEven must be >= 1 when a gating policy "
+                       "is active (BET 0 means gating is always "
+                       "profitable, which defeats the model)");
+    if (gating && wakeupDelay == 0)
+        errs.push_back("pg.wakeupDelay must be >= 1 when a gating "
+                       "policy is active (instant wakeup removes the "
+                       "performance cost the study measures)");
+    if (adaptiveIdleDetect) {
+        if (epochLength == 0)
+            errs.push_back("pg.epochLength must be >= 1 when "
+                           "adaptiveIdleDetect is on (0 would divide "
+                           "time into empty epochs)");
+        if (idleDetectMin > idleDetectMax)
+            errs.push_back("pg.idleDetectMin (" +
+                           std::to_string(idleDetectMin) +
+                           ") exceeds pg.idleDetectMax (" +
+                           std::to_string(idleDetectMax) +
+                           "); the adaptive bounds are inverted");
+        if (decrementEpochs == 0)
+            errs.push_back("pg.decrementEpochs must be >= 1 when "
+                           "adaptiveIdleDetect is on (0 good epochs "
+                           "before a decrement is ill-defined)");
+    }
+    return errs;
+}
+
+} // namespace wg

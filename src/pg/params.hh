@@ -8,6 +8,8 @@
 #define WG_PG_PARAMS_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -48,6 +50,14 @@ struct PgParams
     Cycle idleDetectMin = 5;         ///< lower bound when adaptive
     Cycle idleDetectMax = 10;        ///< upper bound when adaptive
     std::uint32_t decrementEpochs = 4; ///< good epochs before decrement
+
+    /**
+     * Parameter sanity check. @return one actionable message per
+     * problem (empty = valid): break-even of 0 under an active policy,
+     * inverted adaptive bounds, a zero epoch, and similar nonsense
+     * that would otherwise simulate quietly.
+     */
+    std::vector<std::string> validate() const;
 };
 
 } // namespace wg

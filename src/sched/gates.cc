@@ -60,6 +60,56 @@ GatesScheduler::beginCycle(Cycle now, const SchedView& view)
     }
 }
 
+Cycle
+GatesScheduler::nextEventCycle(Cycle now, const SchedView& view) const
+{
+    auto actv_of = [&](UnitClass uc) {
+        return view.actv[static_cast<std::size_t>(uc)];
+    };
+    UnitClass lo = hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
+
+    if (actv_of(hi_) == 0 && actv_of(lo) > 0)
+        return now; // drain rule fires this cycle
+
+    if (config_.switchOnBlackout) {
+        const auto& hi_gated = hi_ == UnitClass::Int ? view.intBlackout
+                                                     : view.fpBlackout;
+        if (hi_gated[0] && hi_gated[1] && actv_of(lo) > 0) {
+            const auto& lo_gated = hi_ == UnitClass::Int
+                                       ? view.fpBlackout
+                                       : view.intBlackout;
+            // Both types fully gated with active warps on each side:
+            // the swap re-fires every cycle — a uniform flip-flop the
+            // fastForward loop replays exactly, not a horizon event.
+            if (lo_gated[0] && lo_gated[1] && actv_of(hi_) > 0)
+                return kNeverCycle;
+            return now;
+        }
+    }
+
+    if (config_.maxPriorityHold > 0 && actv_of(lo) > 0) {
+        Cycle forced = last_switch_ + config_.maxPriorityHold;
+        return forced < now ? now : forced;
+    }
+    return kNeverCycle;
+}
+
+void
+GatesScheduler::fastForward(Cycle from, Cycle n, const SchedView& view)
+{
+    // Under a constant view, a cycle that does not switch proves no
+    // later cycle in the span can (the fairness hold is a horizon
+    // event), so one quiet iteration ends the replay. The blackout
+    // flip-flop regime switches every iteration and runs the full
+    // span, emitting its PrioritySwitch events in cycle order.
+    for (Cycle i = 0; i < n; ++i) {
+        const std::uint64_t before = switches_;
+        beginCycle(from + i, view);
+        if (switches_ == before)
+            return;
+    }
+}
+
 void
 GatesScheduler::order(const std::vector<WarpId>& active,
                       const std::vector<UnitClass>& head_type,
@@ -68,14 +118,23 @@ GatesScheduler::order(const std::vector<WarpId>& active,
     if (active.size() != head_type.size())
         panic("GatesScheduler::order: array size mismatch");
     out.clear();
-    out.reserve(active.size());
+    out.resize(active.size());
     // Stable partition by class priority, preserving the
     // least-recently-issued order the SM maintains within each class.
-    for (UnitClass uc : classOrder()) {
-        for (std::size_t i = 0; i < active.size(); ++i)
-            if (head_type[i] == uc)
-                out.push_back(i);
+    // Single pass: count per class, prefix-sum into per-class write
+    // cursors, then place each index — identical output to four scans.
+    const std::array<UnitClass, kNumUnitClasses> prio = classOrder();
+    std::array<std::size_t, kNumUnitClasses> count = {};
+    for (UnitClass uc : head_type)
+        ++count[static_cast<std::size_t>(uc)];
+    std::array<std::size_t, kNumUnitClasses> cursor = {};
+    std::size_t base = 0;
+    for (UnitClass uc : prio) {
+        cursor[static_cast<std::size_t>(uc)] = base;
+        base += count[static_cast<std::size_t>(uc)];
     }
+    for (std::size_t i = 0; i < head_type.size(); ++i)
+        out[cursor[static_cast<std::size_t>(head_type[i])]++] = i;
 }
 
 void

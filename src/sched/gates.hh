@@ -52,6 +52,17 @@ class GatesScheduler : public Scheduler
 
     UnitClass highestPriority() const override { return hi_; }
 
+    /**
+     * Under a constant view the switch rules either fire immediately
+     * (event at `now`), fire at a known future cycle (the fairness
+     * hold), flip-flop every cycle (both types fully gated with active
+     * warps on each side — replayable, so not an event), or never fire.
+     */
+    Cycle nextEventCycle(Cycle now, const SchedView& view) const override;
+
+    /** Per-cycle replay with early exit once the span proves quiet. */
+    void fastForward(Cycle from, Cycle n, const SchedView& view) override;
+
     std::uint64_t prioritySwitches() const override { return switches_; }
 
   private:

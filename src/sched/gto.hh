@@ -36,6 +36,27 @@ class GtoScheduler : public Scheduler
 
     UnitClass highestPriority() const override { return last_class_; }
 
+    /**
+     * beginCycle only latches `now` for notifyIssue's trace timestamp,
+     * and an issue cycle always runs a real beginCycle first — skipped
+     * cycles never bound a fast-forward.
+     */
+    Cycle
+    nextEventCycle(Cycle now, const SchedView& view) const override
+    {
+        (void)now;
+        (void)view;
+        return kNeverCycle;
+    }
+
+    void
+    fastForward(Cycle from, Cycle n, const SchedView& view) override
+    {
+        (void)from;
+        (void)n;
+        (void)view;
+    }
+
   private:
     WarpId greedy_warp_ = ~WarpId(0);
     UnitClass last_class_ = UnitClass::Int;

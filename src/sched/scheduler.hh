@@ -69,6 +69,34 @@ class Scheduler
     /** Notification that a candidate actually issued. */
     virtual void notifyIssue(WarpId warp, UnitClass uc) = 0;
 
+    /**
+     * First cycle >= @p now at which beginCycle under this (constant)
+     * view would change scheduler state in a way a plain per-cycle
+     * replay (fastForward) could not reproduce, bounding how far the
+     * SM may fast-forward. kNeverCycle when every future cycle is
+     * replayable. The conservative default disables fast-forwarding
+     * for schedulers that do not opt in.
+     */
+    virtual Cycle
+    nextEventCycle(Cycle now, const SchedView& view) const
+    {
+        (void)view;
+        return now;
+    }
+
+    /**
+     * Replay the skipped cycles [from, from + n) under the constant
+     * @p view. The default replays beginCycle per cycle, which is
+     * exact for any scheduler; implementations override it with an
+     * O(1) (or early-exit) equivalent where possible.
+     */
+    virtual void
+    fastForward(Cycle from, Cycle n, const SchedView& view)
+    {
+        for (Cycle i = 0; i < n; ++i)
+            beginCycle(from + i, view);
+    }
+
     /** Highest-priority class this cycle (diagnostics / tests). */
     virtual UnitClass highestPriority() const = 0;
 

@@ -9,30 +9,6 @@ Scoreboard::Scoreboard(std::size_t num_warps)
 {
 }
 
-std::uint32_t
-Scoreboard::maskOf(const Instruction& instr) const
-{
-    std::uint32_t mask = 0;
-    for (RegId src : instr.srcs)
-        if (src != kNoReg)
-            mask |= bit(src);
-    if (instr.dest != kNoReg)
-        mask |= bit(instr.dest); // WAW: do not overtake the old producer
-    return mask;
-}
-
-bool
-Scoreboard::ready(WarpId warp, const Instruction& instr) const
-{
-    return (maskOf(instr) & pending_[warp]) == 0;
-}
-
-bool
-Scoreboard::blockedOnLong(WarpId warp, const Instruction& instr) const
-{
-    return (maskOf(instr) & pendingLong_[warp]) != 0;
-}
-
 void
 Scoreboard::markIssued(WarpId warp, const Instruction& instr)
 {

@@ -31,13 +31,21 @@ class Scoreboard
     explicit Scoreboard(std::size_t num_warps);
 
     /** @return true when @p instr has no RAW/WAW hazard for @p warp. */
-    bool ready(WarpId warp, const Instruction& instr) const;
+    bool
+    ready(WarpId warp, const Instruction& instr) const
+    {
+        return (maskOf(instr) & pending_[warp]) == 0;
+    }
 
     /**
      * @return true when @p instr is blocked specifically by a
      * long-latency producer (implies !ready()).
      */
-    bool blockedOnLong(WarpId warp, const Instruction& instr) const;
+    bool
+    blockedOnLong(WarpId warp, const Instruction& instr) const
+    {
+        return (maskOf(instr) & pendingLong_[warp]) != 0;
+    }
 
     /** Record @p instr issuing from @p warp. */
     void markIssued(WarpId warp, const Instruction& instr);
@@ -59,7 +67,17 @@ class Scoreboard
         return 1u << (reg & 15u);
     }
 
-    std::uint32_t maskOf(const Instruction& instr) const;
+    static std::uint32_t
+    maskOf(const Instruction& instr)
+    {
+        std::uint32_t mask = 0;
+        for (RegId src : instr.srcs)
+            if (src != kNoReg)
+                mask |= bit(src);
+        if (instr.dest != kNoReg)
+            mask |= bit(instr.dest); // WAW: don't overtake the producer
+        return mask;
+    }
 
     std::vector<std::uint32_t> pending_;     ///< in-flight producers
     std::vector<std::uint32_t> pendingLong_; ///< ... that are long-latency

@@ -30,6 +30,23 @@ class TwoLevelScheduler : public Scheduler
 
     UnitClass highestPriority() const override;
 
+    /** beginCycle is a no-op: nothing ever bounds a fast-forward. */
+    Cycle
+    nextEventCycle(Cycle now, const SchedView& view) const override
+    {
+        (void)now;
+        (void)view;
+        return kNeverCycle;
+    }
+
+    void
+    fastForward(Cycle from, Cycle n, const SchedView& view) override
+    {
+        (void)from;
+        (void)n;
+        (void)view;
+    }
+
   private:
     UnitClass last_issued_ = UnitClass::Int;
 };

@@ -56,6 +56,18 @@ class WarpContext
             ibuffer_.push_back(prog_->at(pc_++));
     }
 
+    /**
+     * @return true when fetch(depth) would be a no-op: the buffer is
+     * full or the program is exhausted. Holds at every step boundary
+     * (fetch tops up fully) and, while nothing issues, stays true —
+     * one leg of the fast-forward quiescence proof.
+     */
+    bool
+    fetchDone(std::size_t depth) const
+    {
+        return ibuffer_.size() >= depth || !prog_ || pc_ >= prog_->size();
+    }
+
     /** @return true when a decoded instruction waits at the head. */
     bool hasHead() const { return !ibuffer_.empty(); }
 

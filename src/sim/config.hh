@@ -8,6 +8,8 @@
 #define WG_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "exec/unit.hh"
 #include "mem/memsys.hh"
@@ -49,6 +51,23 @@ struct SmConfig
     ExecUnitConfig ldst = {4, 1, 4};
 
     Cycle maxCycles = 4'000'000; ///< safety stop for runaway workloads
+
+    /**
+     * Event-horizon fast-forward: when the SM proves no state can
+     * change before cycle h, jump the clock there while replaying the
+     * skipped span into every counter. Results are bit-identical to
+     * the cycle-by-cycle path (gated by tests and wgreport --tol 0);
+     * disable only to cross-check (`wgsim --no-fastforward`).
+     */
+    bool fastForward = true;
+
+    /**
+     * Configuration sanity check. @return one actionable message per
+     * problem (empty = valid). Includes the nested PgParams and unit
+     * checks; wgsim and ExperimentRunner reject invalid configs up
+     * front instead of simulating nonsense.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** Whole-GPU configuration. */
@@ -58,6 +77,9 @@ struct GpuConfig
     unsigned numSms = 15;       ///< GTX480 has 15 SMs
     std::uint64_t seed = 1;     ///< experiment seed
     PowerConstants power;       ///< energy-model constants
+
+    /** GPU-level sanity check; includes sm.validate(). */
+    std::vector<std::string> validate() const;
 };
 
 } // namespace wg

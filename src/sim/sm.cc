@@ -402,15 +402,31 @@ Sm::schedulePhase(const SchedView& view)
         }
     }
 
-    // Least-recently-issued maintenance: issued warps go to the back.
+    // Least-recently-issued maintenance: issued warps go to the back,
+    // both groups keeping their relative order (what a stable partition
+    // would produce, in one pass — at most issueWidth warps move).
     if (!issued_this_cycle_.empty()) {
         auto is_issued = [&](WarpId w) {
             return std::find(issued_this_cycle_.begin(),
                              issued_this_cycle_.end(),
                              w) != issued_this_cycle_.end();
         };
-        std::stable_partition(active_.begin(), active_.end(),
-                              [&](WarpId w) { return !is_issued(w); });
+        std::array<WarpId, 8> moved;
+        if (issued_this_cycle_.size() <= moved.size()) {
+            std::size_t n_moved = 0;
+            std::size_t kept = 0;
+            for (std::size_t i = 0; i < active_.size(); ++i) {
+                if (is_issued(active_[i]))
+                    moved[n_moved++] = active_[i];
+                else
+                    active_[kept++] = active_[i];
+            }
+            for (std::size_t i = 0; i < n_moved; ++i)
+                active_[kept++] = moved[i];
+        } else { // issueWidth beyond the inline buffer: generic path
+            std::stable_partition(active_.begin(), active_.end(),
+                                  [&](WarpId w) { return !is_issued(w); });
+        }
     }
 }
 
@@ -429,9 +445,9 @@ Sm::step()
     if (active_.size() > stats_.activeSizeMax)
         stats_.activeSizeMax = static_cast<std::uint32_t>(active_.size());
 
-    SchedView view;
-    buildView(view);
-    schedulePhase(view);
+    view_ = SchedView{};
+    buildView(view_);
+    schedulePhase(view_);
 
     // LD/ST idle-period tracking for the trace (the unit is never
     // gated, so the PG domains don't observe it). Mirrors PgDomain's
@@ -456,7 +472,7 @@ Sm::step()
                                                          int_[1].busy()};
     const std::array<bool, kClustersPerType> fp_busy = {fp_[0].busy(),
                                                         fp_[1].busy()};
-    pg_.tick(now_, int_busy, fp_busy, view, sfu_.busy());
+    pg_.tick(now_, int_busy, fp_busy, view_, sfu_.busy());
 
     if (sfu_.busy())
         ++stats_.sfuBusyCycles;
@@ -478,11 +494,183 @@ Sm::step()
     return done_;
 }
 
+void
+Sm::tryFastForward()
+{
+    // Quiescence test, cheapest condition first. A cycle that issued
+    // nothing, saw only provably-failing issue attempts, and can
+    // neither promote nor fetch leaves every phase a no-op until some
+    // component event fires.
+    if (!issued_this_cycle_.empty())
+        return;
+    if (active_.size() < config_.activeSetCapacity && !waiting_.empty())
+        return;
+
+    // Component event horizon: the earliest cycle at which any
+    // component's state can change on its own. Every cycle strictly
+    // before it replays this cycle's phases verbatim. Heap-top events
+    // (pipelines, memory) are the common span limiter, so compute them
+    // first and bail before the costlier analysis when the next event
+    // is already due.
+    Cycle h = config_.maxCycles;
+    auto clamp = [&h](Cycle e) {
+        if (e < h)
+            h = e;
+    };
+    for (const auto& u : int_)
+        clamp(u.nextEventCycle());
+    for (const auto& u : fp_)
+        clamp(u.nextEventCycle());
+    clamp(sfu_.nextEventCycle());
+    // An LD/ST occupancy retire only flips a busy flag that feeds the
+    // ldstBusyCycles counter (no PG domain, not a pg.tick input), and
+    // fastForward replays that piecewise from busyUntil(). Untraced,
+    // only its completions bound the horizon; traced runs keep the
+    // full event so the UnitIdle/UnitBusy records stay cycle-exact.
+    if (trace_)
+        clamp(ldst_.nextEventCycle());
+    else
+        clamp(ldst_.nextCompletionCycle());
+    clamp(mem_.nextEventCycle());
+    if (h <= now_)
+        return;
+
+    // Fetch is a no-op at every step boundary (fetchPhase tops up
+    // fully); checked defensively so a future phasing change degrades
+    // to "no fast-forward" instead of silent divergence.
+    for (WarpId w : active_)
+        if (!warps_[w].fetchDone(config_.ibufferDepth))
+            return;
+    for (WarpId w : pending_)
+        if (!warps_[w].fetchDone(config_.ibufferDepth))
+            return;
+
+    // Reuse the view step() built: in a zero-issue cycle its actv/rdy
+    // counts are still exact (no head popped, no writeback since).
+    // Only the gating flags can be stale — the boundary pg.tick ran
+    // after schedulePhase — so refresh just those.
+    SchedView& view = view_;
+    pg_.fillView(view);
+
+    // Ready heads do not disqualify a span by themselves: a cycle whose
+    // every issue attempt provably fails with no side effects is as
+    // dead as a fully idle one (ports mid-initiation-interval, clusters
+    // gated with no wakeup candidate, MSHR pool full). Prove that per
+    // class, mirroring tryIssue*'s exact decision order; any attempt
+    // that would issue — or fire a wakeup request — ends the analysis.
+    // MSHR-rejected LD/ST attempts are the one replayable side effect:
+    // count them per cycle so fastForward can reproduce the tally.
+    for (unsigned t = 0; t < 2; ++t) {
+        const UnitClass uc = t == 0 ? UnitClass::Int : UnitClass::Fp;
+        if (view.rdy[static_cast<std::size_t>(uc)] == 0)
+            continue;
+        const ExecUnit* units = t == 0 ? int_ : fp_;
+        for (unsigned k = 0; k < kClustersPerType; ++k) {
+            if (!pg_.canExecute(uc, k))
+                continue; // gated/waking: covered by the pg horizon
+            if (units[k].canAccept(now_))
+                return; // the attempt would issue
+            clamp(units[k].portFreeCycle());
+        }
+        if (pg_.pickWakeupTarget(uc) >= 0)
+            return; // attempts fire wakeup requests every cycle
+    }
+    if (view.rdy[static_cast<std::size_t>(UnitClass::Sfu)] != 0) {
+        if (pg_.canExecute(UnitClass::Sfu, 0)) {
+            if (sfu_.canAccept(now_))
+                return; // the attempt would issue
+            clamp(sfu_.portFreeCycle());
+        } else if (pg_.isGated(UnitClass::Sfu, 0)) {
+            return; // attempts fire wakeup requests every cycle
+        } // else waking: wake completion is a pg horizon event
+    }
+    std::uint64_t reject_attempts = 0;
+    if (view.rdy[static_cast<std::size_t>(UnitClass::Ldst)] != 0) {
+        if (!ldst_.canAccept(now_)) {
+            clamp(ldst_.portFreeCycle());
+        } else {
+            for (WarpId w : active_) {
+                const WarpContext& warp = warps_[w];
+                if (!warp.hasHead())
+                    continue;
+                const Instruction& head = warp.head();
+                if (head.unit != UnitClass::Ldst ||
+                    !scoreboard_.ready(w, head))
+                    continue;
+                if (head.isStore || mem_.canAccept(head.mem))
+                    return; // the attempt would issue
+                ++reject_attempts;
+            }
+            // A traced run emits one MshrReject event per attempt per
+            // cycle, interleaved with scheduler replay events; not
+            // reproducible from here, so step those spans instead.
+            if (trace_ && reject_attempts > 0)
+                return;
+        }
+    }
+
+    const std::array<bool, kClustersPerType> int_busy = {int_[0].busy(),
+                                                         int_[1].busy()};
+    const std::array<bool, kClustersPerType> fp_busy = {fp_[0].busy(),
+                                                        fp_[1].busy()};
+    clamp(pg_.nextEventCycle(now_, int_busy, fp_busy, view, sfu_.busy()));
+    clamp(scheduler_->nextEventCycle(now_, view));
+    // Never skip over an epoch-sampling cycle: the horizon is clamped
+    // to the next epoch edge, which then executes as a real step and
+    // samples exactly as the cycle-by-cycle path would.
+    if (sampler_) {
+        const Cycle epoch = sampler_->epochLength();
+        clamp((now_ / epoch) * epoch + (epoch - 1));
+    }
+
+    if (h <= now_)
+        return;
+    fastForward(h - now_, view, reject_attempts);
+}
+
+void
+Sm::fastForward(Cycle n, const SchedView& view,
+                std::uint64_t reject_attempts)
+{
+    // Replay the span [now_, now_ + n) into every counter a real step
+    // would have touched. Component order matches step(): scheduler
+    // beginCycle precedes pg.tick within a cycle (only GATES in its
+    // blackout flip-flop regime emits events here, in cycle order).
+    stats_.activeSizeAccum += n * active_.size();
+    scheduler_->fastForward(now_, n, view);
+    mem_.noteRejects(n * reject_attempts);
+
+    if (trace_ && !ldst_.busy())
+        ldst_idle_run_ += n; // run already open from the boundary step
+
+    const std::array<bool, kClustersPerType> int_busy = {int_[0].busy(),
+                                                         int_[1].busy()};
+    const std::array<bool, kClustersPerType> fp_busy = {fp_[0].busy(),
+                                                        fp_[1].busy()};
+    pg_.fastForward(now_, n, int_busy, fp_busy, view, sfu_.busy());
+
+    if (sfu_.busy())
+        stats_.sfuBusyCycles += n;
+    // The span may cross the LD/ST pipeline's busy->idle flip (its
+    // occupancy retires are absorbed, not horizon events): count
+    // exactly the replayed cycles that precede busyUntil().
+    const Cycle ldst_busy_until = ldst_.busyUntil();
+    if (ldst_busy_until > now_)
+        stats_.ldstBusyCycles += std::min<Cycle>(n, ldst_busy_until - now_);
+
+    now_ += n;
+    ff_skipped_ += n;
+    ++ff_spans_;
+}
+
 const SmStats&
 Sm::run()
 {
-    while (!done_ && now_ < config_.maxCycles)
+    while (!done_ && now_ < config_.maxCycles) {
         step();
+        if (config_.fastForward && !done_ && now_ < config_.maxCycles)
+            tryFastForward();
+    }
     if (!done_) {
         warn("Sm: maxCycles (", config_.maxCycles,
              ") reached before the workload drained");

@@ -89,6 +89,17 @@ class Sm
     std::size_t numWarps() const { return warps_.size(); }
     std::size_t activeSetSize() const { return active_.size(); }
 
+    /**
+     * Cycles the event-horizon fast-forward skipped (replayed
+     * analytically instead of stepped). Diagnostic only — deliberately
+     * NOT part of SmStats so metrics and traces stay byte-identical
+     * with fast-forward on or off.
+     */
+    std::uint64_t ffSkippedCycles() const { return ff_skipped_; }
+
+    /** Number of fast-forward spans taken (diagnostic only). */
+    std::uint64_t ffSpans() const { return ff_spans_; }
+
   private:
     void writebackPhase();
     void promotePhase();
@@ -114,6 +125,20 @@ class Sm
 
     /** Record a warp moving between the two-level scheduler's sets. */
     void traceMigrate(WarpId warp, WarpLoc to);
+
+    /**
+     * Event-horizon fast-forward (run() only; step() stays exact).
+     * After a quiescent step — nothing issued, no ready head, no
+     * promotion or fetch possible — every phase is a pure function of
+     * time until the next component event. Compute that horizon and
+     * jump there, replaying the skipped span into every counter so the
+     * result is bit-identical to stepping cycle by cycle.
+     */
+    void tryFastForward();
+
+    /** Replay @p n quiescent cycles (the span [now_, now_ + n)). */
+    void fastForward(Cycle n, const SchedView& view,
+                     std::uint64_t reject_attempts);
 
     /** Snapshot the live cumulative counters for the epoch sampler. */
     metrics::EpochCounters sampleCounters() const;
@@ -150,8 +175,13 @@ class Sm
     metrics::EpochSampler* sampler_ = nullptr;
     std::uint64_t ldst_idle_run_ = 0; ///< LD/ST idle-period tracker
 
+    std::uint64_t ff_skipped_ = 0; ///< cycles jumped by fast-forward
+    std::uint64_t ff_spans_ = 0;   ///< fast-forward spans taken
+
     /** Warps that issued this cycle (for LRR reordering). */
     std::vector<WarpId> issued_this_cycle_;
+    /** View step() built this cycle; reused by tryFastForward. */
+    SchedView view_;
     std::vector<Completion> completions_;
     std::vector<UnitClass> head_types_;
     std::vector<std::size_t> candidates_;

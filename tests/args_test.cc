@@ -106,6 +106,14 @@ TEST(Args, HelpReturnsFalse)
 {
     ArgParser args = makeParser();
     EXPECT_FALSE(parse(args, {"--help"}));
+    EXPECT_TRUE(args.helpRequested());
+}
+
+TEST(Args, BadFlagIsNotAHelpRequest)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parse(args, {"--no-such-flag"}));
+    EXPECT_FALSE(args.helpRequested());
 }
 
 TEST(Args, UsageListsFlags)

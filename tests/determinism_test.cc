@@ -220,8 +220,8 @@ TEST(Determinism, BatchedSweepMatchesSerialSweep)
                                           Technique::WarpedGates};
     ExperimentRunner serial(opts, nullptr);
     ExperimentRunner pooled(opts, &ThreadPool::global());
-    auto serial_results = serial.runAll(benches, techs);
-    auto pooled_results = pooled.runAll(benches, techs);
+    auto serial_results = serial.runAll({benches, techs});
+    auto pooled_results = pooled.runAll({benches, techs});
     ASSERT_EQ(serial_results.size(), pooled_results.size());
     for (std::size_t i = 0; i < serial_results.size(); ++i)
         expectResultsIdentical(*serial_results[i], *pooled_results[i]);

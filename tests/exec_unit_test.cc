@@ -154,8 +154,9 @@ TEST_P(ExecUnitIi, SpacingMatchesInterval)
         // Find the next acceptable cycle by scanning.
         while (!u.canAccept(now))
             ++now;
-        if (k > 0)
+        if (k > 0) {
             EXPECT_EQ(now % ii, 0u);
+        }
         u.issue(now, now + 30, 0, kNoReg, false);
     }
 }

@@ -38,7 +38,8 @@ TEST(Experiment, DistinctKeysDistinctResults)
     EXPECT_NE(&a, &b);
     ExperimentOptions opts = fastOpts();
     opts.idleDetect = 9;
-    const SimResult& c = runner.run("NN", Technique::ConvPG, opts);
+    const SimResult& c =
+        runner.run("NN", Technique::ConvPG, std::optional(opts));
     EXPECT_NE(&b, &c) << "different parameters are different keys";
 }
 
@@ -58,7 +59,7 @@ TEST(Experiment, RunAllSharesTheCacheWithRun)
     const std::vector<std::string> benches = {"NN", "bfs"};
     const std::vector<Technique> techs = {Technique::Baseline,
                                           Technique::ConvPG};
-    auto grid = runner.runAll(benches, techs);
+    auto grid = runner.runAll({benches, techs});
     ASSERT_EQ(grid.size(), 4u);
     // bench-major order, and later run() calls hit the same entries
     for (std::size_t b = 0; b < benches.size(); ++b)
@@ -70,7 +71,7 @@ TEST(Experiment, RunAllSharesTheCacheWithRun)
 TEST(Experiment, PrefetchWarmsTheCache)
 {
     ExperimentRunner runner(fastOpts());
-    runner.prefetch({"NN"}, {Technique::Baseline});
+    runner.prefetch({{"NN"}, {Technique::Baseline}});
     const SimResult& a = runner.run("NN", Technique::Baseline);
     const SimResult& b = runner.run("NN", Technique::Baseline);
     EXPECT_EQ(&a, &b);
@@ -110,8 +111,9 @@ TEST(Experiment, ConcurrentDistinctKeysAllComplete)
 {
     ExperimentRunner runner(fastOpts());
     auto grid = runner.runAll(
-        {"NN", "bfs", "hotspot"},
-        {Technique::Baseline, Technique::ConvPG, Technique::WarpedGates});
+        {{"NN", "bfs", "hotspot"},
+         {Technique::Baseline, Technique::ConvPG,
+          Technique::WarpedGates}});
     ASSERT_EQ(grid.size(), 9u);
     for (const SimResult* r : grid) {
         ASSERT_NE(r, nullptr);
@@ -137,6 +139,47 @@ TEST(Experiment, ResultsCarryTheirConfig)
     EXPECT_EQ(r.config.sm.pg.policy, PgPolicy::CoordinatedBlackout);
     EXPECT_TRUE(r.config.sm.pg.adaptiveIdleDetect);
     EXPECT_EQ(r.config.numSms, 1u);
+}
+
+TEST(Experiment, SweepSpecOptionsSelectDistinctKeys)
+{
+    // A sweep carrying explicit options must land in different cache
+    // entries than the runner-default sweep, and the same entries a
+    // later run() with those options reads.
+    ExperimentRunner runner(fastOpts());
+    ExperimentOptions opts = fastOpts();
+    opts.breakEven = 20;
+    auto with = runner.runAll({{"NN"}, {Technique::ConvPG}, opts});
+    auto without = runner.runAll({{"NN"}, {Technique::ConvPG}});
+    ASSERT_EQ(with.size(), 1u);
+    ASSERT_EQ(without.size(), 1u);
+    EXPECT_NE(with[0], without[0]);
+    EXPECT_EQ(with[0],
+              &runner.run("NN", Technique::ConvPG, std::optional(opts)));
+    EXPECT_EQ(without[0], &runner.run("NN", Technique::ConvPG));
+}
+
+TEST(Experiment, DeprecatedWrappersStillWork)
+{
+    // The pre-SweepSpec signatures must keep returning the same cached
+    // objects as the canonical API until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    ExperimentRunner runner(fastOpts());
+    ExperimentOptions opts = fastOpts();
+    opts.idleDetect = 7;
+    const std::vector<std::string> benches = {"NN"};
+    const std::vector<Technique> techs = {Technique::ConvPG};
+    runner.prefetch(benches, techs);
+    runner.prefetch(benches, techs, opts);
+    auto plain = runner.runAll(benches, techs);
+    auto with = runner.runAll(benches, techs, opts);
+    ASSERT_EQ(plain.size(), 1u);
+    ASSERT_EQ(with.size(), 1u);
+    EXPECT_EQ(plain[0], &runner.run("NN", Technique::ConvPG));
+    EXPECT_EQ(with[0], &runner.run("NN", Technique::ConvPG, opts));
+    EXPECT_NE(plain[0], with[0]);
+#pragma GCC diagnostic pop
 }
 
 } // namespace

@@ -131,20 +131,25 @@ TEST_P(GeneratedProgram, RegistersAreInWindow)
 {
     Program prog = make();
     for (const Instruction& i : prog.instructions()) {
-        if (i.dest != kNoReg)
+        if (i.dest != kNoReg) {
             EXPECT_LT(i.dest, 16);
-        for (RegId s : i.srcs)
-            if (s != kNoReg)
+        }
+        for (RegId s : i.srcs) {
+            if (s != kNoReg) {
                 EXPECT_LT(s, 16);
+            }
+        }
     }
 }
 
 TEST_P(GeneratedProgram, StoresNeverWriteRegisters)
 {
     Program prog = make();
-    for (const Instruction& i : prog.instructions())
-        if (i.isStore)
+    for (const Instruction& i : prog.instructions()) {
+        if (i.isStore) {
             EXPECT_EQ(i.dest, kNoReg);
+        }
+    }
 }
 
 TEST_P(GeneratedProgram, MemoryBurstsShareMissClass)
@@ -155,8 +160,9 @@ TEST_P(GeneratedProgram, MemoryBurstsShareMissClass)
     for (std::size_t i = 1; i < prog.size(); ++i) {
         const Instruction& prev = prog.at(i - 1);
         const Instruction& cur = prog.at(i);
-        if (prev.unit == UnitClass::Ldst && cur.unit == UnitClass::Ldst)
+        if (prev.unit == UnitClass::Ldst && cur.unit == UnitClass::Ldst) {
             EXPECT_EQ(prev.mem, cur.mem) << "at " << i;
+        }
     }
 }
 
@@ -167,9 +173,11 @@ TEST_P(GeneratedProgram, SourcesReferenceEarlierProducers)
     Program prog = make();
     std::array<bool, 16> written = {};
     for (const Instruction& i : prog.instructions()) {
-        for (RegId s : i.srcs)
-            if (s != kNoReg)
+        for (RegId s : i.srcs) {
+            if (s != kNoReg) {
                 EXPECT_TRUE(written[s]) << i.toString();
+            }
+        }
         if (i.dest != kNoReg)
             written[i.dest] = true;
     }

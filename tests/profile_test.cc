@@ -111,8 +111,9 @@ TEST_P(SuiteProfile, StructuralKnobsPositive)
     EXPECT_GT(p.loadBurstMax, 0);
     EXPECT_GE(p.depWindow, 1);
     EXPECT_GE(p.phaseLen, 0);
-    if (p.phaseLen > 0)
+    if (p.phaseLen > 0) {
         EXPECT_GT(p.phaseBias, 1.0) << "a phase must actually bias";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteProfile,

@@ -52,8 +52,9 @@ TEST_P(SuiteSmoke, WarpedGatesDrainsAndSavesOrBreaksEven)
     const BenchmarkProfile& p = findBenchmark(GetParam());
     auto fp_issued =
         r.aggregate.issuedByClass[static_cast<std::size_t>(UnitClass::Fp)];
-    if (p.isIntegerOnly())
+    if (p.isIntegerOnly()) {
         EXPECT_EQ(fp_issued, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteSmoke,

@@ -55,6 +55,21 @@ parsePerMetric(const std::string& spec,
     return true;
 }
 
+/** The whole command line, declaratively (drives parsing and --help). */
+constexpr FlagSpec kFlags[] = {
+    {"tol", FlagKind::Double, "0",
+     "global relative tolerance (0 = exact match)"},
+    {"abs-tol", FlagKind::Double, "1e-12",
+     "absolute delta floor that never flags"},
+    {"tol-metric", FlagKind::String, "",
+     "per-metric overrides: name=reltol[,name=reltol...]"},
+    {"all", FlagKind::Bool, "", "list unchanged metrics too"},
+    {"profile", FlagKind::Bool, "",
+     "compare profile.* wall-clock metrics as well (excluded by "
+     "default: never reproducible)"},
+    {"quiet", FlagKind::Bool, "", "suppress the table; exit status only"},
+};
+
 } // namespace
 
 int
@@ -62,21 +77,10 @@ main(int argc, char** argv)
 {
     ArgParser args("wgreport",
                    "compare two wgsim metric/result files "
-                   "(usage: wgreport BASE TEST [flags])");
-    args.addDouble("tol", 0.0,
-                   "global relative tolerance (0 = exact match)");
-    args.addDouble("abs-tol", 1e-12,
-                   "absolute delta floor that never flags");
-    args.addString("tol-metric", "",
-                   "per-metric overrides: name=reltol[,name=reltol...]");
-    args.addBool("all", "list unchanged metrics too");
-    args.addBool("profile",
-                 "compare profile.* wall-clock metrics as well "
-                 "(excluded by default: never reproducible)");
-    args.addBool("quiet", "suppress the table; exit status only");
-
+                   "(usage: wgreport BASE TEST [flags])",
+                   kFlags);
     if (!args.parse(argc, argv))
-        return 2;
+        return args.helpRequested() ? 0 : 2;
 
     if (args.positional().size() != 2) {
         std::fprintf(stderr,

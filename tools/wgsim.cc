@@ -102,55 +102,63 @@ printSummary(const std::string& bench, const SimResult& r)
               << ", mem misses " << r.aggregate.memMisses << "\n\n";
 }
 
+/** The whole command line, declaratively (drives parsing and --help). */
+constexpr FlagSpec kFlags[] = {
+    {"bench", FlagKind::String, "hotspot",
+     "benchmark name, or 'all' for the full suite"},
+    {"technique", FlagKind::String, "WarpedGates",
+     "preset: Baseline|ConvPG|GATES|NaiveBlackout|CoordBlackout|"
+     "WarpedGates"},
+    {"scheduler", FlagKind::String, "",
+     "override scheduler: two-level|gates|gto"},
+    {"pg", FlagKind::String, "",
+     "override gating policy: none|conventional|naive-blackout|"
+     "coordinated-blackout"},
+    {"adaptive", FlagKind::Bool, "",
+     "override: enable adaptive idle detect"},
+    {"gate-sfu", FlagKind::Bool, "", "extension: gate the SFU block too"},
+    {"idle-detect", FlagKind::Int, "5", "idle-detect window (cycles)"},
+    {"bet", FlagKind::Int, "14", "break-even time (cycles)"},
+    {"wakeup", FlagKind::Int, "3", "wakeup delay (cycles)"},
+    {"sms", FlagKind::Int, "6", "number of SMs to simulate"},
+    {"seed", FlagKind::Int, "1", "experiment seed"},
+    {"no-fastforward", FlagKind::Bool, "",
+     "disable the event-horizon fast-forward and step every cycle "
+     "(bit-identical results, slower; for cross-checking)"},
+    {"csv", FlagKind::String, "", "append CSV rows to this file"},
+    {"json", FlagKind::String, "", "write a JSON report to this file"},
+    {"list", FlagKind::Bool, "", "list the benchmark suite and exit"},
+    {"quiet", FlagKind::Bool, "", "suppress the human-readable summary"},
+    {"serial", FlagKind::Bool, "",
+     "run simulations serially instead of on the shared thread pool "
+     "(results are identical)"},
+    {"trace", FlagKind::String, "",
+     "record a cycle-level event trace to this file (single benchmark "
+     "only)"},
+    {"trace-format", FlagKind::String, "jsonl",
+     "trace serialisation: chrome|jsonl|csv"},
+    {"trace-sm", FlagKind::Int, "-1",
+     "record only this SM id (-1 = every SM)"},
+    {"metrics", FlagKind::String, "",
+     "write epoch time-series + final metric registry to this file "
+     "(single benchmark only)"},
+    {"metrics-format", FlagKind::String, "jsonl",
+     "metrics serialisation: csv|jsonl|prom"},
+    {"profile", FlagKind::Bool, "",
+     "self-profile: include wall-clock phase timers and pool stats "
+     "(profile.*) in the metrics registry"},
+};
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     ArgParser args("wgsim",
-                   "Warped Gates simulator driver (MICRO'13 repro)");
-    args.addString("bench", "hotspot",
-                   "benchmark name, or 'all' for the full suite");
-    args.addString("technique", "WarpedGates",
-                   "preset: Baseline|ConvPG|GATES|NaiveBlackout|"
-                   "CoordBlackout|WarpedGates");
-    args.addString("scheduler", "",
-                   "override scheduler: two-level|gates|gto");
-    args.addString("pg", "",
-                   "override gating policy: none|conventional|"
-                   "naive-blackout|coordinated-blackout");
-    args.addBool("adaptive", "override: enable adaptive idle detect");
-    args.addBool("gate-sfu", "extension: gate the SFU block too");
-    args.addInt("idle-detect", 5, "idle-detect window (cycles)");
-    args.addInt("bet", 14, "break-even time (cycles)");
-    args.addInt("wakeup", 3, "wakeup delay (cycles)");
-    args.addInt("sms", 6, "number of SMs to simulate");
-    args.addInt("seed", 1, "experiment seed");
-    args.addString("csv", "", "append CSV rows to this file");
-    args.addString("json", "", "write a JSON report to this file");
-    args.addBool("list", "list the benchmark suite and exit");
-    args.addBool("quiet", "suppress the human-readable summary");
-    args.addBool("serial",
-                 "run simulations serially instead of on the shared "
-                 "thread pool (results are identical)");
-    args.addString("trace", "",
-                   "record a cycle-level event trace to this file "
-                   "(single benchmark only)");
-    args.addString("trace-format", "jsonl",
-                   "trace serialisation: chrome|jsonl|csv");
-    args.addInt("trace-sm", -1,
-                "record only this SM id (-1 = every SM)");
-    args.addString("metrics", "",
-                   "write epoch time-series + final metric registry to "
-                   "this file (single benchmark only)");
-    args.addString("metrics-format", "jsonl",
-                   "metrics serialisation: csv|jsonl|prom");
-    args.addBool("profile",
-                 "self-profile: include wall-clock phase timers and "
-                 "pool stats (profile.*) in the metrics registry");
-
+                   "Warped Gates simulator driver (MICRO'13 repro)",
+                   kFlags);
     if (!args.parse(argc, argv))
-        return 2;
+        return args.helpRequested() ? 0 : 2;
 
     const auto wall_start = std::chrono::steady_clock::now();
 
@@ -201,6 +209,18 @@ main(int argc, char** argv)
         config.sm.pg.adaptiveIdleDetect = true;
     if (args.getBool("gate-sfu"))
         config.sm.pg.gateSfu = true;
+    if (args.getBool("no-fastforward"))
+        config.sm.fastForward = false;
+
+    // Reject an invalid configuration before simulating anything.
+    {
+        const std::vector<std::string> errors = config.validate();
+        if (!errors.empty()) {
+            for (const std::string& e : errors)
+                std::fprintf(stderr, "wgsim: %s\n", e.c_str());
+            return 2;
+        }
+    }
 
     std::vector<std::string> benches;
     if (args.getString("bench") == "all")

@@ -222,6 +222,14 @@ parseEventLine(const std::string& line, SmId& sm, trace::Event& e)
     return true;
 }
 
+/** The whole command line, declaratively (drives parsing and --help). */
+constexpr FlagSpec kFlags[] = {
+    {"check", FlagKind::Bool, "", "verify the gating invariants"},
+    {"quiet", FlagKind::Bool, "", "suppress the event summary"},
+    {"max-report", FlagKind::Int, "20",
+     "print at most this many violations (0 = all)"},
+};
+
 } // namespace
 
 int
@@ -229,14 +237,10 @@ main(int argc, char** argv)
 {
     ArgParser args("wgtrace",
                    "offline wgsim trace inspector and invariant checker; "
-                   "reads the JSONL format (wgtrace <trace.jsonl>)");
-    args.addBool("check", "verify the gating invariants");
-    args.addBool("quiet", "suppress the event summary");
-    args.addInt("max-report", 20,
-                "print at most this many violations (0 = all)");
-
+                   "reads the JSONL format (wgtrace <trace.jsonl>)",
+                   kFlags);
     if (!args.parse(argc, argv))
-        return 2;
+        return args.helpRequested() ? 0 : 2;
     if (args.positional().size() != 1) {
         std::fprintf(stderr, "usage: wgtrace [--check] <trace.jsonl>\n");
         return 2;
