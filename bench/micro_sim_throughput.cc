@@ -63,11 +63,13 @@ BM_TraceOverheadHotspot(benchmark::State& state)
     auto programs = gen.generateSm(findBenchmark("hotspot"), 0);
 
     auto run_once = [&](trace::Recorder* rec) {
+        // Bench wall-clock timing. wglint:allow(D1)
         auto t0 = std::chrono::steady_clock::now();
         Sm sm(config.sm, programs, 42, rec);
         const SmStats& s = sm.run();
         benchmark::DoNotOptimize(s.issuedTotal);
         return std::chrono::duration<double>(
+                   // wglint:allow(D1): bench wall-clock timing
                    std::chrono::steady_clock::now() - t0)
             .count();
     };
@@ -263,9 +265,11 @@ runFastForwardBench(benchmark::State& state, const char* bench)
         GpuConfig c = config;
         c.sm.fastForward = ff;
         Gpu gpu(c);
+        // Bench wall-clock timing. wglint:allow(D1)
         auto t0 = std::chrono::steady_clock::now();
         SimResult r = gpu.runPrograms(per_sm, nullptr);
         double dt = std::chrono::duration<double>(
+                        // wglint:allow(D1): bench wall-clock timing
                         std::chrono::steady_clock::now() - t0)
                         .count();
         *fp = fingerprint(r);

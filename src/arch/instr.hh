@@ -8,8 +8,7 @@
  * memory-latency class for loads.
  */
 
-#ifndef WG_ARCH_INSTR_HH
-#define WG_ARCH_INSTR_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -82,4 +81,3 @@ Instruction makeStore(MemClass mem, RegId data_src, RegId addr_src = kNoReg);
 
 } // namespace wg
 
-#endif // WG_ARCH_INSTR_HH

@@ -5,8 +5,7 @@
  * power-gating study treats the instruction stream.
  */
 
-#ifndef WG_ARCH_PROGRAM_HH
-#define WG_ARCH_PROGRAM_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -51,4 +50,3 @@ class Program
 
 } // namespace wg
 
-#endif // WG_ARCH_PROGRAM_HH

@@ -6,8 +6,7 @@
  * with typed accessors, defaults, and an auto-generated usage text.
  */
 
-#ifndef WG_COMMON_ARGS_HH
-#define WG_COMMON_ARGS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -114,4 +113,3 @@ class ArgParser
 
 } // namespace wg
 
-#endif // WG_COMMON_ARGS_HH

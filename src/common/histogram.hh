@@ -3,8 +3,7 @@
  * Fixed-bin histogram used for idle-period-length distributions.
  */
 
-#ifndef WG_COMMON_HISTOGRAM_HH
-#define WG_COMMON_HISTOGRAM_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -80,4 +79,3 @@ class Histogram
 
 } // namespace wg
 
-#endif // WG_COMMON_HISTOGRAM_HH

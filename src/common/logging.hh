@@ -9,8 +9,7 @@
  * inform() - status messages.
  */
 
-#ifndef WG_COMMON_LOGGING_HH
-#define WG_COMMON_LOGGING_HH
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -95,4 +94,3 @@ inform(const Args&... args)
 
 } // namespace wg
 
-#endif // WG_COMMON_LOGGING_HH

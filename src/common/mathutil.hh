@@ -3,8 +3,7 @@
  * Small statistical helpers: Pearson correlation, geometric mean, etc.
  */
 
-#ifndef WG_COMMON_MATHUTIL_HH
-#define WG_COMMON_MATHUTIL_HH
+#pragma once
 
 #include <vector>
 
@@ -31,4 +30,3 @@ double clamp(double v, double lo, double hi);
 
 } // namespace wg
 
-#endif // WG_COMMON_MATHUTIL_HH

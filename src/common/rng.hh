@@ -7,8 +7,7 @@
  * distribution internals.
  */
 
-#ifndef WG_COMMON_RNG_HH
-#define WG_COMMON_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -72,4 +71,3 @@ class Rng
 
 } // namespace wg
 
-#endif // WG_COMMON_RNG_HH

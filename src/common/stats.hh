@@ -8,8 +8,7 @@
  * runner uses to build per-GPU totals from per-SM stats.
  */
 
-#ifndef WG_COMMON_STATS_HH
-#define WG_COMMON_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -61,4 +60,3 @@ class StatSet
 
 } // namespace wg
 
-#endif // WG_COMMON_STATS_HH

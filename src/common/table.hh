@@ -4,8 +4,7 @@
  * paper-style rows (one row per benchmark, one column per technique).
  */
 
-#ifndef WG_COMMON_TABLE_HH
-#define WG_COMMON_TABLE_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -49,4 +48,3 @@ class Table
 
 } // namespace wg
 
-#endif // WG_COMMON_TABLE_HH

@@ -100,11 +100,14 @@ ThreadPool::tryRunOne()
 void
 ThreadPool::runTask(std::function<void()>& task)
 {
+    // Pool self-profiling only (PoolStats.busySeconds); never feeds
+    // simulation results. wglint:allow(D1)
     auto t0 = std::chrono::steady_clock::now();
     task();
-    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count();
+    auto t1 = std::chrono::steady_clock::now(); // wglint:allow(D1)
+    auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count();
     busy_ns_.fetch_add(static_cast<std::uint64_t>(ns),
                        std::memory_order_relaxed);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -129,6 +132,7 @@ ThreadPool::helpWhile(const std::function<bool()>& busy)
             // Nothing to steal: the awaited task is already running on
             // another thread. Back off briefly instead of spinning.
             std::this_thread::yield();
+            // Backoff affects wall-clock only. wglint:allow(D1)
             std::this_thread::sleep_for(std::chrono::microseconds(50));
         }
     }

@@ -17,8 +17,7 @@
  * runs the work itself.
  */
 
-#ifndef WG_COMMON_THREADPOOL_HH
-#define WG_COMMON_THREADPOOL_HH
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -143,4 +142,3 @@ class ThreadPool
 
 } // namespace wg
 
-#endif // WG_COMMON_THREADPOOL_HH

@@ -3,8 +3,7 @@
  * Fundamental scalar types shared across the simulator.
  */
 
-#ifndef WG_COMMON_TYPES_HH
-#define WG_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -36,4 +35,3 @@ inline constexpr Cycle kNeverCycle = ~Cycle(0);
 
 } // namespace wg
 
-#endif // WG_COMMON_TYPES_HH

@@ -110,45 +110,6 @@ ExperimentRunner::prefetch(const SweepSpec& spec)
     runAll(spec);
 }
 
-// --- Deprecated pre-SweepSpec signatures (thin wrappers) ---
-
-const SimResult&
-ExperimentRunner::run(const std::string& bench, Technique t,
-                      const ExperimentOptions& opts)
-{
-    return run(bench, t, std::optional<ExperimentOptions>(opts));
-}
-
-std::vector<const SimResult*>
-ExperimentRunner::runAll(const std::vector<std::string>& benches,
-                         const std::vector<Technique>& techniques)
-{
-    return runAll(SweepSpec{benches, techniques, std::nullopt});
-}
-
-std::vector<const SimResult*>
-ExperimentRunner::runAll(const std::vector<std::string>& benches,
-                         const std::vector<Technique>& techniques,
-                         const ExperimentOptions& opts)
-{
-    return runAll(SweepSpec{benches, techniques, opts});
-}
-
-void
-ExperimentRunner::prefetch(const std::vector<std::string>& benches,
-                           const std::vector<Technique>& techniques)
-{
-    runAll(SweepSpec{benches, techniques, std::nullopt});
-}
-
-void
-ExperimentRunner::prefetch(const std::vector<std::string>& benches,
-                           const std::vector<Technique>& techniques,
-                           const ExperimentOptions& opts)
-{
-    runAll(SweepSpec{benches, techniques, opts});
-}
-
 std::vector<std::string>
 ExperimentRunner::fpBenchmarks()
 {

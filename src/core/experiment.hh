@@ -13,8 +13,7 @@
  * every core busy instead of running dozens of simulations serially.
  */
 
-#ifndef WG_CORE_EXPERIMENT_HH
-#define WG_CORE_EXPERIMENT_HH
+#pragma once
 
 #include <condition_variable>
 #include <map>
@@ -89,34 +88,6 @@ class ExperimentRunner
      */
     void prefetch(const SweepSpec& spec);
 
-    // --- Deprecated pre-SweepSpec signatures (thin wrappers) ---
-
-    [[deprecated("pass the options via run(bench, t, options)")]]
-    const SimResult& run(const std::string& bench, Technique t,
-                         const ExperimentOptions& opts);
-
-    [[deprecated("use runAll(SweepSpec{benches, techniques, options})")]]
-    std::vector<const SimResult*>
-    runAll(const std::vector<std::string>& benches,
-           const std::vector<Technique>& techniques);
-
-    [[deprecated("use runAll(SweepSpec{benches, techniques, options})")]]
-    std::vector<const SimResult*>
-    runAll(const std::vector<std::string>& benches,
-           const std::vector<Technique>& techniques,
-           const ExperimentOptions& opts);
-
-    [[deprecated(
-        "use prefetch(SweepSpec{benches, techniques, options})")]]
-    void prefetch(const std::vector<std::string>& benches,
-                  const std::vector<Technique>& techniques);
-
-    [[deprecated(
-        "use prefetch(SweepSpec{benches, techniques, options})")]]
-    void prefetch(const std::vector<std::string>& benches,
-                  const std::vector<Technique>& techniques,
-                  const ExperimentOptions& opts);
-
     /** Benchmarks with meaningful FP activity (paper Fig. 9b filter). */
     static std::vector<std::string> fpBenchmarks();
 
@@ -156,4 +127,3 @@ double normalizedRuntime(const SimResult& r, const SimResult& baseline);
 
 } // namespace wg
 
-#endif // WG_CORE_EXPERIMENT_HH

@@ -12,8 +12,7 @@
  *                        idle detect
  */
 
-#ifndef WG_CORE_PRESETS_HH
-#define WG_CORE_PRESETS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -59,4 +58,3 @@ GpuConfig makeConfig(Technique t, const ExperimentOptions& opts = {});
 
 } // namespace wg
 
-#endif // WG_CORE_PRESETS_HH

@@ -17,8 +17,7 @@
  * start from makeConfig) and drive wg::Gpu / wg::Sm directly.
  */
 
-#ifndef WG_CORE_WARPED_GATES_HH
-#define WG_CORE_WARPED_GATES_HH
+#pragma once
 
 #include "arch/instr.hh"
 #include "arch/program.hh"
@@ -38,4 +37,3 @@
 #include "workload/profile.hh"
 #include "workload/synthetic.hh"
 
-#endif // WG_CORE_WARPED_GATES_HH

@@ -16,8 +16,7 @@
  * after the LD/ST pipeline itself went idle).
  */
 
-#ifndef WG_EXEC_UNIT_HH
-#define WG_EXEC_UNIT_HH
+#pragma once
 
 #include <cstdint>
 #include <queue>
@@ -194,4 +193,3 @@ class ExecUnit
 
 } // namespace wg
 
-#endif // WG_EXEC_UNIT_HH

@@ -10,8 +10,7 @@
  * bounded miss-status-holding-register (MSHR) pool.
  */
 
-#ifndef WG_MEM_MEMSYS_HH
-#define WG_MEM_MEMSYS_HH
+#pragma once
 
 #include <cstdint>
 #include <queue>
@@ -141,4 +140,3 @@ class MemorySystem
 
 } // namespace wg
 
-#endif // WG_MEM_MEMSYS_HH

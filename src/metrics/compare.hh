@@ -4,8 +4,7 @@
  * behind `wgreport`, usable from CI as a perf/energy trajectory gate.
  */
 
-#ifndef WG_METRICS_COMPARE_HH
-#define WG_METRICS_COMPARE_HH
+#pragma once
 
 #include <map>
 #include <string>
@@ -71,4 +70,3 @@ Table renderComparison(const CompareReport& report,
 
 } // namespace wg::metrics
 
-#endif // WG_METRICS_COMPARE_HH

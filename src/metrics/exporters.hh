@@ -18,8 +18,7 @@
  * run's.
  */
 
-#ifndef WG_METRICS_EXPORTERS_HH
-#define WG_METRICS_EXPORTERS_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -74,4 +73,3 @@ std::string promName(const std::string& name);
 
 } // namespace wg::metrics
 
-#endif // WG_METRICS_EXPORTERS_HH

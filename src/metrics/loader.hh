@@ -15,8 +15,7 @@
  * The format is auto-detected from the content.
  */
 
-#ifndef WG_METRICS_LOADER_HH
-#define WG_METRICS_LOADER_HH
+#pragma once
 
 #include <string>
 
@@ -45,4 +44,3 @@ bool flattenJson(const std::string& json, StatSet& out,
 
 } // namespace wg::metrics
 
-#endif // WG_METRICS_LOADER_HH

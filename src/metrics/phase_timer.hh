@@ -14,8 +14,7 @@
  * fills timers while wg::metrics serialises them.
  */
 
-#ifndef WG_METRICS_PHASE_TIMER_HH
-#define WG_METRICS_PHASE_TIMER_HH
+#pragma once
 
 #include <chrono>
 #include <map>
@@ -99,4 +98,3 @@ class PhaseTimers
 
 } // namespace wg::metrics
 
-#endif // WG_METRICS_PHASE_TIMER_HH

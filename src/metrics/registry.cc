@@ -71,6 +71,10 @@ appendSmStats(StatSet& set, const std::string& prefix, const SmStats& s)
                                s.clusters[t][c]);
     appendClusterStats(set, prefix + ".pg.sfu", s.sfuCluster);
 
+    set.set(prefix + ".units.sfuIssues",
+            static_cast<double>(s.sfuIssues));
+    set.set(prefix + ".units.ldstIssues",
+            static_cast<double>(s.ldstIssues));
     set.set(prefix + ".units.sfuBusyCycles",
             static_cast<double>(s.sfuBusyCycles));
     set.set(prefix + ".units.ldstBusyCycles",

@@ -19,8 +19,7 @@
  * plumbing per figure.
  */
 
-#ifndef WG_METRICS_REGISTRY_HH
-#define WG_METRICS_REGISTRY_HH
+#pragma once
 
 #include <string>
 
@@ -62,4 +61,3 @@ StatSet toStatSet(const SimResult& result);
 
 } // namespace wg::metrics
 
-#endif // WG_METRICS_REGISTRY_HH

@@ -21,8 +21,7 @@
  * bit-identical metrics files.
  */
 
-#ifndef WG_METRICS_SAMPLER_HH
-#define WG_METRICS_SAMPLER_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -235,4 +234,3 @@ class Collector
 
 } // namespace wg::metrics
 
-#endif // WG_METRICS_SAMPLER_HH

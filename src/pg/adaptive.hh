@@ -4,8 +4,7 @@
  * adjustment of the idle-detect window from the critical-wakeup rate.
  */
 
-#ifndef WG_PG_ADAPTIVE_HH
-#define WG_PG_ADAPTIVE_HH
+#pragma once
 
 #include <cstdint>
 
@@ -55,4 +54,3 @@ class AdaptiveIdleDetect
 
 } // namespace wg
 
-#endif // WG_PG_ADAPTIVE_HH

@@ -5,8 +5,7 @@
  * regulators, and the coordinated-blackout cross-cluster logic.
  */
 
-#ifndef WG_PG_CONTROLLER_HH
-#define WG_PG_CONTROLLER_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -123,4 +122,3 @@ class PgController
 
 } // namespace wg
 
-#endif // WG_PG_CONTROLLER_HH

@@ -3,8 +3,7 @@
  * Power-gating state machine for one gateable cluster (paper Fig. 2c).
  */
 
-#ifndef WG_PG_DOMAIN_HH
-#define WG_PG_DOMAIN_HH
+#pragma once
 
 #include <cstdint>
 
@@ -213,4 +212,3 @@ class PgDomain
 
 } // namespace wg
 
-#endif // WG_PG_DOMAIN_HH

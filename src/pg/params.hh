@@ -4,8 +4,7 @@
  * 5.1 and 7.1).
  */
 
-#ifndef WG_PG_PARAMS_HH
-#define WG_PG_PARAMS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -62,4 +61,3 @@ struct PgParams
 
 } // namespace wg
 
-#endif // WG_PG_PARAMS_HH

@@ -12,8 +12,7 @@
  * published totals.
  */
 
-#ifndef WG_POWER_AREA_HH
-#define WG_POWER_AREA_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -70,4 +69,3 @@ class AreaModel
 
 } // namespace wg
 
-#endif // WG_POWER_AREA_HH

@@ -12,8 +12,7 @@
  * FP-unit energy.
  */
 
-#ifndef WG_POWER_CONSTANTS_HH
-#define WG_POWER_CONSTANTS_HH
+#pragma once
 
 #include "arch/instr.hh"
 #include "common/types.hh"
@@ -73,4 +72,3 @@ struct PowerConstants
 
 } // namespace wg
 
-#endif // WG_POWER_CONSTANTS_HH

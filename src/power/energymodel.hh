@@ -10,8 +10,7 @@
  *   overhead == gatingEvents * BET * P_static                (by BET def.)
  */
 
-#ifndef WG_POWER_ENERGYMODEL_HH
-#define WG_POWER_ENERGYMODEL_HH
+#pragma once
 
 #include <cstdint>
 
@@ -96,4 +95,3 @@ class EnergyModel
 
 } // namespace wg
 
-#endif // WG_POWER_ENERGYMODEL_HH

@@ -11,8 +11,7 @@
  * headroom each technique leaves.
  */
 
-#ifndef WG_POWER_ORACLE_HH
-#define WG_POWER_ORACLE_HH
+#pragma once
 
 #include "common/histogram.hh"
 #include "common/types.hh"
@@ -36,4 +35,3 @@ double oracleStaticSavings(const Histogram& idle_hist, Cycle bet,
 
 } // namespace wg
 
-#endif // WG_POWER_ORACLE_HH

@@ -4,8 +4,7 @@
  * downstream analysis (plotting scripts, regression tracking).
  */
 
-#ifndef WG_REPORT_EXPORT_HH
-#define WG_REPORT_EXPORT_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -64,4 +63,3 @@ void writeFile(const std::string& path, const std::string& content);
 
 } // namespace wg
 
-#endif // WG_REPORT_EXPORT_HH

@@ -15,8 +15,7 @@
  * blackout (paper Section 5).
  */
 
-#ifndef WG_SCHED_GATES_HH
-#define WG_SCHED_GATES_HH
+#pragma once
 
 #include "sched/scheduler.hh"
 
@@ -79,4 +78,3 @@ class GatesScheduler : public Scheduler
 
 } // namespace wg
 
-#endif // WG_SCHED_GATES_HH

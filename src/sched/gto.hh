@@ -10,8 +10,7 @@
  * oldest warp.
  */
 
-#ifndef WG_SCHED_GTO_HH
-#define WG_SCHED_GTO_HH
+#pragma once
 
 #include "sched/scheduler.hh"
 
@@ -65,4 +64,3 @@ class GtoScheduler : public Scheduler
 
 } // namespace wg
 
-#endif // WG_SCHED_GTO_HH

@@ -9,8 +9,7 @@
  * instructions subject to scoreboard and structural checks.
  */
 
-#ifndef WG_SCHED_SCHEDULER_HH
-#define WG_SCHED_SCHEDULER_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -112,4 +111,3 @@ class Scheduler
 
 } // namespace wg
 
-#endif // WG_SCHED_SCHEDULER_HH

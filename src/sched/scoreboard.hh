@@ -9,8 +9,7 @@
  * producer is demoted to the pending set.
  */
 
-#ifndef WG_SCHED_SCOREBOARD_HH
-#define WG_SCHED_SCOREBOARD_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -85,4 +84,3 @@ class Scoreboard
 
 } // namespace wg
 
-#endif // WG_SCHED_SCOREBOARD_HH

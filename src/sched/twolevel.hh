@@ -5,8 +5,7 @@
  * least-recently-issued order, with no regard for instruction type.
  */
 
-#ifndef WG_SCHED_TWOLEVEL_HH
-#define WG_SCHED_TWOLEVEL_HH
+#pragma once
 
 #include "sched/scheduler.hh"
 
@@ -53,4 +52,3 @@ class TwoLevelScheduler : public Scheduler
 
 } // namespace wg
 
-#endif // WG_SCHED_TWOLEVEL_HH

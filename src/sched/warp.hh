@@ -4,8 +4,7 @@
  * two-level-scheduler residency state.
  */
 
-#ifndef WG_SCHED_WARP_HH
-#define WG_SCHED_WARP_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -107,4 +106,3 @@ class WarpContext
 
 } // namespace wg
 
-#endif // WG_SCHED_WARP_HH

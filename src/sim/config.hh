@@ -4,8 +4,7 @@
  * Defaults model the GTX480 configuration the paper uses (Section 7.1).
  */
 
-#ifndef WG_SIM_CONFIG_HH
-#define WG_SIM_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -84,4 +83,3 @@ struct GpuConfig
 
 } // namespace wg
 
-#endif // WG_SIM_CONFIG_HH

@@ -8,8 +8,7 @@
  * SimResults.
  */
 
-#ifndef WG_SIM_GPU_HH
-#define WG_SIM_GPU_HH
+#pragma once
 
 #include <vector>
 
@@ -74,4 +73,3 @@ class Gpu
 
 } // namespace wg
 
-#endif // WG_SIM_GPU_HH

@@ -4,8 +4,7 @@
  * paper's figures plot.
  */
 
-#ifndef WG_SIM_RESULT_HH
-#define WG_SIM_RESULT_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -100,4 +99,3 @@ void computeEnergy(SimResult& result);
 
 } // namespace wg
 
-#endif // WG_SIM_RESULT_HH

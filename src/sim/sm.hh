@@ -21,8 +21,7 @@
  *                   cycle's busy indications
  */
 
-#ifndef WG_SIM_SM_HH
-#define WG_SIM_SM_HH
+#pragma once
 
 #include <array>
 #include <memory>
@@ -191,4 +190,3 @@ class Sm
 
 } // namespace wg
 
-#endif // WG_SIM_SM_HH

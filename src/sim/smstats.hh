@@ -3,8 +3,7 @@
  * Raw statistics produced by one SM simulation.
  */
 
-#ifndef WG_SIM_SMSTATS_HH
-#define WG_SIM_SMSTATS_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -83,4 +82,3 @@ struct SmStats
 
 } // namespace wg
 
-#endif // WG_SIM_SMSTATS_HH

@@ -22,8 +22,7 @@
  * file by tools/wgtrace.
  */
 
-#ifndef WG_TRACE_CHECK_HH
-#define WG_TRACE_CHECK_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -138,4 +137,3 @@ std::vector<Violation> checkCollector(const Collector& collector);
 
 } // namespace wg::trace
 
-#endif // WG_TRACE_CHECK_HH

@@ -10,8 +10,7 @@
  * and cheap to copy into sinks.
  */
 
-#ifndef WG_TRACE_EVENT_HH
-#define WG_TRACE_EVENT_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -113,4 +112,3 @@ struct Meta
 
 } // namespace wg::trace
 
-#endif // WG_TRACE_EVENT_HH

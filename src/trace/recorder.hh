@@ -15,8 +15,7 @@
  * sinks and the invariant checker can flag truncated streams.
  */
 
-#ifndef WG_TRACE_RECORDER_HH
-#define WG_TRACE_RECORDER_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -134,4 +133,3 @@ class Collector
 
 } // namespace wg::trace
 
-#endif // WG_TRACE_RECORDER_HH

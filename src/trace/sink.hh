@@ -16,8 +16,7 @@
  * rather than silently shortened.
  */
 
-#ifndef WG_TRACE_SINK_HH
-#define WG_TRACE_SINK_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -57,4 +56,3 @@ std::string eventToJson(SmId sm, const Event& event);
 
 } // namespace wg::trace
 
-#endif // WG_TRACE_SINK_HH

@@ -3,8 +3,7 @@
  * Synthetic program generation from benchmark profiles.
  */
 
-#ifndef WG_WORKLOAD_GENERATOR_HH
-#define WG_WORKLOAD_GENERATOR_HH
+#pragma once
 
 #include <vector>
 
@@ -45,4 +44,3 @@ class ProgramGenerator
 
 } // namespace wg
 
-#endif // WG_WORKLOAD_GENERATOR_HH

@@ -12,8 +12,7 @@
  * into per-warp instruction traces.
  */
 
-#ifndef WG_WORKLOAD_PROFILE_HH
-#define WG_WORKLOAD_PROFILE_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -92,4 +91,3 @@ std::vector<std::string> benchmarkNames();
 
 } // namespace wg
 
-#endif // WG_WORKLOAD_PROFILE_HH

@@ -3,8 +3,7 @@
  * Hand-built workloads for tests, examples and the Fig. 4 illustration.
  */
 
-#ifndef WG_WORKLOAD_SYNTHETIC_HH
-#define WG_WORKLOAD_SYNTHETIC_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -47,4 +46,3 @@ std::vector<Program> uniformMixWarps(std::size_t warps, std::size_t len,
 
 } // namespace wg
 
-#endif // WG_WORKLOAD_SYNTHETIC_HH

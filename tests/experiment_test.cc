@@ -159,27 +159,18 @@ TEST(Experiment, SweepSpecOptionsSelectDistinctKeys)
     EXPECT_EQ(without[0], &runner.run("NN", Technique::ConvPG));
 }
 
-TEST(Experiment, DeprecatedWrappersStillWork)
+TEST(Experiment, PlainOptionsConvertToSweepApi)
 {
-    // The pre-SweepSpec signatures must keep returning the same cached
-    // objects as the canonical API until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    // With the deprecated pre-SweepSpec wrappers gone, passing a bare
+    // ExperimentOptions must keep compiling via the implicit
+    // std::optional conversion and hit the same cache slots.
     ExperimentRunner runner(fastOpts());
     ExperimentOptions opts = fastOpts();
     opts.idleDetect = 7;
-    const std::vector<std::string> benches = {"NN"};
-    const std::vector<Technique> techs = {Technique::ConvPG};
-    runner.prefetch(benches, techs);
-    runner.prefetch(benches, techs, opts);
-    auto plain = runner.runAll(benches, techs);
-    auto with = runner.runAll(benches, techs, opts);
-    ASSERT_EQ(plain.size(), 1u);
+    auto with = runner.runAll({{"NN"}, {Technique::ConvPG}, opts});
     ASSERT_EQ(with.size(), 1u);
-    EXPECT_EQ(plain[0], &runner.run("NN", Technique::ConvPG));
     EXPECT_EQ(with[0], &runner.run("NN", Technique::ConvPG, opts));
-    EXPECT_NE(plain[0], with[0]);
-#pragma GCC diagnostic pop
+    EXPECT_NE(with[0], &runner.run("NN", Technique::ConvPG));
 }
 
 } // namespace

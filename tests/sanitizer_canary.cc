@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Seeded-UB fixture proving the sanitizer wiring detects findings.
+ *
+ * The signed-integer overflow below is computed from argc, so neither
+ * the compiler nor the optimizer can fold it away. Under the
+ * asan-ubsan preset (-fno-sanitize-recover=all) this program aborts
+ * with a non-zero exit status; CI registers it as a WILL_FAIL test so
+ * a sanitizer job that silently stops detecting UB fails the build.
+ * It is never executed in non-sanitized builds.
+ */
+
+#include <climits>
+#include <cstdio>
+
+int
+main(int argc, char**)
+{
+    int x = INT_MAX - 1;
+    x += argc + 1; // argc >= 1: overflows INT_MAX, UBSan traps here
+    std::printf("%d\n", x);
+    return 0;
+}

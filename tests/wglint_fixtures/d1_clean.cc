@@ -1,0 +1,18 @@
+// Fixture: deterministic code; D1 must stay silent (splitmix64 is the
+// project's sanctioned seed mixer).
+#include <cstdint>
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    return x;
+}
+
+int
+main()
+{
+    return static_cast<int>(mix(42) & 1);
+}

@@ -1,0 +1,16 @@
+// Fixture: same sources as d1_violation.cc, each suppressed.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+int
+main()
+{
+    int seed = std::rand(); // wglint:allow(D1): fixture
+    // wglint:allow(D1): profiling wall clock only
+    auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for( // wglint:allow(D1)
+        std::chrono::milliseconds(1));
+    (void)t0;
+    return seed;
+}

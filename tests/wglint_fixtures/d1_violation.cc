@@ -1,0 +1,15 @@
+// Fixture: D1 fires once per nondeterminism source below (rand,
+// steady_clock, sleep_for).
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+int
+main()
+{
+    int seed = std::rand();
+    auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    (void)t0;
+    return seed;
+}

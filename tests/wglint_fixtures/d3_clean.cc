@@ -1,0 +1,37 @@
+// Fixture: every field reaches both its merge() and its registry
+// function — D3 silent. idleHist is Histogram-typed, which exempts it
+// from the registry side (StatSet holds scalars only) but not from
+// merge().
+#include <cstdint>
+
+struct StatSet
+{
+    void set(const char*, double) {}
+};
+
+struct Histogram
+{
+    void merge(const Histogram&) {}
+};
+
+struct SmStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t stalls = 0;
+    Histogram idleHist;
+};
+
+void
+mergeSmStats(SmStats& into, const SmStats& sm)
+{
+    into.cycles += sm.cycles;
+    into.stalls += sm.stalls;
+    into.idleHist.merge(sm.idleHist);
+}
+
+void
+appendSmStats(StatSet& set, const SmStats& s)
+{
+    set.set("gpu.cycles", static_cast<double>(s.cycles));
+    set.set("gpu.stalls", static_cast<double>(s.stalls));
+}

@@ -1,0 +1,27 @@
+// Fixture: a field exempted from the registry contract with a
+// field-level suppression — D3 silent.
+#include <cstdint>
+
+struct StatSet
+{
+    void set(const char*, double) {}
+};
+
+struct SmStats
+{
+    std::uint64_t cycles = 0;
+    // wglint:allow(D3): scratch counter, intentionally unexported
+    std::uint64_t stalls = 0;
+};
+
+void
+mergeSmStats(SmStats& into, const SmStats& sm)
+{
+    into.cycles += sm.cycles;
+}
+
+void
+appendSmStats(StatSet& set, const SmStats& s)
+{
+    set.set("gpu.cycles", static_cast<double>(s.cycles));
+}

@@ -1,0 +1,49 @@
+// Fixture: stats-registration drift, both catalogue paths.
+//   - SmStats::stalls is merged but missing from appendSmStats()
+//     (free-function registry path);
+//   - PgDomainStats::wakeups is registered but missing from merge()
+//     (member-merge path — the PR 3 drift-bug shape).
+#include <cstdint>
+
+struct StatSet
+{
+    void set(const char*, double) {}
+};
+
+struct PgDomainStats
+{
+    std::uint64_t busyCycles = 0;
+    std::uint64_t wakeups = 0;
+
+    void
+    merge(const PgDomainStats& other)
+    {
+        busyCycles += other.busyCycles;
+    }
+};
+
+void
+appendPgDomainStats(StatSet& set, const PgDomainStats& s)
+{
+    set.set("pg.busyCycles", static_cast<double>(s.busyCycles));
+    set.set("pg.wakeups", static_cast<double>(s.wakeups));
+}
+
+struct SmStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t stalls = 0;
+};
+
+void
+mergeSmStats(SmStats& into, const SmStats& sm)
+{
+    into.cycles += sm.cycles;
+    into.stalls += sm.stalls;
+}
+
+void
+appendSmStats(StatSet& set, const SmStats& s)
+{
+    set.set("gpu.cycles", static_cast<double>(s.cycles));
+}

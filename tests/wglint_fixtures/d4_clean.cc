@@ -1,0 +1,15 @@
+// Fixture: dotted registry names plus an '_' in a non-name argument
+// position (the value side is not checked) — D4 silent.
+#include <string>
+
+struct StatSet
+{
+    void set(const std::string&, double) {}
+};
+
+void
+publish(StatSet& set, double busy_frac)
+{
+    set.set("gpu.pg.int.busyCycles", busy_frac);
+    set.set(std::string("gpu.pg.fp.") + "wakeups", 1.0);
+}

@@ -1,0 +1,13 @@
+// Fixture: an '_' name sanctioned for a legacy consumer — D4 stays
+// silent under suppression.
+struct StatSet
+{
+    void set(const char*, double) {}
+};
+
+void
+publish(StatSet& set)
+{
+    // wglint:allow(D4): legacy dashboard key, migration tracked
+    set.set("gpu.legacy_key", 1.0);
+}

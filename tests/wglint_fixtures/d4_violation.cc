@@ -1,0 +1,14 @@
+// Fixture: metric-name literals with '_' handed to StatSet accessors
+// break the Prometheus '.' -> '_' bijection — D4 fires on both.
+struct StatSet
+{
+    void set(const char*, double) {}
+    double get(const char*) const { return 0.0; }
+};
+
+void
+publish(StatSet& set)
+{
+    set.set("gpu.pg.int_busy", 1.0);
+    (void)set.get("gpu.total_cycles");
+}

@@ -1,0 +1,10 @@
+// Fixture: hygienic header — H1 silent.
+#pragma once
+
+#include <string>
+
+inline std::string
+fixtureName()
+{
+    return "h1";
+}

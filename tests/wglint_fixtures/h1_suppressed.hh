@@ -1,0 +1,11 @@
+// wglint:allow(H1): fixture — generated header kept guard-free
+#include <string>
+
+// wglint:allow(H1): fixture exercises the using-namespace suppression
+using namespace std;
+
+inline string
+fixtureSuppressedName()
+{
+    return "h1";
+}

@@ -1,0 +1,11 @@
+// Fixture: header without '#pragma once' and with a header-scope
+// 'using namespace' — H1 fires twice.
+#include <string>
+
+using namespace std;
+
+inline string
+fixtureName()
+{
+    return "h1";
+}

@@ -1,0 +1,12 @@
+// Fixture: ordered containers iterate deterministically — D2 silent.
+#include <map>
+#include <string>
+
+double
+sumAll(const std::map<std::string, double>& stats)
+{
+    double total = 0.0;
+    for (const auto& kv : stats)
+        total += kv.second;
+    return total;
+}

@@ -1,0 +1,16 @@
+// Fixture: unordered iteration suppressed at both sites.
+#include <string>
+#include <unordered_map>
+
+double
+sumAll(const std::unordered_map<std::string, double>& stats)
+{
+    double total = 0.0;
+    // wglint:allow(D2): order-independent reduction
+    for (const auto& kv : stats)
+        total += kv.second;
+    // wglint:allow(D2)
+    auto it = stats.begin();
+    (void)it;
+    return total;
+}

@@ -1,0 +1,23 @@
+// Fixture: hash-order iteration in a result-affecting path (this file
+// lives under a metrics/ directory) — D2 must fire on both loops.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double
+sumAll(const std::unordered_map<std::string, double>& stats)
+{
+    double total = 0.0;
+    for (const auto& kv : stats)
+        total += kv.second;
+    return total;
+}
+
+std::size_t
+walk(const std::unordered_set<std::string>& names)
+{
+    std::size_t n = 0;
+    for (auto it = names.begin(); it != names.end(); ++it)
+        ++n;
+    return n;
+}

@@ -1,0 +1,241 @@
+// Golden-fixture tests for the wglint static analyzer. Each rule has a
+// violating, a clean, and a suppressed fixture under
+// tests/wglint_fixtures/; the linter binary is invoked as a subprocess
+// (the same way CI runs it) so exit codes and the jsonl wire format
+// are covered, not just the checker internals. D3 fixtures are linted
+// one file at a time: the cross-file struct/function index would
+// otherwise merge the clean fixture's registrations into the violating
+// fixture's catalogue entries and mask the drift.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace
+{
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+LintRun
+runWglint(const std::string& args)
+{
+    const std::string cmd =
+        std::string(WGLINT_BINARY) + " " + args + " 2>&1";
+    LintRun run;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return run;
+    std::array<char, 4096> buf{};
+    std::size_t n = 0;
+    while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        run.output.append(buf.data(), n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        run.exitCode = WEXITSTATUS(status);
+    return run;
+}
+
+std::string
+fixture(const std::string& name)
+{
+    return std::string(WGLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** Count jsonl records attributed to the given rule. */
+int
+countRule(const std::string& output, const std::string& rule)
+{
+    const std::string needle = "\"rule\":\"" + rule + "\"";
+    int count = 0;
+    for (std::size_t pos = output.find(needle);
+         pos != std::string::npos;
+         pos = output.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+int
+totalRecords(const std::string& output)
+{
+    return countRule(output, "D1") + countRule(output, "D2") +
+           countRule(output, "D3") + countRule(output, "D4") +
+           countRule(output, "H1");
+}
+
+LintRun
+lintFixture(const std::string& name)
+{
+    return runWglint("--format=jsonl " + fixture(name));
+}
+
+} // namespace
+
+TEST(Wglint, D1ViolationFires)
+{
+    auto run = lintFixture("d1_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 3) << run.output;
+    EXPECT_EQ(totalRecords(run.output), countRule(run.output, "D1"))
+        << run.output;
+}
+
+TEST(Wglint, D1CleanIsSilent)
+{
+    auto run = lintFixture("d1_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D1SuppressionHonored)
+{
+    auto run = lintFixture("d1_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D2ViolationFires)
+{
+    auto run = lintFixture("metrics/d2_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_GE(countRule(run.output, "D2"), 2) << run.output;
+    EXPECT_EQ(totalRecords(run.output), countRule(run.output, "D2"))
+        << run.output;
+}
+
+TEST(Wglint, D2CleanIsSilent)
+{
+    auto run = lintFixture("metrics/d2_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D2SuppressionHonored)
+{
+    auto run = lintFixture("metrics/d2_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D3ViolationFiresOnBothCataloguePaths)
+{
+    auto run = lintFixture("d3_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D3"), 2) << run.output;
+    // One drift on the registry side, one on the merge side.
+    EXPECT_NE(run.output.find("appendSmStats"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("merge"), std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, D3CleanIsSilent)
+{
+    auto run = lintFixture("d3_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D3SuppressionHonored)
+{
+    auto run = lintFixture("d3_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D4ViolationFires)
+{
+    auto run = lintFixture("d4_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D4"), 2) << run.output;
+}
+
+TEST(Wglint, D4CleanIsSilent)
+{
+    auto run = lintFixture("d4_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D4SuppressionHonored)
+{
+    auto run = lintFixture("d4_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, H1ViolationFires)
+{
+    auto run = lintFixture("h1_violation.hh");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "H1"), 2) << run.output;
+}
+
+TEST(Wglint, H1CleanIsSilent)
+{
+    auto run = lintFixture("h1_clean.hh");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, H1SuppressionHonored)
+{
+    auto run = lintFixture("h1_suppressed.hh");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, WholeFixtureTreeFindsEveryRule)
+{
+    auto run = runWglint("--format=jsonl " +
+                         std::string(WGLINT_FIXTURE_DIR));
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    for (const char* rule : {"D1", "D2", "D4", "H1"})
+        EXPECT_GE(countRule(run.output, rule), 1)
+            << rule << "\n" << run.output;
+}
+
+TEST(Wglint, JsonlRecordsCarryFixHints)
+{
+    auto run = lintFixture("d1_violation.cc");
+    EXPECT_NE(run.output.find("\"hint\":\""), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("\"line\":"), std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, TextFormatPrintsSummary)
+{
+    auto clean = runWglint("--format=text " + fixture("d1_clean.cc"));
+    EXPECT_EQ(clean.exitCode, 0) << clean.output;
+    EXPECT_NE(clean.output.find("wglint: clean"), std::string::npos)
+        << clean.output;
+
+    auto bad = runWglint("--format=text " + fixture("d1_violation.cc"));
+    EXPECT_EQ(bad.exitCode, 1) << bad.output;
+    EXPECT_NE(bad.output.find("wglint: FAILED"), std::string::npos)
+        << bad.output;
+    EXPECT_NE(bad.output.find("hint:"), std::string::npos)
+        << bad.output;
+}
+
+TEST(Wglint, MissingPathIsUsageError)
+{
+    auto run = runWglint(fixture("no_such_file.cc"));
+    EXPECT_EQ(run.exitCode, 2) << run.output;
+}
+
+TEST(Wglint, ListRulesNamesEveryRule)
+{
+    auto run = runWglint("--list-rules");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    for (const char* rule : {"D1", "D2", "D3", "D4", "H1"})
+        EXPECT_NE(run.output.find(rule), std::string::npos)
+            << rule << "\n" << run.output;
+}

@@ -1,0 +1,1114 @@
+/**
+ * @file
+ * wglint — project-specific static analysis for the warped-gates tree.
+ *
+ * A lightweight C++ tokenizer plus a recursive scanner (no libclang)
+ * that walks src/, tools/ and bench/ and enforces the contracts every
+ * PR so far has relied on but only checked at runtime:
+ *
+ *   D1  no nondeterminism sources (wall clocks, rand, sleeps) outside
+ *       the profiling allowlist — "bit-identical" output must not
+ *       depend on the host.
+ *   D2  no iteration over unordered containers in result-affecting
+ *       code (stats, metrics, report, trace sinks, exporters, tools) —
+ *       hash order leaks straight into files CI diffs byte-for-byte.
+ *   D3  stats-registration drift — every field of the catalogued stats
+ *       structs (PgDomainStats, ClusterStats, SmStats, SimResult) must
+ *       appear in the matching merge() and registry (toStatSet-side)
+ *       function. This is the static twin of the PR 3
+ *       PgDomainStats::merge drift bug.
+ *   D4  metric names passed to StatSet accessors contain no '_', so
+ *       the Prometheus '.' -> '_' exposition mapping stays bijective.
+ *   H1  header hygiene: every header carries `#pragma once` and no
+ *       `using namespace` at header scope.
+ *
+ * Suppression: `// wglint:allow(RULE)` (comma-separated rules) on the
+ * violating line or the line directly above it. Files named
+ * `phase_timer.hh` (the sanctioned wall-clock wrapper) are exempt from
+ * D1 wholesale.
+ *
+ * Output: --format=text (default, `file:line: [RULE] message`) or
+ * --format=jsonl (one JSON object per violation, CI artifact
+ * friendly). Exit status: 0 clean, 1 violations, 2 usage/IO error.
+ *
+ * The linter must itself pass its own rules (it is scanned as part of
+ * tools/), which is why it uses std::map/std::set throughout and never
+ * touches a clock.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------
+
+struct Violation
+{
+    std::string rule;
+    std::string file;
+    int line = 0;
+    std::string message;
+    std::string hint;
+};
+
+bool
+violationLess(const Violation& a, const Violation& b)
+{
+    if (a.file != b.file)
+        return a.file < b.file;
+    if (a.line != b.line)
+        return a.line < b.line;
+    if (a.rule != b.rule)
+        return a.rule < b.rule;
+    return a.message < b.message;
+}
+
+/** One-line fix hint per rule, shown in both output formats. */
+std::string
+ruleHint(const std::string& rule)
+{
+    if (rule == "D1")
+        return "route timing through metrics/phase_timer.hh or add "
+               "'// wglint:allow(D1)' with a rationale";
+    if (rule == "D2")
+        return "use std::map/std::set (ordered) or copy keys into a "
+               "sorted vector before iterating";
+    if (rule == "D3")
+        return "add the field to the merge() and registry functions, "
+               "or annotate the field with '// wglint:allow(D3)'";
+    if (rule == "D4")
+        return "registry names are '.'-separated; keep '_' out so the "
+               "Prometheus '.'->'_' mapping stays bijective";
+    if (rule == "H1")
+        return "add '#pragma once' as the first directive and keep "
+               "'using namespace' out of headers";
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+enum class TokKind { Ident, Number, String, CharLit, Punct };
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0;
+};
+
+/** Scan state for one file: tokens plus comment-derived metadata. */
+struct FileScan
+{
+    std::string path;       ///< display path (as passed / walked)
+    std::vector<Token> tokens;
+    /** line -> rules allowed on that line (and the line below it). */
+    std::map<int, std::set<std::string>> allows;
+    bool pragmaOnce = false;
+    bool isHeader = false;
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Record `wglint:allow(A,B)` markers found in a comment. */
+void
+parseAllows(const std::string& comment, int line, FileScan& scan)
+{
+    const std::string marker = "wglint:allow(";
+    std::size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string::npos) {
+        pos += marker.size();
+        std::size_t end = comment.find(')', pos);
+        if (end == std::string::npos)
+            return;
+        std::string inside = comment.substr(pos, end - pos);
+        std::string rule;
+        std::istringstream ss(inside);
+        while (std::getline(ss, rule, ',')) {
+            std::size_t b = rule.find_first_not_of(" \t");
+            std::size_t e = rule.find_last_not_of(" \t");
+            if (b != std::string::npos)
+                scan.allows[line].insert(rule.substr(b, e - b + 1));
+        }
+        pos = end;
+    }
+}
+
+/**
+ * Tokenize one file. Preprocessor lines are consumed whole (honouring
+ * backslash continuations) and only mined for `#pragma once`; comments
+ * are mined for suppression markers.
+ */
+bool
+tokenize(const fs::path& file, const std::string& display,
+         FileScan& scan)
+{
+    std::ifstream in(file, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string src = buf.str();
+
+    scan.path = display;
+    const std::string ext = file.extension().string();
+    scan.isHeader = ext == ".hh" || ext == ".h" || ext == ".hpp";
+
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    int line = 1;
+    bool atLineStart = true;
+
+    auto advance = [&](std::size_t k) {
+        for (std::size_t j = 0; j < k && i < n; ++j, ++i)
+            if (src[i] == '\n') {
+                ++line;
+                atLineStart = true;
+            }
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            advance(1);
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: consume the logical line.
+        if (c == '#' && atLineStart) {
+            std::size_t start = i;
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    advance(2);
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                ++i;
+            }
+            std::string directive = src.substr(start, i - start);
+            // Normalise interior whitespace for the pragma check.
+            std::string squashed;
+            for (char d : directive)
+                if (!std::isspace(static_cast<unsigned char>(d)))
+                    squashed += d;
+            if (squashed == "#pragmaonce")
+                scan.pragmaOnce = true;
+            continue;
+        }
+        atLineStart = false;
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t start = i;
+            int startLine = line;
+            while (i < n && src[i] != '\n')
+                ++i;
+            parseAllows(src.substr(start, i - start), startLine, scan);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t start = i;
+            int startLine = line;
+            advance(2);
+            while (i < n &&
+                   !(src[i] == '*' && i + 1 < n && src[i + 1] == '/'))
+                advance(1);
+            advance(2);
+            parseAllows(src.substr(start, i - start), startLine, scan);
+            continue;
+        }
+        // Raw string literal (enough for R"( ... )" and custom delims).
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            std::size_t d0 = i + 2;
+            std::size_t paren = src.find('(', d0);
+            if (paren != std::string::npos) {
+                std::string delim =
+                    ")" + src.substr(d0, paren - d0) + "\"";
+                std::size_t close = src.find(delim, paren + 1);
+                std::size_t end = close == std::string::npos
+                                      ? n
+                                      : close + delim.size();
+                int startLine = line;
+                std::string text = src.substr(i, end - i);
+                advance(end - i);
+                scan.tokens.push_back(
+                    {TokKind::String, text, startLine});
+                continue;
+            }
+        }
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t start = i;
+            int startLine = line;
+            advance(1);
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\')
+                    advance(1);
+                advance(1);
+            }
+            advance(1);
+            scan.tokens.push_back(
+                {quote == '"' ? TokKind::String : TokKind::CharLit,
+                 src.substr(start, i - start), startLine});
+            continue;
+        }
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t start = i;
+            while (i < n && identChar(src[i]))
+                ++i;
+            scan.tokens.push_back(
+                {TokKind::Ident, src.substr(start, i - start), line});
+            continue;
+        }
+        // Number.
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            while (i < n && (identChar(src[i]) || src[i] == '.' ||
+                             src[i] == '\''))
+                ++i;
+            scan.tokens.push_back(
+                {TokKind::Number, src.substr(start, i - start), line});
+            continue;
+        }
+        // Punctuation; keep '::' and '->' fused, the rules use them.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            scan.tokens.push_back({TokKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            scan.tokens.push_back({TokKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        scan.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return true;
+}
+
+/** True when `rule` is suppressed at `line` (marker there or above). */
+bool
+suppressed(const FileScan& scan, const std::string& rule, int line)
+{
+    for (int l : {line, line - 1}) {
+        auto it = scan.allows.find(l);
+        if (it != scan.allows.end() && it->second.count(rule))
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// D3 cross-file index: stats structs and merge/registry bodies
+// ---------------------------------------------------------------------
+
+struct FieldInfo
+{
+    std::string name;
+    int line = 0;
+    std::string file;
+    std::vector<std::string> typeTokens;
+    bool suppressed = false;
+};
+
+struct StructInfo
+{
+    std::string file;
+    int line = 0;
+    std::vector<FieldInfo> fields;
+    /** inline method name -> identifiers appearing in its body. */
+    std::map<std::string, std::set<std::string>> methods;
+    bool seen = false;
+};
+
+struct D3Entry
+{
+    const char* structName;
+    const char* mergeFn;   ///< "" = struct has no merge contract
+    bool mergeIsMember;    ///< true: inline member; false: free fn
+    const char* registryFn;
+};
+
+/**
+ * The registry catalogue: which merge/registry function must mention
+ * every field of which struct. SimResult has no merge (results are
+ * never summed); Histogram-typed fields are exempt from the registry
+ * side (StatSet holds scalars; distributions export separately) but
+ * still must be merged.
+ */
+const D3Entry kD3Catalogue[] = {
+    {"PgDomainStats", "merge", true, "appendPgDomainStats"},
+    {"ClusterStats", "merge", true, "appendClusterStats"},
+    {"SmStats", "mergeSmStats", false, "appendSmStats"},
+    {"SimResult", "", false, "toStatSet"},
+};
+
+struct D3Index
+{
+    std::map<std::string, StructInfo> structs;
+    /** free (or out-of-line qualified) function name -> body idents. */
+    std::map<std::string, std::set<std::string>> functions;
+};
+
+bool
+isCataloguedStruct(const std::string& name)
+{
+    for (const D3Entry& e : kD3Catalogue)
+        if (name == e.structName)
+            return true;
+    return false;
+}
+
+std::size_t
+skipBalanced(const std::vector<Token>& t, std::size_t i,
+             const std::string& open, const std::string& close)
+{
+    // i points at the opening token; returns index one past the match.
+    int depth = 0;
+    const std::size_t n = t.size();
+    for (; i < n; ++i) {
+        if (t[i].kind != TokKind::Punct)
+            continue;
+        if (t[i].text == open)
+            ++depth;
+        else if (t[i].text == close && --depth == 0)
+            return i + 1;
+    }
+    return n;
+}
+
+/** Collect identifier tokens in a brace-balanced body. */
+std::set<std::string>
+bodyIdents(const std::vector<Token>& t, std::size_t open,
+           std::size_t end)
+{
+    std::set<std::string> out;
+    for (std::size_t i = open; i < end; ++i)
+        if (t[i].kind == TokKind::Ident)
+            out.insert(t[i].text);
+    return out;
+}
+
+/**
+ * Parse one struct body (tokens between `{` at `open` and its match)
+ * into fields and inline-method bodies. Heuristic, but exact for the
+ * declaration style this tree uses.
+ */
+void
+parseStructBody(const FileScan& scan, std::size_t open,
+                std::size_t end, StructInfo& info)
+{
+    const std::vector<Token>& t = scan.tokens;
+    std::size_t i = open + 1;
+    while (i + 1 < end) {
+        const Token& tok = t[i];
+        // Access specifiers: `public:` etc.
+        if (tok.kind == TokKind::Ident && i + 1 < end &&
+            t[i + 1].kind == TokKind::Punct && t[i + 1].text == ":" &&
+            (tok.text == "public" || tok.text == "private" ||
+             tok.text == "protected")) {
+            i += 2;
+            continue;
+        }
+        if (tok.kind == TokKind::Punct && tok.text == ";") {
+            ++i;
+            continue;
+        }
+        // Nested type / alias / friend: skip the whole statement.
+        if (tok.kind == TokKind::Ident &&
+            (tok.text == "struct" || tok.text == "class" ||
+             tok.text == "enum" || tok.text == "union" ||
+             tok.text == "using" || tok.text == "typedef" ||
+             tok.text == "friend" || tok.text == "static")) {
+            while (i < end && !(t[i].kind == TokKind::Punct &&
+                                t[i].text == ";")) {
+                if (t[i].kind == TokKind::Punct && t[i].text == "{")
+                    i = skipBalanced(t, i, "{", "}") - 1;
+                ++i;
+            }
+            ++i;
+            continue;
+        }
+        // Statement: walk to its end, deciding field vs function.
+        std::size_t stmtBegin = i;
+        std::string fnName;
+        bool isFunction = false;
+        while (i < end) {
+            const Token& cur = t[i];
+            if (cur.kind == TokKind::Punct && cur.text == "(" &&
+                !isFunction) {
+                // Function (or constructor): name is the preceding
+                // identifier (operator overloads don't occur here).
+                if (i > stmtBegin &&
+                    t[i - 1].kind == TokKind::Ident)
+                    fnName = t[i - 1].text;
+                isFunction = true;
+                i = skipBalanced(t, i, "(", ")");
+                continue;
+            }
+            if (cur.kind == TokKind::Punct && cur.text == "{") {
+                std::size_t close = skipBalanced(t, i, "{", "}");
+                if (isFunction) {
+                    if (!fnName.empty()) {
+                        std::set<std::string> ids =
+                            bodyIdents(t, i, close);
+                        info.methods[fnName].insert(ids.begin(),
+                                                    ids.end());
+                    }
+                    i = close;
+                    // Inline bodies need no trailing ';'.
+                    if (i < end && t[i].kind == TokKind::Punct &&
+                        t[i].text == ";")
+                        ++i;
+                    break;
+                }
+                i = close; // brace initializer: part of the field
+                continue;
+            }
+            if (cur.kind == TokKind::Punct && cur.text == ";") {
+                ++i;
+                break;
+            }
+            ++i;
+        }
+        if (isFunction)
+            continue;
+        // Field: the identifier right before `=`, `{`, `[` or `;`.
+        FieldInfo field;
+        std::vector<std::string> before;
+        for (std::size_t j = stmtBegin; j < i; ++j) {
+            const Token& cur = t[j];
+            if (cur.kind == TokKind::Punct &&
+                (cur.text == "=" || cur.text == "{" ||
+                 cur.text == "[" || cur.text == ";"))
+                break;
+            if (cur.kind == TokKind::Ident) {
+                field.name = cur.text;
+                field.line = cur.line;
+            }
+            before.push_back(cur.text);
+        }
+        if (!field.name.empty()) {
+            if (!before.empty())
+                before.pop_back(); // drop the name; rest is the type
+            field.typeTokens = before;
+            field.file = scan.path;
+            field.suppressed = suppressed(scan, "D3", field.line);
+            info.fields.push_back(field);
+        }
+    }
+}
+
+/**
+ * Walk a token range at namespace scope: collect catalogued struct
+ * definitions and the bodies of (possibly class-qualified) function
+ * definitions.
+ */
+void
+indexScopes(const FileScan& scan, std::size_t begin, std::size_t end,
+            D3Index& index)
+{
+    const std::vector<Token>& t = scan.tokens;
+    std::size_t i = begin;
+    while (i < end) {
+        const Token& tok = t[i];
+        if (tok.kind == TokKind::Ident && tok.text == "namespace") {
+            // `namespace a::b {` or anonymous: find the brace.
+            std::size_t j = i + 1;
+            while (j < end && !(t[j].kind == TokKind::Punct &&
+                                (t[j].text == "{" || t[j].text == ";")))
+                ++j;
+            if (j < end && t[j].text == "{") {
+                std::size_t close = skipBalanced(t, j, "{", "}");
+                indexScopes(scan, j + 1, close - 1, index);
+                i = close;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        if (tok.kind == TokKind::Ident &&
+            (tok.text == "struct" || tok.text == "class") &&
+            i + 1 < end && t[i + 1].kind == TokKind::Ident) {
+            const std::string name = t[i + 1].text;
+            // Find the body brace (skipping base-clause tokens) or a
+            // `;`/`(`/ident meaning forward-decl or parameter use.
+            std::size_t j = i + 2;
+            while (j < end && !(t[j].kind == TokKind::Punct &&
+                                (t[j].text == "{" || t[j].text == ";" ||
+                                 t[j].text == "(" || t[j].text == ")" ||
+                                 t[j].text == ",")))
+                ++j;
+            if (j < end && t[j].text == "{") {
+                std::size_t close = skipBalanced(t, j, "{", "}");
+                if (isCataloguedStruct(name)) {
+                    StructInfo& info = index.structs[name];
+                    if (!info.seen) {
+                        info.seen = true;
+                        info.file = scan.path;
+                        info.line = tok.line;
+                        parseStructBody(scan, j, close - 1, info);
+                    }
+                } else {
+                    // Still index inline methods of other classes so
+                    // out-of-line catalogue functions hiding inside
+                    // them are not misattributed; recurse for nested
+                    // namespaces is irrelevant here.
+                }
+                i = close;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        // Function definition: ident `(` ... `)` [stuff] `{`.
+        if (tok.kind == TokKind::Punct && tok.text == "(" && i > 0 &&
+            t[i - 1].kind == TokKind::Ident) {
+            std::string fn = t[i - 1].text;
+            std::string qualifier;
+            if (i >= 3 && t[i - 2].kind == TokKind::Punct &&
+                t[i - 2].text == "::" &&
+                t[i - 3].kind == TokKind::Ident)
+                qualifier = t[i - 3].text;
+            std::size_t afterParens = skipBalanced(t, i, "(", ")");
+            // Scan past trailing specifiers to `{`, `;` or something
+            // that rules out a definition.
+            std::size_t j = afterParens;
+            while (j < end && t[j].kind == TokKind::Ident)
+                ++j;
+            if (j < end && t[j].kind == TokKind::Punct &&
+                t[j].text == "{") {
+                std::size_t close = skipBalanced(t, j, "{", "}");
+                std::set<std::string> ids = bodyIdents(t, j, close);
+                if (!qualifier.empty() &&
+                    isCataloguedStruct(qualifier)) {
+                    StructInfo& info = index.structs[qualifier];
+                    info.methods[fn].insert(ids.begin(), ids.end());
+                } else {
+                    index.functions[fn].insert(ids.begin(), ids.end());
+                }
+                i = close;
+                continue;
+            }
+            i = afterParens;
+            continue;
+        }
+        ++i;
+    }
+}
+
+bool
+isHistogramField(const FieldInfo& f)
+{
+    for (const std::string& t : f.typeTokens)
+        if (t == "Histogram")
+            return true;
+    return false;
+}
+
+void
+checkD3(const D3Index& index, std::vector<Violation>& out)
+{
+    for (const D3Entry& entry : kD3Catalogue) {
+        auto sit = index.structs.find(entry.structName);
+        if (sit == index.structs.end() || !sit->second.seen)
+            continue;
+        const StructInfo& info = sit->second;
+
+        const std::set<std::string>* mergeBody = nullptr;
+        if (entry.mergeFn[0] != '\0') {
+            if (entry.mergeIsMember) {
+                auto mit = info.methods.find(entry.mergeFn);
+                if (mit != info.methods.end())
+                    mergeBody = &mit->second;
+            } else {
+                auto fit = index.functions.find(entry.mergeFn);
+                if (fit != index.functions.end())
+                    mergeBody = &fit->second;
+            }
+        }
+        const std::set<std::string>* registryBody = nullptr;
+        {
+            auto fit = index.functions.find(entry.registryFn);
+            if (fit != index.functions.end())
+                registryBody = &fit->second;
+        }
+
+        for (const FieldInfo& f : info.fields) {
+            if (f.suppressed)
+                continue;
+            if (mergeBody && !mergeBody->count(f.name))
+                out.push_back(
+                    {"D3", f.file, f.line,
+                     std::string(entry.structName) + "::" + f.name +
+                         " is not merged in " + entry.mergeFn + "()",
+                     ruleHint("D3")});
+            if (registryBody && !isHistogramField(f) &&
+                !registryBody->count(f.name))
+                out.push_back(
+                    {"D3", f.file, f.line,
+                     std::string(entry.structName) + "::" + f.name +
+                         " is not registered in " + entry.registryFn +
+                         "()",
+                     ruleHint("D3")});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D1: nondeterminism sources
+// ---------------------------------------------------------------------
+
+/** Identifiers banned on sight (wall clocks, entropy sources). */
+const std::set<std::string>&
+bannedIdents()
+{
+    static const std::set<std::string> kSet = {
+        "random_device",
+        "system_clock",
+        "steady_clock",
+        "high_resolution_clock",
+    };
+    return kSet;
+}
+
+/** Banned when used as a free-function call. */
+const std::set<std::string>&
+bannedFreeCalls()
+{
+    static const std::set<std::string> kSet = {
+        "time",   "clock",    "rand",     "srand",
+        "usleep", "nanosleep", "gettimeofday", "getrandom",
+    };
+    return kSet;
+}
+
+/** Banned as a call regardless of qualification (thread sleeps). */
+const std::set<std::string>&
+bannedAnyCalls()
+{
+    static const std::set<std::string> kSet = {"sleep_for",
+                                               "sleep_until"};
+    return kSet;
+}
+
+void
+checkD1(const FileScan& scan, std::vector<Violation>& out)
+{
+    if (fs::path(scan.path).filename() == "phase_timer.hh")
+        return; // the sanctioned wall-clock wrapper
+    const std::vector<Token>& t = scan.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident)
+            continue;
+        const std::string& name = t[i].text;
+        bool hit = false;
+        if (bannedIdents().count(name)) {
+            hit = true;
+        } else if (i + 1 < t.size() &&
+                   t[i + 1].kind == TokKind::Punct &&
+                   t[i + 1].text == "(") {
+            if (bannedAnyCalls().count(name)) {
+                hit = true;
+            } else if (bannedFreeCalls().count(name)) {
+                // Skip member calls (`x.time(...)`) and declarations
+                // (`Scope time(...)`): flag only free-call shapes.
+                bool memberOrDecl = false;
+                if (i > 0) {
+                    const Token& p = t[i - 1];
+                    if (p.kind == TokKind::Ident ||
+                        (p.kind == TokKind::Punct &&
+                         (p.text == "." || p.text == "->" ||
+                          p.text == "&" || p.text == "*" ||
+                          p.text == ">")))
+                        memberOrDecl = true;
+                }
+                hit = !memberOrDecl;
+            }
+        }
+        if (hit && !suppressed(scan, "D1", t[i].line))
+            out.push_back({"D1", scan.path, t[i].line,
+                           "nondeterminism source '" + name +
+                               "' outside the profiling allowlist",
+                           ruleHint("D1")});
+    }
+}
+
+// ---------------------------------------------------------------------
+// D2: unordered-container iteration in result-affecting code
+// ---------------------------------------------------------------------
+
+/** Paths whose output feeds "bit-identical" artifacts. */
+bool
+resultAffecting(const std::string& path)
+{
+    static const char* kMarkers[] = {"stats",  "metrics", "report",
+                                     "trace",  "export",  "sink",
+                                     "tools"};
+    for (const char* m : kMarkers)
+        if (path.find(m) != std::string::npos)
+            return true;
+    return false;
+}
+
+const std::set<std::string>&
+unorderedTypes()
+{
+    static const std::set<std::string> kSet = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    return kSet;
+}
+
+void
+checkD2(const FileScan& scan, std::vector<Violation>& out)
+{
+    if (!resultAffecting(scan.path))
+        return;
+    const std::vector<Token>& t = scan.tokens;
+
+    // Pass 1: names of variables declared with an unordered type.
+    std::set<std::string> vars;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident ||
+            !unorderedTypes().count(t[i].text))
+            continue;
+        // Skip the template argument list, tracking angle depth (the
+        // tree never uses shift operators inside stat-path template
+        // args, so plain counting is exact here).
+        std::size_t j = i + 1;
+        if (j < t.size() && t[j].kind == TokKind::Punct &&
+            t[j].text == "<") {
+            int depth = 0;
+            for (; j < t.size(); ++j) {
+                if (t[j].kind != TokKind::Punct)
+                    continue;
+                if (t[j].text == "<")
+                    ++depth;
+                else if (t[j].text == ">" && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        while (j < t.size() && t[j].kind == TokKind::Punct &&
+               (t[j].text == "&" || t[j].text == "*"))
+            ++j;
+        if (j < t.size() && t[j].kind == TokKind::Ident)
+            vars.insert(t[j].text);
+    }
+    if (vars.empty())
+        return;
+
+    // Pass 2: range-for over a tracked variable, or .begin()-family.
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind == TokKind::Ident && t[i].text == "for" &&
+            i + 1 < t.size() && t[i + 1].text == "(") {
+            std::size_t close = skipBalanced(t, i + 1, "(", ")");
+            // Find the top-level ':' inside the for-parens.
+            int depth = 0;
+            for (std::size_t j = i + 2; j + 1 < close; ++j) {
+                if (t[j].kind == TokKind::Punct) {
+                    if (t[j].text == "(")
+                        ++depth;
+                    else if (t[j].text == ")")
+                        --depth;
+                    else if (t[j].text == ":" && depth == 0) {
+                        for (std::size_t k = j + 1; k + 1 < close;
+                             ++k) {
+                            if (t[k].kind == TokKind::Ident &&
+                                vars.count(t[k].text) &&
+                                !suppressed(scan, "D2", t[k].line)) {
+                                out.push_back(
+                                    {"D2", scan.path, t[k].line,
+                                     "iteration over unordered "
+                                     "container '" +
+                                         t[k].text +
+                                         "' in result-affecting code",
+                                     ruleHint("D2")});
+                                break;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        if (t[i].kind == TokKind::Ident && vars.count(t[i].text) &&
+            i + 2 < t.size() && t[i + 1].kind == TokKind::Punct &&
+            t[i + 1].text == "." && t[i + 2].kind == TokKind::Ident) {
+            const std::string& m = t[i + 2].text;
+            if ((m == "begin" || m == "cbegin" || m == "rbegin" ||
+                 m == "end" || m == "cend" || m == "rend") &&
+                !suppressed(scan, "D2", t[i].line))
+                out.push_back({"D2", scan.path, t[i].line,
+                               "iterator over unordered container '" +
+                                   t[i].text +
+                                   "' in result-affecting code",
+                               ruleHint("D2")});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D4: metric-name literals must not contain '_'
+// ---------------------------------------------------------------------
+
+const std::set<std::string>&
+statSetAccessors()
+{
+    static const std::set<std::string> kSet = {
+        "set", "incr", "get", "has", "sumPrefix", "mergePrefixed"};
+    return kSet;
+}
+
+void
+checkD4(const FileScan& scan, std::vector<Violation>& out)
+{
+    const std::vector<Token>& t = scan.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Punct ||
+            (t[i].text != "." && t[i].text != "->"))
+            continue;
+        if (t[i + 1].kind != TokKind::Ident ||
+            !statSetAccessors().count(t[i + 1].text))
+            continue;
+        if (t[i + 2].kind != TokKind::Punct || t[i + 2].text != "(")
+            continue;
+        // Scan the first argument expression only.
+        std::size_t close = skipBalanced(t, i + 2, "(", ")");
+        int depth = 0;
+        for (std::size_t j = i + 3; j + 1 < close; ++j) {
+            if (t[j].kind == TokKind::Punct) {
+                if (t[j].text == "(")
+                    ++depth;
+                else if (t[j].text == ")")
+                    --depth;
+                else if (t[j].text == "," && depth == 0)
+                    break;
+            }
+            if (t[j].kind == TokKind::String &&
+                t[j].text.find('_') != std::string::npos &&
+                !suppressed(scan, "D4", t[j].line))
+                out.push_back({"D4", scan.path, t[j].line,
+                               "metric name literal " + t[j].text +
+                                   " contains '_'",
+                               ruleHint("D4")});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// H1: header hygiene
+// ---------------------------------------------------------------------
+
+void
+checkH1(const FileScan& scan, std::vector<Violation>& out)
+{
+    if (!scan.isHeader)
+        return;
+    if (!scan.pragmaOnce && !suppressed(scan, "H1", 1))
+        out.push_back({"H1", scan.path, 1,
+                       "header is missing '#pragma once'",
+                       ruleHint("H1")});
+    const std::vector<Token>& t = scan.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind == TokKind::Ident && t[i].text == "using" &&
+            t[i + 1].kind == TokKind::Ident &&
+            t[i + 1].text == "namespace" &&
+            !suppressed(scan, "H1", t[i].line))
+            out.push_back({"H1", scan.path, t[i].line,
+                           "'using namespace' in a header",
+                           ruleHint("H1")});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+bool
+scannableExtension(const fs::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
+           ext == ".h" || ext == ".hpp";
+}
+
+/** Collect files under the given paths in sorted (stable) order. */
+std::vector<fs::path>
+collectFiles(const std::vector<std::string>& roots, bool& ok)
+{
+    std::vector<fs::path> files;
+    ok = true;
+    for (const std::string& r : roots) {
+        fs::path p(r);
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator it(p, ec), end;
+                 it != end; it.increment(ec)) {
+                if (ec)
+                    break;
+                if (it->is_regular_file(ec) &&
+                    scannableExtension(it->path()))
+                    files.push_back(it->path());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+        } else {
+            std::cerr << "wglint: no such file or directory: " << r
+                      << "\n";
+            ok = false;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+printRules()
+{
+    std::cout
+        << "D1  no nondeterminism sources (clocks, rand, sleeps) "
+           "outside phase_timer.hh / suppressed profiling sites\n"
+        << "D2  no unordered_map/unordered_set iteration in "
+           "result-affecting code (stats, metrics, report, trace, "
+           "export, sinks, tools)\n"
+        << "D3  every field of PgDomainStats/ClusterStats/SmStats/"
+           "SimResult appears in its merge() and registry function\n"
+        << "D4  metric-name literals passed to StatSet accessors "
+           "contain no '_'\n"
+        << "H1  headers carry '#pragma once' and no 'using "
+           "namespace'\n"
+        << "Suppress with '// wglint:allow(RULE)' on the violating "
+           "line or the line above.\n";
+}
+
+int
+usage()
+{
+    std::cerr << "usage: wglint [--format=text|jsonl] [--list-rules] "
+                 "path...\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string format = "text";
+    std::vector<std::string> roots;
+    for (int a = 1; a < argc; ++a) {
+        std::string arg = argv[a];
+        if (arg == "--list-rules") {
+            printRules();
+            return 0;
+        }
+        if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "jsonl")
+                return usage();
+            continue;
+        }
+        if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0)
+            return usage();
+        roots.push_back(arg);
+    }
+    if (roots.empty())
+        return usage();
+
+    bool ok = true;
+    std::vector<fs::path> files = collectFiles(roots, ok);
+    if (!ok)
+        return 2;
+
+    std::vector<Violation> violations;
+    D3Index index;
+    for (const fs::path& file : files) {
+        FileScan scan;
+        if (!tokenize(file, file.generic_string(), scan)) {
+            std::cerr << "wglint: cannot read " << file << "\n";
+            return 2;
+        }
+        checkD1(scan, violations);
+        checkD2(scan, violations);
+        checkD4(scan, violations);
+        checkH1(scan, violations);
+        indexScopes(scan, 0, scan.tokens.size(), index);
+    }
+    checkD3(index, violations);
+
+    std::sort(violations.begin(), violations.end(), violationLess);
+
+    for (const Violation& v : violations) {
+        if (format == "jsonl") {
+            std::cout << "{\"rule\":\"" << jsonEscape(v.rule)
+                      << "\",\"file\":\"" << jsonEscape(v.file)
+                      << "\",\"line\":" << v.line << ",\"message\":\""
+                      << jsonEscape(v.message) << "\",\"hint\":\""
+                      << jsonEscape(v.hint) << "\"}\n";
+        } else {
+            std::cout << v.file << ":" << v.line << ": [" << v.rule
+                      << "] " << v.message << "\n    hint: " << v.hint
+                      << "\n";
+        }
+    }
+    if (format == "text") {
+        std::cout << (violations.empty() ? "wglint: clean ("
+                                         : "wglint: FAILED (")
+                  << files.size() << " files, " << violations.size()
+                  << " violation" << (violations.size() == 1 ? "" : "s")
+                  << ")\n";
+    }
+    return violations.empty() ? 0 : 1;
+}
