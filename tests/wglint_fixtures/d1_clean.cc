@@ -2,6 +2,11 @@
 // project's sanctioned seed mixer).
 #include <cstdint>
 
+// Encoding-prefixed raw literals must lex as one string token: a
+// lexer that missed the u8 prefix would stop the string at the inner
+// quote and surface the time(nullptr) text below as a real call.
+const char* kRawNote = u8R"(srand(7); " time(nullptr);)";
+
 std::uint64_t
 mix(std::uint64_t x)
 {

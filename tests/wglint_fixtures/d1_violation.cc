@@ -1,7 +1,9 @@
 // Fixture: D1 fires once per nondeterminism source below (rand,
-// steady_clock, sleep_for).
+// steady_clock, sleep_for, and a keyword-preceded free call —
+// `return time(...)` is a call, not a declaration).
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <thread>
 
 int
@@ -12,4 +14,10 @@ main()
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     (void)t0;
     return seed;
+}
+
+long
+stamp()
+{
+    return time(nullptr);
 }

@@ -1,7 +1,8 @@
 // Fixture: every field reaches both its merge() and its registry
 // function — D3 silent. idleHist is Histogram-typed, which exempts it
 // from the registry side (StatSet holds scalars only) but not from
-// merge().
+// merge(). cycles/stalls share one multi-declarator line: both
+// declarators must be extracted and found registered.
 #include <cstdint>
 
 struct StatSet
@@ -16,8 +17,7 @@ struct Histogram
 
 struct SmStats
 {
-    std::uint64_t cycles = 0;
-    std::uint64_t stalls = 0;
+    std::uint64_t cycles = 0, stalls = 0;
     Histogram idleHist;
 };
 

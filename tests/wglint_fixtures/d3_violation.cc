@@ -1,6 +1,9 @@
 // Fixture: stats-registration drift, both catalogue paths.
 //   - SmStats::stalls is merged but missing from appendSmStats()
 //     (free-function registry path);
+//   - SmStats::replays is the second declarator of a multi-declarator
+//     field line and is missing from appendSmStats() — the extractor
+//     must see every declarator, not just the first;
 //   - PgDomainStats::wakeups is registered but missing from merge()
 //     (member-merge path — the PR 3 drift-bug shape).
 #include <cstdint>
@@ -33,6 +36,7 @@ struct SmStats
 {
     std::uint64_t cycles = 0;
     std::uint64_t stalls = 0;
+    std::uint64_t issueSlots = 0, replays = 0;
 };
 
 void
@@ -40,10 +44,13 @@ mergeSmStats(SmStats& into, const SmStats& sm)
 {
     into.cycles += sm.cycles;
     into.stalls += sm.stalls;
+    into.issueSlots += sm.issueSlots;
+    into.replays += sm.replays;
 }
 
 void
 appendSmStats(StatSet& set, const SmStats& s)
 {
     set.set("gpu.cycles", static_cast<double>(s.cycles));
+    set.set("gpu.issueSlots", static_cast<double>(s.issueSlots));
 }

@@ -81,7 +81,11 @@ TEST(Wglint, D1ViolationFires)
 {
     auto run = lintFixture("d1_violation.cc");
     EXPECT_EQ(run.exitCode, 1) << run.output;
-    EXPECT_EQ(countRule(run.output, "D1"), 3) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 4) << run.output;
+    // `return time(nullptr)` is a free call despite the preceding
+    // keyword token.
+    EXPECT_NE(run.output.find("'time'"), std::string::npos)
+        << run.output;
     EXPECT_EQ(totalRecords(run.output), countRule(run.output, "D1"))
         << run.output;
 }
@@ -127,11 +131,14 @@ TEST(Wglint, D3ViolationFiresOnBothCataloguePaths)
 {
     auto run = lintFixture("d3_violation.cc");
     EXPECT_EQ(run.exitCode, 1) << run.output;
-    EXPECT_EQ(countRule(run.output, "D3"), 2) << run.output;
-    // One drift on the registry side, one on the merge side.
+    EXPECT_EQ(countRule(run.output, "D3"), 3) << run.output;
+    // Drift on the registry side, on the merge side, and in the
+    // second declarator of a multi-declarator field line.
     EXPECT_NE(run.output.find("appendSmStats"), std::string::npos)
         << run.output;
     EXPECT_NE(run.output.find("merge"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("SmStats::replays"), std::string::npos)
         << run.output;
 }
 

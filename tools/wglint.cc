@@ -245,9 +245,20 @@ tokenize(const fs::path& file, const std::string& display,
             parseAllows(src.substr(start, i - start), startLine, scan);
             continue;
         }
-        // Raw string literal (enough for R"( ... )" and custom delims).
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-            std::size_t d0 = i + 2;
+        // Raw string literal, with optional encoding prefix (R"...",
+        // LR"...", uR"...", UR"...", u8R"..."), custom delims included.
+        std::size_t rawR = std::string::npos;
+        if (c == 'R')
+            rawR = i;
+        else if ((c == 'L' || c == 'u' || c == 'U') && i + 1 < n &&
+                 src[i + 1] == 'R')
+            rawR = i + 1;
+        else if (c == 'u' && i + 2 < n && src[i + 1] == '8' &&
+                 src[i + 2] == 'R')
+            rawR = i + 2;
+        if (rawR != std::string::npos && rawR + 1 < n &&
+            src[rawR + 1] == '"') {
+            std::size_t d0 = rawR + 2;
             std::size_t paren = src.find('(', d0);
             if (paren != std::string::npos) {
                 std::string delim =
@@ -504,29 +515,74 @@ parseStructBody(const FileScan& scan, std::size_t open,
         }
         if (isFunction)
             continue;
-        // Field: the identifier right before `=`, `{`, `[` or `;`.
-        FieldInfo field;
-        std::vector<std::string> before;
-        for (std::size_t j = stmtBegin; j < i; ++j) {
-            const Token& cur = t[j];
-            if (cur.kind == TokKind::Punct &&
-                (cur.text == "=" || cur.text == "{" ||
-                 cur.text == "[" || cur.text == ";"))
-                break;
-            if (cur.kind == TokKind::Ident) {
-                field.name = cur.text;
-                field.line = cur.line;
+        // Field statement. It may declare several comma-separated
+        // fields (`std::uint64_t a = 0, b = 0;`), so split on
+        // top-level commas and record one field per declarator; the
+        // shared type tokens come from the first declarator. Within a
+        // declarator the field name is the identifier right before
+        // `=`, `{`, `[` or `;`.
+        std::vector<std::string> typeTokens;
+        bool firstDeclarator = true;
+        auto emitField = [&](std::size_t b, std::size_t e) {
+            FieldInfo field;
+            std::vector<std::string> before;
+            for (std::size_t j = b; j < e; ++j) {
+                const Token& cur = t[j];
+                if (cur.kind == TokKind::Punct &&
+                    (cur.text == "=" || cur.text == "{" ||
+                     cur.text == "[" || cur.text == ";"))
+                    break;
+                if (cur.kind == TokKind::Ident) {
+                    field.name = cur.text;
+                    field.line = cur.line;
+                }
+                before.push_back(cur.text);
             }
-            before.push_back(cur.text);
-        }
-        if (!field.name.empty()) {
-            if (!before.empty())
-                before.pop_back(); // drop the name; rest is the type
-            field.typeTokens = before;
+            if (field.name.empty())
+                return;
+            if (firstDeclarator) {
+                firstDeclarator = false;
+                if (!before.empty())
+                    before.pop_back(); // drop the name; rest = type
+                typeTokens = before;
+            }
+            field.typeTokens = typeTokens;
             field.file = scan.path;
             field.suppressed = suppressed(scan, "D3", field.line);
             info.fields.push_back(field);
+        };
+        // Top-level = outside (), [], {} and the type's template
+        // argument list. Angle depth is clamped at zero so comparison
+        // operators in initializers cannot push it negative.
+        int parens = 0, brackets = 0, braces = 0, angles = 0;
+        std::size_t segBegin = stmtBegin;
+        for (std::size_t j = stmtBegin; j < i; ++j) {
+            const Token& cur = t[j];
+            if (cur.kind != TokKind::Punct)
+                continue;
+            if (cur.text == "(")
+                ++parens;
+            else if (cur.text == ")")
+                parens = std::max(0, parens - 1);
+            else if (cur.text == "[")
+                ++brackets;
+            else if (cur.text == "]")
+                brackets = std::max(0, brackets - 1);
+            else if (cur.text == "{")
+                ++braces;
+            else if (cur.text == "}")
+                braces = std::max(0, braces - 1);
+            else if (cur.text == "<")
+                ++angles;
+            else if (cur.text == ">")
+                angles = std::max(0, angles - 1);
+            else if (cur.text == "," && parens == 0 &&
+                     brackets == 0 && braces == 0 && angles == 0) {
+                emitField(segBegin, j);
+                segBegin = j + 1;
+            }
         }
+        emitField(segBegin, i);
     }
 }
 
@@ -743,11 +799,18 @@ checkD1(const FileScan& scan, std::vector<Violation>& out)
                 hit = true;
             } else if (bannedFreeCalls().count(name)) {
                 // Skip member calls (`x.time(...)`) and declarations
-                // (`Scope time(...)`): flag only free-call shapes.
+                // (`Scope time(...)`): flag only free-call shapes. A
+                // preceding keyword (`return time(...)`) is still a
+                // free call, not a declaration.
+                static const std::set<std::string> kCallKeywords = {
+                    "return", "co_return", "co_yield", "co_await",
+                    "throw",  "case",      "else",     "do",
+                };
                 bool memberOrDecl = false;
                 if (i > 0) {
                     const Token& p = t[i - 1];
-                    if (p.kind == TokKind::Ident ||
+                    if ((p.kind == TokKind::Ident &&
+                         !kCallKeywords.count(p.text)) ||
                         (p.kind == TokKind::Punct &&
                          (p.text == "." || p.text == "->" ||
                           p.text == "&" || p.text == "*" ||
@@ -1008,7 +1071,19 @@ jsonEscape(const std::string& s)
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
-          default: out += c;
+          case '\r': out += "\\r"; break;
+          default:
+            // Any remaining control byte (stray \f, raw bytes < 0x20
+            // leaking out of scanned source) must be \u-escaped or
+            // the jsonl record is invalid JSON.
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char* kHex = "0123456789abcdef";
+                out += "\\u00";
+                out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+                out += kHex[static_cast<unsigned char>(c) & 0xf];
+            } else {
+                out += c;
+            }
         }
     }
     return out;
