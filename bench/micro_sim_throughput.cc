@@ -8,7 +8,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -388,65 +390,150 @@ findRun(const CaptureReporter& rep, const std::string& prefix)
     return nullptr;
 }
 
+// ---- merge with the existing BENCH json ----
+//
+// A filtered run (`--benchmark_filter=BM_SmHotspot`) measures only one
+// section. Emitting just that section used to clobber the committed
+// baseline's other sections with nothing — the regression gate then
+// compared against a file missing its fastforward block. The emitter
+// therefore rewrites EVERY section on every run: fresh numbers where
+// this run measured them, values carried forward from the existing
+// file (with a console warning) where it did not.
+
 /**
- * Derive the BENCH summary JSON. Sections whose benchmarks were
- * filtered out of the run are omitted rather than zero-filled.
+ * Extract the brace-balanced `{...}` value of `"key":` from @p text,
+ * starting at @p from. Good enough for the fixed wg-bench-v1 schema
+ * (no strings containing braces); not a general JSON parser.
  */
 std::string
-benchSummaryJson(const CaptureReporter& rep)
+extractObject(const std::string& text, const std::string& key,
+              std::size_t from = 0)
+{
+    std::size_t k = text.find("\"" + key + "\"", from);
+    if (k == std::string::npos)
+        return {};
+    std::size_t open = text.find('{', k);
+    if (open == std::string::npos)
+        return {};
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '{')
+            ++depth;
+        else if (text[i] == '}' && --depth == 0)
+            return text.substr(open, i - open + 1);
+    }
+    return {};
+}
+
+/** Extract the scalar token after `"key":` within @p obj. */
+std::string
+extractScalar(const std::string& obj, const std::string& key)
+{
+    std::size_t k = obj.find("\"" + key + "\"");
+    if (k == std::string::npos)
+        return {};
+    std::size_t colon = obj.find(':', k);
+    if (colon == std::string::npos)
+        return {};
+    std::size_t begin = obj.find_first_not_of(" \t\n", colon + 1);
+    std::size_t end = obj.find_first_of(",}\n", begin);
+    if (begin == std::string::npos || end == std::string::npos)
+        return {};
+    while (end > begin && std::isspace(
+                              static_cast<unsigned char>(obj[end - 1])))
+        --end;
+    return obj.substr(begin, end - begin);
+}
+
+/**
+ * Derive the BENCH summary JSON, merging against @p existing (the
+ * current file's contents, empty when absent). Sections this run did
+ * not measure are carried forward; each carry is reported in
+ * @p carried so main() can warn that the numbers are not fresh.
+ */
+std::string
+benchSummaryJson(const CaptureReporter& rep, const std::string& existing,
+                 std::vector<std::string>& carried)
 {
     std::ostringstream os;
     os.precision(10);
     os << "{\n  \"schema\": \"wg-bench-v1\",\n"
        << "  \"benchmark\": \"micro_sim_throughput\"";
 
+    // sm_cycles_per_sec: merged per technique.
+    const std::string old_cps = extractObject(existing,
+                                              "sm_cycles_per_sec");
     bool have_cps = false;
     std::ostringstream cps;
     for (Technique t : {Technique::Baseline, Technique::ConvPG,
                         Technique::WarpedGates}) {
+        const char* name = techniqueName(t);
+        std::string value;
         const auto* e = findRun(
             rep, "BM_SmHotspot/" +
                      std::to_string(static_cast<int>(t)));
-        if (!e)
-            continue;
-        auto it = e->counters.find("cycles/s");
-        if (it == e->counters.end())
+        if (e && e->counters.count("cycles/s")) {
+            std::ostringstream v;
+            v.precision(10);
+            v << e->counters.at("cycles/s");
+            value = v.str();
+        } else if (!(value = extractScalar(old_cps, name)).empty()) {
+            carried.push_back(std::string("sm_cycles_per_sec.") + name);
+        }
+        if (value.empty())
             continue;
         if (have_cps)
             cps << ",\n";
-        cps << "    \"" << techniqueName(t) << "\": " << it->second;
+        cps << "    \"" << name << "\": " << value;
         have_cps = true;
     }
     if (have_cps)
         os << ",\n  \"sm_cycles_per_sec\": {\n" << cps.str() << "\n  }";
 
+    // trace: fresh or carried wholesale.
     if (const auto* e = findRun(rep, "BM_TraceOverheadHotspot")) {
         os << ",\n  \"trace\": {\"off_ms\": "
            << e->counters.at("off_ms")
            << ", \"on_ms\": " << e->counters.at("on_ms")
            << ", \"overhead_pct\": " << e->counters.at("overhead_pct")
            << ", \"events\": " << e->counters.at("events") << "}";
+    } else if (std::string old_trace = extractObject(existing, "trace");
+               !old_trace.empty()) {
+        os << ",\n  \"trace\": " << old_trace;
+        carried.push_back("trace");
     }
 
+    // fastforward: merged per profile.
+    const std::string old_ff = extractObject(existing, "fastforward");
     bool have_ff = false;
     std::ostringstream ff;
     for (const char* bench : {"Hotspot", "Bfs"}) {
+        const char* key = bench[0] == 'H' ? "hotspot" : "bfs";
+        std::string value;
         const auto* e = findRun(rep, std::string("BM_FastForward") + bench);
-        if (!e)
+        if (e) {
+            std::ostringstream v;
+            v.precision(10);
+            v << "{\"off_ms\": " << e->counters.at("off_ms")
+              << ", \"on_ms\": " << e->counters.at("on_ms")
+              << ", \"ff_speedup\": " << e->counters.at("ff_speedup")
+              << ", \"skipped_pct\": " << e->counters.at("skipped_pct")
+              << "}";
+            value = v.str();
+        } else if (!(value = extractObject(old_ff, key)).empty()) {
+            carried.push_back(std::string("fastforward.") + key);
+        }
+        if (value.empty())
             continue;
         if (have_ff)
             ff << ",\n";
-        ff << "    \"" << (bench[0] == 'H' ? "hotspot" : "bfs")
-           << "\": {\"off_ms\": " << e->counters.at("off_ms")
-           << ", \"on_ms\": " << e->counters.at("on_ms")
-           << ", \"ff_speedup\": " << e->counters.at("ff_speedup")
-           << ", \"skipped_pct\": " << e->counters.at("skipped_pct")
-           << "}";
+        ff << "    \"" << key << "\": " << value;
         have_ff = true;
     }
     if (have_ff)
         os << ",\n  \"fastforward\": {\n" << ff.str() << "\n  }";
 
+    // sweep: fresh or carried wholesale.
     const auto* serial = findRun(rep, "BM_SuiteSweepSerial");
     const auto* pooled = findRun(rep, "BM_SuiteSweepPooled");
     if (serial && pooled) {
@@ -458,6 +545,10 @@ benchSummaryJson(const CaptureReporter& rep)
            << ", \"sims\": " << serial->counters.at("sims")
            << ", \"threads\": " << pooled->counters.at("threads")
            << "}";
+    } else if (std::string old_sweep = extractObject(existing, "sweep");
+               !old_sweep.empty()) {
+        os << ",\n  \"sweep\": " << old_sweep;
+        carried.push_back("sweep");
     }
     os << "\n}\n";
     return os.str();
@@ -524,13 +615,37 @@ main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks(&reporter);
 
     if (!json_path.empty()) {
-        std::ofstream out(json_path);
-        if (!out) {
-            std::cerr << "cannot open '" << json_path
-                      << "' for writing\n";
+        std::string existing;
+        if (std::ifstream in(json_path); in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            existing = buf.str();
+        }
+
+        std::vector<std::string> carried;
+        const std::string summary =
+            benchSummaryJson(reporter, existing, carried);
+
+        // Write-then-rename: a crash or full disk mid-write must never
+        // leave a truncated baseline behind for the regression gate.
+        const std::string tmp_path = json_path + ".tmp";
+        {
+            std::ofstream out(tmp_path);
+            if (!out || !(out << summary) || !out.flush()) {
+                std::cerr << "cannot write '" << tmp_path << "'\n";
+                return 1;
+            }
+        }
+        if (std::rename(tmp_path.c_str(), json_path.c_str()) != 0) {
+            std::cerr << "cannot rename '" << tmp_path << "' to '"
+                      << json_path << "'\n";
             return 1;
         }
-        out << benchSummaryJson(reporter);
+        for (const std::string& section : carried) {
+            std::cerr << "warning: section \"" << section
+                      << "\" was not measured in this run; carried "
+                         "forward from the existing file\n";
+        }
         std::cout << "wrote " << json_path << "\n";
     }
     return 0;

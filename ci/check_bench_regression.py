@@ -5,6 +5,9 @@ Compares only machine-independent *ratio* metrics, so the gate is
 robust across runner hardware generations:
 
   fastforward.<profile>.ff_speedup   (event-horizon speedup, off/on)
+  sm_cycles_per_sec.<tech> / sm_cycles_per_sec.Baseline
+                                     (per-technique throughput relative
+                                      to Baseline on the same host)
 
 Absolute times (off_ms/on_ms) and cycles/sec vary with the host and are
 reported but never gated. Exits non-zero when any gated ratio drops
@@ -54,6 +57,36 @@ def main() -> int:
 
     if not base_ff:
         failures.append("baseline has no fastforward section to gate on")
+
+    # Technique-relative throughput: <tech>/Baseline cancels the host
+    # speed, leaving only the simulator's per-technique overhead. A drop
+    # means a technique's hot path (scheduler, pg controller) got
+    # disproportionately slower.
+    base_cps = base.get("sm_cycles_per_sec", {})
+    cur_cps = cur.get("sm_cycles_per_sec", {})
+    base_ref = base_cps.get("Baseline")
+    cur_ref = cur_cps.get("Baseline")
+    if base_ref and not cur_ref:
+        failures.append("sm_cycles_per_sec.Baseline: missing from "
+                        "current run")
+    for tech in sorted(base_cps):
+        if tech == "Baseline" or not base_ref or not cur_ref:
+            continue
+        want = base_cps[tech] / base_ref
+        got_abs = cur_cps.get(tech)
+        if got_abs is None:
+            failures.append(
+                f"sm_cycles_per_sec.{tech}: missing from current run")
+            continue
+        got = got_abs / cur_ref
+        floor = want * (1.0 - args.max_drop)
+        status = "OK" if got >= floor else "FAIL"
+        print(f"sm_cycles_per_sec.{tech}/Baseline: baseline {want:.3f} "
+              f"current {got:.3f} floor {floor:.3f} [{status}]")
+        if got < floor:
+            failures.append(
+                f"sm_cycles_per_sec.{tech}/Baseline regressed: "
+                f"{got:.3f} < {floor:.3f} ({want:.3f} - {args.max_drop:.0%})")
 
     for msg in failures:
         print(f"REGRESSION: {msg}", file=sys.stderr)

@@ -68,6 +68,23 @@ struct Instruction
                !isStore;
     }
 
+    /**
+     * Scoreboard dependence mask over the 16-register window: one bit
+     * per live source register plus the destination (WAW: an issue must
+     * not overtake the in-flight producer of its own destination).
+     */
+    std::uint32_t
+    regMask() const
+    {
+        std::uint32_t mask = 0;
+        for (RegId src : srcs)
+            if (src != kNoReg)
+                mask |= 1u << (src & 15u);
+        if (dest != kNoReg)
+            mask |= 1u << (dest & 15u);
+        return mask;
+    }
+
     /** Compact mnemonic, e.g. "FP r3 <- r1,r2" (for traces/tests). */
     std::string toString() const;
 };

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Word-wide warp bitmask helpers for the scheduler hot path.
+ *
+ * The SM tracks at most 64 resident warps (kMaxWarpsPerSm), so every
+ * per-warp predicate the issue loop needs — active-set membership,
+ * head-class readiness, long-latency blockage, fetchability, drain —
+ * fits in one 64-bit word and is maintained incrementally as events
+ * happen instead of being re-derived warp-by-warp every cycle.
+ * Selection then reduces to a handful of word-wide operations
+ * (firstHot / countr_zero rotations) instead of list walks.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace wg {
+
+/** One bit per resident warp; bit w == warp id w. */
+using WarpMask = std::uint64_t;
+
+/** Hard cap on resident warps per SM (one mask word). */
+inline constexpr std::size_t kMaxWarpsPerSm = 64;
+
+/** Mask with only warp @p w's bit set. */
+constexpr WarpMask
+warpBit(WarpId w)
+{
+    return WarpMask{1} << w;
+}
+
+/** @return true when warp @p w's bit is set in @p m. */
+constexpr bool
+hasWarp(WarpMask m, WarpId w)
+{
+    return (m >> w) & WarpMask{1};
+}
+
+/**
+ * Isolate the first (lowest) set bit of @p x; 0 when @p x is 0.
+ * The classic two's-complement idiom: x & -x.
+ */
+constexpr WarpMask
+firstHot(WarpMask x)
+{
+    return x & (~x + 1);
+}
+
+/** Index of the first (lowest) set bit; 64 when @p x is 0. */
+constexpr WarpId
+firstHotIndex(WarpMask x)
+{
+    return static_cast<WarpId>(std::countr_zero(x));
+}
+
+/** Clear the first (lowest) set bit of @p x. */
+constexpr WarpMask
+dropFirstHot(WarpMask x)
+{
+    return x & (x - 1);
+}
+
+/** Number of set bits. */
+constexpr std::uint32_t
+popcount(WarpMask x)
+{
+    return static_cast<std::uint32_t>(std::popcount(x));
+}
+
+/**
+ * Invoke @p fn(WarpId) for every set bit of @p m in ascending warp-id
+ * order (the deterministic bit-iteration order wglint D2 requires of
+ * result-affecting loops).
+ */
+template <typename Fn>
+constexpr void
+forEachWarp(WarpMask m, Fn&& fn)
+{
+    while (m) {
+        fn(firstHotIndex(m));
+        m = dropFirstHot(m);
+    }
+}
+
+} // namespace wg

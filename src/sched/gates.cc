@@ -27,67 +27,83 @@ GatesScheduler::classOrder() const
     return {hi_, UnitClass::Ldst, UnitClass::Sfu, lo};
 }
 
+bool
+GatesScheduler::drainSwitchFires(const SchedView& view) const
+{
+    return view.actv[static_cast<std::size_t>(hi_)] == 0 &&
+           view.actv[static_cast<std::size_t>(loClass())] > 0;
+}
+
+bool
+GatesScheduler::blackoutSwitchFires(const SchedView& view) const
+{
+    if (!config_.switchOnBlackout)
+        return false;
+    // If both clusters of the HI type are gated, issuing HI is
+    // impossible — flip so LO drains instead (Section 5, last
+    // paragraph of Coordinated Blackout).
+    const auto& hi_gated =
+        hi_ == UnitClass::Int ? view.intBlackout : view.fpBlackout;
+    return hi_gated[0] && hi_gated[1] &&
+           view.actv[static_cast<std::size_t>(loClass())] > 0;
+}
+
+bool
+GatesScheduler::blackoutFlipFlop(const SchedView& view) const
+{
+    if (!blackoutSwitchFires(view))
+        return false;
+    const auto& lo_gated =
+        hi_ == UnitClass::Int ? view.fpBlackout : view.intBlackout;
+    return lo_gated[0] && lo_gated[1] &&
+           view.actv[static_cast<std::size_t>(hi_)] > 0;
+}
+
+bool
+GatesScheduler::fairnessSwitchFires(Cycle now, const SchedView& view) const
+{
+    return config_.maxPriorityHold > 0 &&
+           now - last_switch_ >= config_.maxPriorityHold &&
+           view.actv[static_cast<std::size_t>(loClass())] > 0;
+}
+
 void
 GatesScheduler::beginCycle(Cycle now, const SchedView& view)
 {
-    auto actv_of = [&](UnitClass uc) {
-        return view.actv[static_cast<std::size_t>(uc)];
-    };
-    UnitClass lo = hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
-
     // Dynamic switching on a drained HI active subset (Section 4.1).
-    if (actv_of(hi_) == 0 && actv_of(lo) > 0) {
+    if (drainSwitchFires(view)) {
         switchPriority(now);
         return;
     }
 
-    // Coordinated Blackout extension: if both clusters of the HI type
-    // are gated, issuing HI is impossible — flip so LO drains instead
-    // (Section 5, last paragraph of Coordinated Blackout).
-    if (config_.switchOnBlackout) {
-        const auto& hi_gated = hi_ == UnitClass::Int ? view.intBlackout
-                                                     : view.fpBlackout;
-        if (hi_gated[0] && hi_gated[1] && actv_of(lo) > 0) {
-            switchPriority(now);
-            return;
-        }
+    // Coordinated Blackout extension.
+    if (blackoutSwitchFires(view)) {
+        switchPriority(now);
+        return;
     }
 
     // Optional fairness bound.
-    if (config_.maxPriorityHold > 0 &&
-        now - last_switch_ >= config_.maxPriorityHold && actv_of(lo) > 0) {
+    if (fairnessSwitchFires(now, view))
         switchPriority(now);
-    }
 }
 
 Cycle
 GatesScheduler::nextEventCycle(Cycle now, const SchedView& view) const
 {
-    auto actv_of = [&](UnitClass uc) {
-        return view.actv[static_cast<std::size_t>(uc)];
-    };
-    UnitClass lo = hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
+    if (drainSwitchFires(view))
+        return now;
 
-    if (actv_of(hi_) == 0 && actv_of(lo) > 0)
-        return now; // drain rule fires this cycle
-
-    if (config_.switchOnBlackout) {
-        const auto& hi_gated = hi_ == UnitClass::Int ? view.intBlackout
-                                                     : view.fpBlackout;
-        if (hi_gated[0] && hi_gated[1] && actv_of(lo) > 0) {
-            const auto& lo_gated = hi_ == UnitClass::Int
-                                       ? view.fpBlackout
-                                       : view.intBlackout;
-            // Both types fully gated with active warps on each side:
-            // the swap re-fires every cycle — a uniform flip-flop the
-            // fastForward loop replays exactly, not a horizon event.
-            if (lo_gated[0] && lo_gated[1] && actv_of(hi_) > 0)
-                return kNeverCycle;
-            return now;
-        }
+    if (blackoutSwitchFires(view)) {
+        // Both types fully gated with active warps on each side: the
+        // swap re-fires every cycle — a uniform flip-flop the
+        // fastForward loop replays exactly, not a horizon event.
+        if (blackoutFlipFlop(view))
+            return kNeverCycle;
+        return now;
     }
 
-    if (config_.maxPriorityHold > 0 && actv_of(lo) > 0) {
+    if (config_.maxPriorityHold > 0 &&
+        view.actv[static_cast<std::size_t>(loClass())] > 0) {
         Cycle forced = last_switch_ + config_.maxPriorityHold;
         return forced < now ? now : forced;
     }
@@ -111,30 +127,48 @@ GatesScheduler::fastForward(Cycle from, Cycle n, const SchedView& view)
 }
 
 void
-GatesScheduler::order(const std::vector<WarpId>& active,
-                      const std::vector<UnitClass>& head_type,
-                      std::vector<std::size_t>& out)
+GatesScheduler::order(const SchedView& view, std::vector<WarpId>& out)
 {
-    if (active.size() != head_type.size())
-        panic("GatesScheduler::order: array size mismatch");
     out.clear();
-    out.resize(active.size());
-    // Stable partition by class priority, preserving the
-    // least-recently-issued order the SM maintains within each class.
-    // Single pass: count per class, prefix-sum into per-class write
-    // cursors, then place each index — identical output to four scans.
+    const WarpMask ready = view.readyAny();
+    if (ready == 0)
+        return;
+    if ((ready & ~view.activeMask) != 0)
+        panic("GatesScheduler::order: ready mask not a subset of active");
+
+    // Fast path: one ready warp — no partition needed, and every
+    // priority order agrees on a singleton.
+    if (dropFirstHot(ready) == 0) {
+        out.push_back(firstHotIndex(ready));
+        return;
+    }
+
+    // Stable partition of the ready warps by class priority, keeping
+    // the least-recently-issued order the SM maintains within each
+    // class: popcount the per-class ready masks into prefix-sum write
+    // cursors, then one masked pass over the LRI array places each
+    // ready warp directly. Identical output to four scans.
     const std::array<UnitClass, kNumUnitClasses> prio = classOrder();
-    std::array<std::size_t, kNumUnitClasses> count = {};
-    for (UnitClass uc : head_type)
-        ++count[static_cast<std::size_t>(uc)];
     std::array<std::size_t, kNumUnitClasses> cursor = {};
     std::size_t base = 0;
     for (UnitClass uc : prio) {
         cursor[static_cast<std::size_t>(uc)] = base;
-        base += count[static_cast<std::size_t>(uc)];
+        base += popcount(view.readyMask[static_cast<std::size_t>(uc)]);
     }
-    for (std::size_t i = 0; i < head_type.size(); ++i)
-        out[cursor[static_cast<std::size_t>(head_type[i])]++] = i;
+    out.resize(base);
+    for (std::size_t i = 0; i < view.numActive; ++i) {
+        const WarpId w = view.lri[i];
+        if (!hasWarp(ready, w))
+            continue;
+        // The per-class ready masks are disjoint, so exactly one
+        // holds w — membership doubles as the head-class lookup.
+        for (std::size_t c = 0; c < kNumUnitClasses; ++c) {
+            if (hasWarp(view.readyMask[c], w)) {
+                out[cursor[c]++] = w;
+                break;
+            }
+        }
+    }
 }
 
 void

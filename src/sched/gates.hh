@@ -43,9 +43,7 @@ class GatesScheduler : public Scheduler
 
     void beginCycle(Cycle now, const SchedView& view) override;
 
-    void order(const std::vector<WarpId>& active,
-               const std::vector<UnitClass>& head_type,
-               std::vector<std::size_t>& out) override;
+    void order(const SchedView& view, std::vector<WarpId>& out) override;
 
     void notifyIssue(WarpId warp, UnitClass uc) override;
 
@@ -64,8 +62,44 @@ class GatesScheduler : public Scheduler
 
     std::uint64_t prioritySwitches() const override { return switches_; }
 
+    // --- switch predicates (shared by beginCycle / nextEventCycle) ---
+    //
+    // beginCycle and nextEventCycle must agree on when a switch fires:
+    // a drifted copy of these conditions would let fast-forward skip
+    // over a cycle beginCycle would have switched on (silent result
+    // divergence). They are public so the randomized consistency test
+    // can drive them directly.
+
+    /** Section 4.1 drain rule: HI subset empty, LO subset non-empty. */
+    bool drainSwitchFires(const SchedView& view) const;
+
+    /**
+     * Section 5 Coordinated Blackout rule: both HI clusters gated and
+     * the LO subset non-empty (and the extension is enabled).
+     */
+    bool blackoutSwitchFires(const SchedView& view) const;
+
+    /**
+     * True when the blackout rule would re-fire every cycle under a
+     * constant view: both types fully gated with active warps on each
+     * side. The swap alternates HI<->LO each cycle — a uniform
+     * flip-flop the fastForward replay reproduces exactly, so it is
+     * deliberately NOT a horizon event.
+     */
+    bool blackoutFlipFlop(const SchedView& view) const;
+
+    /** Fairness rule: hold expired at @p now and LO is non-empty. */
+    bool fairnessSwitchFires(Cycle now, const SchedView& view) const;
+
   private:
     void switchPriority(Cycle now);
+
+    /** The LO class paired with the current HI. */
+    UnitClass
+    loClass() const
+    {
+        return hi_ == UnitClass::Int ? UnitClass::Fp : UnitClass::Int;
+    }
 
     /** @return the total class order for the current HI selection. */
     std::array<UnitClass, kNumUnitClasses> classOrder() const;
@@ -77,4 +111,3 @@ class GatesScheduler : public Scheduler
 };
 
 } // namespace wg
-

@@ -1,8 +1,5 @@
 #include "gto.hh"
 
-#include <algorithm>
-#include <numeric>
-
 namespace wg {
 
 void
@@ -13,25 +10,25 @@ GtoScheduler::beginCycle(Cycle now, const SchedView& view)
 }
 
 void
-GtoScheduler::order(const std::vector<WarpId>& active,
-                    const std::vector<UnitClass>& head_type,
-                    std::vector<std::size_t>& out)
+GtoScheduler::order(const SchedView& view, std::vector<WarpId>& out)
 {
-    (void)head_type;
-    out.resize(active.size());
-    std::iota(out.begin(), out.end(), std::size_t{0});
+    out.clear();
+    WarpMask ready = view.readyAny();
 
-    // Oldest-first: sort candidate indices by warp id.
-    std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
-        return active[a] < active[b];
-    });
+    // Greedy: the last-issued warp leads while it stays ready. The
+    // guard also covers the never-issued sentinel (~WarpId(0)) and
+    // notifyIssue calls with out-of-range ids from synthetic tests.
+    if (greedy_warp_ < kMaxWarpsPerSm && hasWarp(ready, greedy_warp_)) {
+        out.push_back(greedy_warp_);
+        ready &= ~warpBit(greedy_warp_);
+    }
 
-    // Greedy: hoist the last-issued warp to the front if still active.
-    auto it = std::find_if(out.begin(), out.end(), [&](std::size_t i) {
-        return active[i] == greedy_warp_;
-    });
-    if (it != out.end())
-        std::rotate(out.begin(), it, it + 1);
+    // Oldest-first: ascending warp id is exactly ascending bit order,
+    // so the sort collapses to a firstHot rotation.
+    while (ready != 0) {
+        out.push_back(firstHotIndex(ready));
+        ready = dropFirstHot(ready);
+    }
 }
 
 void

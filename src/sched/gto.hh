@@ -23,13 +23,12 @@ class GtoScheduler : public Scheduler
     void beginCycle(Cycle now, const SchedView& view) override;
 
     /**
-     * Candidate order: the last-issued warp first (greedy), then the
-     * remaining active warps by warp id (age proxy: lower ids were
-     * launched earlier).
+     * Candidate order: the last-issued warp first (greedy, if still
+     * ready), then the remaining ready warps by warp id (age proxy:
+     * lower ids were launched earlier). Ascending-id order makes this
+     * a pure firstHot rotation over the ready mask — no sort.
      */
-    void order(const std::vector<WarpId>& active,
-               const std::vector<UnitClass>& head_type,
-               std::vector<std::size_t>& out) override;
+    void order(const SchedView& view, std::vector<WarpId>& out) override;
 
     void notifyIssue(WarpId warp, UnitClass uc) override;
 
@@ -63,4 +62,3 @@ class GtoScheduler : public Scheduler
 };
 
 } // namespace wg
-

@@ -4,9 +4,22 @@
  *
  * A scheduler's job each cycle is (a) to observe the state of the
  * active-warps set (typed ready/active counters, power-gating state of
- * the INT/FP clusters) and (b) to order the active warps into an issue
- * candidate list. The SM walks the list, issuing up to issue-width
- * instructions subject to scoreboard and structural checks.
+ * the INT/FP clusters) and (b) to order the issue-ready active warps
+ * into a candidate list. The SM walks the list, issuing up to
+ * issue-width instructions subject to structural checks.
+ *
+ * The view is bitmask/SoA based: per-class 64-bit ready masks (bit w =
+ * warp w's head is class c, scoreboard-ready, and the warp is in the
+ * active set), the active-set membership mask, and a pointer into the
+ * SM's least-recently-issued order of the active set. Scheduler
+ * policies reduce to word-wide mask operations (GTO is a pure
+ * firstHot rotation) plus, where the policy is LRI-relative (GATES,
+ * two-level), one masked pass over the LRI array.
+ *
+ * Mask invariants (checked by tests, documented in DESIGN.md §14):
+ *   readyMask[c] ⊆ activeMask           (ready warps are active)
+ *   readyMask[a] ∩ readyMask[b] = ∅     (one head class per warp)
+ *   popcount(readyMask[c]) == rdy[c]
  */
 
 #pragma once
@@ -17,33 +30,55 @@
 
 #include "arch/instr.hh"
 #include "common/types.hh"
+#include "sched/bitmask.hh"
 #include "trace/recorder.hh"
 
 namespace wg {
 
 /**
  * Per-cycle view of the active warps set handed to the scheduler before
- * candidate ordering. Mirrors the counters the paper adds in Fig. 7:
- * INT_ACTV/FP_ACTV (warps of each type in the active subset) and the
- * per-type ready counters (INT_RDY, FP_RDY, SFU_RDY, LDST_RDY), plus
- * blackout status of the gateable clusters for Coordinated Blackout's
- * priority-switch extension.
+ * candidate ordering. Mirrors the counters the paper adds in Fig. 7 —
+ * INT_ACTV/FP_ACTV (decoded instructions of each type in the active
+ * subset) and the per-type ready counters (INT_RDY, FP_RDY, SFU_RDY,
+ * LDST_RDY) — plus the per-class ready bitmasks those counters are the
+ * popcounts of, and the blackout status of the gateable clusters for
+ * Coordinated Blackout's priority-switch extension.
  */
 struct SchedView
 {
-    /** Warps in the active subset whose head instruction is class c. */
+    /** Decoded i-buffer instructions of class c across active warps. */
     std::array<std::uint32_t, kNumUnitClasses> actv = {};
-    /** ... and whose head instruction is also ready (scoreboard). */
+    /** Active warps whose head instruction is class c and ready. */
     std::array<std::uint32_t, kNumUnitClasses> rdy = {};
+    /** Bitmask form of rdy: bit w set iff warp w is a class-c ready
+     *  head in the active set. Disjoint across classes. */
+    std::array<WarpMask, kNumUnitClasses> readyMask = {};
+    /** Warps currently in the active set. */
+    WarpMask activeMask = 0;
+    /** Active warps in least-recently-issued order (front = LRI);
+     *  numActive entries. Null in synthetic views (treated as empty). */
+    const WarpId* lri = nullptr;
+    std::size_t numActive = 0;
+    /** Per-warp head class, indexed by warp id (SoA; valid for every
+     *  warp with a readyMask bit). Null in synthetic views. */
+    const UnitClass* headClass = nullptr;
     /** Power-gated (blackout) state of INT clusters 0/1. */
     std::array<bool, 2> intBlackout = {false, false};
     /** Power-gated (blackout) state of FP clusters 0/1. */
     std::array<bool, 2> fpBlackout = {false, false};
+
+    /** Union of the per-class ready masks. */
+    WarpMask
+    readyAny() const
+    {
+        return readyMask[0] | readyMask[1] | readyMask[2] | readyMask[3];
+    }
 };
 
 /**
  * Abstract warp scheduler. Implementations: TwoLevelScheduler (the
- * Gebhart-style baseline) and GatesScheduler (the paper's contribution).
+ * Gebhart-style baseline), GatesScheduler (the paper's contribution)
+ * and GtoScheduler (GPGPU-Sim's default, an extra baseline).
  */
 class Scheduler
 {
@@ -54,16 +89,14 @@ class Scheduler
     virtual void beginCycle(Cycle now, const SchedView& view) = 0;
 
     /**
-     * Order issue candidates.
-     * @param active active-set warp ids in least-recently-issued order
-     * @param head_type head-instruction class per candidate (parallel
-     *        array to @p active)
-     * @param out candidate warp indices *into @p active*, highest
-     *        priority first
+     * Order issue candidates: the ready warps (view.readyAny()),
+     * highest priority first, written to @p out as warp ids. Warps
+     * without a ready head are never candidates — a failed readiness
+     * probe has no side effects, so omitting them cannot change which
+     * warps issue.
      */
-    virtual void order(const std::vector<WarpId>& active,
-                       const std::vector<UnitClass>& head_type,
-                       std::vector<std::size_t>& out) = 0;
+    virtual void order(const SchedView& view,
+                       std::vector<WarpId>& out) = 0;
 
     /** Notification that a candidate actually issued. */
     virtual void notifyIssue(WarpId warp, UnitClass uc) = 0;
@@ -110,4 +143,3 @@ class Scheduler
 };
 
 } // namespace wg
-

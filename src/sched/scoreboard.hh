@@ -46,6 +46,25 @@ class Scoreboard
         return (maskOf(instr) & pendingLong_[warp]) != 0;
     }
 
+    /**
+     * Register-mask probes for the incremental ready-bit protocol: the
+     * SM caches each warp's head-instruction regMask() and re-ANDs it
+     * against these words only when an issue / completion / fetch event
+     * touches that warp, instead of re-probing every warp every cycle.
+     */
+    bool
+    readyMask(WarpId warp, std::uint32_t reg_mask) const
+    {
+        return (reg_mask & pending_[warp]) == 0;
+    }
+
+    /** Mask analogue of blockedOnLong(). */
+    bool
+    blockedOnLongMask(WarpId warp, std::uint32_t reg_mask) const
+    {
+        return (reg_mask & pendingLong_[warp]) != 0;
+    }
+
     /** Record @p instr issuing from @p warp. */
     void markIssued(WarpId warp, const Instruction& instr);
 
@@ -69,13 +88,7 @@ class Scoreboard
     static std::uint32_t
     maskOf(const Instruction& instr)
     {
-        std::uint32_t mask = 0;
-        for (RegId src : instr.srcs)
-            if (src != kNoReg)
-                mask |= bit(src);
-        if (instr.dest != kNoReg)
-            mask |= bit(instr.dest); // WAW: don't overtake the producer
-        return mask;
+        return instr.regMask();
     }
 
     std::vector<std::uint32_t> pending_;     ///< in-flight producers

@@ -10,15 +10,18 @@ TwoLevelScheduler::beginCycle(Cycle now, const SchedView& view)
 }
 
 void
-TwoLevelScheduler::order(const std::vector<WarpId>& active,
-                         const std::vector<UnitClass>& head_type,
-                         std::vector<std::size_t>& out)
+TwoLevelScheduler::order(const SchedView& view, std::vector<WarpId>& out)
 {
-    (void)head_type;
     out.clear();
-    out.reserve(active.size());
-    for (std::size_t i = 0; i < active.size(); ++i)
-        out.push_back(i);
+    const WarpMask ready = view.readyAny();
+    if (ready == 0)
+        return;
+    out.reserve(static_cast<std::size_t>(popcount(ready)));
+    for (std::size_t i = 0; i < view.numActive; ++i) {
+        const WarpId w = view.lri[i];
+        if (hasWarp(ready, w))
+            out.push_back(w);
+    }
 }
 
 void

@@ -14,16 +14,14 @@ namespace wg {
 /**
  * Type-agnostic round-robin over the active set. The SM maintains the
  * least-recently-issued ordering of the active list, so ordering here is
- * the identity permutation.
+ * the LRI sequence masked down to the ready warps.
  */
 class TwoLevelScheduler : public Scheduler
 {
   public:
     void beginCycle(Cycle now, const SchedView& view) override;
 
-    void order(const std::vector<WarpId>& active,
-               const std::vector<UnitClass>& head_type,
-               std::vector<std::size_t>& out) override;
+    void order(const SchedView& view, std::vector<WarpId>& out) override;
 
     void notifyIssue(WarpId warp, UnitClass uc) override;
 
@@ -51,4 +49,3 @@ class TwoLevelScheduler : public Scheduler
 };
 
 } // namespace wg
-

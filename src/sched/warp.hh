@@ -1,16 +1,34 @@
 /**
  * @file
- * Per-warp execution context: program counter, instruction buffer, and
- * two-level-scheduler residency state.
+ * Structure-of-arrays warp state for one SM.
+ *
+ * The per-warp execution context — program counter, decoded i-buffer,
+ * two-level residency, outstanding-instruction count — is stored as
+ * parallel arrays indexed by warp id, plus word-wide bitmasks over the
+ * warp set (one bit per warp, at most kMaxWarpsPerSm warps):
+ *
+ *   locMask(loc)    warps currently in residency state `loc`
+ *   fetchable()     warps whose next fetch() would push at least one
+ *                   instruction (buffer not full, program not exhausted)
+ *   drainedMask()   warps with nothing fetched, buffered or in flight
+ *
+ * The masks are maintained incrementally by the mutators (fetch /
+ * popHead / setLoc / noteComplete), never recomputed by scans, so the
+ * SM's per-cycle phases reduce to word-wide tests. The i-buffer is a
+ * flat ring (depth slots per warp) instead of a per-warp std::deque:
+ * no node allocation, no pointer chasing, and popHead() cannot free
+ * storage out from under an aliasing reference.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "arch/program.hh"
 #include "common/types.hh"
+#include "sched/bitmask.hh"
 
 namespace wg {
 
@@ -22,87 +40,250 @@ enum class WarpLoc : std::uint8_t {
     Finished, ///< program complete, all results written back
 };
 
+/** Number of distinct WarpLoc values. */
+inline constexpr std::size_t kNumWarpLocs = 4;
+
 /**
- * Mutable state of one warp. The SM owns a vector of these; schedulers
- * see them read-only.
+ * SoA state of every warp resident on one SM. The SM owns one of
+ * these; schedulers see derived masks through the SchedView.
  */
-class WarpContext
+class WarpSet
 {
   public:
-    WarpContext() = default;
+    WarpSet() = default;
 
-    /** Bind the warp to its program. */
+    /**
+     * Bind one warp per program and reset all state. Every warp starts
+     * Waiting with an empty i-buffer.
+     * @param programs one program per warp (size <= kMaxWarpsPerSm)
+     * @param depth decoded i-buffer entries per warp (>= 1)
+     */
     void
-    init(WarpId id, const Program* prog)
+    init(const std::vector<Program>& programs, std::size_t depth)
     {
-        id_ = id;
-        prog_ = prog;
-        pc_ = 0;
-        ibuffer_.clear();
-        loc_ = WarpLoc::Waiting;
-        outstanding_ = 0;
+        n_ = programs.size();
+        depth_ = depth;
+        progs_.resize(n_);
+        progSize_.resize(n_);
+        ibuf_.assign(n_ * depth_, Instruction{});
+        head_.assign(n_, 0);
+        size_.assign(n_, 0);
+        pc_.assign(n_, 0);
+        outstanding_.assign(n_, 0);
+        loc_.assign(n_, WarpLoc::Waiting);
+        headClass_.assign(n_, UnitClass::Int);
+        headRegMask_.assign(n_, 0);
+        bufCls_.assign(n_ * kNumUnitClasses, 0);
+        locMask_ = {};
+        fetchable_ = 0;
+        drained_ = 0;
+        for (std::size_t w = 0; w < n_; ++w) {
+            progs_[w] = &programs[w];
+            progSize_[w] =
+                static_cast<std::uint32_t>(programs[w].size());
+            locMask_[static_cast<std::size_t>(WarpLoc::Waiting)] |=
+                warpBit(static_cast<WarpId>(w));
+            if (progSize_[w] > 0)
+                fetchable_ |= warpBit(static_cast<WarpId>(w));
+            else
+                drained_ |= warpBit(static_cast<WarpId>(w));
+        }
     }
 
-    WarpId id() const { return id_; }
-    WarpLoc loc() const { return loc_; }
-    void setLoc(WarpLoc loc) { loc_ = loc; }
+    std::size_t size() const { return n_; }
+    std::size_t depth() const { return depth_; }
 
-    /** Fill the instruction buffer (depth @p depth) from the program. */
+    // --- residency ---
+
+    WarpLoc loc(WarpId w) const { return loc_[w]; }
+
+    /** Move @p w between residency states (mask-maintaining). */
     void
-    fetch(std::size_t depth)
+    setLoc(WarpId w, WarpLoc to)
     {
-        while (ibuffer_.size() < depth && prog_ && pc_ < prog_->size())
-            ibuffer_.push_back(prog_->at(pc_++));
+        locMask_[static_cast<std::size_t>(loc_[w])] &= ~warpBit(w);
+        locMask_[static_cast<std::size_t>(to)] |= warpBit(w);
+        loc_[w] = to;
+    }
+
+    /** Warps currently in residency state @p loc. */
+    WarpMask
+    locMask(WarpLoc loc) const
+    {
+        return locMask_[static_cast<std::size_t>(loc)];
+    }
+
+    // --- i-buffer ---
+
+    /** @return true when a decoded instruction waits at the head. */
+    bool hasHead(WarpId w) const { return size_[w] != 0; }
+
+    /** The head (oldest) decoded instruction; hasHead() must hold. */
+    const Instruction&
+    head(WarpId w) const
+    {
+        return ibuf_[w * depth_ + head_[w]];
+    }
+
+    /** Cached head-instruction class (valid while hasHead()). */
+    UnitClass headClass(WarpId w) const { return headClass_[w]; }
+
+    /** SoA view of the cached head classes (for SchedView::headClass). */
+    const UnitClass* headClassData() const { return headClass_.data(); }
+
+    /** Cached head-instruction scoreboard mask (valid while hasHead()). */
+    std::uint32_t headRegMask(WarpId w) const { return headRegMask_[w]; }
+
+    /** The @p i-th buffered instruction (0 = head), i < bufSize(). */
+    const Instruction&
+    buffered(WarpId w, std::size_t i) const
+    {
+        std::size_t slot = head_[w] + i;
+        if (slot >= depth_)
+            slot -= depth_;
+        return ibuf_[w * depth_ + slot];
+    }
+
+    /** Decoded entries currently buffered. */
+    std::size_t bufSize(WarpId w) const { return size_[w]; }
+
+    /** Buffered entries of class @p uc (for incremental ACTV counts). */
+    std::uint8_t
+    bufCount(WarpId w, UnitClass uc) const
+    {
+        return bufCls_[w * kNumUnitClasses +
+                       static_cast<std::size_t>(uc)];
     }
 
     /**
-     * @return true when fetch(depth) would be a no-op: the buffer is
-     * full or the program is exhausted. Holds at every step boundary
-     * (fetch tops up fully) and, while nothing issues, stays true —
-     * one leg of the fast-forward quiescence proof.
+     * Remove the head after it issues. Updates the per-class buffer
+     * counts, the cached head class/regmask, and the fetchable and
+     * drained masks.
      */
-    bool
-    fetchDone(std::size_t depth) const
+    void
+    popHead(WarpId w)
     {
-        return ibuffer_.size() >= depth || !prog_ || pc_ >= prog_->size();
+        --bufCls_[w * kNumUnitClasses +
+                  static_cast<std::size_t>(headClass_[w])];
+        std::uint8_t next = static_cast<std::uint8_t>(head_[w] + 1);
+        head_[w] = next == depth_ ? 0 : next;
+        --size_[w];
+        if (size_[w] != 0)
+            cacheHead(w);
+        if (pc_[w] < progSize_[w])
+            fetchable_ |= warpBit(w);
+        updateDrained(w);
     }
 
-    /** @return true when a decoded instruction waits at the head. */
-    bool hasHead() const { return !ibuffer_.empty(); }
-
-    /** @return the head (oldest) decoded instruction. */
-    const Instruction& head() const { return ibuffer_.front(); }
-
-    /** Remove the head after it issues. */
-    void popHead() { ibuffer_.pop_front(); }
-
-    /** All decoded entries (head first). */
-    const std::deque<Instruction>& ibuffer() const { return ibuffer_; }
-
-    /** Track in-flight instructions for completion detection. */
-    void noteIssue() { ++outstanding_; }
-    void noteComplete() { --outstanding_; }
-    std::uint32_t outstanding() const { return outstanding_; }
-
-    /** @return true when all instructions fetched, issued and done. */
-    bool
-    drained() const
+    /**
+     * Top up the i-buffer from the program. When @p actv is non-null
+     * (the warp is in the active set), each pushed instruction
+     * increments actv[class] — the incremental form of the paper's
+     * ACTV counters. @return number of instructions pushed.
+     */
+    std::size_t
+    fetch(WarpId w, std::uint32_t* actv = nullptr)
     {
-        return (!prog_ || pc_ >= prog_->size()) && ibuffer_.empty() &&
-               outstanding_ == 0;
+        std::size_t pushed = 0;
+        while (size_[w] < depth_ && pc_[w] < progSize_[w]) {
+            std::size_t slot = head_[w] + size_[w];
+            if (slot >= depth_)
+                slot -= depth_;
+            const Instruction& instr = progs_[w]->at(pc_[w]++);
+            ibuf_[w * depth_ + slot] = instr;
+            ++bufCls_[w * kNumUnitClasses +
+                      static_cast<std::size_t>(instr.unit)];
+            if (actv)
+                ++actv[static_cast<std::size_t>(instr.unit)];
+            if (size_[w]++ == 0)
+                cacheHead(w);
+            ++pushed;
+        }
+        fetchable_ &= ~warpBit(w);
+        if (pushed)
+            drained_ &= ~warpBit(w);
+        return pushed;
     }
+
+    /**
+     * Warps whose next fetch() would push at least one instruction.
+     * `(fetchable() & mask) == 0` is the O(1) form of the fast-forward
+     * quiescence leg "fetch is a no-op for every warp in mask".
+     */
+    WarpMask fetchable() const { return fetchable_; }
+
+    /** @return true when fetch(w) would be a no-op. */
+    bool fetchDone(WarpId w) const { return !hasWarp(fetchable_, w); }
+
+    // --- in-flight tracking ---
+
+    void
+    noteIssue(WarpId w)
+    {
+        ++outstanding_[w];
+        drained_ &= ~warpBit(w); // an in-flight instruction un-drains
+    }
+
+    void
+    noteComplete(WarpId w)
+    {
+        --outstanding_[w];
+        updateDrained(w);
+    }
+
+    std::uint32_t outstanding(WarpId w) const { return outstanding_[w]; }
+
+    /** Warps with all instructions fetched, issued and completed. */
+    WarpMask drainedMask() const { return drained_; }
+
+    /** @return true when warp @p w has fully drained. */
+    bool drained(WarpId w) const { return hasWarp(drained_, w); }
 
     /** Fetched-instruction progress (for tests). */
-    std::size_t pc() const { return pc_; }
+    std::size_t pc(WarpId w) const { return pc_[w]; }
 
   private:
-    WarpId id_ = 0;
-    const Program* prog_ = nullptr;
-    std::size_t pc_ = 0;
-    std::deque<Instruction> ibuffer_;
-    WarpLoc loc_ = WarpLoc::Waiting;
-    std::uint32_t outstanding_ = 0;
+    /** Re-derive the cached head class/regmask (size_[w] != 0). */
+    void
+    cacheHead(WarpId w)
+    {
+        const Instruction& h = ibuf_[w * depth_ + head_[w]];
+        headClass_[w] = h.unit;
+        headRegMask_[w] = h.regMask();
+    }
+
+    void
+    updateDrained(WarpId w)
+    {
+        if (pc_[w] >= progSize_[w] && size_[w] == 0 &&
+            outstanding_[w] == 0) {
+            drained_ |= warpBit(w);
+        } else {
+            drained_ &= ~warpBit(w);
+        }
+    }
+
+    std::size_t n_ = 0;
+    std::size_t depth_ = 0;
+
+    std::vector<const Program*> progs_;
+    std::vector<std::uint32_t> progSize_;
+
+    // i-buffer: one depth_-slot ring per warp, flat.
+    std::vector<Instruction> ibuf_;
+    std::vector<std::uint8_t> head_; ///< ring start index per warp
+    std::vector<std::uint8_t> size_; ///< buffered entries per warp
+
+    std::vector<std::uint32_t> pc_;
+    std::vector<std::uint32_t> outstanding_;
+    std::vector<WarpLoc> loc_;
+    std::vector<UnitClass> headClass_;      ///< cached head class
+    std::vector<std::uint32_t> headRegMask_; ///< cached head regMask()
+    std::vector<std::uint8_t> bufCls_; ///< per-warp per-class counts
+
+    std::array<WarpMask, kNumWarpLocs> locMask_ = {};
+    WarpMask fetchable_ = 0;
+    WarpMask drained_ = 0;
 };
 
 } // namespace wg
-

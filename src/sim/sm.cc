@@ -66,19 +66,40 @@ Sm::Sm(const SmConfig& config, std::vector<Program> programs,
 
     if (programs_.empty())
         fatal("Sm: no warps to run");
+    if (programs_.size() > kMaxWarpsPerSm)
+        fatal("Sm: ", programs_.size(), " warps exceed the ",
+              kMaxWarpsPerSm, "-warp bitmask capacity");
     if (config_.issueWidth == 0)
         fatal("Sm: zero issue width");
     if (config_.activeSetCapacity == 0)
         fatal("Sm: zero active-set capacity");
+    if (config_.ibufferDepth == 0)
+        fatal("Sm: zero i-buffer depth");
 
-    warps_.resize(programs_.size());
+    warps_.init(programs_, config_.ibufferDepth);
     waiting_.reserve(programs_.size());
-    for (std::size_t w = 0; w < programs_.size(); ++w) {
-        warps_[w].init(static_cast<WarpId>(w), &programs_[w]);
+    for (std::size_t w = 0; w < programs_.size(); ++w)
         waiting_.push_back(static_cast<WarpId>(w));
-    }
     live_warps_ = warps_.size();
     active_.reserve(config_.activeSetCapacity);
+}
+
+void
+Sm::refreshWarp(WarpId w)
+{
+    const WarpMask bit = warpBit(w);
+    for (auto& m : readyByClass_)
+        m &= ~bit;
+    blockedLongMask_ &= ~bit;
+    if (!warps_.hasHead(w))
+        return;
+    const std::uint32_t rm = warps_.headRegMask(w);
+    if (scoreboard_.readyMask(w, rm)) {
+        readyByClass_[static_cast<std::size_t>(warps_.headClass(w))] |=
+            bit;
+    } else if (scoreboard_.blockedOnLongMask(w, rm)) {
+        blockedLongMask_ |= bit;
+    }
 }
 
 void
@@ -101,22 +122,26 @@ Sm::writebackPhase()
     ldst_.drainCompletions(now_, completions_);
 
     for (const auto& c : completions_) {
-        if (c.dest != kNoReg)
+        warps_.noteComplete(c.warp);
+        if (c.dest != kNoReg) {
             scoreboard_.complete(c.warp, c.dest);
-        warps_[c.warp].noteComplete();
+            refreshWarp(c.warp);
+        }
     }
 
-    // Un-block pending warps whose long-latency producer returned.
-    if (!completions_.empty()) {
+    // Un-block pending warps whose long-latency producer returned: a
+    // pending warp stays parked exactly while its blocked-long bit
+    // holds. Word-wide fast path; the vector walk (which preserves the
+    // pending FIFO order) runs only when some warp actually unblocked.
+    if (!completions_.empty() &&
+        (warps_.locMask(WarpLoc::Pending) & ~blockedLongMask_) != 0) {
         std::size_t kept = 0;
         for (std::size_t i = 0; i < pending_.size(); ++i) {
             WarpId w = pending_[i];
-            const WarpContext& warp = warps_[w];
-            if (warp.hasHead() &&
-                scoreboard_.blockedOnLong(w, warp.head())) {
+            if (hasWarp(blockedLongMask_, w)) {
                 pending_[kept++] = w;
             } else {
-                warps_[w].setLoc(WarpLoc::Waiting);
+                warps_.setLoc(w, WarpLoc::Waiting);
                 traceMigrate(w, WarpLoc::Waiting);
                 waiting_.push_back(w);
             }
@@ -132,9 +157,13 @@ Sm::promotePhase()
     while (active_.size() < config_.activeSetCapacity &&
            take < waiting_.size()) {
         WarpId w = waiting_[take++];
-        warps_[w].setLoc(WarpLoc::Active);
+        warps_.setLoc(w, WarpLoc::Active);
         traceMigrate(w, WarpLoc::Active);
         active_.push_back(w);
+        // The warp's buffered instructions enter the active subset.
+        for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+            actvAgg_[c] += warps_.bufCount(
+                w, static_cast<UnitClass>(c));
     }
     if (take > 0)
         waiting_.erase(waiting_.begin(),
@@ -145,35 +174,59 @@ void
 Sm::fetchPhase()
 {
     // Only warps in the active or pending sets hold i-buffer entries
-    // worth refilling; waiting warps are topped up on promotion.
-    for (WarpId w : active_)
-        warps_[w].fetch(config_.ibufferDepth);
-    for (WarpId w : pending_)
-        warps_[w].fetch(config_.ibufferDepth);
+    // worth refilling; waiting warps are topped up on promotion. The
+    // fetchable mask makes the common all-buffers-full cycle two AND
+    // gates. Per-warp fetch only touches that warp's own program, so
+    // ascending-id mask order is as good as any.
+    const WarpMask fa =
+        warps_.fetchable() & warps_.locMask(WarpLoc::Active);
+    forEachWarp(fa, [&](WarpId w) {
+        const bool was_empty = !warps_.hasHead(w);
+        warps_.fetch(w, actvAgg_.data());
+        if (was_empty)
+            refreshWarp(w); // a head appeared
+    });
+    const WarpMask fp =
+        warps_.fetchable() & warps_.locMask(WarpLoc::Pending);
+    forEachWarp(fp, [&](WarpId w) {
+        const bool was_empty = !warps_.hasHead(w);
+        warps_.fetch(w); // pending: not in the ACTV aggregate
+        if (was_empty)
+            refreshWarp(w);
+    });
 }
 
 void
 Sm::demotePhase()
 {
+    // A warp leaves the active set only when it drained or its head
+    // blocks on a long-latency producer — both are mask bits, so the
+    // common nothing-to-demote cycle is one word test.
+    const WarpMask move =
+        warps_.locMask(WarpLoc::Active) &
+        (warps_.drainedMask() | blockedLongMask_);
+    if (move == 0)
+        return;
     std::size_t kept = 0;
     for (std::size_t i = 0; i < active_.size(); ++i) {
         WarpId w = active_[i];
-        WarpContext& warp = warps_[w];
-        if (warp.drained()) {
-            warp.setLoc(WarpLoc::Finished);
+        if (!hasWarp(move, w)) {
+            active_[kept++] = w;
+            continue;
+        }
+        if (warps_.drained(w)) {
+            warps_.setLoc(w, WarpLoc::Finished);
             traceMigrate(w, WarpLoc::Finished);
             --live_warps_;
-            continue;
+            continue; // drained: empty buffer, nothing to subtract
         }
-        if (warp.hasHead() &&
-            scoreboard_.blockedOnLong(w, warp.head())) {
-            // Waiting on a long-latency event: two-level demotion.
-            warp.setLoc(WarpLoc::Pending);
-            traceMigrate(w, WarpLoc::Pending);
-            pending_.push_back(w);
-            continue;
-        }
-        active_[kept++] = w;
+        // Waiting on a long-latency event: two-level demotion.
+        warps_.setLoc(w, WarpLoc::Pending);
+        traceMigrate(w, WarpLoc::Pending);
+        pending_.push_back(w);
+        for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+            actvAgg_[c] -= warps_.bufCount(
+                w, static_cast<UnitClass>(c));
     }
     active_.resize(kept);
 }
@@ -181,17 +234,20 @@ Sm::demotePhase()
 void
 Sm::buildView(SchedView& view) const
 {
-    for (WarpId w : active_) {
-        const WarpContext& warp = warps_[w];
-        if (!warp.hasHead())
-            continue;
-        // ACTV counts decoded instructions in the active subset (the
-        // paper increments the counter as instructions enter), so every
-        // i-buffer entry contributes; RDY counts issuable heads only.
-        for (const Instruction& instr : warp.ibuffer())
-            ++view.actv[static_cast<std::size_t>(instr.unit)];
-        if (scoreboard_.ready(w, warp.head()))
-            ++view.rdy[static_cast<std::size_t>(warp.head().unit)];
+    // O(1) in the warp count: the ACTV aggregate and the ready masks
+    // are maintained incrementally; the view just snapshots them.
+    // ACTV counts decoded instructions in the active subset (the paper
+    // increments the counter as instructions enter); RDY counts
+    // issuable heads only.
+    const WarpMask active_mask = warps_.locMask(WarpLoc::Active);
+    view.activeMask = active_mask;
+    view.lri = active_.data();
+    view.numActive = active_.size();
+    view.headClass = warps_.headClassData();
+    for (std::size_t c = 0; c < kNumUnitClasses; ++c) {
+        view.actv[c] = actvAgg_[c];
+        view.readyMask[c] = readyByClass_[c] & active_mask;
+        view.rdy[c] = popcount(view.readyMask[c]);
     }
     pg_.fillView(view);
 }
@@ -215,7 +271,7 @@ Sm::tryIssueAlu(WarpId warp, const Instruction& instr)
         units[idx].issue(now_, now_ + config_.alu.latency, warp,
                          instr.dest, false);
         rr_cluster_[t] = (idx + 1) % kClustersPerType;
-        commitIssue(warp, instr, idx);
+        commitIssue(warp, uc, idx);
         return true;
     }
 
@@ -247,7 +303,7 @@ Sm::tryIssueSfu(WarpId warp, const Instruction& instr)
     if (!sfu_.canAccept(now_))
         return false;
     sfu_.issue(now_, now_ + config_.sfu.latency, warp, instr.dest, false);
-    commitIssue(warp, instr, 0);
+    commitIssue(warp, UnitClass::Sfu, 0);
     return true;
 }
 
@@ -262,25 +318,25 @@ Sm::tryIssueLdst(WarpId warp, const Instruction& instr)
     }
     Cycle complete = mem_.access(now_, instr.mem, instr.isStore);
     ldst_.issue(now_, complete, warp, instr.dest, instr.isLongLatency());
-    commitIssue(warp, instr, 0);
+    commitIssue(warp, UnitClass::Ldst, 0);
     return true;
 }
 
 void
-Sm::commitIssue(WarpId warp, const Instruction& instr, unsigned cluster)
+Sm::commitIssue(WarpId warp, UnitClass unit, unsigned cluster)
 {
-    // `instr` aliases the warp's i-buffer head; popHead() may free the
-    // deque node it lives in, so capture the unit class first.
-    const auto unit = static_cast<std::size_t>(instr.unit);
+    const auto uidx = static_cast<std::size_t>(unit);
     if (trace_)
         trace_->record(now_, trace::EventKind::Issue,
-                       static_cast<std::uint8_t>(unit),
+                       static_cast<std::uint8_t>(uidx),
                        static_cast<std::uint8_t>(cluster), 0,
                        static_cast<std::uint32_t>(warp));
-    scoreboard_.markIssued(warp, instr);
-    warps_[warp].noteIssue();
-    warps_[warp].popHead();
-    ++stats_.issuedByClass[unit];
+    scoreboard_.markIssued(warp, warps_.head(warp));
+    warps_.noteIssue(warp);
+    --actvAgg_[uidx]; // the head leaves the active subset
+    warps_.popHead(warp);
+    refreshWarp(warp); // new head (or none) + new scoreboard word
+    ++stats_.issuedByClass[uidx];
     ++stats_.issuedTotal;
 }
 
@@ -339,13 +395,9 @@ Sm::traceMigrate(WarpId warp, WarpLoc to)
 bool
 Sm::tryIssue(WarpId warp)
 {
-    const WarpContext& ctx = warps_[warp];
-    if (!ctx.hasHead())
-        return false;
-    const Instruction& instr = ctx.head();
-    if (!scoreboard_.ready(warp, instr))
-        return false;
-
+    // Candidates come from the per-class ready masks, so the head
+    // exists and is scoreboard-ready by construction — no re-probe.
+    const Instruction& instr = warps_.head(warp);
     switch (instr.unit) {
       case UnitClass::Int:
       case UnitClass::Fp:
@@ -363,70 +415,51 @@ Sm::schedulePhase(const SchedView& view)
 {
     scheduler_->beginCycle(now_, view);
 
-    // Parallel array of head-instruction classes for the scheduler.
-    head_types_.clear();
-    head_types_.reserve(active_.size());
-    for (WarpId w : active_) {
-        head_types_.push_back(warps_[w].hasHead() ? warps_[w].head().unit
-                                                  : UnitClass::Int);
-    }
-
     candidates_.clear();
-    scheduler_->order(active_, head_types_, candidates_);
+    scheduler_->order(view, candidates_);
 
     // The SM's two schedulers each own one warp-parity class and issue
     // at most one instruction per cycle (issueWidth = 2 overall). The
     // candidate ordering is shared (GATES keeps one priority state for
     // the SM); the parity restriction models the per-scheduler warp
-    // partitioning.
+    // partitioning. Each ready warp appears exactly once in the
+    // candidate list, so one warp can never issue twice per cycle.
     issued_this_cycle_.clear();
+    WarpMask issued_mask = 0;
     unsigned issued = 0;
     std::array<bool, 2> parity_used = {false, false};
     const bool split = config_.issueWidth == 2;
-    for (std::size_t idx : candidates_) {
+    for (WarpId w : candidates_) {
         if (issued >= config_.issueWidth)
             break;
-        WarpId w = active_[idx];
         if (split && parity_used[w & 1u])
             continue;
-        // At most one instruction per warp per cycle.
-        if (!split && std::find(issued_this_cycle_.begin(),
-                                issued_this_cycle_.end(),
-                                w) != issued_this_cycle_.end())
-            continue;
+        // Capture the class before tryIssue pops the head.
+        const UnitClass uc = warps_.headClass(w);
         if (tryIssue(w)) {
             ++issued;
             parity_used[w & 1u] = true;
+            issued_mask |= warpBit(w);
             issued_this_cycle_.push_back(w);
-            scheduler_->notifyIssue(w, head_types_[idx]);
+            scheduler_->notifyIssue(w, uc);
         }
     }
 
     // Least-recently-issued maintenance: issued warps go to the back,
     // both groups keeping their relative order (what a stable partition
     // would produce, in one pass — at most issueWidth warps move).
-    if (!issued_this_cycle_.empty()) {
-        auto is_issued = [&](WarpId w) {
-            return std::find(issued_this_cycle_.begin(),
-                             issued_this_cycle_.end(),
-                             w) != issued_this_cycle_.end();
-        };
-        std::array<WarpId, 8> moved;
-        if (issued_this_cycle_.size() <= moved.size()) {
-            std::size_t n_moved = 0;
-            std::size_t kept = 0;
-            for (std::size_t i = 0; i < active_.size(); ++i) {
-                if (is_issued(active_[i]))
-                    moved[n_moved++] = active_[i];
-                else
-                    active_[kept++] = active_[i];
-            }
-            for (std::size_t i = 0; i < n_moved; ++i)
-                active_[kept++] = moved[i];
-        } else { // issueWidth beyond the inline buffer: generic path
-            std::stable_partition(active_.begin(), active_.end(),
-                                  [&](WarpId w) { return !is_issued(w); });
+    if (issued_mask != 0) {
+        std::array<WarpId, kMaxWarpsPerSm> moved;
+        std::size_t n_moved = 0;
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+            if (hasWarp(issued_mask, active_[i]))
+                moved[n_moved++] = active_[i];
+            else
+                active_[kept++] = active_[i];
         }
+        for (std::size_t i = 0; i < n_moved; ++i)
+            active_[kept++] = moved[i];
     }
 }
 
@@ -538,12 +571,9 @@ Sm::tryFastForward()
     // Fetch is a no-op at every step boundary (fetchPhase tops up
     // fully); checked defensively so a future phasing change degrades
     // to "no fast-forward" instead of silent divergence.
-    for (WarpId w : active_)
-        if (!warps_[w].fetchDone(config_.ibufferDepth))
-            return;
-    for (WarpId w : pending_)
-        if (!warps_[w].fetchDone(config_.ibufferDepth))
-            return;
+    if ((warps_.fetchable() & (warps_.locMask(WarpLoc::Active) |
+                               warps_.locMask(WarpLoc::Pending))) != 0)
+        return;
 
     // Reuse the view step() built: in a zero-issue cycle its actv/rdy
     // counts are still exact (no head popped, no writeback since).
@@ -589,14 +619,16 @@ Sm::tryFastForward()
         if (!ldst_.canAccept(now_)) {
             clamp(ldst_.portFreeCycle());
         } else {
-            for (WarpId w : active_) {
-                const WarpContext& warp = warps_[w];
-                if (!warp.hasHead())
-                    continue;
-                const Instruction& head = warp.head();
-                if (head.unit != UnitClass::Ldst ||
-                    !scoreboard_.ready(w, head))
-                    continue;
+            // Every ready LD/ST head is a bit in the class mask; the
+            // would-issue test is an any-exists and the reject tally a
+            // count, so ascending bit order is equivalent to the issue
+            // loop's candidate order here.
+            WarpMask m = view.readyMask[
+                static_cast<std::size_t>(UnitClass::Ldst)];
+            while (m != 0) {
+                const WarpId w = firstHotIndex(m);
+                m = dropFirstHot(m);
+                const Instruction& head = warps_.head(w);
                 if (head.isStore || mem_.canAccept(head.mem))
                     return; // the attempt would issue
                 ++reject_attempts;

@@ -19,6 +19,24 @@
  *                   candidates, issue up to issueWidth instructions
  *   6. pg tick    - advance the power-gating state machines with this
  *                   cycle's busy indications
+ *
+ * The hot path is bitmask/SoA based (DESIGN.md §14): warp state lives
+ * in a WarpSet (parallel arrays + residency/fetchable/drained masks),
+ * and the SM maintains two derived mask families incrementally instead
+ * of re-probing every warp every cycle:
+ *
+ *   readyByClass_[c]  bit w set iff warp w's head exists, is class c,
+ *                     and is scoreboard-ready (residency-independent;
+ *                     the view ANDs with the active mask)
+ *   blockedLongMask_  bit w set iff warp w's head exists and is blocked
+ *                     by a long-latency producer (drives demotion and
+ *                     pending-set release)
+ *
+ * plus actvAgg_, the incremental form of the paper's ACTV counters
+ * (decoded i-buffer instructions per class over the active set). The
+ * masks change only at events — issue, completion writeback, a fetch
+ * that fills an empty buffer — each of which calls refreshWarp() for
+ * the one warp it touched.
  */
 
 #pragma once
@@ -32,6 +50,7 @@
 #include "mem/memsys.hh"
 #include "metrics/sampler.hh"
 #include "pg/controller.hh"
+#include "sched/bitmask.hh"
 #include "sched/scheduler.hh"
 #include "sched/scoreboard.hh"
 #include "sched/warp.hh"
@@ -47,7 +66,8 @@ class Sm
   public:
     /**
      * @param config microarchitecture configuration
-     * @param programs one program per resident warp
+     * @param programs one program per resident warp (at most
+     *        kMaxWarpsPerSm — the warp bitmasks are one 64-bit word)
      * @param seed per-SM seed (memory-latency stream)
      * @param trace event recorder, or null for tracing off (the
      *        disabled path is a single branch per would-be event)
@@ -84,7 +104,8 @@ class Sm
     const ExecUnit& fpCluster(unsigned i) const { return fp_[i]; }
     const ExecUnit& sfuUnit() const { return sfu_; }
     const ExecUnit& ldstUnit() const { return ldst_; }
-    const WarpContext& warp(WarpId w) const { return warps_[w]; }
+    const WarpSet& warps() const { return warps_; }
+    WarpLoc warpLoc(WarpId w) const { return warps_.loc(w); }
     std::size_t numWarps() const { return warps_.size(); }
     std::size_t activeSetSize() const { return active_.size(); }
 
@@ -108,7 +129,15 @@ class Sm
     void schedulePhase(const SchedView& view);
 
     /**
-     * Try to issue @p warp's head instruction.
+     * Recompute warp @p w's bits in readyByClass_ / blockedLongMask_
+     * from its cached head regmask. Called only when an event changed
+     * the warp's head or its scoreboard word.
+     */
+    void refreshWarp(WarpId w);
+
+    /**
+     * Try to issue @p warp's head instruction. The caller guarantees a
+     * ready head (candidates come from the ready masks).
      * @return true on issue.
      */
     bool tryIssue(WarpId warp);
@@ -118,9 +147,12 @@ class Sm
     bool tryIssueSfu(WarpId warp, const Instruction& instr);
     bool tryIssueLdst(WarpId warp, const Instruction& instr);
 
-    /** Post-issue bookkeeping shared by the helpers. */
-    void commitIssue(WarpId warp, const Instruction& instr,
-                     unsigned cluster);
+    /**
+     * Post-issue bookkeeping shared by the helpers. Takes the unit
+     * class by value — every read of the i-buffer head happens before
+     * popHead(), so no reference into popped storage survives it.
+     */
+    void commitIssue(WarpId warp, UnitClass unit, unsigned cluster);
 
     /** Record a warp moving between the two-level scheduler's sets. */
     void traceMigrate(WarpId warp, WarpLoc to);
@@ -144,7 +176,7 @@ class Sm
 
     SmConfig config_;
     std::vector<Program> programs_;
-    std::vector<WarpContext> warps_;
+    WarpSet warps_;
     Scoreboard scoreboard_;
     std::unique_ptr<Scheduler> scheduler_;
 
@@ -161,6 +193,13 @@ class Sm
     std::vector<WarpId> waiting_;
     /** Warps parked on long-latency events (two-level pending set). */
     std::vector<WarpId> pending_;
+
+    /** Ready-head mask per class (see file comment). */
+    std::array<WarpMask, kNumUnitClasses> readyByClass_ = {};
+    /** Heads blocked by a long-latency producer (see file comment). */
+    WarpMask blockedLongMask_ = 0;
+    /** Incremental ACTV: buffered instructions per class, active set. */
+    std::array<std::uint32_t, kNumUnitClasses> actvAgg_ = {};
 
     /** Round-robin cluster preference per ALU type (load balancing). */
     std::array<unsigned, 2> rr_cluster_ = {0, 0};
@@ -182,11 +221,9 @@ class Sm
     /** View step() built this cycle; reused by tryFastForward. */
     SchedView view_;
     std::vector<Completion> completions_;
-    std::vector<UnitClass> head_types_;
-    std::vector<std::size_t> candidates_;
+    std::vector<WarpId> candidates_;
 
     SmStats stats_;
 };
 
 } // namespace wg
-

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the warp bitmask primitives the scheduler hot path
+ * is built on: single-bit extraction, rotation, and deterministic
+ * ascending-id iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/bitmask.hh"
+
+namespace wg {
+namespace {
+
+TEST(Bitmask, WarpBitAndHasWarp)
+{
+    EXPECT_EQ(warpBit(0), 1u);
+    EXPECT_EQ(warpBit(63), 0x8000000000000000u);
+    const WarpMask m = warpBit(0) | warpBit(17) | warpBit(63);
+    EXPECT_TRUE(hasWarp(m, 0));
+    EXPECT_TRUE(hasWarp(m, 17));
+    EXPECT_TRUE(hasWarp(m, 63));
+    EXPECT_FALSE(hasWarp(m, 1));
+    EXPECT_FALSE(hasWarp(m, 62));
+}
+
+TEST(Bitmask, FirstHotIsLowestBit)
+{
+    EXPECT_EQ(firstHot(warpBit(5) | warpBit(40)), warpBit(5));
+    EXPECT_EQ(firstHot(warpBit(63)), warpBit(63));
+    EXPECT_EQ(firstHot(0), 0u);
+}
+
+TEST(Bitmask, FirstHotIndexBoundaries)
+{
+    EXPECT_EQ(firstHotIndex(warpBit(0)), 0u);
+    EXPECT_EQ(firstHotIndex(warpBit(63)), 63u);
+    EXPECT_EQ(firstHotIndex(warpBit(31) | warpBit(32)), 31u);
+    EXPECT_EQ(firstHotIndex(0), 64u) << "empty mask sentinel";
+}
+
+TEST(Bitmask, DropFirstHotPeelsInAscendingOrder)
+{
+    WarpMask m = warpBit(3) | warpBit(3) | warpBit(47) | warpBit(63);
+    EXPECT_EQ(firstHotIndex(m), 3u);
+    m = dropFirstHot(m);
+    EXPECT_EQ(firstHotIndex(m), 47u);
+    m = dropFirstHot(m);
+    EXPECT_EQ(firstHotIndex(m), 63u);
+    m = dropFirstHot(m);
+    EXPECT_EQ(m, 0u);
+}
+
+TEST(Bitmask, PopcountMatchesBitsSet)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(~WarpMask{0}), 64u);
+    EXPECT_EQ(popcount(warpBit(0) | warpBit(63)), 2u);
+}
+
+TEST(Bitmask, ForEachWarpVisitsAscending)
+{
+    const WarpMask m = warpBit(0) | warpBit(9) | warpBit(32) | warpBit(63);
+    std::vector<WarpId> seen;
+    forEachWarp(m, [&](WarpId w) { seen.push_back(w); });
+    EXPECT_EQ(seen, (std::vector<WarpId>{0, 9, 32, 63}));
+}
+
+TEST(Bitmask, ForEachWarpEmptyMaskNoCalls)
+{
+    int calls = 0;
+    forEachWarp(0, [&](WarpId) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+} // namespace
+} // namespace wg

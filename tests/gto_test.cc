@@ -12,44 +12,56 @@
 namespace wg {
 namespace {
 
+/** A view whose INT ready mask covers exactly @p warps. */
+SchedView
+readyView(std::initializer_list<WarpId> warps)
+{
+    SchedView v;
+    for (WarpId w : warps) {
+        v.activeMask |= warpBit(w);
+        v.readyMask[static_cast<std::size_t>(UnitClass::Int)] |=
+            warpBit(w);
+    }
+    return v;
+}
+
 TEST(Gto, OldestFirstByDefault)
 {
     GtoScheduler sched;
-    std::vector<WarpId> active = {5, 2, 9, 1};
-    std::vector<UnitClass> types(4, UnitClass::Int);
-    std::vector<std::size_t> out;
+    std::vector<WarpId> out;
     sched.beginCycle(0, SchedView{});
-    sched.order(active, types, out);
-    ASSERT_EQ(out.size(), 4u);
-    EXPECT_EQ(active[out[0]], 1u);
-    EXPECT_EQ(active[out[1]], 2u);
-    EXPECT_EQ(active[out[2]], 5u);
-    EXPECT_EQ(active[out[3]], 9u);
+    sched.order(readyView({5, 2, 9, 1}), out);
+    EXPECT_EQ(out, (std::vector<WarpId>{1, 2, 5, 9}))
+        << "oldest (lowest id) first";
 }
 
 TEST(Gto, GreedyWarpHoisted)
 {
     GtoScheduler sched;
-    std::vector<WarpId> active = {5, 2, 9, 1};
-    std::vector<UnitClass> types(4, UnitClass::Int);
-    std::vector<std::size_t> out;
+    std::vector<WarpId> out;
     sched.notifyIssue(9, UnitClass::Int);
-    sched.order(active, types, out);
-    EXPECT_EQ(active[out[0]], 9u) << "last-issued warp goes first";
-    EXPECT_EQ(active[out[1]], 1u);
-    EXPECT_EQ(active[out[2]], 2u);
-    EXPECT_EQ(active[out[3]], 5u);
+    sched.order(readyView({5, 2, 9, 1}), out);
+    EXPECT_EQ(out, (std::vector<WarpId>{9, 1, 2, 5}))
+        << "last-issued warp goes first";
 }
 
 TEST(Gto, GreedyWarpGoneFallsBackToOldest)
 {
     GtoScheduler sched;
-    sched.notifyIssue(77, UnitClass::Fp);
-    std::vector<WarpId> active = {3, 0};
-    std::vector<UnitClass> types(2, UnitClass::Int);
-    std::vector<std::size_t> out;
-    sched.order(active, types, out);
-    EXPECT_EQ(active[out[0]], 0u);
+    sched.notifyIssue(77, UnitClass::Fp); // beyond the 64-warp masks
+    std::vector<WarpId> out;
+    sched.order(readyView({3, 0}), out);
+    EXPECT_EQ(out, (std::vector<WarpId>{0, 3}));
+}
+
+TEST(Gto, GreedyWarpNotReadyFallsBackToOldest)
+{
+    GtoScheduler sched;
+    sched.notifyIssue(2, UnitClass::Int);
+    std::vector<WarpId> out;
+    sched.order(readyView({3, 0}), out);
+    EXPECT_EQ(out, (std::vector<WarpId>{0, 3}))
+        << "a stalled greedy warp must not block the rest";
 }
 
 TEST(Gto, SmRunsToCompletion)
@@ -74,15 +86,13 @@ TEST(Gto, GreedyImprovesSameWarpLocality)
     // A single warp with a dependency chain interleaved with an
     // independent stream: GTO keeps returning to the same warp.
     GtoScheduler sched;
-    std::vector<WarpId> active = {0, 1, 2};
-    std::vector<UnitClass> types(3, UnitClass::Int);
-    std::vector<std::size_t> out;
+    std::vector<WarpId> out;
     sched.notifyIssue(1, UnitClass::Int);
-    sched.order(active, types, out);
-    EXPECT_EQ(active[out[0]], 1u);
+    sched.order(readyView({0, 1, 2}), out);
+    EXPECT_EQ(out[0], 1u);
     sched.notifyIssue(1, UnitClass::Int);
-    sched.order(active, types, out);
-    EXPECT_EQ(active[out[0]], 1u) << "stays greedy while warp 1 lives";
+    sched.order(readyView({0, 1, 2}), out);
+    EXPECT_EQ(out[0], 1u) << "stays greedy while warp 1 lives";
 }
 
 } // namespace

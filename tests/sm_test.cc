@@ -148,7 +148,7 @@ TEST(Sm, AllWarpsFinishedAfterRun)
     Sm sm(baseConfig(), programs, 9);
     sm.run();
     for (WarpId w = 0; w < sm.numWarps(); ++w)
-        EXPECT_EQ(sm.warp(w).loc(), WarpLoc::Finished) << "warp " << w;
+        EXPECT_EQ(sm.warpLoc(w), WarpLoc::Finished) << "warp " << w;
 }
 
 TEST(Sm, BlackoutNeverWakesUncompensated)
@@ -286,6 +286,48 @@ TEST(Sm, TwoLevelNeverSwitchesPriority)
     EXPECT_EQ(s.prioritySwitches, 0u);
 }
 
+TEST(Sm, DepthOneIbufferIssuesEveryInstruction)
+{
+    // Depth-1 buffers make every issue empty the ring: the regression
+    // shape for the commitIssue head-aliasing bug, where post-issue
+    // bookkeeping read the popped slot. Classes must still be counted
+    // against the instruction that actually issued.
+    SmConfig cfg = baseConfig();
+    cfg.ibufferDepth = 1;
+    cfg.scheduler = SchedulerPolicy::Gates;
+    Sm sm(cfg, {alternatingProgram(40), alternatingProgram(40)}, 3);
+    const SmStats& s = sm.run();
+    EXPECT_TRUE(s.completed);
+    EXPECT_EQ(s.issuedTotal, 80u);
+    EXPECT_EQ(s.issuedByClass[static_cast<std::size_t>(UnitClass::Int)],
+              40u);
+    EXPECT_EQ(s.issuedByClass[static_cast<std::size_t>(UnitClass::Fp)],
+              40u);
+}
+
+/** Warp counts at mask boundaries: 1, half-word, 48, full 64-bit word. */
+class SmWarpCount : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SmWarpCount, BoundaryWarpCountsDrain)
+{
+    const std::size_t warps = GetParam();
+    SmConfig cfg = baseConfig();
+    cfg.scheduler = SchedulerPolicy::Gates;
+    cfg.pg.policy = PgPolicy::CoordinatedBlackout;
+    auto programs = uniformMixWarps(warps, 60, 0.3, 0.2, 0.4);
+    Sm sm(cfg, programs, 13);
+    const SmStats& s = sm.run();
+    EXPECT_TRUE(s.completed);
+    EXPECT_EQ(s.issuedTotal, totalInstructions(programs));
+    for (WarpId w = 0; w < warps; ++w)
+        EXPECT_EQ(sm.warpLoc(w), WarpLoc::Finished) << "warp " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskBoundaries, SmWarpCount,
+                         ::testing::Values(1u, 32u, 48u, 64u));
+
 TEST(SmDeath, NoWarpsIsFatal)
 {
     EXPECT_EXIT(Sm(baseConfig(), {}, 1), ::testing::ExitedWithCode(1),
@@ -298,6 +340,22 @@ TEST(SmDeath, ZeroIssueWidthIsFatal)
     cfg.issueWidth = 0;
     EXPECT_EXIT(Sm(cfg, {pureProgram(UnitClass::Int, 1)}, 1),
                 ::testing::ExitedWithCode(1), "issue width");
+}
+
+TEST(SmDeath, TooManyWarpsIsFatal)
+{
+    std::vector<Program> programs(kMaxWarpsPerSm + 1,
+                                  pureProgram(UnitClass::Int, 1));
+    EXPECT_EXIT(Sm(baseConfig(), programs, 1),
+                ::testing::ExitedWithCode(1), "bitmask capacity");
+}
+
+TEST(SmDeath, ZeroIbufferDepthIsFatal)
+{
+    SmConfig cfg = baseConfig();
+    cfg.ibufferDepth = 0;
+    EXPECT_EXIT(Sm(cfg, {pureProgram(UnitClass::Int, 1)}, 1),
+                ::testing::ExitedWithCode(1), "i-buffer depth");
 }
 
 /** Property: every policy/scheduler combination drains every workload. */

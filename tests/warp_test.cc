@@ -1,6 +1,7 @@
 /**
  * @file
- * Unit tests for the warp execution context.
+ * Unit tests for the SoA warp set (ring i-buffer, residency /
+ * fetchable / drained masks, per-class buffer counts).
  */
 
 #include <gtest/gtest.h>
@@ -11,98 +12,177 @@
 namespace wg {
 namespace {
 
-TEST(Warp, InitResetsState)
+TEST(WarpSet, InitResetsState)
 {
-    Program prog = pureProgram(UnitClass::Int, 5);
-    WarpContext w;
-    w.init(3, &prog);
-    EXPECT_EQ(w.id(), 3u);
-    EXPECT_EQ(w.loc(), WarpLoc::Waiting);
-    EXPECT_FALSE(w.hasHead());
-    EXPECT_EQ(w.pc(), 0u);
-    EXPECT_EQ(w.outstanding(), 0u);
-    EXPECT_FALSE(w.drained()) << "five instructions still to fetch";
+    std::vector<Program> progs = {pureProgram(UnitClass::Int, 5)};
+    WarpSet ws;
+    ws.init(progs, 2);
+    EXPECT_EQ(ws.size(), 1u);
+    EXPECT_EQ(ws.depth(), 2u);
+    EXPECT_EQ(ws.loc(0), WarpLoc::Waiting);
+    EXPECT_EQ(ws.locMask(WarpLoc::Waiting), warpBit(0));
+    EXPECT_EQ(ws.locMask(WarpLoc::Active), 0u);
+    EXPECT_FALSE(ws.hasHead(0));
+    EXPECT_EQ(ws.pc(0), 0u);
+    EXPECT_EQ(ws.outstanding(0), 0u);
+    EXPECT_FALSE(ws.drained(0)) << "five instructions still to fetch";
+    EXPECT_EQ(ws.fetchable(), warpBit(0));
 }
 
-TEST(Warp, FetchFillsToDepth)
+TEST(WarpSet, FetchFillsToDepth)
 {
-    Program prog = pureProgram(UnitClass::Int, 5);
-    WarpContext w;
-    w.init(0, &prog);
-    w.fetch(2);
-    EXPECT_TRUE(w.hasHead());
-    EXPECT_EQ(w.ibuffer().size(), 2u);
-    EXPECT_EQ(w.pc(), 2u);
-    w.fetch(2);
-    EXPECT_EQ(w.ibuffer().size(), 2u) << "already full";
+    std::vector<Program> progs = {pureProgram(UnitClass::Int, 5)};
+    WarpSet ws;
+    ws.init(progs, 2);
+    EXPECT_EQ(ws.fetch(0), 2u);
+    EXPECT_TRUE(ws.hasHead(0));
+    EXPECT_EQ(ws.bufSize(0), 2u);
+    EXPECT_EQ(ws.pc(0), 2u);
+    EXPECT_TRUE(ws.fetchDone(0)) << "buffer full";
+    EXPECT_EQ(ws.fetch(0), 0u) << "already full";
 }
 
-TEST(Warp, PopHeadAdvances)
+TEST(WarpSet, PopHeadAdvancesRing)
 {
-    Program prog = alternatingProgram(4);
-    WarpContext w;
-    w.init(0, &prog);
-    w.fetch(2);
-    EXPECT_EQ(w.head().unit, UnitClass::Int);
-    w.popHead();
-    EXPECT_EQ(w.head().unit, UnitClass::Fp);
-    w.fetch(2);
-    EXPECT_EQ(w.ibuffer().size(), 2u);
-    EXPECT_EQ(w.pc(), 3u);
+    std::vector<Program> progs = {alternatingProgram(4)};
+    WarpSet ws;
+    ws.init(progs, 2);
+    ws.fetch(0);
+    EXPECT_EQ(ws.head(0).unit, UnitClass::Int);
+    EXPECT_EQ(ws.headClass(0), UnitClass::Int) << "cached head class";
+    ws.popHead(0);
+    EXPECT_EQ(ws.head(0).unit, UnitClass::Fp);
+    EXPECT_EQ(ws.headClass(0), UnitClass::Fp);
+    EXPECT_FALSE(ws.fetchDone(0)) << "popHead opened a slot";
+    ws.fetch(0);
+    EXPECT_EQ(ws.bufSize(0), 2u);
+    EXPECT_EQ(ws.pc(0), 3u);
 }
 
-TEST(Warp, FetchStopsAtProgramEnd)
+TEST(WarpSet, RingWrapsAtDepthOne)
 {
-    Program prog = pureProgram(UnitClass::Fp, 3);
-    WarpContext w;
-    w.init(0, &prog);
-    w.fetch(8);
-    EXPECT_EQ(w.ibuffer().size(), 3u);
-    EXPECT_EQ(w.pc(), 3u);
-    w.popHead();
-    w.popHead();
-    w.popHead();
-    w.fetch(8);
-    EXPECT_FALSE(w.hasHead());
+    // Depth-1 ring: every pop empties the buffer and every fetch
+    // refills slot 0 — the regression shape for the commitIssue
+    // head-aliasing bug (the head must be fully consumed before pop).
+    std::vector<Program> progs = {alternatingProgram(6)};
+    WarpSet ws;
+    ws.init(progs, 1);
+    UnitClass expect[] = {UnitClass::Int, UnitClass::Fp};
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_EQ(ws.fetch(0), 1u) << i;
+        ASSERT_TRUE(ws.hasHead(0));
+        EXPECT_EQ(ws.headClass(0), expect[i % 2]) << i;
+        EXPECT_EQ(ws.head(0).regMask(), ws.headRegMask(0)) << i;
+        ws.popHead(0);
+        EXPECT_FALSE(ws.hasHead(0));
+    }
+    EXPECT_EQ(ws.fetch(0), 0u) << "program exhausted";
+    EXPECT_TRUE(ws.drained(0));
 }
 
-TEST(Warp, DrainedRequiresEverything)
+TEST(WarpSet, FetchStopsAtProgramEnd)
 {
-    Program prog = pureProgram(UnitClass::Int, 1);
-    WarpContext w;
-    w.init(0, &prog);
-    w.fetch(2);
-    EXPECT_FALSE(w.drained()) << "instruction in the buffer";
-    w.noteIssue();
-    w.popHead();
-    EXPECT_FALSE(w.drained()) << "instruction in flight";
-    w.noteComplete();
-    EXPECT_TRUE(w.drained());
+    std::vector<Program> progs = {pureProgram(UnitClass::Fp, 3)};
+    WarpSet ws;
+    ws.init(progs, 8);
+    ws.fetch(0);
+    EXPECT_EQ(ws.bufSize(0), 3u);
+    EXPECT_EQ(ws.pc(0), 3u);
+    EXPECT_TRUE(ws.fetchDone(0)) << "program exhausted";
+    ws.popHead(0);
+    ws.popHead(0);
+    ws.popHead(0);
+    EXPECT_EQ(ws.fetch(0), 0u);
+    EXPECT_FALSE(ws.hasHead(0));
 }
 
-TEST(Warp, OutstandingCountsNest)
+TEST(WarpSet, DrainedRequiresEverything)
 {
-    WarpContext w;
-    w.init(0, nullptr);
-    w.noteIssue();
-    w.noteIssue();
-    EXPECT_EQ(w.outstanding(), 2u);
-    w.noteComplete();
-    EXPECT_EQ(w.outstanding(), 1u);
-    w.noteComplete();
-    EXPECT_TRUE(w.drained());
+    std::vector<Program> progs = {pureProgram(UnitClass::Int, 1)};
+    WarpSet ws;
+    ws.init(progs, 2);
+    ws.fetch(0);
+    EXPECT_FALSE(ws.drained(0)) << "instruction in the buffer";
+    ws.noteIssue(0);
+    ws.popHead(0);
+    EXPECT_FALSE(ws.drained(0)) << "instruction in flight";
+    EXPECT_EQ(ws.drainedMask(), 0u);
+    ws.noteComplete(0);
+    EXPECT_TRUE(ws.drained(0));
+    EXPECT_EQ(ws.drainedMask(), warpBit(0));
 }
 
-TEST(Warp, LocTransitions)
+TEST(WarpSet, OutstandingCountsNest)
 {
-    WarpContext w;
-    w.init(0, nullptr);
-    w.setLoc(WarpLoc::Active);
-    EXPECT_EQ(w.loc(), WarpLoc::Active);
-    w.setLoc(WarpLoc::Pending);
-    EXPECT_EQ(w.loc(), WarpLoc::Pending);
-    w.setLoc(WarpLoc::Finished);
-    EXPECT_EQ(w.loc(), WarpLoc::Finished);
+    std::vector<Program> progs = {Program{}};
+    WarpSet ws;
+    ws.init(progs, 2);
+    EXPECT_TRUE(ws.drained(0)) << "empty program drains immediately";
+    ws.noteIssue(0);
+    ws.noteIssue(0);
+    EXPECT_EQ(ws.outstanding(0), 2u);
+    EXPECT_FALSE(ws.drained(0));
+    ws.noteComplete(0);
+    EXPECT_EQ(ws.outstanding(0), 1u);
+    ws.noteComplete(0);
+    EXPECT_TRUE(ws.drained(0));
+}
+
+TEST(WarpSet, LocTransitionsMaintainMasks)
+{
+    std::vector<Program> progs = {Program{}, Program{}, Program{}};
+    WarpSet ws;
+    ws.init(progs, 2);
+    EXPECT_EQ(ws.locMask(WarpLoc::Waiting), 0b111u);
+    ws.setLoc(1, WarpLoc::Active);
+    EXPECT_EQ(ws.loc(1), WarpLoc::Active);
+    EXPECT_EQ(ws.locMask(WarpLoc::Active), warpBit(1));
+    EXPECT_EQ(ws.locMask(WarpLoc::Waiting), warpBit(0) | warpBit(2));
+    ws.setLoc(1, WarpLoc::Pending);
+    EXPECT_EQ(ws.locMask(WarpLoc::Active), 0u);
+    EXPECT_EQ(ws.locMask(WarpLoc::Pending), warpBit(1));
+    ws.setLoc(1, WarpLoc::Finished);
+    EXPECT_EQ(ws.locMask(WarpLoc::Finished), warpBit(1));
+}
+
+TEST(WarpSet, PerClassBufferCountsTrackFetchAndPop)
+{
+    std::vector<Program> progs = {alternatingProgram(4)};
+    WarpSet ws;
+    ws.init(progs, 4);
+    ws.fetch(0);
+    EXPECT_EQ(ws.bufCount(0, UnitClass::Int), 2u);
+    EXPECT_EQ(ws.bufCount(0, UnitClass::Fp), 2u);
+    ws.popHead(0); // INT head leaves
+    EXPECT_EQ(ws.bufCount(0, UnitClass::Int), 1u);
+    EXPECT_EQ(ws.bufCount(0, UnitClass::Fp), 2u);
+}
+
+TEST(WarpSet, FetchAccumulatesActvCounters)
+{
+    std::vector<Program> progs = {alternatingProgram(4)};
+    WarpSet ws;
+    ws.init(progs, 4);
+    std::uint32_t actv[kNumUnitClasses] = {};
+    ws.fetch(0, actv);
+    EXPECT_EQ(actv[static_cast<std::size_t>(UnitClass::Int)], 2u);
+    EXPECT_EQ(actv[static_cast<std::size_t>(UnitClass::Fp)], 2u);
+    EXPECT_EQ(actv[static_cast<std::size_t>(UnitClass::Ldst)], 0u);
+}
+
+TEST(WarpSet, BufferedIteratesInIssueOrder)
+{
+    std::vector<Program> progs = {alternatingProgram(5)};
+    WarpSet ws;
+    ws.init(progs, 3);
+    ws.fetch(0);
+    ws.popHead(0); // ring head is now slot 1 of 3
+    ws.fetch(0);   // wraps: slot 0 holds the newest entry
+    ASSERT_EQ(ws.bufSize(0), 3u);
+    // Program order: Int Fp Int Fp Int; entries 1..3 remain.
+    EXPECT_EQ(ws.buffered(0, 0).unit, UnitClass::Fp);
+    EXPECT_EQ(ws.buffered(0, 1).unit, UnitClass::Int);
+    EXPECT_EQ(ws.buffered(0, 2).unit, UnitClass::Fp);
 }
 
 } // namespace
