@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke for CI.
+#
+# Starts wgservd on an ephemeral loopback port, submits the hotspot /
+# WarpedGates sweep through wgctl, and holds the serving path to the
+# offline contract:
+#
+#   1. wgctl's stdout is byte-identical to the offline wgsim run;
+#   2. the streamed metrics registry matches the committed baseline
+#      (ci/metrics-baseline-hotspot.jsonl) at wgreport --tol 0;
+#   3. the streamed registry matches a fresh offline --metrics export
+#      at --tol 0;
+#   4. drain finishes in-flight work, then the daemon exits 0.
+#
+# Usage: ci/serve_e2e.sh [build-dir]   (run from the repo root)
+set -euo pipefail
+
+BUILD=${1:-build}
+BASELINE=ci/metrics-baseline-hotspot.jsonl
+# The baseline was recorded at --sms 4 (see ci.yml's wgsim smoke).
+SWEEP_ARGS=(--bench hotspot --technique WarpedGates --sms 4)
+STEP_TIMEOUT=300
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve_e2e: FAIL: $*" >&2
+    echo "--- daemon log ---" >&2
+    cat "$WORK/daemon.log" >&2 || true
+    exit 1
+}
+
+echo "serve_e2e: starting wgservd on an ephemeral port"
+"$BUILD/tools/wgservd" --port 0 --sms 4 >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+# The startup line's format is stable on purpose; parse the bound port.
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n \
+        's/^wgservd: listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+        "$WORK/daemon.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on startup"
+    sleep 0.1
+done
+[ -n "$PORT" ] || fail "no listening line after 10s"
+echo "serve_e2e: daemon up on port $PORT (pid $DAEMON_PID)"
+
+echo "serve_e2e: submitting hotspot sweep via wgctl"
+timeout "$STEP_TIMEOUT" "$BUILD/tools/wgctl" submit --port "$PORT" \
+    "${SWEEP_ARGS[@]}" --wait --metrics "$WORK/served.jsonl" \
+    >"$WORK/served.txt" \
+    || fail "wgctl submit --wait"
+
+echo "serve_e2e: running the identical sweep offline"
+timeout "$STEP_TIMEOUT" "$BUILD/tools/wgsim" "${SWEEP_ARGS[@]}" \
+    --metrics "$WORK/offline.jsonl" >"$WORK/offline.txt" \
+    || fail "offline wgsim"
+
+echo "serve_e2e: gate 1 — served stdout is byte-identical to offline"
+cmp "$WORK/served.txt" "$WORK/offline.txt" \
+    || fail "served summary differs from offline wgsim (diff: $(
+        diff "$WORK/offline.txt" "$WORK/served.txt" | head -20))"
+
+echo "serve_e2e: gate 2 — served registry vs committed baseline, tol 0"
+"$BUILD/tools/wgreport" --tol 0 "$BASELINE" "$WORK/served.jsonl" \
+    || fail "served metrics drifted from $BASELINE"
+
+echo "serve_e2e: gate 3 — served registry vs fresh offline export, tol 0"
+"$BUILD/tools/wgreport" --tol 0 "$WORK/offline.jsonl" \
+    "$WORK/served.jsonl" \
+    || fail "served metrics differ from offline --metrics export"
+
+echo "serve_e2e: gate 4 — drain shuts the daemon down cleanly"
+timeout "$STEP_TIMEOUT" "$BUILD/tools/wgctl" drain --port "$PORT" \
+    || fail "wgctl drain"
+DAEMON_RC=0
+wait "$DAEMON_PID" || DAEMON_RC=$?
+DAEMON_PID=""
+[ "$DAEMON_RC" -eq 0 ] || fail "daemon exited $DAEMON_RC after drain"
+grep -q "drained, exiting" "$WORK/daemon.log" \
+    || fail "daemon log missing drain acknowledgement"
+
+echo "serve_e2e: PASS"

@@ -10,6 +10,23 @@ Histogram::Histogram(std::uint64_t max_bin)
 {
 }
 
+Histogram
+Histogram::fromRaw(std::uint64_t max_bin,
+                   std::vector<std::uint64_t> bins,
+                   std::uint64_t overflow, std::uint64_t total,
+                   std::uint64_t sum)
+{
+    if (bins.size() != max_bin + 1)
+        panic("Histogram::fromRaw: ", bins.size(), " bins for max_bin ",
+              max_bin);
+    Histogram h(max_bin);
+    h.bins_ = std::move(bins);
+    h.overflow_ = overflow;
+    h.total_ = total;
+    h.sum_ = sum;
+    return h;
+}
+
 void
 Histogram::add(std::uint64_t sample, std::uint64_t count)
 {

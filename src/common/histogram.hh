@@ -23,6 +23,18 @@ class Histogram
     /** @param max_bin largest sample with its own bin. */
     explicit Histogram(std::uint64_t max_bin = 64);
 
+    /**
+     * Rebuild a histogram from serialized internals (the wire format's
+     * deserialization path). @p sum must be carried explicitly because
+     * overflow samples pool with their individual values erased — it is
+     * not recoverable from the bins. The caller validates
+     * total == sum(bins) + overflow before calling.
+     */
+    static Histogram fromRaw(std::uint64_t max_bin,
+                             std::vector<std::uint64_t> bins,
+                             std::uint64_t overflow, std::uint64_t total,
+                             std::uint64_t sum);
+
     /** Record one sample. */
     void add(std::uint64_t sample, std::uint64_t count = 1);
 

@@ -1,5 +1,9 @@
 #include "threadpool.hh"
 
+#include <stdexcept>
+
+#include "logging.hh"
+
 namespace wg {
 
 namespace {
@@ -52,6 +56,12 @@ ThreadPool::enqueue(std::function<void()> fn)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
+        // Draining rejects *external* work only: a running task's
+        // nested fan-out (per-SM jobs of an in-flight simulation) must
+        // still land, or the drain could never finish (see drain()).
+        if (draining_ && tls_pool != this)
+            throw std::runtime_error(
+                "ThreadPool: submit on a draining pool");
         // A worker keeps its fan-out local; external submitters spread
         // round-robin so idle workers have something to steal.
         std::size_t target = (tls_pool == this)
@@ -92,8 +102,10 @@ ThreadPool::tryRunOne()
         unsigned preferred = (tls_pool == this) ? tls_index : 0;
         if (!popTask(preferred, task))
             return false;
+        ++active_;
     }
     runTask(task);
+    finishTask();
     return true;
 }
 
@@ -111,6 +123,50 @@ ThreadPool::runTask(std::function<void()>& task)
     busy_ns_.fetch_add(static_cast<std::uint64_t>(ns),
                        std::memory_order_relaxed);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ThreadPool::finishTask()
+{
+    bool quiescent = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_;
+        quiescent = draining_ && active_ == 0 && !pendingLocked();
+    }
+    // Only a drain waiter sleeps on drain_cv_, and only the last task
+    // out can satisfy it; skipping the notify otherwise keeps the
+    // per-task overhead at one uncontended decrement.
+    if (quiescent)
+        drain_cv_.notify_all();
+}
+
+bool
+ThreadPool::pendingLocked() const
+{
+    for (const auto& d : deques_)
+        if (!d.empty())
+            return true;
+    return false;
+}
+
+void
+ThreadPool::drain()
+{
+    if (tls_pool == this)
+        panic("ThreadPool::drain called from inside a pool task");
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    drain_cv_.wait(lock, [this] {
+        return active_ == 0 && !pendingLocked();
+    });
+}
+
+bool
+ThreadPool::draining() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
 }
 
 PoolStats
@@ -159,8 +215,10 @@ ThreadPool::workerLoop(unsigned index)
                 return;
             if (!task && !popTask(index, task))
                 continue;
+            ++active_;
         }
         runTask(task);
+        finishTask();
     }
 }
 

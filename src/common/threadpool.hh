@@ -109,6 +109,33 @@ class ThreadPool
     bool tryRunOne();
 
     /**
+     * Graceful shutdown: reject new external submissions and block
+     * until every queued and running task has finished.
+     *
+     * Semantics chosen for a draining daemon:
+     *   - External submit() calls made after drain() begins throw
+     *     std::runtime_error — callers must stop feeding the pool.
+     *   - Submissions from *inside* a pool task (nested fan-out, e.g. a
+     *     running simulation spawning its per-SM jobs) are still
+     *     accepted; rejecting them would strand in-flight work and
+     *     deadlock the drain.
+     *   - Safe on the leaked global() pool of a dying process: drain
+     *     only waits for quiescence, it never joins worker threads, so
+     *     it cannot deadlock against the intentionally-skipped
+     *     destructor (the OS reclaims the workers at exit).
+     *
+     * Draining is terminal for the pool (there is no resume); create a
+     * fresh pool for new work. Calling drain() again returns once the
+     * pool is quiescent. Calling it from inside a pool task is a
+     * logic error and panics (the caller's own task could never
+     * finish, so quiescence would be unreachable).
+     */
+    void drain();
+
+    /** True once drain() has begun. */
+    bool draining() const;
+
+    /**
      * Tasks executed and summed busy time since construction. The two
      * counters are sampled independently (not a consistent snapshot);
      * utilization derived from them is a profiling estimate. Summed
@@ -120,8 +147,10 @@ class ThreadPool
   private:
     void enqueue(std::function<void()> fn);
     void runTask(std::function<void()>& task);
+    void finishTask();
     void workerLoop(unsigned index);
     bool popTask(unsigned preferred, std::function<void()>& out);
+    bool pendingLocked() const;
     void helpWhile(const std::function<bool()>& busy);
 
     // One deque per worker. A coarse lock keeps the stealing protocol
@@ -133,6 +162,9 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::size_t next_ = 0; ///< round-robin target for external submits
     bool stop_ = false;
+    bool draining_ = false;     ///< drain() begun; external submits throw
+    std::size_t active_ = 0;    ///< tasks currently executing
+    std::condition_variable drain_cv_; ///< signalled as tasks finish
 
     // Self-profiling counters; relaxed atomics, the two are not a
     // consistent pair (see stats()).

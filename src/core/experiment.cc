@@ -23,9 +23,49 @@ ExperimentRunner::key(const std::string& bench, Technique t,
     return os.str();
 }
 
+namespace {
+
+/** Approximate heap footprint of a cached result (for CacheLimits). */
+std::size_t
+approximateResultBytes(const SimResult& r)
+{
+    auto histBytes = [](const Histogram& h) {
+        return (h.maxBin() + 1) * sizeof(std::uint64_t);
+    };
+    std::size_t bytes = sizeof(SimResult);
+    bytes += r.smCycles.capacity() * sizeof(Cycle);
+    bytes += histBytes(r.intIdleHist) + histBytes(r.fpIdleHist);
+    for (const auto& type : r.aggregate.clusters)
+        for (const auto& cluster : type)
+            bytes += histBytes(cluster.idleHist);
+    bytes += histBytes(r.aggregate.sfuCluster.idleHist);
+    return bytes;
+}
+
+} // namespace
+
 const SimResult&
 ExperimentRunner::run(const std::string& bench, Technique t,
                       const std::optional<ExperimentOptions>& options)
+{
+    // Pinning keeps the historical contract — references returned here
+    // stay valid for the runner's lifetime — even when cache limits
+    // are active. Long-running services should prefer runShared().
+    return *runInternal(bench, t, options, /*pin=*/true);
+}
+
+std::shared_ptr<const SimResult>
+ExperimentRunner::runShared(
+    const std::string& bench, Technique t,
+    const std::optional<ExperimentOptions>& options)
+{
+    return runInternal(bench, t, options, /*pin=*/false);
+}
+
+std::shared_ptr<const SimResult>
+ExperimentRunner::runInternal(
+    const std::string& bench, Technique t,
+    const std::optional<ExperimentOptions>& options, bool pin)
 {
     const ExperimentOptions& opts = options ? *options : opts_;
     std::string k = key(bench, t, opts);
@@ -50,13 +90,24 @@ ExperimentRunner::run(const std::string& bench, Technique t,
     if (!inserted) {
         // Single-flight: the owner computes on its own thread (never
         // parked in a pool queue), so waiting here cannot deadlock.
+        // The entry reference stays valid while we wait: in-flight and
+        // waited-on entries are never evicted (map nodes are stable).
+        ++stats_.hits;
+        // The waiter count keeps this node safe from eviction between
+        // the owner's notify and this thread actually waking up.
+        ++entry.waiters;
         ready_cv_.wait(lock, [&entry] { return entry.ready; });
+        --entry.waiters;
         if (entry.truncated)
             warn("experiment ", k,
                  " hit maxCycles before draining (cached result is "
                  "incomplete)");
+        entry.pinned = entry.pinned || pin;
+        entry.lastUse = ++use_tick_;
         return entry.result;
     }
+    ++stats_.misses;
+    ++stats_.inFlight;
     lock.unlock();
 
     const BenchmarkProfile& profile = findBenchmark(bench);
@@ -67,12 +118,65 @@ ExperimentRunner::run(const std::string& bench, Technique t,
         warn("experiment ", k, " hit maxCycles before draining");
 
     lock.lock();
-    entry.result = std::move(result);
+    entry.result = std::make_shared<SimResult>(std::move(result));
     entry.truncated = truncated;
+    entry.pinned = pin;
+    entry.lastUse = ++use_tick_;
+    entry.bytes = approximateResultBytes(*entry.result);
     entry.ready = true;
+    --stats_.inFlight;
+    ++stats_.entries;
+    stats_.bytes += entry.bytes;
+    std::shared_ptr<const SimResult> out = entry.result;
+    enforceLimitsLocked();
     lock.unlock();
     ready_cv_.notify_all();
-    return entry.result;
+    return out;
+}
+
+void
+ExperimentRunner::enforceLimitsLocked()
+{
+    auto overLimit = [this] {
+        return (limits_.maxEntries != 0 &&
+                stats_.entries > limits_.maxEntries) ||
+               (limits_.maxBytes != 0 && stats_.bytes > limits_.maxBytes);
+    };
+    while (overLimit()) {
+        // LRU scan. The map stays small (it is capped); a heap would
+        // only complicate the pinned/in-flight exclusions.
+        auto victim = cache_.end();
+        for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+            const CacheEntry& e = it->second;
+            if (!e.ready || e.pinned || e.waiters != 0)
+                continue; // never race an in-flight compute or a ref
+            if (victim == cache_.end() ||
+                e.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == cache_.end())
+            return; // everything left is in-flight or pinned
+        ++stats_.evictions;
+        stats_.evictedBytes += victim->second.bytes;
+        stats_.bytes -= victim->second.bytes;
+        --stats_.entries;
+        cache_.erase(victim);
+    }
+}
+
+void
+ExperimentRunner::setCacheLimits(const CacheLimits& limits)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    limits_ = limits;
+    enforceLimitsLocked();
+}
+
+CacheStats
+ExperimentRunner::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
 }
 
 std::vector<const SimResult*>
@@ -101,6 +205,29 @@ ExperimentRunner::runAll(const SweepSpec& spec)
             }));
     for (std::size_t i = 0; i < futures.size(); ++i)
         out[i] = pool_->wait(futures[i]);
+    return out;
+}
+
+std::vector<std::shared_ptr<const SimResult>>
+ExperimentRunner::runAllShared(const SweepSpec& spec)
+{
+    std::vector<std::shared_ptr<const SimResult>> out;
+    out.reserve(spec.benches.size() * spec.techniques.size());
+    if (pool_ == nullptr) {
+        for (const std::string& bench : spec.benches)
+            for (Technique t : spec.techniques)
+                out.push_back(runShared(bench, t, spec.options));
+        return out;
+    }
+    std::vector<std::future<std::shared_ptr<const SimResult>>> futures;
+    futures.reserve(spec.benches.size() * spec.techniques.size());
+    for (const std::string& bench : spec.benches)
+        for (Technique t : spec.techniques)
+            futures.push_back(pool_->submit([this, bench, t, &spec] {
+                return runShared(bench, t, spec.options);
+            }));
+    for (auto& f : futures)
+        out.push_back(pool_->wait(f));
     return out;
 }
 

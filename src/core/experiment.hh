@@ -16,7 +16,9 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -51,6 +53,30 @@ struct SweepSpec
     std::optional<ExperimentOptions> options;
 };
 
+/**
+ * Result-cache bounds. Zero means unlimited (the default — references
+ * returned by run()/runAll() then stay valid for the runner's
+ * lifetime, as they always have). A long-running daemon sets caps so
+ * thousands of distinct configs cannot grow the cache without limit.
+ */
+struct CacheLimits
+{
+    std::size_t maxEntries = 0; ///< 0 = unlimited
+    std::size_t maxBytes = 0;   ///< approximate result bytes; 0 = unlimited
+};
+
+/** Cache-behaviour counters (sampled under the cache lock). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;      ///< served from a ready entry
+    std::uint64_t misses = 0;    ///< triggered a simulation
+    std::uint64_t evictions = 0; ///< entries LRU-evicted
+    std::uint64_t evictedBytes = 0;
+    std::uint64_t entries = 0;   ///< current cached entries
+    std::uint64_t bytes = 0;     ///< current approximate bytes
+    std::uint64_t inFlight = 0;  ///< entries still computing
+};
+
 /** Runs simulations and caches results keyed by (bench, config). */
 class ExperimentRunner
 {
@@ -75,12 +101,40 @@ class ExperimentRunner
         const std::optional<ExperimentOptions>& options = std::nullopt);
 
     /**
+     * run() returning shared ownership of the cached result. This is
+     * the API to use when cache limits are set: the returned pointer
+     * keeps the result alive even after the entry is LRU-evicted,
+     * where a run() reference would only survive because run() pins
+     * its entry against eviction forever.
+     */
+    std::shared_ptr<const SimResult>
+    runShared(const std::string& bench, Technique t,
+              const std::optional<ExperimentOptions>& options =
+                  std::nullopt);
+
+    /**
      * Run @p spec's full (benches x techniques) cross product
      * concurrently on the pool. Returns results in bench-major order:
      * out[b * techniques.size() + t]. Cached entries are reused; the
      * rest run as parallel pool jobs.
      */
     std::vector<const SimResult*> runAll(const SweepSpec& spec);
+
+    /** runAll() with shared ownership (see runShared()). */
+    std::vector<std::shared_ptr<const SimResult>>
+    runAllShared(const SweepSpec& spec);
+
+    /**
+     * Bound the result cache (see CacheLimits). Entries an earlier
+     * run()/runAll() call handed out by reference are pinned and never
+     * evicted; in-flight (still computing) entries are never evicted
+     * either, so eviction cannot race a single-flight compute. Takes
+     * effect on the next completed simulation.
+     */
+    void setCacheLimits(const CacheLimits& limits);
+
+    /** Cache-behaviour counters (hits/misses/evictions/size). */
+    CacheStats cacheStats() const;
 
     /**
      * Warm the cache for @p spec concurrently; later run() calls hit
@@ -98,24 +152,42 @@ class ExperimentRunner
 
   private:
     /**
-     * A cache slot. Lives in a node-based map, so the SimResult
-     * reference stays valid while other threads mutate the cache.
+     * A cache slot. Lives in a node-based map, so the entry reference
+     * single-flight waiters hold stays valid while other threads
+     * mutate the cache; the result itself is shared so eviction can
+     * drop the slot without invalidating handed-out results.
      */
     struct CacheEntry
     {
-        SimResult result;
+        std::shared_ptr<SimResult> result;
         bool ready = false;     ///< single-flight: owner still running
         bool truncated = false; ///< hit maxCycles; re-warn on every hit
+        bool pinned = false;    ///< handed out by reference; never evict
+        unsigned waiters = 0;   ///< single-flight waiters parked on this
+        std::uint64_t lastUse = 0; ///< LRU tick
+        std::size_t bytes = 0;  ///< approximate footprint
     };
 
     static std::string key(const std::string& bench, Technique t,
                            const ExperimentOptions& opts);
 
+    /** Core of run()/runShared(); @p pin marks the entry unevictable. */
+    std::shared_ptr<const SimResult>
+    runInternal(const std::string& bench, Technique t,
+                const std::optional<ExperimentOptions>& options,
+                bool pin);
+
+    /** Evict LRU entries until within limits_ (requires mu_ held). */
+    void enforceLimitsLocked();
+
     ExperimentOptions opts_;
     ThreadPool* pool_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable ready_cv_;
     std::map<std::string, CacheEntry> cache_;
+    CacheLimits limits_;
+    CacheStats stats_;          ///< entries/bytes kept current
+    std::uint64_t use_tick_ = 0;
 };
 
 /**

@@ -1,9 +1,11 @@
 #include "export.hh"
 
 #include <fstream>
+#include <ostream>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/table.hh"
 
 namespace wg {
 
@@ -232,6 +234,39 @@ toJson(const std::string& label, const SimResult& r)
     jsonHistogram(os, r.fpIdleHist);
     os << "}\n}";
     return os.str();
+}
+
+void
+printSummary(std::ostream& os, const std::string& label,
+             const SimResult& r)
+{
+    Table table(label + " on " +
+                std::string(schedulerPolicyName(r.config.sm.scheduler)) +
+                " / " + pgPolicyName(r.config.sm.pg.policy) +
+                (r.config.sm.pg.adaptiveIdleDetect ? " + adaptive" : ""));
+    table.header({"metric", "INT", "FP"});
+    PgDomainStats si = r.typeStats(UnitClass::Int);
+    PgDomainStats sf = r.typeStats(UnitClass::Fp);
+    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+    table.row({"static savings",
+               Table::pct(r.intEnergy.staticSavingsRatio()),
+               Table::pct(r.fpEnergy.staticSavingsRatio())});
+    table.row({"busy cycles", u64(si.busyCycles), u64(sf.busyCycles)});
+    table.row({"gated cycles", u64(si.gatedCycles()),
+               u64(sf.gatedCycles())});
+    table.row({"gating events", u64(si.gatingEvents),
+               u64(sf.gatingEvents)});
+    table.row({"wakeups (uncomp)",
+               u64(si.wakeups) + " (" + u64(si.uncompWakeups) + ")",
+               u64(sf.wakeups) + " (" + u64(sf.uncompWakeups) + ")"});
+    table.row({"critical wakeups", u64(si.criticalWakeups),
+               u64(sf.criticalWakeups)});
+    table.print(os);
+
+    os << "cycles " << r.cycles << ", IPC " << Table::num(r.ipc(), 2)
+       << ", avg active warps "
+       << Table::num(r.aggregate.avgActiveWarps(), 1) << ", mem misses "
+       << r.aggregate.memMisses << "\n\n";
 }
 
 void

@@ -58,6 +58,14 @@ std::string toCsvRow(const std::string& label, const SimResult& result);
  */
 std::string toJson(const std::string& label, const SimResult& result);
 
+/**
+ * The human-readable per-benchmark summary (the INT/FP gating table
+ * plus the cycles/IPC line). Shared by wgsim and wgctl so a served
+ * result prints byte-identically to an offline run.
+ */
+void printSummary(std::ostream& os, const std::string& label,
+                  const SimResult& result);
+
 /** Write @p content to @p path; fatal() on I/O failure. */
 void writeFile(const std::string& path, const std::string& content);
 

@@ -1,0 +1,239 @@
+#include "client.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "serve/protocol.hh"
+
+namespace wg::serve {
+
+namespace {
+
+Json
+requestEnvelope(const std::string& type)
+{
+    Json doc = Json::object();
+    doc.set("wire", Json::number(wire::kSchemaVersion));
+    doc.set("type", Json::string(type));
+    return doc;
+}
+
+} // namespace
+
+bool
+Client::connect(std::uint16_t port, int timeoutMs, std::string& error)
+{
+    fd_ = connectTcp(port, timeoutMs, error);
+    if (!fd_.valid())
+        return false;
+    reader_ = std::make_unique<LineReader>(fd_.get());
+    return true;
+}
+
+bool
+Client::roundTrip(const Json& request, const std::string& expect,
+                  int timeoutMs, Json& response, std::string& error)
+{
+    if (!fd_.valid()) {
+        error = "not connected";
+        return false;
+    }
+    if (!sendAll(fd_.get(), request.dump() + "\n", error))
+        return false;
+    std::string line;
+    LineReader::Status st = reader_->readLine(line, timeoutMs, error);
+    if (st == LineReader::Status::Timeout) {
+        error = "timed out waiting for the daemon's response";
+        return false;
+    }
+    if (st == LineReader::Status::Eof) {
+        error = "daemon closed the connection";
+        return false;
+    }
+    if (st == LineReader::Status::Error)
+        return false;
+    if (!Json::parse(line, response, error)) {
+        error = "malformed response: " + error;
+        return false;
+    }
+    const Json* wire_v = response.find("wire");
+    const Json* type = response.find("type");
+    const Json* req = response.find("request");
+    if (wire_v == nullptr || !wire_v->isNumber() ||
+        wire_v->asU64() != wire::kSchemaVersion || type == nullptr ||
+        !type->isString() || type->asString() != "response") {
+        error = "response missing a valid wire envelope";
+        return false;
+    }
+    if (req == nullptr || !req->isString() ||
+        req->asString() != expect) {
+        error = "response for the wrong request type";
+        return false;
+    }
+    const Json* ok = response.find("ok");
+    if (ok == nullptr || !ok->isBool()) {
+        error = "response missing boolean 'ok'";
+        return false;
+    }
+    if (!ok->asBool()) {
+        const Json* err = response.find("error");
+        error = (err != nullptr && err->isString())
+                    ? err->asString()
+                    : "daemon reported an unspecified error";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::submit(const SweepSpec& spec, unsigned priority,
+               std::string& id, bool& deduped, std::string& error)
+{
+    Json req = requestEnvelope("submit");
+    req.set("priority", Json::number(std::uint64_t(priority)));
+    req.set("sweep", wire::toJson(spec));
+    Json resp;
+    if (!roundTrip(req, "submit", timeout_ms_, resp, error))
+        return false;
+    const Json* jid = resp.find("id");
+    const Json* jdeduped = resp.find("deduped");
+    if (jid == nullptr || !jid->isString()) {
+        error = "submit response missing 'id'";
+        return false;
+    }
+    id = jid->asString();
+    deduped = jdeduped != nullptr && jdeduped->isBool() &&
+              jdeduped->asBool();
+    return true;
+}
+
+bool
+Client::status(const std::string& id, JobStatus& out,
+               std::string& error)
+{
+    Json req = requestEnvelope("status");
+    req.set("id", Json::string(id));
+    Json resp;
+    if (!roundTrip(req, "status", timeout_ms_, resp, error))
+        return false;
+    const Json* job = resp.find("job");
+    if (job == nullptr) {
+        error = "status response missing 'job'";
+        return false;
+    }
+    return parseStatusJson(*job, out, error);
+}
+
+bool
+Client::listJobs(std::vector<JobStatus>& out, std::string& error)
+{
+    Json resp;
+    if (!roundTrip(requestEnvelope("status"), "status", timeout_ms_,
+                   resp, error))
+        return false;
+    const Json* jobs = resp.find("jobs");
+    if (jobs == nullptr || !jobs->isArray()) {
+        error = "status response missing 'jobs'";
+        return false;
+    }
+    out.clear();
+    for (const Json& j : jobs->items()) {
+        JobStatus s;
+        if (!parseStatusJson(j, s, error))
+            return false;
+        out.push_back(std::move(s));
+    }
+    return true;
+}
+
+bool
+Client::waitForJob(const std::string& id, int pollMs, int timeoutMs,
+                   JobStatus& out, std::string& error)
+{
+    // Client-side pacing only; the daemon's results are independent of
+    // when we ask.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        if (!status(id, out, error))
+            return false;
+        if (out.state == JobState::Done ||
+            out.state == JobState::Cancelled ||
+            out.state == JobState::Failed)
+            return true;
+        if (std::chrono::steady_clock::now() >= deadline) {
+            error = "timed out waiting for job '" + id + "' (" +
+                    jobStateName(out.state) + ", " +
+                    std::to_string(out.completedCells) + "/" +
+                    std::to_string(out.totalCells) + " cells)";
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
+    }
+}
+
+bool
+Client::results(const std::string& id,
+                std::vector<wire::ResultCell>& out, std::string& error)
+{
+    Json req = requestEnvelope("result");
+    req.set("id", Json::string(id));
+    Json resp;
+    if (!roundTrip(req, "result", timeout_ms_, resp, error))
+        return false;
+    const Json* cells = resp.find("cells");
+    if (cells == nullptr || !cells->isArray()) {
+        error = "result response missing 'cells'";
+        return false;
+    }
+    out.clear();
+    for (const Json& doc : cells->items()) {
+        wire::ResultCell cell;
+        if (!wire::parseResultDoc(doc, cell, error))
+            return false;
+        out.push_back(std::move(cell));
+    }
+    return true;
+}
+
+bool
+Client::cancel(const std::string& id, std::string& error)
+{
+    Json req = requestEnvelope("cancel");
+    req.set("id", Json::string(id));
+    Json resp;
+    return roundTrip(req, "cancel", timeout_ms_, resp, error);
+}
+
+bool
+Client::stats(std::map<std::string, double>& out, std::string& error)
+{
+    Json resp;
+    if (!roundTrip(requestEnvelope("stats"), "stats", timeout_ms_,
+                   resp, error))
+        return false;
+    const Json* stats = resp.find("stats");
+    if (stats == nullptr || !stats->isObject()) {
+        error = "stats response missing 'stats'";
+        return false;
+    }
+    out.clear();
+    for (const auto& [name, value] : stats->members()) {
+        if (!value.isNumber()) {
+            error = "stat '" + name + "' is not a number";
+            return false;
+        }
+        out[name] = value.asDouble();
+    }
+    return true;
+}
+
+bool
+Client::drain(int timeoutMs, std::string& error)
+{
+    Json resp;
+    return roundTrip(requestEnvelope("drain"), "drain", timeoutMs,
+                     resp, error);
+}
+
+} // namespace wg::serve

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Client side of the serving protocol: one connection, synchronous
+ * request/response, typed wrappers over the wire documents. This is
+ * the whole of what wgctl (and the e2e tests) talk through.
+ *
+ * Every call returns false with an error string on failure — protocol
+ * errors, malformed responses, timeouts — and never aborts, so a tool
+ * can print the error and exit nonzero.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/jobs.hh"
+#include "serve/net.hh"
+#include "serve/wire.hh"
+
+namespace wg::serve {
+
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Connect to the daemon on loopback:@p port. */
+    bool connect(std::uint16_t port, int timeoutMs, std::string& error);
+
+    bool connected() const { return fd_.valid(); }
+
+    /** Submit a sweep; @p id receives the (possibly deduped) job id. */
+    bool submit(const SweepSpec& spec, unsigned priority,
+                std::string& id, bool& deduped, std::string& error);
+
+    bool status(const std::string& id, JobStatus& out,
+                std::string& error);
+
+    bool listJobs(std::vector<JobStatus>& out, std::string& error);
+
+    /**
+     * Poll status() every @p pollMs until the job reaches a terminal
+     * state (Done/Cancelled/Failed) or @p timeoutMs expires.
+     */
+    bool waitForJob(const std::string& id, int pollMs, int timeoutMs,
+                    JobStatus& out, std::string& error);
+
+    /** Fetch a Done job's cells (deserialized results). */
+    bool results(const std::string& id,
+                 std::vector<wire::ResultCell>& out, std::string& error);
+
+    bool cancel(const std::string& id, std::string& error);
+
+    /** The daemon's `serve.*` gauges, by dotted registry name. */
+    bool stats(std::map<std::string, double>& out, std::string& error);
+
+    /**
+     * Ask the daemon to drain: finish all queued and running jobs,
+     * then shut down. Returns once the drain completed (@p timeoutMs
+     * bounds the wait).
+     */
+    bool drain(int timeoutMs, std::string& error);
+
+    /** Per-request response deadline (default 10 minutes). */
+    void setRequestTimeout(int timeoutMs) { timeout_ms_ = timeoutMs; }
+
+  private:
+    bool roundTrip(const Json& request, const std::string& expect,
+                   int timeoutMs, Json& response, std::string& error);
+
+    Fd fd_;
+    std::unique_ptr<LineReader> reader_;
+    int timeout_ms_ = 600000;
+};
+
+} // namespace wg::serve

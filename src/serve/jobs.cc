@@ -1,0 +1,428 @@
+#include "jobs.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "serve/wire.hh"
+#include "workload/profile.hh"
+
+namespace wg::serve {
+
+const char*
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+JobManager::JobManager(ExperimentRunner& runner, JobConfig config)
+    : runner_(runner), config_(config)
+{
+    if (config_.numPriorities == 0)
+        config_.numPriorities = 1;
+    if (config_.maxConcurrentJobs == 0)
+        config_.maxConcurrentJobs = 1;
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+JobManager::~JobManager()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stopping_ = true;
+        draining_ = true;
+        // Queued jobs are abandoned (Cancelled); running jobs must
+        // finish — their pool tasks reference manager state.
+        for (auto& job : order_) {
+            if (job->state == JobState::Queued) {
+                job->state = JobState::Cancelled;
+                --queued_;
+                ++cancelled_;
+            }
+        }
+        dispatch_cv_.notify_all();
+        idle_cv_.wait(lock, [this] { return running_ == 0; });
+    }
+    dispatcher_.join();
+}
+
+bool
+JobManager::validateSpec(const SweepSpec& spec,
+                         std::string& error) const
+{
+    if (spec.benches.empty() || spec.techniques.empty()) {
+        error = "sweep must name at least one benchmark and technique";
+        return false;
+    }
+    const std::vector<std::string> known = benchmarkNames();
+    std::set<std::string> seen_benches;
+    for (const std::string& b : spec.benches) {
+        if (std::find(known.begin(), known.end(), b) == known.end()) {
+            error = "unknown benchmark '" + b + "'";
+            return false;
+        }
+        if (!seen_benches.insert(b).second) {
+            error = "duplicate benchmark '" + b + "' in sweep";
+            return false;
+        }
+    }
+    std::set<Technique> seen_techniques;
+    for (Technique t : spec.techniques) {
+        if (!seen_techniques.insert(t).second) {
+            error = std::string("duplicate technique '") +
+                    techniqueName(t) + "' in sweep";
+            return false;
+        }
+        // The runner would fatal() on an invalid derived config;
+        // admission must reject instead so a bad request can never
+        // take the daemon down.
+        const ExperimentOptions& opts =
+            spec.options ? *spec.options : runner_.options();
+        std::vector<std::string> problems =
+            makeConfig(t, opts).validate();
+        if (!problems.empty()) {
+            error = std::string("invalid configuration for ") +
+                    techniqueName(t) + ": " + problems.front();
+            return false;
+        }
+    }
+    return true;
+}
+
+JobManager::SubmitOutcome
+JobManager::submit(const SweepSpec& spec, unsigned priority)
+{
+    SubmitOutcome out;
+    std::string error;
+    if (!validateSpec(spec, error)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++rejected_;
+        out.error = error;
+        return out;
+    }
+    const std::string key = wire::canonicalKey(spec);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (priority >= config_.numPriorities) {
+        ++rejected_;
+        out.error = "priority must be in [0, " +
+                    std::to_string(config_.numPriorities) + ")";
+        return out;
+    }
+    if (draining_) {
+        ++rejected_;
+        out.error = "daemon is draining; not accepting new jobs";
+        return out;
+    }
+
+    // Whole-job dedup in front of the runner cache: an equivalent live
+    // job absorbs the submission (and may be promoted).
+    auto dup = dedup_.find(key);
+    if (dup != dedup_.end()) {
+        auto it = jobs_.find(dup->second);
+        if (it != jobs_.end() &&
+            it->second->state != JobState::Cancelled &&
+            it->second->state != JobState::Failed) {
+            Job& job = *it->second;
+            job.deduped = true;
+            if (job.state == JobState::Queued &&
+                priority > job.priority) {
+                job.priority = priority;
+                dispatch_cv_.notify_all();
+            }
+            ++dedupHits_;
+            out.ok = true;
+            out.id = job.id;
+            out.deduped = true;
+            return out;
+        }
+        dedup_.erase(dup); // stale mapping (cancelled/failed): retry
+    }
+
+    if (queued_ >= config_.queueCapacity) {
+        ++rejected_;
+        out.error = "admission queue full (" +
+                    std::to_string(config_.queueCapacity) +
+                    " queued jobs)";
+        return out;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->id = "j" + std::to_string(next_id_++);
+    job->spec = spec;
+    job->priority = priority;
+    job->submitSeq = ++submit_tick_;
+    jobs_[job->id] = job;
+    order_.push_back(job);
+    dedup_[key] = job->id;
+    ++queued_;
+    ++submitted_;
+    dispatch_cv_.notify_all();
+    out.ok = true;
+    out.id = job->id;
+    return out;
+}
+
+JobStatus
+JobManager::snapshotLocked(const Job& job) const
+{
+    JobStatus s;
+    s.id = job.id;
+    s.state = job.state;
+    s.priority = job.priority;
+    s.totalCells = job.spec.benches.size() * job.spec.techniques.size();
+    s.completedCells = job.completedCells;
+    s.deduped = job.deduped;
+    s.submitSeq = job.submitSeq;
+    s.startSeq = job.startSeq;
+    s.error = job.error;
+    return s;
+}
+
+std::optional<JobStatus>
+JobManager::status(const std::string& id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    return snapshotLocked(*it->second);
+}
+
+std::vector<JobStatus>
+JobManager::listJobs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<JobStatus> out;
+    out.reserve(order_.size());
+    for (const auto& job : order_)
+        out.push_back(snapshotLocked(*job));
+    return out;
+}
+
+bool
+JobManager::results(const std::string& id, std::vector<JobCell>& out,
+                    ExperimentOptions& optsUsed,
+                    std::string& error) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        error = "unknown job '" + id + "'";
+        return false;
+    }
+    const Job& job = *it->second;
+    if (job.state != JobState::Done) {
+        error = "job '" + id + "' is " + jobStateName(job.state) +
+                ", results require state done";
+        return false;
+    }
+    out = job.cells;
+    optsUsed = job.spec.options ? *job.spec.options : runner_.options();
+    return true;
+}
+
+bool
+JobManager::cancel(const std::string& id, std::string& error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        error = "unknown job '" + id + "'";
+        return false;
+    }
+    Job& job = *it->second;
+    switch (job.state) {
+      case JobState::Queued:
+        job.state = JobState::Cancelled;
+        --queued_;
+        ++cancelled_;
+        idle_cv_.notify_all();
+        return true;
+      case JobState::Running:
+        // Takes effect at the job's next cell boundary.
+        job.cancelRequested = true;
+        return true;
+      case JobState::Done:
+      case JobState::Cancelled:
+      case JobState::Failed:
+        error = "job '" + id + "' already finished (" +
+                jobStateName(job.state) + ")";
+        return false;
+    }
+    return false;
+}
+
+void
+JobManager::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    idle_cv_.wait(lock,
+                  [this] { return queued_ == 0 && running_ == 0; });
+}
+
+bool
+JobManager::draining() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
+}
+
+void
+JobManager::pauseDispatch()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+}
+
+void
+JobManager::resumeDispatch()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    dispatch_cv_.notify_all();
+}
+
+void
+JobManager::publishStats(StatSet& set) const
+{
+    CacheStats cache = runner_.cacheStats();
+    std::lock_guard<std::mutex> lock(mu_);
+    set.set("serve.jobs.submitted", static_cast<double>(submitted_));
+    set.set("serve.jobs.deduped", static_cast<double>(dedupHits_));
+    set.set("serve.jobs.rejected", static_cast<double>(rejected_));
+    set.set("serve.jobs.completed", static_cast<double>(completed_));
+    set.set("serve.jobs.cancelled", static_cast<double>(cancelled_));
+    set.set("serve.jobs.failed", static_cast<double>(failed_));
+    set.set("serve.jobs.queued", static_cast<double>(queued_));
+    set.set("serve.jobs.running", static_cast<double>(running_));
+    set.set("serve.queue.capacity",
+            static_cast<double>(config_.queueCapacity));
+    std::vector<std::size_t> depth(config_.numPriorities, 0);
+    for (const auto& job : order_)
+        if (job->state == JobState::Queued)
+            ++depth[job->priority];
+    for (unsigned p = 0; p < config_.numPriorities; ++p)
+        set.set("serve.queue.priority" + std::to_string(p) + ".depth",
+                static_cast<double>(depth[p]));
+    set.set("serve.cells.completed",
+            static_cast<double>(cellsCompleted_));
+    set.set("serve.cache.hits", static_cast<double>(cache.hits));
+    set.set("serve.cache.misses", static_cast<double>(cache.misses));
+    set.set("serve.cache.evictions",
+            static_cast<double>(cache.evictions));
+    set.set("serve.cache.evictedBytes",
+            static_cast<double>(cache.evictedBytes));
+    set.set("serve.cache.entries", static_cast<double>(cache.entries));
+    set.set("serve.cache.bytes", static_cast<double>(cache.bytes));
+    set.set("serve.cache.inFlight",
+            static_cast<double>(cache.inFlight));
+}
+
+void
+JobManager::dispatcherLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            auto nextQueued = [this]() -> std::shared_ptr<Job> {
+                std::shared_ptr<Job> best;
+                for (const auto& j : order_) {
+                    if (j->state != JobState::Queued)
+                        continue;
+                    if (!best || j->priority > best->priority ||
+                        (j->priority == best->priority &&
+                         j->submitSeq < best->submitSeq))
+                        best = j;
+                }
+                return best;
+            };
+            dispatch_cv_.wait(lock, [&] {
+                if (stopping_)
+                    return true;
+                return !paused_ &&
+                       running_ < config_.maxConcurrentJobs &&
+                       nextQueued() != nullptr;
+            });
+            if (stopping_)
+                return;
+            job = nextQueued();
+            job->state = JobState::Running;
+            job->startSeq = ++start_tick_;
+            --queued_;
+            ++running_;
+        }
+        ThreadPool* pool = runner_.pool();
+        if (pool == nullptr) {
+            runJob(job);
+            continue;
+        }
+        try {
+            pool->submit([this, job] { runJob(job); });
+        } catch (const std::exception& e) {
+            // Pool already draining (shutdown race): fail the job
+            // instead of losing it silently.
+            std::lock_guard<std::mutex> lock(mu_);
+            job->state = JobState::Failed;
+            job->error = e.what();
+            ++failed_;
+            --running_;
+            idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+JobManager::runJob(std::shared_ptr<Job> job)
+{
+    std::string failure;
+    bool cancelled = false;
+    try {
+        for (const std::string& bench : job->spec.benches) {
+            for (Technique t : job->spec.techniques) {
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    if (job->cancelRequested) {
+                        cancelled = true;
+                        break;
+                    }
+                }
+                std::shared_ptr<const SimResult> r =
+                    runner_.runShared(bench, t, job->spec.options);
+                std::lock_guard<std::mutex> lock(mu_);
+                job->cells.push_back(JobCell{bench, t, std::move(r)});
+                ++job->completedCells;
+                ++cellsCompleted_;
+            }
+            if (cancelled)
+                break;
+        }
+    } catch (const std::exception& e) {
+        failure = e.what();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failure.empty()) {
+        job->state = JobState::Failed;
+        job->error = failure;
+        ++failed_;
+    } else if (cancelled || job->cancelRequested) {
+        job->state = JobState::Cancelled;
+        ++cancelled_;
+    } else {
+        job->state = JobState::Done;
+        ++completed_;
+    }
+    --running_;
+    dispatch_cv_.notify_all();
+    idle_cv_.notify_all();
+}
+
+} // namespace wg::serve

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Job manager: the daemon's admission queue in front of the shared
+ * ExperimentRunner.
+ *
+ * A job is one SweepSpec (benches x techniques x options). Jobs enter
+ * a bounded queue with a priority in [0, numPriorities); a single
+ * dispatcher thread starts the highest-priority, oldest job whenever a
+ * slot is free, so start order is exactly FIFO-within-priority. Each
+ * started job runs as one pool task that walks its cells in bench-major
+ * order through ExperimentRunner::runShared — the single-flight cache
+ * dedupes identical cells across concurrent jobs, and whole-job
+ * duplicates are folded at admission by the canonical-spec key before
+ * they ever reach the runner.
+ *
+ * Life cycle:   Queued -> Running -> Done | Failed
+ *                  \---------\--> Cancelled
+ * A queued job cancels immediately; a running job stops at the next
+ * cell boundary (cells already computed stay cached).
+ *
+ * drain() rejects new submissions and returns once every queued and
+ * running job has finished — the daemon's SIGTERM path.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/experiment.hh"
+
+namespace wg::serve {
+
+/** Job life-cycle states. */
+enum class JobState : std::uint8_t {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+    Failed,
+};
+
+/** Printable state name (protocol spelling). */
+const char* jobStateName(JobState state);
+
+/** Manager tunables. */
+struct JobConfig
+{
+    std::size_t queueCapacity = 256; ///< max *queued* jobs (admission)
+    unsigned maxConcurrentJobs = 2;  ///< jobs dispatched at once
+    unsigned numPriorities = 4;      ///< valid priorities: [0, n)
+};
+
+/** One completed (bench, technique) cell of a job. */
+struct JobCell
+{
+    std::string bench;
+    Technique technique = Technique::Baseline;
+    std::shared_ptr<const SimResult> result;
+};
+
+/** Snapshot of one job's externally visible state. */
+struct JobStatus
+{
+    std::string id;
+    JobState state = JobState::Queued;
+    unsigned priority = 0;
+    std::size_t totalCells = 0;
+    std::size_t completedCells = 0;
+    bool deduped = false;       ///< id was returned for a duplicate too
+    std::uint64_t submitSeq = 0; ///< admission order (1-based)
+    std::uint64_t startSeq = 0; ///< dispatch order (0 = not started)
+    std::string error;          ///< set when state == Failed
+};
+
+class JobManager
+{
+  public:
+    /**
+     * @param runner shared runner (cache + validation); must outlive
+     *        the manager.
+     */
+    JobManager(ExperimentRunner& runner, JobConfig config = {});
+
+    /** Cancels queued jobs, waits for running ones, stops dispatch. */
+    ~JobManager();
+
+    JobManager(const JobManager&) = delete;
+    JobManager& operator=(const JobManager&) = delete;
+
+    /** submit() outcome. */
+    struct SubmitOutcome
+    {
+        bool ok = false;
+        std::string id;       ///< valid when ok
+        bool deduped = false; ///< an equivalent job already existed
+        std::string error;    ///< valid when !ok
+    };
+
+    /**
+     * Admit a sweep. Validates the spec (benchmark names, technique
+     * config) and rejects — never aborts — on invalid input, a full
+     * queue, or a draining manager. A spec whose canonical key matches
+     * a live (non-cancelled, non-failed) job returns that job's id
+     * with deduped=true; if the duplicate asks for a higher priority
+     * and the job is still queued, the job is promoted.
+     */
+    SubmitOutcome submit(const SweepSpec& spec, unsigned priority);
+
+    /** @return the job's status, or nullopt for an unknown id. */
+    std::optional<JobStatus> status(const std::string& id) const;
+
+    /** All jobs, in submission order. */
+    std::vector<JobStatus> listJobs() const;
+
+    /**
+     * Fetch a finished job's per-cell results. @p optsUsed receives
+     * the effective options the cells were computed under (the spec's,
+     * or the runner's defaults) — what a result document must embed.
+     * @return false with @p error when unknown or not Done.
+     */
+    bool results(const std::string& id, std::vector<JobCell>& out,
+                 ExperimentOptions& optsUsed, std::string& error) const;
+
+    /**
+     * Cancel a job. Queued: immediate. Running: takes effect at the
+     * next cell boundary. @return false when unknown or already
+     * finished.
+     */
+    bool cancel(const std::string& id, std::string& error);
+
+    /**
+     * Reject new submissions and block until every queued and running
+     * job has finished (the graceful SIGTERM path). Idempotent.
+     */
+    void drain();
+
+    /** True once drain() has begun (or the destructor has run). */
+    bool draining() const;
+
+    /**
+     * Publish queue/job/cache gauges into @p set under `serve.` using
+     * the registry's dotted-no-underscore naming, so the OpenMetrics
+     * mapping stays bijective.
+     */
+    void publishStats(StatSet& set) const;
+
+    /**
+     * Test hook: hold back the dispatcher so a batch of submissions
+     * can be enqueued, then released atomically — the load test uses
+     * this to assert strict FIFO-within-priority dispatch order.
+     */
+    void pauseDispatch();
+    void resumeDispatch();
+
+    const JobConfig& config() const { return config_; }
+
+  private:
+    struct Job
+    {
+        std::string id;
+        SweepSpec spec{{}, {}};
+        unsigned priority = 0;
+        JobState state = JobState::Queued;
+        bool deduped = false;
+        bool cancelRequested = false;
+        std::uint64_t submitSeq = 0;
+        std::uint64_t startSeq = 0;
+        std::size_t completedCells = 0;
+        std::vector<JobCell> cells;
+        std::string error;
+    };
+
+    JobStatus snapshotLocked(const Job& job) const;
+    void dispatcherLoop();
+    void runJob(std::shared_ptr<Job> job);
+    bool validateSpec(const SweepSpec& spec, std::string& error) const;
+
+    ExperimentRunner& runner_;
+    JobConfig config_;
+
+    mutable std::mutex mu_;
+    std::condition_variable dispatch_cv_; ///< dispatcher wakeups
+    std::condition_variable idle_cv_;     ///< drain/destructor waits
+
+    std::map<std::string, std::shared_ptr<Job>> jobs_; ///< by id
+    std::vector<std::shared_ptr<Job>> order_;          ///< submission order
+    std::map<std::string, std::string> dedup_;  ///< canonical key -> id
+
+    std::uint64_t next_id_ = 1;
+    std::uint64_t submit_tick_ = 0;
+    std::uint64_t start_tick_ = 0;
+    std::size_t queued_ = 0;
+    std::size_t running_ = 0;
+    bool draining_ = false;
+    bool stopping_ = false;
+    bool paused_ = false;
+
+    // Lifetime counters for publishStats (guarded by mu_).
+    std::uint64_t submitted_ = 0;
+    std::uint64_t dedupHits_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t cellsCompleted_ = 0;
+
+    std::thread dispatcher_;
+};
+
+} // namespace wg::serve

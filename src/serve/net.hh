@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Minimal POSIX TCP helpers for the serving daemon: loopback-only
+ * listeners, poll-based timeouts, and a buffered line reader for the
+ * line-delimited JSON protocol.
+ *
+ * Everything here reports failures by return value + error string —
+ * a network peer must never be able to abort the daemon. This module
+ * (and only this module inside the project) may use wall-clock
+ * timeouts; see the serving determinism contract in DESIGN.md §15:
+ * timeouts bound how long we *wait*, never what a simulation
+ * *computes*.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wg::serve {
+
+/** RAII file descriptor (closes on destruction; movable). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd& operator=(Fd&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void reset();
+    /** Release ownership without closing. */
+    int release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Listen on loopback (127.0.0.1) at @p port; 0 picks a free port.
+ * @param boundPort receives the actual port.
+ * @return invalid Fd with @p error set on failure.
+ */
+Fd listenTcp(std::uint16_t port, std::uint16_t& boundPort,
+             std::string& error);
+
+/**
+ * Accept one connection, waiting at most @p timeoutMs (-1 = forever).
+ * @return invalid Fd on timeout (error empty) or failure (error set).
+ */
+Fd acceptConn(int listenFd, int timeoutMs, std::string& error);
+
+/** Connect to loopback:@p port within @p timeoutMs. */
+Fd connectTcp(std::uint16_t port, int timeoutMs, std::string& error);
+
+/**
+ * Write all of @p data (handles partial writes; SIGPIPE-safe).
+ * @return false with @p error on a closed or broken peer.
+ */
+bool sendAll(int fd, const std::string& data, std::string& error);
+
+/**
+ * Buffered '\n'-delimited reader with a per-line deadline and a hard
+ * line-length cap (an unframed peer cannot buffer-bloat the daemon).
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd, std::size_t maxLineBytes = 64u << 20)
+        : fd_(fd), max_line_(maxLineBytes)
+    {
+    }
+
+    enum class Status : std::uint8_t {
+        Line,    ///< a complete line is in @p out
+        Eof,     ///< peer closed cleanly before any byte of a new line
+        Timeout, ///< deadline expired mid-line
+        Error,   ///< socket error or line over the cap (@p error set)
+    };
+
+    /**
+     * Read one line (without the trailing '\n'; a trailing '\r' is
+     * stripped) within @p timeoutMs (-1 = no deadline).
+     */
+    Status readLine(std::string& out, int timeoutMs, std::string& error);
+
+  private:
+    int fd_;
+    std::size_t max_line_;
+    std::string buf_;
+    bool eof_ = false;
+};
+
+} // namespace wg::serve

@@ -1,0 +1,292 @@
+#include "protocol.hh"
+
+#include "common/stats.hh"
+#include "serve/wire.hh"
+
+namespace wg::serve {
+
+namespace {
+
+Json
+responseEnvelope(const std::string& request)
+{
+    Json doc = Json::object();
+    doc.set("wire", Json::number(wire::kSchemaVersion));
+    doc.set("type", Json::string("response"));
+    doc.set("request", Json::string(request));
+    return doc;
+}
+
+ProtocolResult
+errorResponse(const std::string& request, const std::string& error)
+{
+    Json doc = responseEnvelope(request);
+    doc.set("ok", Json::boolean(false));
+    doc.set("error", Json::string(error));
+    return ProtocolResult{doc.dump(), false};
+}
+
+ProtocolResult
+okResponse(Json doc)
+{
+    return ProtocolResult{doc.dump(), false};
+}
+
+/** Extract the "id" member; empty + error set when missing/invalid. */
+bool
+requestId(const Json& doc, std::string& id, std::string& error)
+{
+    const Json* j = doc.find("id");
+    if (j == nullptr || !j->isString() || j->asString().empty()) {
+        error = "request requires a non-empty string 'id'";
+        return false;
+    }
+    id = j->asString();
+    return true;
+}
+
+ProtocolResult
+handleSubmit(JobManager& jobs, const Json& doc)
+{
+    const Json* sweep = doc.find("sweep");
+    if (sweep == nullptr)
+        return errorResponse("submit", "submit requires 'sweep'");
+    SweepSpec spec({}, {});
+    std::string error;
+    if (!wire::fromJson(*sweep, spec, error))
+        return errorResponse("submit", error);
+    std::uint64_t priority = 0;
+    if (const Json* p = doc.find("priority")) {
+        if (!p->isNumber() || p->asDouble() < 0)
+            return errorResponse(
+                "submit", "'priority' must be a non-negative integer");
+        priority = p->asU64();
+        if (priority > 1u << 16)
+            return errorResponse("submit", "'priority' out of range");
+    }
+    JobManager::SubmitOutcome out =
+        jobs.submit(spec, static_cast<unsigned>(priority));
+    if (!out.ok)
+        return errorResponse("submit", out.error);
+    Json resp = responseEnvelope("submit");
+    resp.set("ok", Json::boolean(true));
+    resp.set("id", Json::string(out.id));
+    resp.set("deduped", Json::boolean(out.deduped));
+    return okResponse(std::move(resp));
+}
+
+ProtocolResult
+handleStatus(JobManager& jobs, const Json& doc)
+{
+    Json resp = responseEnvelope("status");
+    if (doc.find("id") != nullptr) {
+        std::string id;
+        std::string error;
+        if (!requestId(doc, id, error))
+            return errorResponse("status", error);
+        std::optional<JobStatus> status = jobs.status(id);
+        if (!status)
+            return errorResponse("status", "unknown job '" + id + "'");
+        resp.set("ok", Json::boolean(true));
+        resp.set("job", statusJson(*status));
+        return okResponse(std::move(resp));
+    }
+    Json list = Json::array();
+    for (const JobStatus& s : jobs.listJobs())
+        list.append(statusJson(s));
+    resp.set("ok", Json::boolean(true));
+    resp.set("jobs", std::move(list));
+    return okResponse(std::move(resp));
+}
+
+ProtocolResult
+handleResult(JobManager& jobs, const Json& doc)
+{
+    std::string id;
+    std::string error;
+    if (!requestId(doc, id, error))
+        return errorResponse("result", error);
+    std::vector<JobCell> cells;
+    ExperimentOptions optsUsed;
+    if (!jobs.results(id, cells, optsUsed, error))
+        return errorResponse("result", error);
+    Json resp = responseEnvelope("result");
+    resp.set("ok", Json::boolean(true));
+    resp.set("id", Json::string(id));
+    Json arr = Json::array();
+    for (const JobCell& cell : cells)
+        arr.append(wire::resultDoc(cell.bench, cell.technique, optsUsed,
+                                   *cell.result));
+    resp.set("cells", std::move(arr));
+    return okResponse(std::move(resp));
+}
+
+ProtocolResult
+handleCancel(JobManager& jobs, const Json& doc)
+{
+    std::string id;
+    std::string error;
+    if (!requestId(doc, id, error))
+        return errorResponse("cancel", error);
+    if (!jobs.cancel(id, error))
+        return errorResponse("cancel", error);
+    Json resp = responseEnvelope("cancel");
+    resp.set("ok", Json::boolean(true));
+    resp.set("id", Json::string(id));
+    return okResponse(std::move(resp));
+}
+
+ProtocolResult
+handleStats(JobManager& jobs)
+{
+    StatSet set;
+    jobs.publishStats(set);
+    Json stats = Json::object();
+    for (const auto& [name, value] : set.entries())
+        stats.set(name, Json::number(value));
+    Json resp = responseEnvelope("stats");
+    resp.set("ok", Json::boolean(true));
+    resp.set("stats", std::move(stats));
+    return okResponse(std::move(resp));
+}
+
+ProtocolResult
+handleDrain(JobManager& jobs)
+{
+    jobs.drain();
+    Json resp = responseEnvelope("drain");
+    resp.set("ok", Json::boolean(true));
+    ProtocolResult out = okResponse(std::move(resp));
+    out.drained = true;
+    return out;
+}
+
+} // namespace
+
+ProtocolResult
+handleRequestLine(JobManager& jobs, const std::string& line)
+{
+    Json doc;
+    std::string error;
+    if (!Json::parse(line, doc, error))
+        return errorResponse("?", "malformed request: " + error);
+    if (!doc.isObject())
+        return errorResponse("?", "request must be a JSON object");
+    const Json* wire_v = doc.find("wire");
+    if (wire_v == nullptr || !wire_v->isNumber())
+        return errorResponse("?", "request missing numeric 'wire'");
+    if (wire_v->asU64() != wire::kSchemaVersion)
+        return errorResponse(
+            "?", "unsupported wire version " +
+                     std::to_string(wire_v->asU64()) + " (expected " +
+                     std::to_string(wire::kSchemaVersion) + ")");
+    const Json* type = doc.find("type");
+    if (type == nullptr || !type->isString())
+        return errorResponse("?", "request missing string 'type'");
+    const std::string& t = type->asString();
+    if (t == "submit")
+        return handleSubmit(jobs, doc);
+    if (t == "status")
+        return handleStatus(jobs, doc);
+    if (t == "result")
+        return handleResult(jobs, doc);
+    if (t == "cancel")
+        return handleCancel(jobs, doc);
+    if (t == "stats")
+        return handleStats(jobs);
+    if (t == "drain")
+        return handleDrain(jobs);
+    return errorResponse(t, "unknown request type '" + t + "'");
+}
+
+Json
+statusJson(const JobStatus& status)
+{
+    Json j = Json::object();
+    j.set("id", Json::string(status.id));
+    j.set("state", Json::string(jobStateName(status.state)));
+    j.set("priority", Json::number(std::uint64_t(status.priority)));
+    j.set("totalCells", Json::number(std::uint64_t(status.totalCells)));
+    j.set("completedCells",
+          Json::number(std::uint64_t(status.completedCells)));
+    j.set("deduped", Json::boolean(status.deduped));
+    j.set("submitSeq", Json::number(status.submitSeq));
+    j.set("startSeq", Json::number(status.startSeq));
+    if (!status.error.empty())
+        j.set("error", Json::string(status.error));
+    return j;
+}
+
+bool
+parseStatusJson(const Json& j, JobStatus& out, std::string& error)
+{
+    if (!j.isObject()) {
+        error = "job status must be an object";
+        return false;
+    }
+    auto getString = [&](const char* key, std::string& dst,
+                         bool required) {
+        const Json* m = j.find(key);
+        if (m == nullptr) {
+            if (required)
+                error = std::string("job status missing '") + key + "'";
+            return !required;
+        }
+        if (!m->isString()) {
+            error = std::string("job status '") + key +
+                    "' must be a string";
+            return false;
+        }
+        dst = m->asString();
+        return true;
+    };
+    auto getU64 = [&](const char* key, std::uint64_t& dst) {
+        const Json* m = j.find(key);
+        if (m == nullptr || !m->isNumber()) {
+            error = std::string("job status missing numeric '") + key +
+                    "'";
+            return false;
+        }
+        dst = m->asU64();
+        return true;
+    };
+    std::string state;
+    if (!getString("id", out.id, true) ||
+        !getString("state", state, true) ||
+        !getString("error", out.error, false))
+        return false;
+    bool known = false;
+    for (JobState s :
+         {JobState::Queued, JobState::Running, JobState::Done,
+          JobState::Cancelled, JobState::Failed}) {
+        if (state == jobStateName(s)) {
+            out.state = s;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        error = "unknown job state '" + state + "'";
+        return false;
+    }
+    std::uint64_t priority = 0;
+    std::uint64_t total = 0;
+    std::uint64_t completed = 0;
+    if (!getU64("priority", priority) || !getU64("totalCells", total) ||
+        !getU64("completedCells", completed) ||
+        !getU64("submitSeq", out.submitSeq) ||
+        !getU64("startSeq", out.startSeq))
+        return false;
+    out.priority = static_cast<unsigned>(priority);
+    out.totalCells = static_cast<std::size_t>(total);
+    out.completedCells = static_cast<std::size_t>(completed);
+    const Json* deduped = j.find("deduped");
+    if (deduped == nullptr || !deduped->isBool()) {
+        error = "job status missing boolean 'deduped'";
+        return false;
+    }
+    out.deduped = deduped->asBool();
+    return true;
+}
+
+} // namespace wg::serve

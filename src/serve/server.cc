@@ -1,0 +1,197 @@
+#include "server.hh"
+
+#include <cerrno>
+#include <poll.h>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "metrics/exporters.hh"
+#include "serve/protocol.hh"
+
+namespace wg::serve {
+
+Server::Server(ExperimentRunner& runner, ServerConfig config)
+    : runner_(runner), config_(config), jobs_(runner, config.jobs)
+{
+}
+
+Server::~Server()
+{
+    // serve() joins its connections before returning; anything left
+    // here means serve() was never called (start()-only tests).
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    stopping_.store(true);
+    for (std::thread& t : connections_)
+        t.join();
+}
+
+bool
+Server::start(std::string& error)
+{
+    listen_fd_ = listenTcp(config_.port, port_, error);
+    if (!listen_fd_.valid())
+        return false;
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+        error = "pipe failed";
+        return false;
+    }
+    stop_rd_ = Fd(pipefd[0]);
+    stop_wr_ = Fd(pipefd[1]);
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true);
+    char byte = 's';
+    // Best-effort wake; the accept loop also polls stopping_ via the
+    // pipe only, so a failed write would be a lost wakeup — but a
+    // pipe write of one byte fails only if the server is gone.
+    (void)!::write(stop_wr_.get(), &byte, 1);
+}
+
+std::string
+Server::promExposition() const
+{
+    StatSet set;
+    jobs_.publishStats(set);
+    std::ostringstream os;
+    metrics::writeProm(os, set);
+    return os.str();
+}
+
+void
+Server::handleHttp(int fd, const std::string& requestLine)
+{
+    // Consume the rest of the header block; scrape clients send a
+    // well-formed request, and anything else just ends at our timeout.
+    LineReader reader(fd);
+    std::string line;
+    std::string error;
+    for (int i = 0; i < 100; ++i) { // header-count cap
+        LineReader::Status st =
+            reader.readLine(line, config_.pollTickMs, error);
+        if (st != LineReader::Status::Line || line.empty())
+            break;
+    }
+    const bool isMetrics =
+        requestLine.rfind("GET /metrics", 0) == 0 ||
+        requestLine.rfind("GET / ", 0) == 0;
+    std::string body;
+    std::string head;
+    if (isMetrics) {
+        body = promExposition();
+        head = "HTTP/1.1 200 OK\r\n"
+               "Content-Type: application/openmetrics-text; "
+               "version=1.0.0; charset=utf-8\r\n";
+    } else {
+        body = "only /metrics is served here\n";
+        head = "HTTP/1.1 404 Not Found\r\n"
+               "Content-Type: text/plain; charset=utf-8\r\n";
+    }
+    head += "Content-Length: " + std::to_string(body.size()) +
+            "\r\nConnection: close\r\n\r\n";
+    (void)sendAll(fd, head + body, error);
+}
+
+void
+Server::connectionLoop(int fd)
+{
+    Fd conn(fd);
+    LineReader reader(conn.get());
+    std::string line;
+    std::string error;
+    bool first = true;
+    while (!stopping_.load()) {
+        LineReader::Status st =
+            reader.readLine(line, config_.pollTickMs, error);
+        if (st == LineReader::Status::Timeout)
+            continue; // idle tick; lets us notice stopping_
+        if (st == LineReader::Status::Eof)
+            return;
+        if (st == LineReader::Status::Error) {
+            warn("wgservd: dropping connection: ", error);
+            return;
+        }
+        if (first && line.rfind("GET ", 0) == 0) {
+            handleHttp(conn.get(), line);
+            return; // HTTP is one-shot (Connection: close)
+        }
+        first = false;
+        if (line.empty())
+            continue;
+        ProtocolResult result = handleRequestLine(jobs_, line);
+        if (!sendAll(conn.get(), result.response + "\n", error)) {
+            warn("wgservd: send failed: ", error);
+            return;
+        }
+        if (result.drained) {
+            requestStop();
+            return;
+        }
+    }
+}
+
+bool
+Server::serve(int wakeFd, std::string& error)
+{
+    if (!listen_fd_.valid()) {
+        error = "serve() before start()";
+        return false;
+    }
+    bool external_wake = false;
+    while (!stopping_.load()) {
+        struct pollfd fds[3];
+        nfds_t n = 0;
+        fds[n++] = {listen_fd_.get(), POLLIN, 0};
+        fds[n++] = {stop_rd_.get(), POLLIN, 0};
+        if (wakeFd >= 0)
+            fds[n++] = {wakeFd, POLLIN, 0};
+        int rc = ::poll(fds, n, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            error = "poll failed on listener";
+            return false;
+        }
+        if (wakeFd >= 0 && (fds[2].revents & POLLIN) != 0) {
+            external_wake = true;
+            break;
+        }
+        if ((fds[1].revents & POLLIN) != 0)
+            break; // protocol drain already ran; just shut down
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        std::string acceptError;
+        Fd conn = acceptConn(listen_fd_.get(), 0, acceptError);
+        if (!conn.valid()) {
+            if (!acceptError.empty())
+                warn("wgservd: ", acceptError);
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        int raw = conn.release();
+        connections_.emplace_back(
+            [this, raw] { connectionLoop(raw); });
+    }
+    if (external_wake)
+        jobs_.drain(); // SIGTERM path: finish queued + running work
+    stopping_.store(true);
+    // New connections stop being accepted the moment the loop exits;
+    // existing ones notice stopping_ within a poll tick.
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        conns.swap(connections_);
+    }
+    for (std::thread& t : conns)
+        t.join();
+    error.clear();
+    return true;
+}
+
+} // namespace wg::serve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The daemon's TCP front end: accept loop, per-connection protocol
+ * threads, and the same-port OpenMetrics scrape endpoint.
+ *
+ * One listening socket serves both protocols. A connection whose first
+ * line starts with "GET " is treated as an HTTP/1.x metrics scrape:
+ * the server answers one OpenMetrics exposition (the JobManager's
+ * `serve.*` gauges via writeProm) and closes. Anything else is the
+ * line-delimited JSON protocol (protocol.hh), one request per line,
+ * one response line per request, until the peer closes.
+ *
+ * Shutdown paths (both graceful, DESIGN.md §15):
+ *   - a `drain` request: the manager stops admitting, finishes every
+ *     queued and running job, the response is sent, then serve()
+ *     returns;
+ *   - @p wakeFd (the SIGTERM self-pipe) becoming readable: same drain,
+ *     without a response to send.
+ * The process-wide ThreadPool is NOT drained here — that is the
+ * daemon main's last step — so in-process tests can run many servers
+ * against the shared pool.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "serve/jobs.hh"
+#include "serve/net.hh"
+
+namespace wg::serve {
+
+/** Front-end tunables. */
+struct ServerConfig
+{
+    std::uint16_t port = 0;  ///< 0 = pick a free loopback port
+    JobConfig jobs;
+    /** Idle poll tick for connection reads (also the shutdown-notice
+     *  latency bound for idle connections). */
+    int pollTickMs = 200;
+};
+
+class Server
+{
+  public:
+    Server(ExperimentRunner& runner, ServerConfig config = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /** Bind and listen. @return false with @p error on failure. */
+    bool start(std::string& error);
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    JobManager& jobs() { return jobs_; }
+
+    /**
+     * Serve until drained (via protocol or @p wakeFd; -1 = protocol
+     * only). Blocks; joins every connection thread before returning.
+     * @return false with @p error only on listener failure.
+     */
+    bool serve(int wakeFd, std::string& error);
+
+    /** The OpenMetrics exposition served on "GET " connections. */
+    std::string promExposition() const;
+
+  private:
+    void connectionLoop(int fd);
+    void handleHttp(int fd, const std::string& requestLine);
+    void requestStop();
+
+    ExperimentRunner& runner_;
+    ServerConfig config_;
+    JobManager jobs_;
+
+    Fd listen_fd_;
+    std::uint16_t port_ = 0;
+    Fd stop_rd_; ///< internal wake pipe (protocol-drain -> accept loop)
+    Fd stop_wr_;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex conn_mu_;
+    std::vector<std::thread> connections_;
+};
+
+} // namespace wg::serve

@@ -159,6 +159,151 @@ TEST(Experiment, SweepSpecOptionsSelectDistinctKeys)
     EXPECT_EQ(without[0], &runner.run("NN", Technique::ConvPG));
 }
 
+ExperimentOptions
+seedOpts(std::uint64_t seed)
+{
+    ExperimentOptions opts = fastOpts();
+    opts.seed = seed;
+    return opts;
+}
+
+TEST(Experiment, LruEvictionRespectsEntryCap)
+{
+    ExperimentRunner runner(fastOpts(), nullptr);
+    CacheLimits limits;
+    limits.maxEntries = 2;
+    runner.setCacheLimits(limits);
+
+    auto a = runner.runShared("NN", Technique::Baseline, seedOpts(1));
+    auto b = runner.runShared("NN", Technique::Baseline, seedOpts(2));
+    CacheStats stats = runner.cacheStats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_GT(stats.bytes, 0u);
+
+    // Touch seed-1, making seed-2 the LRU victim for the next insert.
+    runner.runShared("NN", Technique::Baseline, seedOpts(1));
+    EXPECT_EQ(runner.cacheStats().hits, 1u);
+    auto c = runner.runShared("NN", Technique::Baseline, seedOpts(3));
+    stats = runner.cacheStats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_GT(stats.evictedBytes, 0u);
+
+    // Seed-2 really is gone (recomputed, not served from cache)...
+    runner.runShared("NN", Technique::Baseline, seedOpts(2));
+    stats = runner.cacheStats();
+    EXPECT_EQ(stats.misses, 4u);
+    // ...and that insert evicted seed-1, the LRU of {1, 3}; the MRU
+    // seed-3 entry survived and still serves hits.
+    runner.runShared("NN", Technique::Baseline, seedOpts(3));
+    stats = runner.cacheStats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.evictions, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(Experiment, ByteCapTriggersEviction)
+{
+    ExperimentRunner runner(fastOpts(), nullptr);
+    CacheLimits limits;
+    limits.maxBytes = 1; // every real result exceeds this
+    runner.setCacheLimits(limits);
+    auto a = runner.runShared("NN", Technique::Baseline, seedOpts(1));
+    ASSERT_NE(a, nullptr);
+    EXPECT_GT(a->cycles, 0u) << "evicted result stays readable";
+    CacheStats stats = runner.cacheStats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytes, 0u);
+    EXPECT_GT(stats.evictedBytes, 0u);
+}
+
+TEST(Experiment, PinnedRunReferencesAreNeverEvicted)
+{
+    // run() hands out plain references, so its entries are pinned for
+    // the runner's lifetime; eviction pressure lands on runShared()
+    // entries instead and the old reference contract holds.
+    ExperimentRunner runner(fastOpts(), nullptr);
+    const SimResult& pinned =
+        runner.run("NN", Technique::Baseline, seedOpts(1));
+    CacheLimits limits;
+    limits.maxEntries = 1;
+    runner.setCacheLimits(limits);
+
+    auto b = runner.runShared("NN", Technique::Baseline, seedOpts(2));
+    auto c = runner.runShared("NN", Technique::Baseline, seedOpts(3));
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_GT(b->cycles, 0u);
+    CacheStats stats = runner.cacheStats();
+    EXPECT_GE(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 1u) << "only the pinned entry remains";
+
+    const SimResult& again =
+        runner.run("NN", Technique::Baseline, seedOpts(1));
+    EXPECT_EQ(&again, &pinned) << "pinned entry survived the pressure";
+    EXPECT_EQ(runner.cacheStats().hits, 1u);
+}
+
+TEST(Experiment, SharedResultsOutliveEviction)
+{
+    ExperimentRunner runner(fastOpts(), nullptr);
+    CacheLimits limits;
+    limits.maxEntries = 1;
+    runner.setCacheLimits(limits);
+
+    auto a = runner.runShared("NN", Technique::Baseline, seedOpts(1));
+    ASSERT_NE(a, nullptr);
+    const std::uint64_t cycles = a->cycles;
+    auto b = runner.runShared("NN", Technique::Baseline, seedOpts(2));
+    EXPECT_EQ(runner.cacheStats().evictions, 1u);
+    EXPECT_EQ(a->cycles, cycles) << "shared owner keeps data alive";
+
+    // A fresh request recomputes into a new object; determinism makes
+    // it agree with the evicted one to the cycle.
+    auto a2 = runner.runShared("NN", Technique::Baseline, seedOpts(1));
+    EXPECT_NE(a.get(), a2.get());
+    EXPECT_EQ(a2->cycles, cycles);
+    EXPECT_EQ(runner.cacheStats().misses, 3u);
+}
+
+TEST(Experiment, EvictionNeverRacesInFlightCompute)
+{
+    // A one-entry cache under 8 threads hammering 4 keys: eviction
+    // must skip in-flight and waited-on entries, so every caller gets
+    // a valid result (ASan/TSan make this test bite).
+    ExperimentRunner runner(fastOpts(), &ThreadPool::global());
+    CacheLimits limits;
+    limits.maxEntries = 1;
+    runner.setCacheLimits(limits);
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const SimResult>> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&runner, &seen, i] {
+            seen[i] = runner.runShared("NN", Technique::Baseline,
+                                       seedOpts(1 + i % 4));
+        });
+    for (auto& t : threads)
+        t.join();
+
+    for (int i = 0; i < kThreads; ++i) {
+        ASSERT_NE(seen[i], nullptr) << "thread " << i;
+        EXPECT_GT(seen[i]->cycles, 0u);
+        // Same key, same deterministic result — whether the second
+        // caller piggybacked on the flight or recomputed post-eviction.
+        EXPECT_EQ(seen[i]->cycles, seen[i % 4]->cycles);
+    }
+    CacheStats stats = runner.cacheStats();
+    EXPECT_EQ(stats.inFlight, 0u);
+    EXPECT_GE(stats.misses, 4u);
+    EXPECT_EQ(stats.hits + stats.misses, std::uint64_t(kThreads));
+    EXPECT_LE(stats.entries, 4u);
+}
+
 TEST(Experiment, PlainOptionsConvertToSweepApi)
 {
     // With the deprecated pre-SweepSpec wrappers gone, passing a bare

@@ -143,5 +143,79 @@ TEST(ThreadPool, DestructionDrainsQueuedTasks)
     EXPECT_EQ(ran.load(), 50) << "destructor joins after draining";
 }
 
+TEST(ThreadPool, DrainWaitsForQueuedAndRunning)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::atomic<bool> gate{false};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&ran, &gate] {
+            while (!gate.load())
+                std::this_thread::yield();
+            ran++;
+        });
+    EXPECT_FALSE(pool.draining());
+    gate = true;
+    pool.drain();
+    EXPECT_EQ(ran.load(), 32)
+        << "drain must return only after every queued task ran";
+    EXPECT_TRUE(pool.draining());
+}
+
+TEST(ThreadPool, DrainRejectsExternalSubmits)
+{
+    ThreadPool pool(2);
+    pool.drain();
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+    // The rejection is permanent (drain is terminal) and repeatable.
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+    pool.drain(); // idempotent
+}
+
+TEST(ThreadPool, DrainAcceptsNestedFanOutFromRunningTasks)
+{
+    // The SIGTERM shape: a simulation is mid-flight when the drain
+    // begins, and it must still be able to fan its per-SM jobs into
+    // the pool — rejecting those would deadlock the drain.
+    ThreadPool pool(2);
+    std::atomic<bool> started{false};
+    std::atomic<bool> go{false};
+    std::atomic<int> nested_ran{0};
+    std::atomic<bool> nested_threw{false};
+    auto outer = pool.submit([&] {
+        started = true;
+        while (!go.load())
+            std::this_thread::yield();
+        try {
+            std::vector<std::future<void>> inner;
+            for (int i = 0; i < 8; ++i)
+                inner.push_back(
+                    pool.submit([&nested_ran] { nested_ran++; }));
+            for (auto& f : inner)
+                pool.wait(f);
+        } catch (const std::runtime_error&) {
+            nested_threw = true;
+        }
+    });
+    while (!started.load())
+        std::this_thread::yield();
+    std::thread drainer([&pool] { pool.drain(); });
+    while (!pool.draining())
+        std::this_thread::yield();
+    go = true; // outer now fans out against a draining pool
+    drainer.join();
+    EXPECT_FALSE(nested_threw.load())
+        << "nested submissions must be accepted during drain";
+    EXPECT_EQ(nested_ran.load(), 8);
+    pool.wait(outer);
+}
+
+TEST(ThreadPool, DrainWithEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(1);
+    pool.drain();
+    EXPECT_TRUE(pool.draining());
+}
+
 } // namespace
 } // namespace wg

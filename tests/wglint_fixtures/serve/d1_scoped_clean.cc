@@ -1,0 +1,34 @@
+// D1 scoped-exemption fixture: this file lives under a serve/
+// directory, where the socket-timeout subset of nondeterminism
+// sources is sanctioned without per-line suppressions. Everything
+// here must lint clean.
+#include <chrono>
+#include <thread>
+
+namespace wg::serve {
+
+int
+remainingMs(std::chrono::steady_clock::time_point deadline)
+{
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+        return 0;
+    return static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              now)
+            .count());
+}
+
+void
+backoff()
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+void
+backoffUntil(std::chrono::steady_clock::time_point deadline)
+{
+    std::this_thread::sleep_until(deadline);
+}
+
+} // namespace wg::serve

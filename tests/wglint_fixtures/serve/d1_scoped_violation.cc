@@ -1,0 +1,30 @@
+// D1 scoped-exemption fixture: the serve/ exemption covers ONLY the
+// socket-timeout subset. Wall clocks and entropy sources must still
+// fire here exactly as they would anywhere else. Expected: 3 D1
+// violations (system_clock, rand, random_device).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace wg::serve {
+
+long
+wallStamp()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int
+jitter()
+{
+    return rand() % 100;
+}
+
+unsigned
+entropy()
+{
+    std::random_device dev;
+    return dev();
+}
+
+} // namespace wg::serve

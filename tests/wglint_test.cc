@@ -104,6 +104,40 @@ TEST(Wglint, D1SuppressionHonored)
     EXPECT_TRUE(run.output.empty()) << run.output;
 }
 
+TEST(Wglint, D1ServeTimeoutSubsetIsExemptUnderServeDir)
+{
+    // serve/ gets monotonic socket timeouts (steady_clock, sleep_for,
+    // sleep_until) without per-line suppressions.
+    auto run = lintFixture("serve/d1_scoped_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D1WallClocksStillFireUnderServeDir)
+{
+    // The scoped exemption is the timeout subset only: wall clocks and
+    // entropy under serve/ are violations like anywhere else.
+    auto run = lintFixture("serve/d1_scoped_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 3) << run.output;
+    EXPECT_NE(run.output.find("'system_clock'"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("'rand'"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("'random_device'"), std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, D1TimeoutIdentsStillFireOutsideServeDir)
+{
+    // The same idents the serve/ scope exempts are violations in a
+    // file that is not under a serve/ directory (d1_violation.cc
+    // already covers steady_clock/sleep shapes at top level).
+    auto run = lintFixture("d1_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_GE(countRule(run.output, "D1"), 1) << run.output;
+}
+
 TEST(Wglint, D2ViolationFires)
 {
     auto run = lintFixture("metrics/d2_violation.cc");

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * wgctl — client for the wgservd daemon.
+ *
+ * Usage: wgctl <command> --port N [flags]
+ *
+ *   submit   submit a sweep; with --wait, block and print the results
+ *            exactly as `wgsim` would print them offline
+ *   status   show one job (--id) or every job
+ *   result   fetch and print a finished job's results
+ *   cancel   cancel a queued or running job
+ *   stats    print the daemon's serve.* gauges
+ *   drain    ask the daemon to finish everything and shut down
+ *
+ * Examples:
+ *   wgctl submit --port 7421 --bench hotspot --technique WarpedGates \
+ *         --wait
+ *   wgctl submit --port 7421 --bench all --technique Baseline,GATES
+ *   wgctl status --port 7421
+ *   wgctl drain --port 7421
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "metrics/exporters.hh"
+#include "metrics/registry.hh"
+#include "report/export.hh"
+#include "serve/client.hh"
+
+namespace {
+
+using namespace wg;
+
+constexpr FlagSpec kFlags[] = {
+    {"port", FlagKind::Int, "7421", "daemon port on loopback"},
+    {"bench", FlagKind::String, "hotspot",
+     "comma-separated benchmarks, or 'all' for the full suite"},
+    {"technique", FlagKind::String, "WarpedGates",
+     "comma-separated presets, or 'all': Baseline|ConvPG|GATES|"
+     "NaiveBlackout|CoordBlackout|WarpedGates"},
+    {"id", FlagKind::String, "", "job id (status/result/cancel)"},
+    {"priority", FlagKind::Int, "0", "submit priority (higher first)"},
+    {"sms", FlagKind::Int, "6", "number of SMs to simulate"},
+    {"seed", FlagKind::Int, "1", "experiment seed"},
+    {"idle-detect", FlagKind::Int, "5", "idle-detect window (cycles)"},
+    {"bet", FlagKind::Int, "14", "break-even time (cycles)"},
+    {"wakeup", FlagKind::Int, "3", "wakeup delay (cycles)"},
+    {"wait", FlagKind::Bool, "",
+     "submit: wait for completion and print the results"},
+    {"timeout-sec", FlagKind::Int, "600",
+     "deadline for --wait / drain / slow responses"},
+    {"quiet", FlagKind::Bool, "", "suppress the human-readable summary"},
+    {"csv", FlagKind::String, "", "append CSV rows to this file"},
+    {"json", FlagKind::String, "", "write a JSON report to this file"},
+    {"metrics", FlagKind::String, "",
+     "write the final metric registry (jsonl) to this file "
+     "(single-cell results only; wgreport-comparable)"},
+};
+
+std::vector<std::string>
+splitCommas(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(s);
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+bool
+buildSpec(const ArgParser& args, SweepSpec& spec)
+{
+    std::vector<std::string> benches;
+    if (args.getString("bench") == "all")
+        benches = benchmarkNames();
+    else
+        benches = splitCommas(args.getString("bench"));
+
+    std::vector<Technique> techniques;
+    if (args.getString("technique") == "all") {
+        techniques = allTechniques();
+    } else {
+        for (const std::string& name :
+             splitCommas(args.getString("technique"))) {
+            Technique t;
+            if (!serve::wire::parseTechnique(name, t)) {
+                std::fprintf(stderr, "wgctl: unknown technique '%s'\n",
+                             name.c_str());
+                return false;
+            }
+            techniques.push_back(t);
+        }
+    }
+
+    // Options ride along explicitly so the daemon's own defaults can
+    // never change what this command line means.
+    ExperimentOptions opts;
+    opts.numSms = static_cast<unsigned>(args.getInt("sms"));
+    opts.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    opts.idleDetect = static_cast<Cycle>(args.getInt("idle-detect"));
+    opts.breakEven = static_cast<Cycle>(args.getInt("bet"));
+    opts.wakeupDelay = static_cast<Cycle>(args.getInt("wakeup"));
+
+    spec = SweepSpec(std::move(benches), std::move(techniques), opts);
+    return true;
+}
+
+/**
+ * Print/export fetched cells exactly as wgsim does for an offline run
+ * of the same sweep: per-cell summary, CSV rows, JSON of the last
+ * cell, metrics registry of the only cell.
+ */
+int
+emitCells(const ArgParser& args,
+          const std::vector<serve::wire::ResultCell>& cells)
+{
+    std::ostringstream csv;
+    csv << csvHeader() << "\n";
+    std::string json;
+    for (const serve::wire::ResultCell& cell : cells) {
+        if (!args.getBool("quiet"))
+            printSummary(std::cout, cell.bench, cell.result);
+        csv << toCsvRow(cell.bench, cell.result) << "\n";
+        json = toJson(cell.bench, cell.result);
+    }
+    if (args.given("csv")) {
+        writeFile(args.getString("csv"), csv.str());
+        inform("wrote ", args.getString("csv"));
+    }
+    if (args.given("json") && !json.empty()) {
+        writeFile(args.getString("json"), json);
+        inform("wrote ", args.getString("json"));
+    }
+    if (args.given("metrics")) {
+        if (cells.size() != 1) {
+            std::fprintf(stderr,
+                         "wgctl: --metrics exports one cell per file; "
+                         "this job has %zu\n",
+                         cells.size());
+            return 1;
+        }
+        StatSet registry = metrics::toStatSet(cells[0].result);
+        metrics::writeMetricsFile(args.getString("metrics"), nullptr,
+                                  registry,
+                                  metrics::MetricsFormat::Jsonl);
+        inform("wrote ", args.getString("metrics"), " (",
+               registry.entries().size(), " metrics)");
+    }
+    return 0;
+}
+
+void
+printStatusTable(const std::vector<serve::JobStatus>& jobs)
+{
+    Table table("jobs");
+    table.header({"id", "state", "prio", "cells", "submit#", "start#",
+                  "error"});
+    for (const serve::JobStatus& s : jobs) {
+        table.row({s.id, serve::jobStateName(s.state),
+                   std::to_string(s.priority),
+                   std::to_string(s.completedCells) + "/" +
+                       std::to_string(s.totalCells),
+                   std::to_string(s.submitSeq),
+                   std::to_string(s.startSeq), s.error});
+    }
+    table.print();
+}
+
+int
+fail(const std::string& error)
+{
+    std::fprintf(stderr, "wgctl: %s\n", error.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args("wgctl",
+                   "client for the wgservd simulation daemon", kFlags);
+    if (!args.parse(argc, argv))
+        return args.helpRequested() ? 0 : 2;
+    if (args.positional().size() != 1) {
+        std::fprintf(stderr,
+                     "usage: wgctl "
+                     "submit|status|result|cancel|stats|drain "
+                     "[flags]\n%s",
+                     args.usage().c_str());
+        return 2;
+    }
+    const std::string command = args.positional()[0];
+    const int timeout_ms =
+        static_cast<int>(args.getInt("timeout-sec")) * 1000;
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(
+            static_cast<std::uint16_t>(args.getInt("port")), 2000,
+            error))
+        return fail("cannot reach wgservd on port " +
+                    std::to_string(args.getInt("port")) + ": " + error);
+    client.setRequestTimeout(timeout_ms);
+
+    if (command == "submit") {
+        SweepSpec spec({}, {});
+        if (!buildSpec(args, spec))
+            return 2;
+        std::string id;
+        bool deduped = false;
+        if (!client.submit(
+                spec, static_cast<unsigned>(args.getInt("priority")),
+                id, deduped, error))
+            return fail(error);
+        if (!args.getBool("wait")) {
+            std::printf("%s%s\n", id.c_str(),
+                        deduped ? " (deduped)" : "");
+            return 0;
+        }
+        serve::JobStatus status;
+        if (!client.waitForJob(id, 100, timeout_ms, status, error))
+            return fail(error);
+        if (status.state != serve::JobState::Done)
+            return fail("job " + id + " finished as " +
+                        serve::jobStateName(status.state) +
+                        (status.error.empty() ? "" : ": " + status.error));
+        std::vector<serve::wire::ResultCell> cells;
+        if (!client.results(id, cells, error))
+            return fail(error);
+        return emitCells(args, cells);
+    }
+    if (command == "status") {
+        if (args.given("id")) {
+            serve::JobStatus status;
+            if (!client.status(args.getString("id"), status, error))
+                return fail(error);
+            printStatusTable({status});
+            return 0;
+        }
+        std::vector<serve::JobStatus> jobs;
+        if (!client.listJobs(jobs, error))
+            return fail(error);
+        printStatusTable(jobs);
+        return 0;
+    }
+    if (command == "result") {
+        if (!args.given("id"))
+            return fail("result requires --id");
+        std::vector<serve::wire::ResultCell> cells;
+        if (!client.results(args.getString("id"), cells, error))
+            return fail(error);
+        return emitCells(args, cells);
+    }
+    if (command == "cancel") {
+        if (!args.given("id"))
+            return fail("cancel requires --id");
+        if (!client.cancel(args.getString("id"), error))
+            return fail(error);
+        std::printf("cancelled %s\n", args.getString("id").c_str());
+        return 0;
+    }
+    if (command == "stats") {
+        std::map<std::string, double> stats;
+        if (!client.stats(stats, error))
+            return fail(error);
+        Table table("wgservd gauges");
+        table.header({"stat", "value"});
+        for (const auto& [name, value] : stats)
+            table.row({name, metrics::formatMetricValue(value)});
+        table.print();
+        return 0;
+    }
+    if (command == "drain") {
+        if (!client.drain(timeout_ms, error))
+            return fail(error);
+        std::printf("drained\n");
+        return 0;
+    }
+    std::fprintf(stderr, "wgctl: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+}

@@ -25,7 +25,10 @@
  * Suppression: `// wglint:allow(RULE)` (comma-separated rules) on the
  * violating line or the line directly above it. Files named
  * `phase_timer.hh` (the sanctioned wall-clock wrapper) are exempt from
- * D1 wholesale.
+ * D1 wholesale. Files under a `serve/` directory get a scoped D1
+ * exemption for the socket-timeout subset only (`steady_clock`,
+ * `sleep_for`, `sleep_until`): wire deadlines never feed simulation
+ * state. Wall clocks and entropy stay banned there too.
  *
  * Output: --format=text (default, `file:line: [RULE] message`) or
  * --format=jsonl (one JSON object per violation, CI artifact
@@ -779,6 +782,23 @@ bannedAnyCalls()
     return kSet;
 }
 
+/**
+ * The serving layer (src/serve/) legitimately needs socket deadlines:
+ * monotonic clocks and poll-retry sleeps bound wire I/O, and never
+ * feed simulation state — which is the property D1 protects. Only the
+ * timeout subset is exempt there; wall clocks (`system_clock`, `time`)
+ * and entropy (`rand`, `random_device`) stay banned everywhere.
+ */
+bool
+serveTimeoutExempt(const std::string& path, const std::string& name)
+{
+    static const std::set<std::string> kTimeoutIdents = {
+        "steady_clock", "sleep_for", "sleep_until"};
+    if (!kTimeoutIdents.count(name))
+        return false;
+    return path.find("serve/") != std::string::npos;
+}
+
 void
 checkD1(const FileScan& scan, std::vector<Violation>& out)
 {
@@ -820,6 +840,8 @@ checkD1(const FileScan& scan, std::vector<Violation>& out)
                 hit = !memberOrDecl;
             }
         }
+        if (hit && serveTimeoutExempt(scan.path, name))
+            hit = false;
         if (hit && !suppressed(scan, "D1", t[i].line))
             out.push_back({"D1", scan.path, t[i].line,
                            "nondeterminism source '" + name +
@@ -1094,7 +1116,9 @@ printRules()
 {
     std::cout
         << "D1  no nondeterminism sources (clocks, rand, sleeps) "
-           "outside phase_timer.hh / suppressed profiling sites\n"
+           "outside phase_timer.hh / suppressed profiling sites; "
+           "serve/ may use monotonic socket timeouts "
+           "(steady_clock, sleep_for, sleep_until) only\n"
         << "D2  no unordered_map/unordered_set iteration in "
            "result-affecting code (stats, metrics, report, trace, "
            "export, sinks, tools)\n"

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * wgservd — simulation-as-a-service daemon.
+ *
+ * Serves the line-delimited JSON protocol (and, on the same port,
+ * OpenMetrics scrapes for any HTTP GET) on loopback. Jobs run through
+ * the shared ExperimentRunner cache on the process thread pool, so
+ * concurrent sweeps dedup both whole jobs (admission) and individual
+ * cells (single-flight cache).
+ *
+ * Examples:
+ *   wgservd --port 7421
+ *   wgservd --port 0                # pick a free port, printed on stdout
+ *   wgservd --cache-entries 64 --queue-capacity 512
+ *
+ * SIGTERM/SIGINT drain gracefully: stop admitting, finish every queued
+ * and running job, then exit (DESIGN.md §15).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "core/experiment.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace wg;
+
+constexpr FlagSpec kFlags[] = {
+    {"port", FlagKind::Int, "7421",
+     "loopback TCP port (0 = pick a free one; printed on stdout)"},
+    {"queue-capacity", FlagKind::Int, "256",
+     "max queued jobs before submissions are rejected"},
+    {"max-concurrent", FlagKind::Int, "2",
+     "jobs dispatched concurrently (each fans per-SM work into the "
+     "pool)"},
+    {"priorities", FlagKind::Int, "4",
+     "number of priority levels (valid priorities: 0..n-1)"},
+    {"cache-entries", FlagKind::Int, "0",
+     "result-cache entry cap (0 = unlimited)"},
+    {"cache-mb", FlagKind::Int, "0",
+     "result-cache size cap in MiB (0 = unlimited)"},
+    {"sms", FlagKind::Int, "6",
+     "default SMs per simulation (jobs may override)"},
+    {"seed", FlagKind::Int, "1", "default experiment seed"},
+    {"idle-detect", FlagKind::Int, "5",
+     "default idle-detect window (cycles)"},
+    {"bet", FlagKind::Int, "14", "default break-even time (cycles)"},
+    {"wakeup", FlagKind::Int, "3", "default wakeup delay (cycles)"},
+    {"serial", FlagKind::Bool, "",
+     "run simulations serially instead of on the shared thread pool "
+     "(results are identical)"},
+};
+
+/**
+ * SIGTERM/SIGINT self-pipe: the handler only write()s one byte (the
+ * single async-signal-safe thing to do); the server's poll loop owns
+ * the actual drain.
+ */
+volatile sig_atomic_t g_wake_fd = -1;
+
+void
+onSignal(int)
+{
+    if (g_wake_fd >= 0) {
+        char byte = 't';
+        (void)!::write(g_wake_fd, &byte, 1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args("wgservd",
+                   "Warped Gates simulation daemon (JSON-over-TCP + "
+                   "OpenMetrics)",
+                   kFlags);
+    if (!args.parse(argc, argv))
+        return args.helpRequested() ? 0 : 2;
+
+    ExperimentOptions opts;
+    opts.numSms = static_cast<unsigned>(args.getInt("sms"));
+    opts.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    opts.idleDetect = static_cast<Cycle>(args.getInt("idle-detect"));
+    opts.breakEven = static_cast<Cycle>(args.getInt("bet"));
+    opts.wakeupDelay = static_cast<Cycle>(args.getInt("wakeup"));
+
+    ThreadPool* pool =
+        args.getBool("serial") ? nullptr : &ThreadPool::global();
+    ExperimentRunner runner(opts, pool);
+    CacheLimits limits;
+    limits.maxEntries =
+        static_cast<std::size_t>(args.getInt("cache-entries"));
+    limits.maxBytes =
+        static_cast<std::size_t>(args.getInt("cache-mb")) << 20;
+    runner.setCacheLimits(limits);
+
+    serve::ServerConfig config;
+    config.port = static_cast<std::uint16_t>(args.getInt("port"));
+    config.jobs.queueCapacity =
+        static_cast<std::size_t>(args.getInt("queue-capacity"));
+    config.jobs.maxConcurrentJobs =
+        static_cast<unsigned>(args.getInt("max-concurrent"));
+    config.jobs.numPriorities =
+        static_cast<unsigned>(args.getInt("priorities"));
+
+    serve::Server server(runner, config);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "wgservd: %s\n", error.c_str());
+        return 1;
+    }
+
+    int sigpipe[2];
+    if (::pipe(sigpipe) != 0) {
+        std::fprintf(stderr, "wgservd: pipe failed\n");
+        return 1;
+    }
+    g_wake_fd = sigpipe[1];
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Scripts parse this line for the port; keep the format stable.
+    std::printf("wgservd: listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    if (!server.serve(sigpipe[0], error)) {
+        std::fprintf(stderr, "wgservd: %s\n", error.c_str());
+        return 1;
+    }
+
+    // Jobs are drained; now quiesce the pool itself so no nested task
+    // is mid-flight when the process exits.
+    if (pool != nullptr)
+        pool->drain();
+    inform("wgservd: drained, exiting");
+    return 0;
+}

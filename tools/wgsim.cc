@@ -70,38 +70,6 @@ findPolicy(const std::string& name, PgPolicy& out)
     return false;
 }
 
-void
-printSummary(const std::string& bench, const SimResult& r)
-{
-    Table table(bench + " on " +
-                std::string(schedulerPolicyName(r.config.sm.scheduler)) +
-                " / " + pgPolicyName(r.config.sm.pg.policy) +
-                (r.config.sm.pg.adaptiveIdleDetect ? " + adaptive" : ""));
-    table.header({"metric", "INT", "FP"});
-    PgDomainStats si = r.typeStats(UnitClass::Int);
-    PgDomainStats sf = r.typeStats(UnitClass::Fp);
-    auto u64 = [](std::uint64_t v) { return std::to_string(v); };
-    table.row({"static savings",
-               Table::pct(r.intEnergy.staticSavingsRatio()),
-               Table::pct(r.fpEnergy.staticSavingsRatio())});
-    table.row({"busy cycles", u64(si.busyCycles), u64(sf.busyCycles)});
-    table.row({"gated cycles", u64(si.gatedCycles()),
-               u64(sf.gatedCycles())});
-    table.row({"gating events", u64(si.gatingEvents),
-               u64(sf.gatingEvents)});
-    table.row({"wakeups (uncomp)",
-               u64(si.wakeups) + " (" + u64(si.uncompWakeups) + ")",
-               u64(sf.wakeups) + " (" + u64(sf.uncompWakeups) + ")"});
-    table.row({"critical wakeups", u64(si.criticalWakeups),
-               u64(sf.criticalWakeups)});
-    table.print();
-
-    std::cout << "cycles " << r.cycles << ", IPC "
-              << Table::num(r.ipc(), 2) << ", avg active warps "
-              << Table::num(r.aggregate.avgActiveWarps(), 1)
-              << ", mem misses " << r.aggregate.memMisses << "\n\n";
-}
-
 /** The whole command line, declaratively (drives parsing and --help). */
 constexpr FlagSpec kFlags[] = {
     {"bench", FlagKind::String, "hotspot",
@@ -301,7 +269,7 @@ main(int argc, char** argv)
         const std::string& bench = benches[i];
         const SimResult& r = results[i];
         if (!args.getBool("quiet"))
-            printSummary(bench, r);
+            printSummary(std::cout, bench, r);
         csv << toCsvRow(bench, r) << "\n";
         json = toJson(bench, r); // JSON export keeps the last result
     }
