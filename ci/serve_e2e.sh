@@ -10,7 +10,11 @@
 #      (ci/metrics-baseline-hotspot.jsonl) at wgreport --tol 0;
 #   3. the streamed registry matches a fresh offline --metrics export
 #      at --tol 0;
-#   4. drain finishes in-flight work, then the daemon exits 0.
+#   4. `wgctl watch` of a live job re-exports the streamed epoch frames
+#      byte-identical (cmp AND wgreport --tol 0) to the offline
+#      `wgsim --metrics` export of the same cell;
+#   5. the daemon's structured event log records the job life cycle;
+#   6. drain finishes in-flight work, then the daemon exits 0.
 #
 # Usage: ci/serve_e2e.sh [build-dir]   (run from the repo root)
 set -euo pipefail
@@ -40,7 +44,9 @@ fail() {
 }
 
 echo "serve_e2e: starting wgservd on an ephemeral port"
-"$BUILD/tools/wgservd" --port 0 --sms 4 >"$WORK/daemon.log" 2>&1 &
+"$BUILD/tools/wgservd" --port 0 --sms 4 \
+    --log-file "$WORK/events.jsonl" --log-level debug \
+    >"$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
 
 # The startup line's format is stable on purpose; parse the bound port.
@@ -81,7 +87,40 @@ echo "serve_e2e: gate 3 — served registry vs fresh offline export, tol 0"
     "$WORK/served.jsonl" \
     || fail "served metrics differ from offline --metrics export"
 
-echo "serve_e2e: gate 4 — drain shuts the daemon down cleanly"
+echo "serve_e2e: gate 4 — live watch is byte-identical to offline"
+# A distinct cell (different technique) so the submission cannot dedup
+# onto the finished WarpedGates job: the watch rides the live stream.
+WATCH_ARGS=(--bench hotspot --technique GATES --sms 4)
+WATCH_ID=$(timeout "$STEP_TIMEOUT" "$BUILD/tools/wgctl" submit \
+    --port "$PORT" "${WATCH_ARGS[@]}") \
+    || fail "wgctl submit (watch job)"
+echo "serve_e2e: watching job $WATCH_ID live"
+timeout "$STEP_TIMEOUT" "$BUILD/tools/wgctl" watch --port "$PORT" \
+    --id "$WATCH_ID" --metrics "$WORK/watch_live.jsonl" \
+    >"$WORK/watch.txt" \
+    || fail "wgctl watch (output: $(cat "$WORK/watch.txt"))"
+grep -q "^$WATCH_ID done" "$WORK/watch.txt" \
+    || fail "watch output missing terminal 'done' line"
+timeout "$STEP_TIMEOUT" "$BUILD/tools/wgsim" "${WATCH_ARGS[@]}" \
+    --metrics "$WORK/watch_offline.jsonl" >/dev/null \
+    || fail "offline wgsim (watch reference)"
+cmp "$WORK/watch_live.jsonl" "$WORK/watch_offline.jsonl" \
+    || fail "streamed epoch series is not byte-identical to offline (diff: $(
+        diff "$WORK/watch_offline.jsonl" "$WORK/watch_live.jsonl" \
+        | head -10))"
+timeout "$STEP_TIMEOUT" "$BUILD/tools/wgreport" --tol 0 \
+    "$WORK/watch_offline.jsonl" "$WORK/watch_live.jsonl" \
+    || fail "streamed final registry drifted from offline at tol 0"
+
+echo "serve_e2e: gate 5 — event log recorded the job life cycle"
+[ -s "$WORK/events.jsonl" ] || fail "--log-file produced no events"
+for event in jobSubmitted jobStarted jobFinished subscribed; do
+    grep -q "\"event\":\"$event\"" "$WORK/events.jsonl" \
+        || fail "event log missing '$event' (log: $(
+            head -20 "$WORK/events.jsonl"))"
+done
+
+echo "serve_e2e: gate 6 — drain shuts the daemon down cleanly"
 timeout "$STEP_TIMEOUT" "$BUILD/tools/wgctl" drain --port "$PORT" \
     || fail "wgctl drain"
 DAEMON_RC=0

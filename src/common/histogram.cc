@@ -106,4 +106,53 @@ Histogram::fractionAbove(std::uint64_t bound) const
     return fractionBetween(bound + 1, max_bin_ + 1);
 }
 
+LatencyHistogram::LatencyHistogram()
+    : LatencyHistogram(std::vector<double>{
+          0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+          2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0})
+{
+}
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0),
+      total_(0), sum_(0.0)
+{
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        if (bounds_[i] <= bounds_[i - 1])
+            panic("LatencyHistogram: bounds must be strictly ascending");
+}
+
+void
+LatencyHistogram::record(double seconds)
+{
+    if (seconds < 0.0)
+        seconds = 0.0;
+    std::size_t i = 0;
+    while (i < bounds_.size() && seconds > bounds_[i])
+        ++i;
+    ++counts_[i];
+    ++total_;
+    sum_ += seconds;
+}
+
+std::uint64_t
+LatencyHistogram::bucket(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("LatencyHistogram::bucket: index ", i, " out of range");
+    return counts_[i];
+}
+
+std::uint64_t
+LatencyHistogram::cumulative(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("LatencyHistogram::cumulative: index ", i,
+              " out of range");
+    std::uint64_t c = 0;
+    for (std::size_t b = 0; b <= i; ++b)
+        c += counts_[b];
+    return c;
+}
+
 } // namespace wg

@@ -89,5 +89,49 @@ class Histogram
     std::uint64_t sum_;
 };
 
+/**
+ * Fixed-boundary latency histogram in the OpenMetrics shape: a sample
+ * lands in the first bucket whose upper bound (inclusive, "le") is >=
+ * the sample; everything above the last bound lands in the implicit
+ * +Inf bucket. Sum and count are carried so `_sum`/`_count` series can
+ * be exported alongside the cumulative `_bucket{le=...}` series.
+ *
+ * The class is clock-free and not thread-safe; callers record under
+ * their own lock and export from a copied snapshot.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Default bounds: 1ms..300s, roughly log-spaced (seconds). */
+    LatencyHistogram();
+
+    /** @param bounds ascending upper bounds in seconds, +Inf excluded. */
+    explicit LatencyHistogram(std::vector<double> bounds);
+
+    /** Record one latency sample (seconds; negative clamps to 0). */
+    void record(double seconds);
+
+    /** Ascending finite bucket bounds (seconds). */
+    const std::vector<double>& bounds() const { return bounds_; }
+
+    /** Non-cumulative count of bucket @p i; i == bounds().size() is +Inf. */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Cumulative count of samples <= bounds()[i] (OpenMetrics `le`). */
+    std::uint64_t cumulative(std::size_t i) const;
+
+    /** Total samples recorded (the +Inf cumulative count). */
+    std::uint64_t total() const { return total_; }
+
+    /** Sum of all recorded sample values (seconds). */
+    double sum() const { return sum_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_; ///< bounds_.size() + 1 (+Inf last)
+    std::uint64_t total_;
+    double sum_;
+};
+
 } // namespace wg
 

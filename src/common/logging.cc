@@ -18,6 +18,9 @@ std::mutex log_mutex;
 // main thread while workers are mid-logMessage.
 std::atomic<bool> quiet{false};
 
+// Optional tee; guarded by log_mutex like the stderr stream itself.
+std::function<void(LogLevel, const std::string&)> log_hook;
+
 const char*
 prefix(LogLevel level)
 {
@@ -45,10 +48,19 @@ isQuiet()
 }
 
 void
+setLogHook(std::function<void(LogLevel, const std::string&)> hook)
+{
+    std::lock_guard<std::mutex> lock(log_mutex);
+    log_hook = std::move(hook);
+}
+
+void
 logMessage(LogLevel level, const std::string& msg)
 {
     {
         std::lock_guard<std::mutex> lock(log_mutex);
+        if (log_hook)
+            log_hook(level, msg);
         if (level != LogLevel::Inform || !isQuiet())
             std::fprintf(stderr, "%s: %s\n", prefix(level), msg.c_str());
     }

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -25,6 +26,14 @@ enum class LogLevel { Inform, Warn, Fatal, Panic };
  * convenience wrappers below.
  */
 void logMessage(LogLevel level, const std::string& msg);
+
+/**
+ * Tee every logMessage() call (including quiet-suppressed informs)
+ * into @p hook before the stderr write; pass nullptr to remove. The
+ * hook runs with the logger's lock held, so it must not log. Used by
+ * wgservd to mirror warn/inform traffic into its structured event log.
+ */
+void setLogHook(std::function<void(LogLevel, const std::string&)> hook);
 
 /** Suppress / restore inform() output (used by tests and benches). */
 void setQuiet(bool quiet);

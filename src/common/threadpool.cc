@@ -87,6 +87,7 @@ ThreadPool::popTask(unsigned preferred, std::function<void()>& out)
         if (!deques_[victim].empty()) {
             out = std::move(deques_[victim].front());
             deques_[victim].pop_front();
+            ++steals_;
             return true;
         }
     }
@@ -177,6 +178,15 @@ ThreadPool::stats() const
     s.busySeconds =
         static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
         1e-9;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& d : deques_)
+            s.queueDepth += d.size();
+        s.active = active_;
+        s.steals = steals_;
+        s.draining = draining_;
+    }
+    s.threads = size();
     return s;
 }
 

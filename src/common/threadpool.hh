@@ -39,6 +39,11 @@ struct PoolStats
 {
     std::uint64_t tasksExecuted = 0; ///< tasks run to completion
     double busySeconds = 0.0;        ///< summed task execution time
+    std::uint64_t steals = 0;        ///< tasks taken from a sibling deque
+    std::uint64_t queueDepth = 0;    ///< tasks queued, not yet started
+    std::uint64_t active = 0;        ///< tasks currently executing
+    unsigned threads = 0;            ///< worker-thread count
+    bool draining = false;           ///< drain() has begun
 };
 
 class ThreadPool
@@ -136,11 +141,13 @@ class ThreadPool
     bool draining() const;
 
     /**
-     * Tasks executed and summed busy time since construction. The two
+     * Tasks executed and summed busy time since construction. The
      * counters are sampled independently (not a consistent snapshot);
      * utilization derived from them is a profiling estimate. Summed
      * busy time can exceed wall-clock time on a multi-worker pool —
-     * utilization = busySeconds / (elapsed * size()).
+     * utilization = busySeconds / (elapsed * size()). queueDepth,
+     * active, steals, and draining are a point-in-time view taken
+     * under the pool lock.
      */
     PoolStats stats() const;
 
@@ -164,6 +171,7 @@ class ThreadPool
     bool stop_ = false;
     bool draining_ = false;     ///< drain() begun; external submits throw
     std::size_t active_ = 0;    ///< tasks currently executing
+    std::uint64_t steals_ = 0;  ///< cross-deque pops (guarded by mu_)
     std::condition_variable drain_cv_; ///< signalled as tasks finish
 
     // Self-profiling counters; relaxed atomics, the two are not a

@@ -51,7 +51,8 @@ ExperimentRunner::run(const std::string& bench, Technique t,
     // Pinning keeps the historical contract — references returned here
     // stay valid for the runner's lifetime — even when cache limits
     // are active. Long-running services should prefer runShared().
-    return *runInternal(bench, t, options, /*pin=*/true);
+    return *runInternal(bench, t, options, /*pin=*/true,
+                        /*meter=*/false, nullptr);
 }
 
 std::shared_ptr<const SimResult>
@@ -59,13 +60,26 @@ ExperimentRunner::runShared(
     const std::string& bench, Technique t,
     const std::optional<ExperimentOptions>& options)
 {
-    return runInternal(bench, t, options, /*pin=*/false);
+    return runInternal(bench, t, options, /*pin=*/false,
+                       /*meter=*/false, nullptr);
+}
+
+MeteredResult
+ExperimentRunner::runMetered(
+    const std::string& bench, Technique t,
+    const std::optional<ExperimentOptions>& options)
+{
+    MeteredResult out;
+    out.result = runInternal(bench, t, options, /*pin=*/false,
+                             /*meter=*/true, &out.series);
+    return out;
 }
 
 std::shared_ptr<const SimResult>
 ExperimentRunner::runInternal(
     const std::string& bench, Technique t,
-    const std::optional<ExperimentOptions>& options, bool pin)
+    const std::optional<ExperimentOptions>& options, bool pin,
+    bool meter, std::shared_ptr<const metrics::EpochSeries>* series_out)
 {
     const ExperimentOptions& opts = options ? *options : opts_;
     std::string k = key(bench, t, opts);
@@ -104,6 +118,8 @@ ExperimentRunner::runInternal(
                  "incomplete)");
         entry.pinned = entry.pinned || pin;
         entry.lastUse = ++use_tick_;
+        if (series_out != nullptr)
+            *series_out = entry.series;
         return entry.result;
     }
     ++stats_.misses;
@@ -112,22 +128,44 @@ ExperimentRunner::runInternal(
 
     const BenchmarkProfile& profile = findBenchmark(bench);
     Gpu gpu(makeConfig(t, opts));
-    SimResult result = gpu.run(profile, pool_);
+    // Metering is passive: the sampler only reads counters, so the
+    // SimResult is bit-identical with or without the collector. The
+    // stream sink exercises the live SPSC path; buildSeries() merges
+    // it SM-major at this cell boundary.
+    metrics::EpochStreamSink sink;
+    metrics::Collector collector;
+    if (meter)
+        collector.attachSink(&sink);
+    SimResult result =
+        gpu.run(profile, pool_, nullptr, meter ? &collector : nullptr);
+    std::shared_ptr<const metrics::EpochSeries> series;
+    if (meter) {
+        series = std::make_shared<const metrics::EpochSeries>(
+            metrics::buildSeries(collector));
+    }
     bool truncated = !result.aggregate.completed;
     if (truncated)
         warn("experiment ", k, " hit maxCycles before draining");
 
     lock.lock();
     entry.result = std::make_shared<SimResult>(std::move(result));
+    entry.series = series;
     entry.truncated = truncated;
     entry.pinned = pin;
     entry.lastUse = ++use_tick_;
     entry.bytes = approximateResultBytes(*entry.result);
+    if (series) {
+        entry.bytes += series->totalSamples() * sizeof(metrics::EpochSample) +
+                       series->perSm.capacity() *
+                           sizeof(std::vector<metrics::EpochSample>);
+    }
     entry.ready = true;
     --stats_.inFlight;
     ++stats_.entries;
     stats_.bytes += entry.bytes;
     std::shared_ptr<const SimResult> out = entry.result;
+    if (series_out != nullptr)
+        *series_out = entry.series;
     enforceLimitsLocked();
     lock.unlock();
     ready_cv_.notify_all();

@@ -26,6 +26,7 @@
 
 #include "common/threadpool.hh"
 #include "core/presets.hh"
+#include "metrics/sampler.hh"
 #include "sim/gpu.hh"
 #include "workload/profile.hh"
 
@@ -77,6 +78,18 @@ struct CacheStats
     std::uint64_t inFlight = 0;  ///< entries still computing
 };
 
+/**
+ * A metered cell: the simulation result plus its per-epoch
+ * time-series. `series` is null when the cached entry was computed by
+ * an earlier unmetered call — metering happens on cache miss, it never
+ * re-runs a cached cell.
+ */
+struct MeteredResult
+{
+    std::shared_ptr<const SimResult> result;
+    std::shared_ptr<const metrics::EpochSeries> series;
+};
+
 /** Runs simulations and caches results keyed by (bench, config). */
 class ExperimentRunner
 {
@@ -111,6 +124,20 @@ class ExperimentRunner
     runShared(const std::string& bench, Technique t,
               const std::optional<ExperimentOptions>& options =
                   std::nullopt);
+
+    /**
+     * runShared() with an attached metrics::Collector (streamed
+     * through an EpochStreamSink, merged SM-major at the cell
+     * boundary), so the caller also gets the cell's epoch time-series.
+     * Metering is passive — the SimResult is bit-identical to an
+     * unmetered run — and the series is cached with the result, so a
+     * cache hit returns the series without re-running. The series is
+     * null only when the entry was first computed unmetered.
+     */
+    MeteredResult
+    runMetered(const std::string& bench, Technique t,
+               const std::optional<ExperimentOptions>& options =
+                   std::nullopt);
 
     /**
      * Run @p spec's full (benches x techniques) cross product
@@ -160,6 +187,7 @@ class ExperimentRunner
     struct CacheEntry
     {
         std::shared_ptr<SimResult> result;
+        std::shared_ptr<const metrics::EpochSeries> series; ///< metered
         bool ready = false;     ///< single-flight: owner still running
         bool truncated = false; ///< hit maxCycles; re-warn on every hit
         bool pinned = false;    ///< handed out by reference; never evict
@@ -171,11 +199,16 @@ class ExperimentRunner
     static std::string key(const std::string& bench, Technique t,
                            const ExperimentOptions& opts);
 
-    /** Core of run()/runShared(); @p pin marks the entry unevictable. */
+    /**
+     * Core of run()/runShared()/runMetered(); @p pin marks the entry
+     * unevictable, @p meter attaches a collector on miss and fills
+     * @p series_out (non-null only for metered callers).
+     */
     std::shared_ptr<const SimResult>
     runInternal(const std::string& bench, Technique t,
                 const std::optional<ExperimentOptions>& options,
-                bool pin);
+                bool pin, bool meter,
+                std::shared_ptr<const metrics::EpochSeries>* series_out);
 
     /** Evict LRU entries until within limits_ (requires mu_ held). */
     void enforceLimitsLocked();

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -79,6 +80,77 @@ forEachSample(const Collector& collector, Fn&& fn)
     }
 }
 
+/**
+ * The # HELP catalogue, longest-prefix matched against dotted names.
+ * Every registry namespace must appear here; the schema-drift guard
+ * test fails the build when a new namespace ships without an entry.
+ */
+struct HelpEntry
+{
+    const char* prefix;
+    const char* help;
+};
+
+constexpr HelpEntry kHelpCatalogue[] = {
+    {"gpu.pg.",
+     "power-gating counters per execution-unit cluster, aggregated"
+     " across SMs"},
+    {"gpu.energy.",
+     "energy-model breakdown in joules (dynamic/static/overhead) per"
+     " unit type"},
+    {"gpu.sched.",
+     "gating-aware scheduler counters (active-set size, priority"
+     " switches, wakeup requests)"},
+    {"gpu.mem.",
+     "memory-path counters (hits, misses, stores, MSHR rejects)"},
+    {"gpu.adaptive.",
+     "adaptive idle-detect controller state and adjustment counts"},
+    {"gpu.units.", "SFU/LDST issue and busy-cycle counters"},
+    {"gpu.issued.", "instructions issued per execution-unit class"},
+    {"gpu.", "whole-GPU aggregate counters (cycles, IPC, warps)"},
+    {"sm", "per-SM cycle counts"},
+    {"config.",
+     "configuration echo of the run (SMs, seed, gating parameters)"},
+    {"profile.",
+     "wall-clock self-profiling of simulator phases and the thread"
+     " pool"},
+    {"serve.latency.",
+     "wgservd job-latency summaries in seconds (full histograms on"
+     " the /metrics exposition)"},
+    {"serve.subscriptions.",
+     "live-stream subscription counters (active, opened, dropped"
+     " frames)"},
+    {"serve.",
+     "wgservd job-manager gauges (queue, jobs, cells, result cache)"},
+    {"pool.",
+     "shared thread-pool self-profiling (tasks, steals, queue depth,"
+     " drain state)"},
+};
+
+const char*
+findHelp(const std::string& name)
+{
+    const char* best = nullptr;
+    std::size_t best_len = 0;
+    for (const HelpEntry& e : kHelpCatalogue) {
+        std::size_t len = std::char_traits<char>::length(e.prefix);
+        if (len >= best_len && name.compare(0, len, e.prefix) == 0) {
+            best = e.help;
+            best_len = len;
+        }
+    }
+    return best;
+}
+
+/** Short, round-number formatting for `le` labels (%g). */
+std::string
+formatLe(double bound)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", bound);
+    return buf;
+}
+
 } // namespace
 
 const char*
@@ -128,40 +200,85 @@ promName(const std::string& name)
     return out;
 }
 
-void
-writeProm(std::ostream& os, const StatSet& set)
+std::string
+metricHelp(const std::string& name)
 {
-    for (const auto& [name, value] : set.entries()) {
-        std::string pn = promName(name);
-        os << "# TYPE " << pn << " gauge\n"
-           << pn << ' ' << formatMetricValue(value) << '\n';
-    }
-    os << "# EOF\n";
+    const char* help = findHelp(name);
+    return help != nullptr ? help : "uncatalogued simulator metric";
+}
+
+bool
+metricHelpKnown(const std::string& name)
+{
+    return findHelp(name) != nullptr;
 }
 
 void
-writeMetricsJsonl(std::ostream& os, const Collector* collector,
-                  const StatSet& set)
+writePromGauges(std::ostream& os, const StatSet& set)
 {
+    for (const auto& [name, value] : set.entries()) {
+        std::string pn = promName(name);
+        os << "# HELP " << pn << ' ' << metricHelp(name) << '\n'
+           << "# TYPE " << pn << " gauge\n"
+           << pn << ' ' << formatMetricValue(value) << '\n';
+    }
+}
+
+void
+writePromHistogram(std::ostream& os, const std::string& name,
+                   const std::string& help,
+                   const LatencyHistogram& hist)
+{
+    std::string pn = promName(name);
+    os << "# HELP " << pn << ' ' << help << '\n'
+       << "# TYPE " << pn << " histogram\n";
+    for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+        os << pn << "_bucket{le=\"" << formatLe(hist.bounds()[i])
+           << "\"} " << hist.cumulative(i) << '\n';
+    }
+    os << pn << "_bucket{le=\"+Inf\"} " << hist.total() << '\n'
+       << pn << "_sum " << formatMetricValue(hist.sum()) << '\n'
+       << pn << "_count " << hist.total() << '\n';
+}
+
+void
+writeProm(std::ostream& os, const StatSet& set)
+{
+    writePromGauges(os, set);
+    os << "# EOF\n";
+}
+
+std::string
+jsonlMetaLine(bool have_series, Cycle epoch_length,
+              std::uint32_t num_sms)
+{
+    std::ostringstream os;
     os << "{\"type\":\"meta\",\"format\":\"wgmetrics\",\"version\":1";
-    if (collector) {
-        os << ",\"epochLength\":" << collector->epochLength()
-           << ",\"numSms\":" << collector->numSms();
+    if (have_series) {
+        os << ",\"epochLength\":" << epoch_length
+           << ",\"numSms\":" << num_sms;
     }
-    os << "}\n";
+    os << "}";
+    return os.str();
+}
 
-    if (collector) {
-        forEachSample(*collector, [&](SmId sm, const EpochSample& s) {
-            os << "{\"type\":\"epoch\",\"sm\":" << sm
-               << ",\"epoch\":" << s.epoch
-               << ",\"cycleEnd\":" << s.cycleEnd
-               << ",\"cycles\":" << s.cycles;
-            for (const EpochField& f : kEpochFields)
-                os << ",\"" << f.name << "\":" << f.get(s);
-            os << "}\n";
-        });
-    }
+std::string
+jsonlEpochLine(SmId sm, const EpochSample& s)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"epoch\",\"sm\":" << sm
+       << ",\"epoch\":" << s.epoch << ",\"cycleEnd\":" << s.cycleEnd
+       << ",\"cycles\":" << s.cycles;
+    for (const EpochField& f : kEpochFields)
+        os << ",\"" << f.name << "\":" << f.get(s);
+    os << "}";
+    return os.str();
+}
 
+std::string
+jsonlFinalLine(const StatSet& set)
+{
+    std::ostringstream os;
     os << "{\"type\":\"final\",\"stats\":{";
     bool first = true;
     for (const auto& [name, value] : set.entries()) {
@@ -170,7 +287,26 @@ writeMetricsJsonl(std::ostream& os, const Collector* collector,
         first = false;
         os << '"' << name << "\":" << formatMetricValue(value);
     }
-    os << "}}\n";
+    os << "}}";
+    return os.str();
+}
+
+void
+writeMetricsJsonl(std::ostream& os, const Collector* collector,
+                  const StatSet& set)
+{
+    os << jsonlMetaLine(collector != nullptr,
+                        collector ? collector->epochLength() : 0,
+                        collector ? collector->numSms() : 0)
+       << '\n';
+
+    if (collector) {
+        forEachSample(*collector, [&](SmId sm, const EpochSample& s) {
+            os << jsonlEpochLine(sm, s) << '\n';
+        });
+    }
+
+    os << jsonlFinalLine(set) << '\n';
 }
 
 void

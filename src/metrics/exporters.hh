@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "metrics/sampler.hh"
 
@@ -55,9 +56,48 @@ void writeMetrics(std::ostream& os, const Collector* collector,
 /** OpenMetrics text exposition of the registry (no series). */
 void writeProm(std::ostream& os, const StatSet& set);
 
+/**
+ * The gauge section of the exposition (`# HELP`/`# TYPE`/sample per
+ * metric) without the `# EOF` terminator, so callers can append
+ * histogram families before closing the stream themselves.
+ */
+void writePromGauges(std::ostream& os, const StatSet& set);
+
+/**
+ * One OpenMetrics histogram family: cumulative `_bucket{le="..."}`
+ * samples (including the implicit `+Inf`), then `_sum` and `_count`.
+ * @p name is a dotted registry name, mapped through promName().
+ */
+void writePromHistogram(std::ostream& os, const std::string& name,
+                        const std::string& help,
+                        const LatencyHistogram& hist);
+
+/**
+ * Help text for a registry metric, looked up by longest catalogued
+ * dotted-prefix. Uncatalogued names get a generic fallback (see
+ * metricHelpKnown, which the schema-drift guard uses to force new
+ * namespaces into the catalogue).
+ */
+std::string metricHelp(const std::string& name);
+
+/** True when metricHelp() found a catalogued (non-generic) entry. */
+bool metricHelpKnown(const std::string& name);
+
 /** JSONL: meta, epoch samples, final registry. */
 void writeMetricsJsonl(std::ostream& os, const Collector* collector,
                        const StatSet& set);
+
+/**
+ * The individual wgmetrics-jsonl lines (no trailing newline). These
+ * are the single source of the format's bytes: writeMetricsJsonl
+ * concatenates them, and the serve layer embeds them verbatim in
+ * stream frames — which is what makes a watched job's stream
+ * byte-identical to the offline export by construction.
+ */
+std::string jsonlMetaLine(bool have_series, Cycle epoch_length,
+                          std::uint32_t num_sms);
+std::string jsonlEpochLine(SmId sm, const EpochSample& s);
+std::string jsonlFinalLine(const StatSet& set);
 
 /** CSV: epoch-series rows plus a `# final` registry section. */
 void writeMetricsCsv(std::ostream& os, const Collector* collector,

@@ -236,4 +236,194 @@ Client::drain(int timeoutMs, std::string& error)
                      resp, error);
 }
 
+namespace {
+
+bool
+parseFrameLine(const Json& doc, Frame& out, std::string& error)
+{
+    const Json* kind = doc.find("frame");
+    const Json* id = doc.find("id");
+    if (kind == nullptr || !kind->isString() || id == nullptr ||
+        !id->isString()) {
+        error = "frame missing 'frame'/'id'";
+        return false;
+    }
+    out = Frame{};
+    out.jobId = id->asString();
+    const std::string& k = kind->asString();
+    auto getU64 = [&](const char* key, std::uint64_t& dst) {
+        const Json* m = doc.find(key);
+        if (m == nullptr || !m->isNumber()) {
+            error = std::string("frame missing numeric '") + key + "'";
+            return false;
+        }
+        dst = m->asU64();
+        return true;
+    };
+    if (k == "meta" || k == "epoch" || k == "final") {
+        out.kind = k == "meta" ? FrameKind::Meta
+                   : k == "epoch" ? FrameKind::Epoch
+                                  : FrameKind::Final;
+        std::uint64_t cell = 0;
+        if (!getU64("cell", cell))
+            return false;
+        out.cell = static_cast<std::size_t>(cell);
+        const Json* data = doc.find("data");
+        if (data == nullptr || !data->isObject()) {
+            error = "frame missing object 'data'";
+            return false;
+        }
+        // dump() re-emits preserved number lexemes, so these are the
+        // exact bytes the daemon embedded (the offline jsonl line).
+        out.data = data->dump();
+        if (out.kind == FrameKind::Meta) {
+            if (const Json* b = doc.find("bench"))
+                if (b->isString())
+                    out.bench = b->asString();
+            if (const Json* t = doc.find("technique"))
+                if (t->isString())
+                    out.technique = t->asString();
+        }
+        return true;
+    }
+    if (k == "progress") {
+        out.kind = FrameKind::Progress;
+        std::uint64_t completed = 0;
+        std::uint64_t total = 0;
+        if (!getU64("completedCells", completed) ||
+            !getU64("totalCells", total))
+            return false;
+        out.completedCells = static_cast<std::size_t>(completed);
+        out.totalCells = static_cast<std::size_t>(total);
+        const Json* eta = doc.find("etaMs");
+        out.etaMs =
+            (eta != nullptr && eta->isNumber()) ? eta->asDouble() : -1.0;
+        return true;
+    }
+    if (k == "result") {
+        out.kind = FrameKind::Result;
+        const Json* state = doc.find("state");
+        if (state == nullptr || !state->isString()) {
+            error = "result frame missing 'state'";
+            return false;
+        }
+        out.state = state->asString();
+        if (const Json* err = doc.find("error"))
+            if (err->isString())
+                out.error = err->asString();
+        return getU64("droppedFrames", out.droppedFrames);
+    }
+    error = "unknown frame kind '" + k + "'";
+    return false;
+}
+
+} // namespace
+
+bool
+Client::subscribe(const std::string& id, std::string& error)
+{
+    if (subscribed_) {
+        error = "already subscribed";
+        return false;
+    }
+    Json req = requestEnvelope("subscribe");
+    req.set("id", Json::string(id));
+    Json resp;
+    if (!roundTrip(req, "subscribe", timeout_ms_, resp, error))
+        return false;
+    subscribed_ = true;
+    return true;
+}
+
+bool
+Client::unsubscribe(std::string& error)
+{
+    if (!subscribed_) {
+        error = "not subscribed";
+        return false;
+    }
+    if (!sendAll(fd_.get(), requestEnvelope("unsubscribe").dump() + "\n",
+                 error))
+        return false;
+    // Frames already in flight interleave ahead of the response;
+    // discard them until the unsubscribe response line arrives.
+    std::string line;
+    for (;;) {
+        LineReader::Status st =
+            reader_->readLine(line, timeout_ms_, error);
+        if (st == LineReader::Status::Timeout) {
+            error = "timed out waiting for the unsubscribe response";
+            return false;
+        }
+        if (st == LineReader::Status::Eof) {
+            error = "daemon closed the connection";
+            return false;
+        }
+        if (st == LineReader::Status::Error)
+            return false;
+        Json doc;
+        if (!Json::parse(line, doc, error)) {
+            error = "malformed line during unsubscribe: " + error;
+            return false;
+        }
+        const Json* type = doc.find("type");
+        if (type != nullptr && type->isString() &&
+            type->asString() == "frame")
+            continue;
+        const Json* req = doc.find("request");
+        if (req == nullptr || !req->isString() ||
+            req->asString() != "unsubscribe") {
+            error = "unexpected response during unsubscribe";
+            return false;
+        }
+        subscribed_ = false;
+        const Json* ok = doc.find("ok");
+        if (ok == nullptr || !ok->isBool() || !ok->asBool()) {
+            const Json* err = doc.find("error");
+            error = (err != nullptr && err->isString())
+                        ? err->asString()
+                        : "daemon rejected the unsubscribe";
+            return false;
+        }
+        return true;
+    }
+}
+
+bool
+Client::nextFrame(Frame& out, int timeoutMs, std::string& error)
+{
+    if (!subscribed_) {
+        error = "not subscribed";
+        return false;
+    }
+    std::string line;
+    LineReader::Status st = reader_->readLine(line, timeoutMs, error);
+    if (st == LineReader::Status::Timeout) {
+        error = "timed out waiting for a frame";
+        return false;
+    }
+    if (st == LineReader::Status::Eof) {
+        error = "daemon closed the connection";
+        return false;
+    }
+    if (st == LineReader::Status::Error)
+        return false;
+    Json doc;
+    if (!Json::parse(line, doc, error)) {
+        error = "malformed frame: " + error;
+        return false;
+    }
+    const Json* type = doc.find("type");
+    if (type == nullptr || !type->isString() ||
+        type->asString() != "frame") {
+        error = "expected a frame line, got something else";
+        return false;
+    }
+    if (!parseFrameLine(doc, out, error))
+        return false;
+    if (out.kind == FrameKind::Result)
+        subscribed_ = false; // stream is over; daemon pushes no more
+    return true;
+}
+
 } // namespace wg::serve

@@ -22,6 +22,40 @@
 
 namespace wg::serve {
 
+/** Kinds of pushed stream frames (see stream.hh for the grammar). */
+enum class FrameKind : std::uint8_t {
+    Meta,
+    Epoch,
+    Final,
+    Progress,
+    Result,
+};
+
+/** One parsed stream frame. */
+struct Frame
+{
+    FrameKind kind = FrameKind::Progress;
+    std::string jobId;
+
+    /**
+     * Exact bytes of the embedded wgmetrics jsonl line (meta / epoch /
+     * final frames) — number lexemes preserved, so concatenating these
+     * reproduces the offline `wgsim --metrics` export byte for byte.
+     */
+    std::string data;
+    std::size_t cell = 0;  ///< meta/epoch/final
+    std::string bench;     ///< meta
+    std::string technique; ///< meta
+
+    std::size_t completedCells = 0; ///< progress
+    std::size_t totalCells = 0;     ///< progress
+    double etaMs = -1.0;            ///< progress; < 0 = unknown
+
+    std::string state;                ///< result
+    std::string error;                ///< result (failed jobs)
+    std::uint64_t droppedFrames = 0;  ///< result
+};
+
 class Client
 {
   public:
@@ -64,6 +98,29 @@ class Client
      */
     bool drain(int timeoutMs, std::string& error);
 
+    /**
+     * Open the live frame stream of job @p id. While subscribed, the
+     * daemon interleaves pushed frame lines with responses, so the
+     * only safe calls are nextFrame() and unsubscribe().
+     */
+    bool subscribe(const std::string& id, std::string& error);
+
+    /**
+     * Close the stream; discards any frames still in flight until the
+     * daemon's unsubscribe response arrives.
+     */
+    bool unsubscribe(std::string& error);
+
+    bool subscribed() const { return subscribed_; }
+
+    /**
+     * Read the next pushed frame (blocking up to @p timeoutMs).
+     * @return false on timeout, EOF, or malformed frame. After a
+     * Result frame the daemon pushes nothing further; the caller
+     * should stop reading (the subscription is over).
+     */
+    bool nextFrame(Frame& out, int timeoutMs, std::string& error);
+
     /** Per-request response deadline (default 10 minutes). */
     void setRequestTimeout(int timeoutMs) { timeout_ms_ = timeoutMs; }
 
@@ -74,6 +131,7 @@ class Client
     Fd fd_;
     std::unique_ptr<LineReader> reader_;
     int timeout_ms_ = 600000;
+    bool subscribed_ = false;
 };
 
 } // namespace wg::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Leveled, rate-limited, structured jsonl event log for wgservd.
+ *
+ * Each event is one JSON line: `{"tMs":...,"level":...,"event":...}`
+ * plus caller-supplied string fields. Timestamps are milliseconds of
+ * monotonic clock since open() — the daemon's self-observability never
+ * needs (and the determinism lint bans) wall-clock time.
+ *
+ * Two guards keep the log from hurting the daemon it watches:
+ *   - a level threshold (debug < info < warn < error) filters noise;
+ *   - a per-second event budget drops (and counts) excess lines, so a
+ *     misbehaving client cannot turn the log into an I/O flood.
+ *
+ * The clock is injectable so tests drive the rate limiter
+ * deterministically. A default-constructed EventLog is closed and
+ * every call is a cheap no-op, which lets callers hold an optional
+ * pointer without null checks at each site.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace wg::serve {
+
+class EventLog
+{
+  public:
+    /** Severity; the threshold keeps events >= the configured level. */
+    enum class Level : std::uint8_t { Debug, Info, Warn, Error };
+
+    /** Protocol spelling of @p level. */
+    static const char* levelName(Level level);
+
+    /** Parse a --log-level value. @return false when unknown. */
+    static bool parseLevel(const std::string& name, Level& out);
+
+    struct Options
+    {
+        Level level = Level::Info;
+        std::uint64_t maxPerSecond = 200; ///< 0 = unlimited
+        /** Monotonic milliseconds; null uses steady_clock. */
+        std::function<std::uint64_t()> clockMs;
+    };
+
+    /** Drop counters (sampled under the log lock). */
+    struct Counters
+    {
+        std::uint64_t written = 0;     ///< lines emitted
+        std::uint64_t filtered = 0;    ///< below the level threshold
+        std::uint64_t rateLimited = 0; ///< over the per-second budget
+    };
+
+    EventLog() = default;
+
+    /** Open @p path for appending. @return false with @p error set. */
+    bool open(const std::string& path, const Options& opts,
+              std::string& error);
+
+    /** True when open() succeeded (log() writes somewhere). */
+    bool enabled() const;
+
+    /**
+     * Emit one event line. @p fields are (camelCase key, value) pairs
+     * appended after the envelope; values are JSON-escaped strings.
+     * No-op when closed, below the threshold, or over budget.
+     */
+    void log(Level level, const std::string& event,
+             std::initializer_list<std::pair<const char*, std::string>>
+                 fields = {});
+
+    Counters counters() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::ofstream out_;
+    Options opts_;
+    bool enabled_ = false;
+    std::uint64_t open_ms_ = 0;     ///< clock at open(); tMs baseline
+    std::uint64_t window_sec_ = 0;  ///< rate-limit window index
+    std::uint64_t window_count_ = 0;
+    Counters counters_;
+};
+
+} // namespace wg::serve

@@ -1,12 +1,27 @@
 #include "jobs.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
+#include "metrics/registry.hh"
+#include "serve/stream.hh"
 #include "serve/wire.hh"
 #include "workload/profile.hh"
 
 namespace wg::serve {
+
+namespace {
+
+/** Elapsed seconds between two monotonic samples (serve-side only). */
+double
+elapsedSeconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace
 
 const char*
 jobStateName(JobState state)
@@ -44,6 +59,7 @@ JobManager::~JobManager()
                 job->state = JobState::Cancelled;
                 --queued_;
                 ++cancelled_;
+                finishSubscribersLocked(*job);
             }
         }
         dispatch_cv_.notify_all();
@@ -104,6 +120,8 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
         std::lock_guard<std::mutex> lock(mu_);
         ++rejected_;
         out.error = error;
+        logEvent(EventLog::Level::Warn, "submitRejected",
+                 {{"reason", error}});
         return out;
     }
     const std::string key = wire::canonicalKey(spec);
@@ -113,11 +131,15 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
         ++rejected_;
         out.error = "priority must be in [0, " +
                     std::to_string(config_.numPriorities) + ")";
+        logEvent(EventLog::Level::Warn, "submitRejected",
+                 {{"reason", out.error}});
         return out;
     }
     if (draining_) {
         ++rejected_;
         out.error = "daemon is draining; not accepting new jobs";
+        logEvent(EventLog::Level::Warn, "submitRejected",
+                 {{"reason", out.error}});
         return out;
     }
 
@@ -140,6 +162,8 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
             out.ok = true;
             out.id = job.id;
             out.deduped = true;
+            logEvent(EventLog::Level::Debug, "submitDeduped",
+                     {{"id", job.id}});
             return out;
         }
         dedup_.erase(dup); // stale mapping (cancelled/failed): retry
@@ -150,6 +174,8 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
         out.error = "admission queue full (" +
                     std::to_string(config_.queueCapacity) +
                     " queued jobs)";
+        logEvent(EventLog::Level::Warn, "submitRejected",
+                 {{"reason", out.error}});
         return out;
     }
 
@@ -158,6 +184,7 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
     job->spec = spec;
     job->priority = priority;
     job->submitSeq = ++submit_tick_;
+    job->submitTime = std::chrono::steady_clock::now();
     jobs_[job->id] = job;
     order_.push_back(job);
     dedup_[key] = job->id;
@@ -166,6 +193,9 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
     dispatch_cv_.notify_all();
     out.ok = true;
     out.id = job->id;
+    logEvent(EventLog::Level::Info, "jobSubmitted",
+             {{"id", job->id},
+              {"priority", std::to_string(priority)}});
     return out;
 }
 
@@ -243,11 +273,16 @@ JobManager::cancel(const std::string& id, std::string& error)
         job.state = JobState::Cancelled;
         --queued_;
         ++cancelled_;
+        recordLatenciesLocked(job);
+        finishSubscribersLocked(job);
+        logEvent(EventLog::Level::Info, "jobCancelled", {{"id", id}});
         idle_cv_.notify_all();
         return true;
       case JobState::Running:
         // Takes effect at the job's next cell boundary.
         job.cancelRequested = true;
+        logEvent(EventLog::Level::Info, "cancelRequested",
+                 {{"id", id}});
         return true;
       case JobState::Done:
       case JobState::Cancelled:
@@ -294,6 +329,12 @@ void
 JobManager::publishStats(StatSet& set) const
 {
     CacheStats cache = runner_.cacheStats();
+    // Pool stats take the pool's own lock; gather before mu_ so the
+    // lock order stays acyclic.
+    PoolStats pool{};
+    const bool havePool = runner_.pool() != nullptr;
+    if (havePool)
+        pool = runner_.pool()->stats();
     std::lock_guard<std::mutex> lock(mu_);
     set.set("serve.jobs.submitted", static_cast<double>(submitted_));
     set.set("serve.jobs.deduped", static_cast<double>(dedupHits_));
@@ -324,6 +365,36 @@ JobManager::publishStats(StatSet& set) const
     set.set("serve.cache.bytes", static_cast<double>(cache.bytes));
     set.set("serve.cache.inFlight",
             static_cast<double>(cache.inFlight));
+    set.set("serve.subscriptions.opened",
+            static_cast<double>(subsOpened_));
+    set.set("serve.subscriptions.active",
+            static_cast<double>(subsOpened_ - subsClosed_));
+    set.set("serve.subscriptions.droppedFrames",
+            static_cast<double>(droppedFramesTotal_));
+    // Scalar latency summaries; the OpenMetrics exposition carries the
+    // full histograms via latencySnapshot().
+    set.set("serve.latency.admissionWait.count",
+            static_cast<double>(admissionWait_.total()));
+    set.set("serve.latency.admissionWait.sumSeconds",
+            admissionWait_.sum());
+    set.set("serve.latency.runDuration.count",
+            static_cast<double>(runDuration_.total()));
+    set.set("serve.latency.runDuration.sumSeconds",
+            runDuration_.sum());
+    set.set("serve.latency.endToEnd.count",
+            static_cast<double>(endToEnd_.total()));
+    set.set("serve.latency.endToEnd.sumSeconds", endToEnd_.sum());
+    if (havePool) {
+        set.set("pool.threads", static_cast<double>(pool.threads));
+        set.set("pool.tasksExecuted",
+                static_cast<double>(pool.tasksExecuted));
+        set.set("pool.busySeconds", pool.busySeconds);
+        set.set("pool.steals", static_cast<double>(pool.steals));
+        set.set("pool.queueDepth",
+                static_cast<double>(pool.queueDepth));
+        set.set("pool.active", static_cast<double>(pool.active));
+        set.set("pool.draining", pool.draining ? 1.0 : 0.0);
+    }
 }
 
 void
@@ -357,8 +428,13 @@ JobManager::dispatcherLoop()
             job = nextQueued();
             job->state = JobState::Running;
             job->startSeq = ++start_tick_;
+            job->startTime = std::chrono::steady_clock::now();
+            admissionWait_.record(
+                elapsedSeconds(job->submitTime, job->startTime));
             --queued_;
             ++running_;
+            logEvent(EventLog::Level::Debug, "jobStarted",
+                     {{"id", job->id}});
         }
         ThreadPool* pool = runner_.pool();
         if (pool == nullptr) {
@@ -385,6 +461,7 @@ JobManager::runJob(std::shared_ptr<Job> job)
 {
     std::string failure;
     bool cancelled = false;
+    std::size_t cellIndex = 0;
     try {
         for (const std::string& bench : job->spec.benches) {
             for (Technique t : job->spec.techniques) {
@@ -395,12 +472,21 @@ JobManager::runJob(std::shared_ptr<Job> job)
                         break;
                     }
                 }
-                std::shared_ptr<const SimResult> r =
-                    runner_.runShared(bench, t, job->spec.options);
+                MeteredResult r = runner_.runMetered(
+                    bench, t, job->spec.options);
+                // Frame bytes are built outside the lock; only the
+                // publication (log append + fan-out) is serialised.
+                StatSet registry = metrics::toStatSet(*r.result);
+                std::vector<std::string> frames = stream::cellFrames(
+                    job->id, cellIndex, bench, techniqueName(t),
+                    r.series.get(), registry);
                 std::lock_guard<std::mutex> lock(mu_);
-                job->cells.push_back(JobCell{bench, t, std::move(r)});
+                job->cells.push_back(JobCell{bench, t, r.result});
                 ++job->completedCells;
                 ++cellsCompleted_;
+                publishFramesLocked(*job, frames);
+                publishProgressLocked(*job);
+                ++cellIndex;
             }
             if (cancelled)
                 break;
@@ -420,9 +506,191 @@ JobManager::runJob(std::shared_ptr<Job> job)
         job->state = JobState::Done;
         ++completed_;
     }
+    recordLatenciesLocked(*job);
+    finishSubscribersLocked(*job);
+    logEvent(EventLog::Level::Info, "jobFinished",
+             {{"id", job->id},
+              {"state", jobStateName(job->state)},
+              {"cells", std::to_string(job->completedCells)}});
     --running_;
     dispatch_cv_.notify_all();
     idle_cv_.notify_all();
+}
+
+std::shared_ptr<Subscription>
+JobManager::subscribe(const std::string& id, std::string& error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        error = "unknown job '" + id + "'";
+        return nullptr;
+    }
+    Job& job = *it->second;
+    auto sub = std::make_shared<Subscription>();
+    sub->jobId = id;
+    ++subsOpened_;
+    // Replay the published log so a late subscriber sees the identical
+    // byte stream a prompt one did.
+    for (const std::string& frame : job.frameLog)
+        enqueueFrameLocked(*sub, frame, /*force=*/false);
+    const std::size_t total =
+        job.spec.benches.size() * job.spec.techniques.size();
+    enqueueFrameLocked(*sub,
+                       stream::progressFrame(job.id, job.completedCells,
+                                             total, etaMsLocked(job)),
+                       /*force=*/false);
+    if (job.state == JobState::Done ||
+        job.state == JobState::Cancelled ||
+        job.state == JobState::Failed) {
+        enqueueFrameLocked(*sub,
+                           stream::resultFrame(job.id,
+                                               jobStateName(job.state),
+                                               job.error, sub->dropped),
+                           /*force=*/true);
+        sub->terminal = true;
+    } else {
+        job.subscribers.push_back(sub);
+    }
+    logEvent(EventLog::Level::Debug, "subscribed", {{"id", id}});
+    return sub;
+}
+
+void
+JobManager::unsubscribe(const std::shared_ptr<Subscription>& sub)
+{
+    if (sub == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sub->closed)
+        return;
+    sub->closed = true;
+    ++subsClosed_;
+    auto it = jobs_.find(sub->jobId);
+    if (it != jobs_.end()) {
+        auto& subs = it->second->subscribers;
+        subs.erase(std::remove(subs.begin(), subs.end(), sub),
+                   subs.end());
+    }
+    logEvent(EventLog::Level::Debug, "unsubscribed",
+             {{"id", sub->jobId}});
+}
+
+bool
+JobManager::nextFrame(Subscription& sub, std::string& out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sub.queue.empty())
+        return false;
+    out = std::move(sub.queue.front());
+    sub.queue.pop_front();
+    return true;
+}
+
+bool
+JobManager::subscriptionDone(const Subscription& sub) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sub.terminal && sub.queue.empty();
+}
+
+LatencySnapshot
+JobManager::latencySnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    LatencySnapshot snap;
+    snap.admissionWait = admissionWait_;
+    snap.runDuration = runDuration_;
+    snap.endToEnd = endToEnd_;
+    return snap;
+}
+
+void
+JobManager::enqueueFrameLocked(Subscription& sub,
+                               const std::string& frame, bool force)
+{
+    if (sub.closed)
+        return;
+    if (!force && sub.queue.size() >= config_.subscriberQueueCap) {
+        ++sub.dropped;
+        ++droppedFramesTotal_;
+        return;
+    }
+    sub.queue.push_back(frame);
+}
+
+void
+JobManager::publishFramesLocked(Job& job,
+                                const std::vector<std::string>& frames)
+{
+    for (const std::string& frame : frames)
+        job.frameLog.push_back(frame);
+    for (const auto& sub : job.subscribers)
+        for (const std::string& frame : frames)
+            enqueueFrameLocked(*sub, frame, /*force=*/false);
+}
+
+void
+JobManager::publishProgressLocked(Job& job)
+{
+    if (job.subscribers.empty())
+        return;
+    const std::size_t total =
+        job.spec.benches.size() * job.spec.techniques.size();
+    const std::string frame = stream::progressFrame(
+        job.id, job.completedCells, total, etaMsLocked(job));
+    for (const auto& sub : job.subscribers)
+        enqueueFrameLocked(*sub, frame, /*force=*/false);
+}
+
+void
+JobManager::finishSubscribersLocked(Job& job)
+{
+    for (const auto& sub : job.subscribers) {
+        enqueueFrameLocked(*sub,
+                           stream::resultFrame(job.id,
+                                               jobStateName(job.state),
+                                               job.error, sub->dropped),
+                           /*force=*/true);
+        sub->terminal = true;
+    }
+    job.subscribers.clear();
+}
+
+double
+JobManager::etaMsLocked(const Job& job) const
+{
+    if (job.state != JobState::Running || job.completedCells == 0)
+        return -1.0;
+    const std::size_t total =
+        job.spec.benches.size() * job.spec.techniques.size();
+    if (job.completedCells >= total)
+        return 0.0;
+    const double perCell =
+        elapsedSeconds(job.startTime,
+                       std::chrono::steady_clock::now()) /
+        static_cast<double>(job.completedCells);
+    return perCell * static_cast<double>(total - job.completedCells) *
+           1000.0;
+}
+
+void
+JobManager::recordLatenciesLocked(Job& job)
+{
+    const auto now = std::chrono::steady_clock::now();
+    if (job.startSeq != 0)
+        runDuration_.record(elapsedSeconds(job.startTime, now));
+    endToEnd_.record(elapsedSeconds(job.submitTime, now));
+}
+
+void
+JobManager::logEvent(
+    EventLog::Level level, const std::string& event,
+    std::initializer_list<std::pair<const char*, std::string>> fields)
+    const
+{
+    if (config_.events != nullptr)
+        config_.events->log(level, event, fields);
 }
 
 } // namespace wg::serve

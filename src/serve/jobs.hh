@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,8 +37,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "core/experiment.hh"
+#include "serve/eventlog.hh"
 
 namespace wg::serve {
 
@@ -59,6 +62,18 @@ struct JobConfig
     std::size_t queueCapacity = 256; ///< max *queued* jobs (admission)
     unsigned maxConcurrentJobs = 2;  ///< jobs dispatched at once
     unsigned numPriorities = 4;      ///< valid priorities: [0, n)
+
+    /**
+     * Per-subscriber frame-queue bound (slow-consumer policy): a
+     * subscriber whose connection cannot keep up accumulates at most
+     * this many undelivered frames; further frames are dropped and
+     * counted, and the terminal result frame is always delivered.
+     * The publisher never blocks on a subscriber.
+     */
+    std::size_t subscriberQueueCap = 65536;
+
+    /** Structured event sink; null disables event logging. */
+    EventLog* events = nullptr;
 };
 
 /** One completed (bench, technique) cell of a job. */
@@ -81,6 +96,29 @@ struct JobStatus
     std::uint64_t submitSeq = 0; ///< admission order (1-based)
     std::uint64_t startSeq = 0; ///< dispatch order (0 = not started)
     std::string error;          ///< set when state == Failed
+};
+
+/**
+ * One live frame stream. All state is guarded by the owning manager's
+ * lock; the consumer (a connection thread) pulls with
+ * JobManager::nextFrame() and the publisher (runJob) pushes without
+ * ever blocking — a full queue drops the frame and counts it.
+ */
+struct Subscription
+{
+    std::string jobId;
+    std::deque<std::string> queue; ///< frames awaiting delivery
+    std::uint64_t dropped = 0;     ///< frames lost to the queue cap
+    bool terminal = false; ///< result frame enqueued; stream is ending
+    bool closed = false;   ///< unsubscribed; publisher skips it
+};
+
+/** Copies of the manager's latency histograms (for /metrics). */
+struct LatencySnapshot
+{
+    LatencyHistogram admissionWait; ///< submit -> dispatch
+    LatencyHistogram runDuration;   ///< dispatch -> terminal
+    LatencyHistogram endToEnd;      ///< submit -> terminal
 };
 
 class JobManager
@@ -156,6 +194,29 @@ class JobManager
     void publishStats(StatSet& set) const;
 
     /**
+     * Open a live frame stream on @p id. Frames already published
+     * (completed cells of a running job, or the whole log of a
+     * finished one) are replayed into the queue first, so a late
+     * subscriber sees the identical byte stream; a finished job's
+     * stream ends immediately with its terminal result frame.
+     * @return null with @p error set for an unknown id.
+     */
+    std::shared_ptr<Subscription> subscribe(const std::string& id,
+                                            std::string& error);
+
+    /** Close a subscription (idempotent; null is a no-op). */
+    void unsubscribe(const std::shared_ptr<Subscription>& sub);
+
+    /** Pop the next undelivered frame. @return false when empty. */
+    bool nextFrame(Subscription& sub, std::string& out);
+
+    /** True once the terminal frame has been delivered (queue empty). */
+    bool subscriptionDone(const Subscription& sub) const;
+
+    /** Latency histograms for the OpenMetrics exposition. */
+    LatencySnapshot latencySnapshot() const;
+
+    /**
      * Test hook: hold back the dispatcher so a batch of submissions
      * can be enqueued, then released atomically — the load test uses
      * this to assert strict FIFO-within-priority dispatch order.
@@ -179,12 +240,45 @@ class JobManager
         std::size_t completedCells = 0;
         std::vector<JobCell> cells;
         std::string error;
+
+        /**
+         * Replayable stream frames (meta/epoch/final per completed
+         * cell, in publication order) so late subscribers get the
+         * identical bytes; progress/result frames are per-subscriber
+         * and never logged.
+         */
+        std::vector<std::string> frameLog;
+        std::vector<std::shared_ptr<Subscription>> subscribers;
+
+        // Latency instrumentation (daemon self-observability only;
+        // steady_clock in serve/ is lint-exempt by design).
+        std::chrono::steady_clock::time_point submitTime{};
+        std::chrono::steady_clock::time_point startTime{};
     };
 
     JobStatus snapshotLocked(const Job& job) const;
     void dispatcherLoop();
     void runJob(std::shared_ptr<Job> job);
     bool validateSpec(const SweepSpec& spec, std::string& error) const;
+
+    /** Push one frame into @p sub; @p force bypasses the queue cap. */
+    void enqueueFrameLocked(Subscription& sub, const std::string& frame,
+                            bool force);
+    /** Append @p frames to the job's log and fan out to subscribers. */
+    void publishFramesLocked(Job& job,
+                             const std::vector<std::string>& frames);
+    /** Fan a progress frame out to the job's subscribers. */
+    void publishProgressLocked(Job& job);
+    /** Enqueue the terminal result frame on every live subscriber. */
+    void finishSubscribersLocked(Job& job);
+    /** Throughput-derived ETA in ms; < 0 when unknowable. */
+    double etaMsLocked(const Job& job) const;
+    /** Record terminal-transition latencies for @p job. */
+    void recordLatenciesLocked(Job& job);
+    void logEvent(EventLog::Level level, const std::string& event,
+                  std::initializer_list<
+                      std::pair<const char*, std::string>>
+                      fields) const;
 
     ExperimentRunner& runner_;
     JobConfig config_;
@@ -214,6 +308,16 @@ class JobManager
     std::uint64_t cancelled_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t cellsCompleted_ = 0;
+
+    // Subscription accounting (guarded by mu_).
+    std::uint64_t subsOpened_ = 0;
+    std::uint64_t subsClosed_ = 0;
+    std::uint64_t droppedFramesTotal_ = 0;
+
+    // Latency histograms (guarded by mu_; seconds).
+    LatencyHistogram admissionWait_;
+    LatencyHistogram runDuration_;
+    LatencyHistogram endToEnd_;
 
     std::thread dispatcher_;
 };

@@ -161,10 +161,47 @@ handleDrain(JobManager& jobs)
     return out;
 }
 
+ProtocolResult
+handleSubscribe(JobManager& jobs, ConnState& conn, const Json& doc)
+{
+    std::string id;
+    std::string error;
+    if (!requestId(doc, id, error))
+        return errorResponse("subscribe", error);
+    if (conn.sub != nullptr)
+        return errorResponse("subscribe",
+                             "connection already subscribed to job '" +
+                                 conn.sub->jobId + "'");
+    std::shared_ptr<Subscription> sub = jobs.subscribe(id, error);
+    if (sub == nullptr)
+        return errorResponse("subscribe", error);
+    conn.sub = std::move(sub);
+    Json resp = responseEnvelope("subscribe");
+    resp.set("ok", Json::boolean(true));
+    resp.set("id", Json::string(id));
+    return okResponse(std::move(resp));
+}
+
+ProtocolResult
+handleUnsubscribe(JobManager& jobs, ConnState& conn)
+{
+    if (conn.sub == nullptr)
+        return errorResponse("unsubscribe",
+                             "connection has no subscription");
+    const std::string id = conn.sub->jobId;
+    jobs.unsubscribe(conn.sub);
+    conn.sub.reset();
+    Json resp = responseEnvelope("unsubscribe");
+    resp.set("ok", Json::boolean(true));
+    resp.set("id", Json::string(id));
+    return okResponse(std::move(resp));
+}
+
 } // namespace
 
 ProtocolResult
-handleRequestLine(JobManager& jobs, const std::string& line)
+handleRequestLine(JobManager& jobs, ConnState& conn,
+                  const std::string& line)
 {
     Json doc;
     std::string error;
@@ -196,6 +233,10 @@ handleRequestLine(JobManager& jobs, const std::string& line)
         return handleStats(jobs);
     if (t == "drain")
         return handleDrain(jobs);
+    if (t == "subscribe")
+        return handleSubscribe(jobs, conn, doc);
+    if (t == "unsubscribe")
+        return handleUnsubscribe(jobs, conn);
     return errorResponse(t, "unknown request type '" + t + "'");
 }
 

@@ -60,7 +60,19 @@ Server::promExposition() const
     StatSet set;
     jobs_.publishStats(set);
     std::ostringstream os;
-    metrics::writeProm(os, set);
+    metrics::writePromGauges(os, set);
+    const LatencySnapshot lat = jobs_.latencySnapshot();
+    metrics::writePromHistogram(
+        os, "serve.latency.admissionWait.seconds",
+        "job latency from admission to dispatch", lat.admissionWait);
+    metrics::writePromHistogram(
+        os, "serve.latency.runDuration.seconds",
+        "job latency from dispatch to terminal state",
+        lat.runDuration);
+    metrics::writePromHistogram(
+        os, "serve.latency.endToEnd.seconds",
+        "job latency from admission to terminal state", lat.endToEnd);
+    os << "# EOF\n";
     return os.str();
 }
 
@@ -103,18 +115,44 @@ Server::connectionLoop(int fd)
 {
     Fd conn(fd);
     LineReader reader(conn.get());
+    ConnState state;
     std::string line;
     std::string error;
     bool first = true;
+    // Drop the subscription on every exit path so the manager stops
+    // fanning frames into a dead queue.
+    auto cleanup = [&] { jobs_.unsubscribe(state.sub); };
     while (!stopping_.load()) {
+        // Pump the live stream before (and between) requests. The cap
+        // bounds one iteration so a chatty stream cannot starve the
+        // request reader.
+        if (state.sub != nullptr) {
+            std::string frame;
+            for (int i = 0; i < 256; ++i) {
+                if (!jobs_.nextFrame(*state.sub, frame))
+                    break;
+                if (!sendAll(conn.get(), frame + "\n", error)) {
+                    warn("wgservd: stream send failed: ", error);
+                    cleanup();
+                    return;
+                }
+            }
+            if (jobs_.subscriptionDone(*state.sub)) {
+                jobs_.unsubscribe(state.sub);
+                state.sub.reset();
+            }
+        }
         LineReader::Status st =
             reader.readLine(line, config_.pollTickMs, error);
         if (st == LineReader::Status::Timeout)
-            continue; // idle tick; lets us notice stopping_
-        if (st == LineReader::Status::Eof)
+            continue; // idle tick; pumps the stream + sees stopping_
+        if (st == LineReader::Status::Eof) {
+            cleanup();
             return;
+        }
         if (st == LineReader::Status::Error) {
             warn("wgservd: dropping connection: ", error);
+            cleanup();
             return;
         }
         if (first && line.rfind("GET ", 0) == 0) {
@@ -124,16 +162,19 @@ Server::connectionLoop(int fd)
         first = false;
         if (line.empty())
             continue;
-        ProtocolResult result = handleRequestLine(jobs_, line);
+        ProtocolResult result = handleRequestLine(jobs_, state, line);
         if (!sendAll(conn.get(), result.response + "\n", error)) {
             warn("wgservd: send failed: ", error);
+            cleanup();
             return;
         }
         if (result.drained) {
             requestStop();
+            cleanup();
             return;
         }
     }
+    cleanup();
 }
 
 bool

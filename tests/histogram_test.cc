@@ -207,5 +207,62 @@ TEST_P(HistogramPartition, RegionsSumToOne)
 INSTANTIATE_TEST_SUITE_P(Splits, HistogramPartition,
                          ::testing::Values(0, 1, 5, 14, 19, 63, 64));
 
+TEST(LatencyHistogram, RecordsIntoCorrectBuckets)
+{
+    LatencyHistogram h({0.01, 0.1, 1.0});
+    h.record(0.005); // <= 0.01
+    h.record(0.01);  // boundary lands in its own bucket (le semantics)
+    h.record(0.05);  // <= 0.1
+    h.record(5.0);   // +Inf
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u); // +Inf bucket
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_NEAR(h.sum(), 5.065, 1e-12);
+}
+
+TEST(LatencyHistogram, CumulativeCountsAreMonotone)
+{
+    LatencyHistogram h({0.01, 0.1, 1.0});
+    h.record(0.005);
+    h.record(0.05);
+    h.record(5.0);
+    EXPECT_EQ(h.cumulative(0), 1u);
+    EXPECT_EQ(h.cumulative(1), 2u);
+    EXPECT_EQ(h.cumulative(2), 2u);
+    EXPECT_EQ(h.cumulative(3), 3u); // == total()
+}
+
+TEST(LatencyHistogram, NegativeDurationsClampToZero)
+{
+    // A clock hiccup must never crash or skew the sum negative.
+    LatencyHistogram h({0.01});
+    h.record(-1.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(LatencyHistogram, DefaultBoundsAscendAndCoverSubMsToMinutes)
+{
+    LatencyHistogram h;
+    ASSERT_FALSE(h.bounds().empty());
+    for (std::size_t i = 1; i < h.bounds().size(); ++i)
+        EXPECT_LT(h.bounds()[i - 1], h.bounds()[i]);
+    EXPECT_LE(h.bounds().front(), 0.001);
+    EXPECT_GE(h.bounds().back(), 60.0);
+}
+
+TEST(LatencyHistogramDeath, UnsortedBoundsPanic)
+{
+    EXPECT_DEATH(LatencyHistogram({0.1, 0.1}), "ascending");
+}
+
+TEST(LatencyHistogramDeath, BucketOutOfRangePanics)
+{
+    LatencyHistogram h({0.01});
+    EXPECT_DEATH(h.bucket(2), "out of range");
+}
+
 } // namespace
 } // namespace wg

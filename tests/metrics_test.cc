@@ -415,11 +415,55 @@ TEST(Exporters, GoldenProm)
     GoldenFixture fix;
     std::ostringstream os;
     metrics::writeProm(os, fix.set);
-    EXPECT_EQ(os.str(), "# TYPE wg_a_count gauge\n"
-                        "wg_a_count 3\n"
-                        "# TYPE wg_gpu_ipc gauge\n"
-                        "wg_gpu_ipc 1.5\n"
-                        "# EOF\n");
+    EXPECT_EQ(os.str(),
+              "# HELP wg_a_count uncatalogued simulator metric\n"
+              "# TYPE wg_a_count gauge\n"
+              "wg_a_count 3\n"
+              "# HELP wg_gpu_ipc whole-GPU aggregate counters (cycles,"
+              " IPC, warps)\n"
+              "# TYPE wg_gpu_ipc gauge\n"
+              "wg_gpu_ipc 1.5\n"
+              "# EOF\n");
+}
+
+TEST(Exporters, PromHistogramFamilyShape)
+{
+    LatencyHistogram h({0.01, 0.1, 1.0});
+    h.record(0.005);
+    h.record(0.05);
+    h.record(0.05);
+    h.record(50.0);
+    std::ostringstream os;
+    metrics::writePromHistogram(os, "serve.latency.endToEnd.seconds",
+                                "end-to-end job latency", h);
+    EXPECT_EQ(os.str(),
+              "# HELP wg_serve_latency_endToEnd_seconds end-to-end job"
+              " latency\n"
+              "# TYPE wg_serve_latency_endToEnd_seconds histogram\n"
+              "wg_serve_latency_endToEnd_seconds_bucket{le=\"0.01\"} 1\n"
+              "wg_serve_latency_endToEnd_seconds_bucket{le=\"0.1\"} 3\n"
+              "wg_serve_latency_endToEnd_seconds_bucket{le=\"1\"} 3\n"
+              "wg_serve_latency_endToEnd_seconds_bucket{le=\"+Inf\"} 4\n"
+              "wg_serve_latency_endToEnd_seconds_sum "
+              "50.104999999999997\n"
+              "wg_serve_latency_endToEnd_seconds_count 4\n");
+}
+
+TEST(Exporters, JsonlLineBuildersMatchWholeFileWriter)
+{
+    GoldenFixture fix;
+    std::ostringstream whole;
+    metrics::writeMetricsJsonl(whole, &fix.coll, fix.set);
+
+    std::ostringstream lines;
+    lines << metrics::jsonlMetaLine(true, fix.coll.epochLength(),
+                                    fix.coll.numSms())
+          << '\n';
+    for (SmId sm = 0; sm < fix.coll.numSms(); ++sm)
+        for (const auto& s : fix.coll.sampler(sm)->samples())
+            lines << metrics::jsonlEpochLine(sm, s) << '\n';
+    lines << metrics::jsonlFinalLine(fix.set) << '\n';
+    EXPECT_EQ(whole.str(), lines.str());
 }
 
 /** export -> parse -> exact equality, for every format. */

@@ -19,9 +19,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -171,6 +174,102 @@ TEST(ServeLoad, ThousandJobsFourPrioritiesHeavyDedup)
               double(kUniqueSpecs));
     EXPECT_EQ(gauges.get("serve.jobs.queued"), 0.0);
     EXPECT_EQ(gauges.get("serve.jobs.running"), 0.0);
+}
+
+/**
+ * Concurrent watchers under load (the TSan target for the streaming
+ * path): several subscribers per job, some subscribing before dispatch
+ * and some mid-run or after completion (the replay path), all racing
+ * the publisher. Every watcher must observe the identical
+ * meta/epoch/final byte stream, a terminal result frame, and zero
+ * drops (the default queue cap is far above one job's frame count);
+ * the manager must never stall on any of them.
+ */
+TEST(ServeLoad, ConcurrentWatchersSeeIdenticalCompleteStreams)
+{
+    constexpr std::size_t kJobs = 12;
+    constexpr std::size_t kWatchersPerJob = 4;
+
+    ExperimentRunner runner(ExperimentOptions{},
+                            &ThreadPool::global());
+    serve::JobConfig config;
+    config.queueCapacity = kJobs + 1;
+    config.maxConcurrentJobs = 4;
+    serve::JobManager manager(runner, config);
+    manager.pauseDispatch();
+
+    std::vector<std::string> ids;
+    for (std::size_t j = 0; j < kJobs; ++j) {
+        auto outcome = manager.submit(specFor(100 + j), 0);
+        ASSERT_TRUE(outcome.ok) << outcome.error;
+        ids.push_back(outcome.id);
+    }
+
+    // streams[j][w]: watcher w's concatenated meta/epoch/final frames.
+    std::vector<std::vector<std::string>> streams(
+        kJobs, std::vector<std::string>(kWatchersPerJob));
+    std::vector<std::thread> watchers;
+    for (std::size_t j = 0; j < kJobs; ++j) {
+        for (std::size_t w = 0; w < kWatchersPerJob; ++w) {
+            watchers.emplace_back([&, j, w] {
+                // Odd watchers subscribe late: mid-run or after the
+                // job finished, exercising the replay path against
+                // live publication.
+                if (w % 2 == 1)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5 * w));
+                std::string error;
+                std::shared_ptr<serve::Subscription> sub =
+                    manager.subscribe(ids[j], error);
+                ASSERT_NE(sub, nullptr) << error;
+
+                std::string bytes;
+                std::string last;
+                std::string frame;
+                while (!manager.subscriptionDone(*sub)) {
+                    while (manager.nextFrame(*sub, frame)) {
+                        last = frame;
+                        if (frame.find("\"frame\":\"progress\"") ==
+                                std::string::npos &&
+                            frame.find("\"frame\":\"result\"") ==
+                                std::string::npos)
+                            bytes += frame + "\n";
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+                EXPECT_NE(last.find("\"frame\":\"result\""),
+                          std::string::npos)
+                    << last;
+                EXPECT_NE(last.find("\"state\":\"done\""),
+                          std::string::npos)
+                    << last;
+                EXPECT_EQ(sub->dropped, 0u);
+                streams[j][w] = bytes;
+                manager.unsubscribe(sub);
+            });
+        }
+    }
+
+    manager.resumeDispatch();
+    for (std::thread& t : watchers)
+        t.join();
+    manager.drain();
+
+    for (std::size_t j = 0; j < kJobs; ++j) {
+        ASSERT_FALSE(streams[j][0].empty()) << "job " << ids[j];
+        for (std::size_t w = 1; w < kWatchersPerJob; ++w)
+            EXPECT_EQ(streams[j][w], streams[j][0])
+                << "watcher " << w << " of job " << ids[j]
+                << " saw a different byte stream";
+    }
+
+    StatSet gauges;
+    manager.publishStats(gauges);
+    EXPECT_EQ(gauges.get("serve.subscriptions.opened"),
+              double(kJobs * kWatchersPerJob));
+    EXPECT_EQ(gauges.get("serve.subscriptions.active"), 0.0);
+    EXPECT_EQ(gauges.get("serve.subscriptions.droppedFrames"), 0.0);
 }
 
 /** Dedup + cancel interplay under load: a cancelled job's key is

@@ -217,5 +217,35 @@ TEST(ThreadPool, DrainWithEmptyPoolReturnsImmediately)
     EXPECT_TRUE(pool.draining());
 }
 
+TEST(ThreadPool, StatsReportThreadsTasksAndIdleState)
+{
+    ThreadPool pool(3);
+    PoolStats before = pool.stats();
+    EXPECT_EQ(before.threads, 3u);
+    EXPECT_EQ(before.tasksExecuted, 0u);
+    EXPECT_FALSE(before.draining);
+
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 32; ++i)
+        futs.push_back(pool.submit([i] { return i; }));
+    pool.waitAll(futs);
+
+    PoolStats after = pool.stats();
+    EXPECT_EQ(after.tasksExecuted, 32u);
+    EXPECT_GE(after.busySeconds, 0.0);
+    // All tasks joined: nothing queued, nothing executing.
+    EXPECT_EQ(after.queueDepth, 0u);
+    EXPECT_EQ(after.active, 0u);
+    // Steals are timing-dependent; the counter only ever grows.
+    EXPECT_GE(after.steals, before.steals);
+}
+
+TEST(ThreadPool, StatsSeeDrainState)
+{
+    ThreadPool pool(2);
+    pool.drain();
+    EXPECT_TRUE(pool.stats().draining);
+}
+
 } // namespace
 } // namespace wg

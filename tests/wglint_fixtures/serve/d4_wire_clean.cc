@@ -1,0 +1,13 @@
+// Fixture: camelCase embedded keys, '_' in values and in plain (non
+// key) strings — D4 silent.
+#include <string>
+
+std::string
+buildFrame(const std::string& id)
+{
+    std::string out = "{\"jobId\":\"";
+    out += id;
+    out += "\",\"droppedFrames\":0,\"state\":\"not_a_key\"}";
+    out += "plain snake_case text without any embedded key";
+    return out;
+}

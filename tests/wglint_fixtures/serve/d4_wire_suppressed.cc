@@ -1,0 +1,10 @@
+// Fixture: an '_' wire key kept for a legacy consumer — D4 stays
+// silent under suppression.
+#include <string>
+
+std::string
+buildFrame()
+{
+    // wglint:allow(D4): legacy collector expects this spelling
+    return "{\"job_id\":\"j1\"}";
+}

@@ -1,0 +1,12 @@
+// Fixture: snake_case JSON keys embedded in hand-built wire/log
+// lines leak '_' into the protocol — D4 fires on both literals.
+#include <string>
+
+std::string
+buildFrame(const std::string& id)
+{
+    std::string out = "{\"job_id\":\"";
+    out += id;
+    out += "\",\"dropped_frames\":0}";
+    return out;
+}

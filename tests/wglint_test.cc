@@ -211,6 +211,31 @@ TEST(Wglint, D4SuppressionHonored)
     EXPECT_TRUE(run.output.empty()) << run.output;
 }
 
+TEST(Wglint, D4WireKeyViolationFires)
+{
+    auto run = lintFixture("serve/d4_wire_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D4"), 2) << run.output;
+    EXPECT_NE(run.output.find("job_id"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("dropped_frames"), std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, D4WireKeyCleanIsSilent)
+{
+    auto run = lintFixture("serve/d4_wire_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D4WireKeySuppressionHonored)
+{
+    auto run = lintFixture("serve/d4_wire_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
 TEST(Wglint, H1ViolationFires)
 {
     auto run = lintFixture("h1_violation.hh");

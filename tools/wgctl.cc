@@ -7,6 +7,10 @@
  *   submit   submit a sweep; with --wait, block and print the results
  *            exactly as `wgsim` would print them offline
  *   status   show one job (--id) or every job
+ *   watch    stream a job live: per-cell epoch frames, progress with
+ *            ETA, and the terminal result; --metrics re-exports the
+ *            streamed bytes as a wgmetrics jsonl file (single-cell
+ *            jobs) that is byte-identical to `wgsim --metrics`
  *   result   fetch and print a finished job's results
  *   cancel   cancel a queued or running job
  *   stats    print the daemon's serve.* gauges
@@ -16,10 +20,12 @@
  *   wgctl submit --port 7421 --bench hotspot --technique WarpedGates \
  *         --wait
  *   wgctl submit --port 7421 --bench all --technique Baseline,GATES
+ *   wgctl watch --port 7421 --id j1 --metrics live.jsonl
  *   wgctl status --port 7421
  *   wgctl drain --port 7421
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -43,7 +49,8 @@ constexpr FlagSpec kFlags[] = {
     {"technique", FlagKind::String, "WarpedGates",
      "comma-separated presets, or 'all': Baseline|ConvPG|GATES|"
      "NaiveBlackout|CoordBlackout|WarpedGates"},
-    {"id", FlagKind::String, "", "job id (status/result/cancel)"},
+    {"id", FlagKind::String, "",
+     "job id (status/watch/result/cancel)"},
     {"priority", FlagKind::Int, "0", "submit priority (higher first)"},
     {"sms", FlagKind::Int, "6", "number of SMs to simulate"},
     {"seed", FlagKind::Int, "1", "experiment seed"},
@@ -180,6 +187,98 @@ fail(const std::string& error)
     return 1;
 }
 
+/**
+ * Stream one job live until its terminal result frame. With --metrics,
+ * the meta/epoch/final `data` bytes are concatenated into a wgmetrics
+ * jsonl file that is byte-identical to an offline `wgsim --metrics`
+ * export of the same cell (single-cell jobs only — the jsonl format
+ * holds exactly one series).
+ */
+int
+watchJob(const ArgParser& args, serve::Client& client, int timeoutMs)
+{
+    if (!args.given("id"))
+        return fail("watch requires --id");
+    const std::string id = args.getString("id");
+    const bool quiet = args.getBool("quiet");
+    std::string error;
+    if (!client.subscribe(id, error))
+        return fail(error);
+    std::string jsonl;
+    std::size_t maxCell = 0;
+    std::size_t epochFrames = 0;
+    serve::Frame frame;
+    for (;;) {
+        if (!client.nextFrame(frame, timeoutMs, error))
+            return fail(error);
+        switch (frame.kind) {
+          case serve::FrameKind::Meta:
+            maxCell = std::max(maxCell, frame.cell);
+            if (!quiet)
+                std::printf("%s cell %zu: %s/%s\n", id.c_str(),
+                            frame.cell, frame.bench.c_str(),
+                            frame.technique.c_str());
+            jsonl += frame.data;
+            jsonl += '\n';
+            break;
+          case serve::FrameKind::Epoch:
+            ++epochFrames;
+            jsonl += frame.data;
+            jsonl += '\n';
+            break;
+          case serve::FrameKind::Final:
+            jsonl += frame.data;
+            jsonl += '\n';
+            break;
+          case serve::FrameKind::Progress:
+            if (!quiet) {
+                if (frame.etaMs >= 0.0)
+                    std::printf("%s %zu/%zu cells (eta %.0f ms)\n",
+                                id.c_str(), frame.completedCells,
+                                frame.totalCells, frame.etaMs);
+                else
+                    std::printf("%s %zu/%zu cells\n", id.c_str(),
+                                frame.completedCells,
+                                frame.totalCells);
+            }
+            break;
+          case serve::FrameKind::Result: {
+            if (!quiet)
+                std::printf("%s %s (%zu epoch frames, %llu dropped)\n",
+                            id.c_str(), frame.state.c_str(),
+                            epochFrames,
+                            static_cast<unsigned long long>(
+                                frame.droppedFrames));
+            const bool done = frame.state == "done";
+            if (!done && !frame.error.empty())
+                std::fprintf(stderr, "wgctl: %s\n",
+                             frame.error.c_str());
+            if (args.given("metrics")) {
+                if (!done)
+                    return fail("job " + id + " finished as " +
+                                frame.state +
+                                "; not writing --metrics");
+                if (maxCell != 0)
+                    return fail(
+                        "--metrics exports one cell per file; job " +
+                        id + " streamed " +
+                        std::to_string(maxCell + 1) + " cells");
+                if (frame.droppedFrames != 0)
+                    return fail(
+                        "stream dropped " +
+                        std::to_string(frame.droppedFrames) +
+                        " frames; --metrics export would be "
+                        "incomplete");
+                writeFile(args.getString("metrics"), jsonl);
+                inform("wrote ", args.getString("metrics"), " (",
+                       epochFrames, " epoch lines)");
+            }
+            return done ? 0 : 1;
+          }
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -192,7 +291,7 @@ main(int argc, char** argv)
     if (args.positional().size() != 1) {
         std::fprintf(stderr,
                      "usage: wgctl "
-                     "submit|status|result|cancel|stats|drain "
+                     "submit|status|watch|result|cancel|stats|drain "
                      "[flags]\n%s",
                      args.usage().c_str());
         return 2;
@@ -251,6 +350,8 @@ main(int argc, char** argv)
         printStatusTable(jobs);
         return 0;
     }
+    if (command == "watch")
+        return watchJob(args, client, timeout_ms);
     if (command == "result") {
         if (!args.given("id"))
             return fail("result requires --id");

@@ -18,7 +18,9 @@
  *       function. This is the static twin of the PR 3
  *       PgDomainStats::merge drift bug.
  *   D4  metric names passed to StatSet accessors contain no '_', so
- *       the Prometheus '.' -> '_' exposition mapping stays bijective.
+ *       the Prometheus '.' -> '_' exposition mapping stays bijective;
+ *       likewise JSON keys embedded in string literals (hand-built
+ *       wire frames, the event log) stay camelCase.
  *   H1  header hygiene: every header carries `#pragma once` and no
  *       `using namespace` at header scope.
  *
@@ -93,8 +95,9 @@ ruleHint(const std::string& rule)
         return "add the field to the merge() and registry functions, "
                "or annotate the field with '// wglint:allow(D3)'";
     if (rule == "D4")
-        return "registry names are '.'-separated; keep '_' out so the "
-               "Prometheus '.'->'_' mapping stays bijective";
+        return "registry names are '.'-separated and wire keys are "
+               "camelCase; keep '_' out so the Prometheus '.'->'_' "
+               "mapping stays bijective";
     if (rule == "H1")
         return "add '#pragma once' as the first directive and keep "
                "'using namespace' out of headers";
@@ -979,10 +982,66 @@ statSetAccessors()
     return kSet;
 }
 
+/**
+ * Keys of `\"key\":` patterns embedded in a string literal's source
+ * text — the hand-built JSON of the wire format (stream frames, the
+ * event log), where a snake_case key would leak into the protocol.
+ */
+std::vector<std::string>
+embeddedWireKeys(const std::string& lit)
+{
+    std::vector<std::string> keys;
+    std::size_t i = 0;
+    for (;;) {
+        std::size_t open = lit.find("\\\"", i);
+        if (open == std::string::npos)
+            break;
+        std::size_t close = lit.find("\\\"", open + 2);
+        if (close == std::string::npos)
+            break;
+        if (close + 2 < lit.size() && lit[close + 2] == ':') {
+            keys.push_back(lit.substr(open + 2, close - open - 2));
+            i = close + 3;
+        } else {
+            i = open + 2;
+        }
+    }
+    return keys;
+}
+
+/**
+ * The embedded-key check applies where camelCase wire formats are
+ * built by hand: the serving layer (frames, event log) and the
+ * metrics exporters (wgmetrics jsonl). The offline report JSON
+ * (report/export.cc) is a distinct, historically snake_case schema.
+ */
+bool
+wireKeyScoped(const std::string& path)
+{
+    return path.find("serve/") != std::string::npos ||
+           path.find("metrics/") != std::string::npos;
+}
+
 void
 checkD4(const FileScan& scan, std::vector<Violation>& out)
 {
     const std::vector<Token>& t = scan.tokens;
+    // Embedded wire keys: every string literal in scoped files, no
+    // call context required — a key is a key wherever it is built.
+    if (wireKeyScoped(scan.path)) {
+        for (const Token& tok : t) {
+            if (tok.kind != TokKind::String)
+                continue;
+            for (const std::string& key : embeddedWireKeys(tok.text)) {
+                if (key.find('_') != std::string::npos &&
+                    !suppressed(scan, "D4", tok.line))
+                    out.push_back({"D4", scan.path, tok.line,
+                                   "embedded wire key \"" + key +
+                                       "\" contains '_'",
+                                   ruleHint("D4")});
+            }
+        }
+    }
     for (std::size_t i = 0; i + 2 < t.size(); ++i) {
         if (t[i].kind != TokKind::Punct ||
             (t[i].text != "." && t[i].text != "->"))
@@ -1124,8 +1183,9 @@ printRules()
            "export, sinks, tools)\n"
         << "D3  every field of PgDomainStats/ClusterStats/SmStats/"
            "SimResult appears in its merge() and registry function\n"
-        << "D4  metric-name literals passed to StatSet accessors "
-           "contain no '_'\n"
+        << "D4  metric-name literals passed to StatSet accessors and "
+           "JSON keys embedded in string literals (wire frames, "
+           "event log) contain no '_'\n"
         << "H1  headers carry '#pragma once' and no 'using "
            "namespace'\n"
         << "Suppress with '// wglint:allow(RULE)' on the violating "

@@ -54,6 +54,11 @@ constexpr FlagSpec kFlags[] = {
     {"serial", FlagKind::Bool, "",
      "run simulations serially instead of on the shared thread pool "
      "(results are identical)"},
+    {"log-file", FlagKind::String, "",
+     "append structured jsonl events (submits, dispatches, "
+     "completions) to this file"},
+    {"log-level", FlagKind::String, "info",
+     "event-log threshold: debug|info|warn|error"},
 };
 
 /**
@@ -110,6 +115,37 @@ main(int argc, char** argv)
     config.jobs.numPriorities =
         static_cast<unsigned>(args.getInt("priorities"));
 
+    serve::EventLog events;
+    if (args.given("log-file")) {
+        serve::EventLog::Options logOpts;
+        if (!serve::EventLog::parseLevel(args.getString("log-level"),
+                                         logOpts.level)) {
+            std::fprintf(stderr,
+                         "wgservd: unknown --log-level '%s' "
+                         "(debug|info|warn|error)\n",
+                         args.getString("log-level").c_str());
+            return 2;
+        }
+        std::string logError;
+        if (!events.open(args.getString("log-file"), logOpts,
+                         logError)) {
+            std::fprintf(stderr, "wgservd: %s\n", logError.c_str());
+            return 1;
+        }
+        config.jobs.events = &events;
+        // Tee the process logger (warn/inform) into the event log so
+        // operational noise lands in one structured place.
+        setLogHook([&events](LogLevel level, const std::string& msg) {
+            serve::EventLog::Level mapped =
+                serve::EventLog::Level::Info;
+            if (level == LogLevel::Warn)
+                mapped = serve::EventLog::Level::Warn;
+            else if (level != LogLevel::Inform)
+                mapped = serve::EventLog::Level::Error;
+            events.log(mapped, "log", {{"message", msg}});
+        });
+    }
+
     serve::Server server(runner, config);
     std::string error;
     if (!server.start(error)) {
@@ -142,5 +178,6 @@ main(int argc, char** argv)
     if (pool != nullptr)
         pool->drain();
     inform("wgservd: drained, exiting");
+    setLogHook({}); // the hook references `events`; detach before exit
     return 0;
 }
