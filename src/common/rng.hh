@@ -33,6 +33,16 @@ std::uint64_t splitmix64(std::uint64_t x);
 std::uint64_t streamSeed(std::uint64_t seed, std::uint64_t stream);
 
 /**
+ * Raw PCG32 generator state, exposed for checkpoint/resume. The pair
+ * fully determines the future output sequence; restoring it with
+ * Rng::fromState() continues the stream bit-identically.
+ */
+struct RngState {
+    std::uint64_t state = 0; ///< PCG LCG accumulator
+    std::uint64_t inc = 1;   ///< stream increment (always odd)
+};
+
+/**
  * PCG32 (pcg_xsh_rr_64_32) generator. Small state, excellent statistical
  * quality, and fully deterministic given (seed, stream).
  */
@@ -63,6 +73,31 @@ class Rng
 
     /** Derive an independent child generator (for per-warp streams). */
     Rng fork(std::uint64_t salt);
+
+    /** Capture the raw generator state for a checkpoint. */
+    RngState
+    saveState() const
+    {
+        return RngState{state_, inc_};
+    }
+
+    /** Rebuild a generator mid-stream from a captured RngState. */
+    static Rng
+    fromState(const RngState& s)
+    {
+        Rng r;
+        r.state_ = s.state;
+        r.inc_ = s.inc;
+        return r;
+    }
+
+    /** Overwrite this generator's stream position from a checkpoint. */
+    void
+    restoreState(const RngState& s)
+    {
+        state_ = s.state;
+        inc_ = s.inc;
+    }
 
   private:
     std::uint64_t state_;

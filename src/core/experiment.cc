@@ -202,6 +202,29 @@ ExperimentRunner::enforceLimitsLocked()
     }
 }
 
+bool
+ExperimentRunner::seedCache(
+    const std::string& bench, Technique t,
+    const std::optional<ExperimentOptions>& options, SimResult result)
+{
+    const ExperimentOptions& opts = options ? *options : opts_;
+    const std::string k = key(bench, t, opts);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = cache_.try_emplace(k);
+    if (!inserted)
+        return false; // computed (or computing) locally; keep that
+    CacheEntry& entry = it->second;
+    entry.result = std::make_shared<SimResult>(std::move(result));
+    entry.truncated = !entry.result->aggregate.completed;
+    entry.lastUse = ++use_tick_;
+    entry.bytes = approximateResultBytes(*entry.result);
+    entry.ready = true;
+    ++stats_.entries;
+    stats_.bytes += entry.bytes;
+    enforceLimitsLocked();
+    return true;
+}
+
 void
 ExperimentRunner::setCacheLimits(const CacheLimits& limits)
 {

@@ -152,6 +152,19 @@ class ExperimentRunner
     runAllShared(const SweepSpec& spec);
 
     /**
+     * Seed the cache with an externally computed result — the
+     * checkpoint/resume path: a resubmitted job snapshot feeds its
+     * already-finished cells in here so the runner never recomputes
+     * them. The result is trusted to be what a local run would have
+     * produced (snapshot documents are as trusted as the offline jsonl
+     * files wgreport reads). @return false when an entry for the key
+     * already exists (ready or in-flight) — the existing entry wins.
+     */
+    bool seedCache(const std::string& bench, Technique t,
+                   const std::optional<ExperimentOptions>& options,
+                   SimResult result);
+
+    /**
      * Bound the result cache (see CacheLimits). Entries an earlier
      * run()/runAll() call handed out by reference are pinned and never
      * evicted; in-flight (still computing) entries are never evicted

@@ -47,6 +47,19 @@ struct Completion
 };
 
 /**
+ * Checkpoint state of one execution unit. The two heaps are captured
+ * as sorted vectors (occupancy ascending; completions by (done, warp,
+ * dest, longLatency)) so identical simulator states serialize to
+ * identical bytes regardless of heap layout history.
+ */
+struct ExecUnitState {
+    Cycle lastIssue = kNeverCycle;      ///< initiation-interval anchor
+    std::uint64_t issues = 0;           ///< lifetime issue count
+    std::vector<Cycle> occupancy;       ///< occupancy-end cycles
+    std::vector<Completion> completions; ///< in-flight results
+};
+
+/**
  * One pipelined cluster. The SM drives it with issue() and tick();
  * the power-gating controller observes busy().
  */
@@ -163,6 +176,12 @@ class ExecUnit
 
     /** @return configured result latency. */
     Cycle latency() const { return config_.latency; }
+
+    /** Capture heap contents + issue bookkeeping for a checkpoint. */
+    ExecUnitState saveState() const;
+
+    /** Rebuild the unit mid-flight from a captured ExecUnitState. */
+    void restoreState(const ExecUnitState& s);
 
   private:
     UnitClass class_;

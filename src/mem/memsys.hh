@@ -47,6 +47,24 @@ struct MemConfig
 };
 
 /**
+ * Checkpoint state of the memory system: the RNG stream position, the
+ * open service batch, the in-flight miss heap (sorted ascending for
+ * canonical bytes) and the lifetime counters.
+ */
+struct MemSystemState {
+    RngState rng;                  ///< latency-draw stream position
+    Cycle batchTime = 0;           ///< service time of the filling batch
+    std::uint32_t batchUsed = 0;   ///< misses already in that batch
+    Cycle batchLatency = 0;        ///< latency draw for that batch
+    bool batchValid = false;       ///< a batch has been opened
+    std::vector<Cycle> inflight;   ///< outstanding miss completions
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t mshrRejects = 0;
+};
+
+/**
  * Per-SM memory system. Accessed by the LD/ST pipeline; tracks
  * outstanding misses and produces per-access latencies.
  */
@@ -117,6 +135,12 @@ class MemorySystem
 
     /** Attach a trace recorder (null = tracing off). */
     void setTrace(trace::Recorder* recorder) { trace_ = recorder; }
+
+    /** Capture complete model state for a checkpoint. */
+    MemSystemState saveState() const;
+
+    /** Rebuild the model mid-flight from a captured MemSystemState. */
+    void restoreState(const MemSystemState& s);
 
   private:
     /** Draw one DRAM round-trip latency. */

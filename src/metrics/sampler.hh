@@ -76,6 +76,19 @@ struct EpochSample
 };
 
 /**
+ * Checkpoint state of one EpochSampler: the closed samples plus the
+ * open epoch's baseline. epochLength rides along so resume can verify
+ * the restored sampler ticks on the same boundaries.
+ */
+struct SamplerState
+{
+    Cycle epochLength = 0;           ///< sampling period at capture
+    Cycle lastCycle = 0;             ///< last closed boundary
+    EpochCounters prev;              ///< cumulative baseline at lastCycle
+    std::vector<EpochSample> samples; ///< closed epochs, oldest first
+};
+
+/**
  * Bounded single-producer/single-consumer ring. The producer is one SM
  * job thread, the consumer is whoever merges the stream; the two never
  * block each other. Capacity rounds up to a power of two.
@@ -257,6 +270,31 @@ class EpochSampler
     }
 
     const std::vector<EpochSample>& samples() const { return samples_; }
+
+    /** Capture closed samples + the open epoch's baseline. */
+    SamplerState
+    saveState() const
+    {
+        SamplerState s;
+        s.epochLength = epoch_length_;
+        s.lastCycle = last_cycle_;
+        s.prev = prev_;
+        s.samples = samples_;
+        return s;
+    }
+
+    /**
+     * Rebuild the sampler from a checkpoint. Restored samples are NOT
+     * replayed into an attached stream sink — a resumed run streams
+     * only the epochs it simulates itself.
+     */
+    void
+    restoreState(const SamplerState& s)
+    {
+        last_cycle_ = s.lastCycle;
+        prev_ = s.prev;
+        samples_ = s.samples;
+    }
 
   private:
     /** Counter deltas @p a - @p b; gauges are taken from @p a. */

@@ -13,6 +13,16 @@
 namespace wg {
 
 /**
+ * Checkpoint state of one adaptive idle-detect regulator.
+ */
+struct AdaptiveState {
+    Cycle value = 0;              ///< current idle-detect window
+    std::uint32_t goodEpochs = 0; ///< consecutive epochs under threshold
+    std::uint64_t increments = 0; ///< increments applied (diagnostics)
+    std::uint64_t decrements = 0; ///< decrements applied (diagnostics)
+};
+
+/**
  * One adaptive idle-detect regulator. Instantiated per unit type (one
  * for INT, one for FP), because each type sees a different instruction
  * mix and reaches its own operating point.
@@ -43,6 +53,24 @@ class AdaptiveIdleDetect
 
     /** Number of decrements applied (diagnostics). */
     std::uint64_t decrements() const { return decrements_; }
+
+    /** Capture the regulator for a checkpoint. */
+    AdaptiveState
+    saveState() const
+    {
+        return AdaptiveState{value_, good_epochs_, increments_,
+                             decrements_};
+    }
+
+    /** Rebuild the regulator from a captured AdaptiveState. */
+    void
+    restoreState(const AdaptiveState& s)
+    {
+        value_ = s.value;
+        good_epochs_ = s.goodEpochs;
+        increments_ = s.increments;
+        decrements_ = s.decrements;
+    }
 
   private:
     PgParams params_;

@@ -21,6 +21,18 @@ namespace wg {
 inline constexpr unsigned kClustersPerType = 2;
 
 /**
+ * Checkpoint state of the SM's power-gating controller: every domain
+ * state machine, the per-type adaptive regulators and the epoch anchor.
+ */
+struct PgControllerState {
+    /** domains[type][cluster]: type 0 = INT, 1 = FP. */
+    std::array<std::array<PgDomainState, kClustersPerType>, 2> domains;
+    PgDomainState sfuDomain;             ///< SFU gating domain
+    std::array<AdaptiveState, 2> adaptive; ///< per-type regulators
+    Cycle epochStart = 0;                ///< current epoch's first cycle
+};
+
+/**
  * Power-gating controller for one SM. Only INT and FP clusters are
  * gated (the paper gates CUDA cores; SFU/LDST are left always-on).
  */
@@ -106,6 +118,34 @@ class PgController
     void setTrace(trace::Recorder* recorder);
 
     const PgParams& params() const { return params_; }
+
+    /** Capture all domains + regulators for a checkpoint. */
+    PgControllerState
+    saveState() const
+    {
+        PgControllerState s;
+        for (unsigned t = 0; t < 2; ++t)
+            for (unsigned c = 0; c < kClustersPerType; ++c)
+                s.domains[t][c] = domains_[t][c].saveState();
+        s.sfuDomain = sfu_domain_.saveState();
+        for (unsigned t = 0; t < 2; ++t)
+            s.adaptive[t] = adaptive_[t].saveState();
+        s.epochStart = epoch_start_;
+        return s;
+    }
+
+    /** Rebuild all domains + regulators from a checkpoint. */
+    void
+    restoreState(const PgControllerState& s)
+    {
+        for (unsigned t = 0; t < 2; ++t)
+            for (unsigned c = 0; c < kClustersPerType; ++c)
+                domains_[t][c].restoreState(s.domains[t][c]);
+        sfu_domain_.restoreState(s.sfuDomain);
+        for (unsigned t = 0; t < 2; ++t)
+            adaptive_[t].restoreState(s.adaptive[t]);
+        epoch_start_ = s.epochStart;
+    }
 
   private:
     /** Map Int->0, Fp->1; panics on other classes. */

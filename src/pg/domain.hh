@@ -67,6 +67,24 @@ struct PgDomainStats
 };
 
 /**
+ * Checkpoint state of one power-gating domain: the Fig. 2c state
+ * machine registers, the in-progress idle run, the lifetime counters
+ * and the idle-period histogram.
+ */
+struct PgDomainState {
+    std::uint8_t state = 0;         ///< PgState
+    Cycle idleCount = 0;            ///< idle-detect counter (On state)
+    Cycle betRemaining = 0;         ///< countdown in gated states
+    Cycle wakeupRemaining = 0;      ///< countdown in Wakeup state
+    Cycle compensatedAt = kNeverCycle; ///< cycle BET expired
+    bool wakeupRequested = false;   ///< request pending for next tick
+    std::uint64_t idleRun = 0;      ///< current idle-period length
+    std::uint32_t epochCritical = 0; ///< critical wakeups this epoch
+    PgDomainStats stats;            ///< lifetime event/cycle counters
+    Histogram idleHist;             ///< idle-period-length distribution
+};
+
+/**
  * One gateable execution cluster's power-gating controller.
  *
  * Per-cycle protocol (driven by PgController):
@@ -174,6 +192,40 @@ class PgDomain
 
     /** Reset the per-epoch critical-wakeup counter. */
     void resetEpochCriticalWakeups() { epoch_critical_ = 0; }
+
+    /** Capture the full state machine for a checkpoint. */
+    PgDomainState
+    saveState() const
+    {
+        PgDomainState s;
+        s.state = static_cast<std::uint8_t>(state_);
+        s.idleCount = idle_count_;
+        s.betRemaining = bet_remaining_;
+        s.wakeupRemaining = wakeup_remaining_;
+        s.compensatedAt = compensated_at_;
+        s.wakeupRequested = wakeup_requested_;
+        s.idleRun = idle_run_;
+        s.epochCritical = epoch_critical_;
+        s.stats = stats_;
+        s.idleHist = idle_hist_;
+        return s;
+    }
+
+    /** Rebuild the state machine from a captured PgDomainState. */
+    void
+    restoreState(const PgDomainState& s)
+    {
+        state_ = static_cast<PgState>(s.state);
+        idle_count_ = s.idleCount;
+        bet_remaining_ = s.betRemaining;
+        wakeup_remaining_ = s.wakeupRemaining;
+        compensated_at_ = s.compensatedAt;
+        wakeup_requested_ = s.wakeupRequested;
+        idle_run_ = s.idleRun;
+        epoch_critical_ = s.epochCritical;
+        stats_ = s.stats;
+        idle_hist_ = s.idleHist;
+    }
 
   private:
     void enterGated(Cycle now, trace::GateReason reason,

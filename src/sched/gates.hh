@@ -62,6 +62,22 @@ class GatesScheduler : public Scheduler
 
     std::uint64_t prioritySwitches() const override { return switches_; }
 
+    void
+    saveState(SchedulerState& out) const override
+    {
+        out.hiClass = static_cast<std::uint8_t>(hi_);
+        out.lastSwitch = last_switch_;
+        out.switches = switches_;
+    }
+
+    void
+    restoreState(const SchedulerState& s) override
+    {
+        hi_ = static_cast<UnitClass>(s.hiClass);
+        last_switch_ = s.lastSwitch;
+        switches_ = s.switches;
+    }
+
     // --- switch predicates (shared by beginCycle / nextEventCycle) ---
     //
     // beginCycle and nextEventCycle must agree on when a switch fires:

@@ -55,6 +55,22 @@ class GtoScheduler : public Scheduler
         (void)view;
     }
 
+    void
+    saveState(SchedulerState& out) const override
+    {
+        out.hiClass = static_cast<std::uint8_t>(last_class_);
+        out.greedyWarp = greedy_warp_;
+        out.now = now_;
+    }
+
+    void
+    restoreState(const SchedulerState& s) override
+    {
+        last_class_ = static_cast<UnitClass>(s.hiClass);
+        greedy_warp_ = s.greedyWarp;
+        now_ = s.now;
+    }
+
   private:
     WarpId greedy_warp_ = ~WarpId(0);
     UnitClass last_class_ = UnitClass::Int;

@@ -76,6 +76,21 @@ struct SchedView
 };
 
 /**
+ * Checkpoint state shared by every scheduler policy. One flat struct
+ * instead of a per-policy hierarchy keeps the snapshot codec a single
+ * field table; policies use the subset they need and leave the rest at
+ * the defaults (which restore as no-ops for them).
+ */
+struct SchedulerState {
+    std::uint8_t hiClass = 0;     ///< GATES hi_ / two-level last_issued_
+                                  ///< / GTO last_class_ (UnitClass)
+    Cycle lastSwitch = 0;         ///< GATES last priority-switch cycle
+    std::uint64_t switches = 0;   ///< GATES dynamic switch count
+    std::uint32_t greedyWarp = ~std::uint32_t(0); ///< GTO greedy warp
+    Cycle now = 0;                ///< GTO latched cycle
+};
+
+/**
  * Abstract warp scheduler. Implementations: TwoLevelScheduler (the
  * Gebhart-style baseline), GatesScheduler (the paper's contribution)
  * and GtoScheduler (GPGPU-Sim's default, an extra baseline).
@@ -134,6 +149,13 @@ class Scheduler
 
     /** Count of dynamic priority switches (diagnostics). */
     virtual std::uint64_t prioritySwitches() const { return 0; }
+
+    /** Capture policy state into @p out (checkpoint). Stateless
+     *  policies keep the defaults. */
+    virtual void saveState(SchedulerState& out) const { (void)out; }
+
+    /** Restore policy state captured by saveState(). */
+    virtual void restoreState(const SchedulerState& s) { (void)s; }
 
     /** Attach a trace recorder (null = tracing off). */
     void setTrace(trace::Recorder* recorder) { trace_ = recorder; }

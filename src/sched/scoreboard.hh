@@ -77,6 +77,27 @@ class Scoreboard
     /** Reset all state. */
     void reset();
 
+    // --- checkpoint/resume ---
+
+    /** Raw pending-producer word for @p warp (checkpoint capture). */
+    std::uint32_t pendingWord(WarpId warp) const { return pending_[warp]; }
+
+    /** Raw long-latency-producer word for @p warp. */
+    std::uint32_t
+    pendingLongWord(WarpId warp) const
+    {
+        return pendingLong_[warp];
+    }
+
+    /** Overwrite both scoreboard words for @p warp from a checkpoint. */
+    void
+    restoreWords(WarpId warp, std::uint32_t pending,
+                 std::uint32_t pending_long)
+    {
+        pending_[warp] = pending;
+        pendingLong_[warp] = pending_long;
+    }
+
   private:
     /** Bit over registers 0..15. */
     static std::uint32_t

@@ -44,6 +44,18 @@ class TwoLevelScheduler : public Scheduler
         (void)view;
     }
 
+    void
+    saveState(SchedulerState& out) const override
+    {
+        out.hiClass = static_cast<std::uint8_t>(last_issued_);
+    }
+
+    void
+    restoreState(const SchedulerState& s) override
+    {
+        last_issued_ = static_cast<UnitClass>(s.hiClass);
+    }
+
   private:
     UnitClass last_issued_ = UnitClass::Int;
 };

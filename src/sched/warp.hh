@@ -44,6 +44,20 @@ enum class WarpLoc : std::uint8_t {
 inline constexpr std::size_t kNumWarpLocs = 4;
 
 /**
+ * Checkpoint state of one warp slot. The i-buffer ring is not stored:
+ * its contents are exactly instructions [pc - bufSize, pc) of the
+ * warp's program, so restore() re-decodes them, and the fetchable /
+ * drained bits are pure functions of (pc, bufSize, outstanding) at a
+ * step boundary, so they are recomputed rather than captured.
+ */
+struct WarpSlotState {
+    std::uint32_t pc = 0;          ///< instructions fetched so far
+    std::uint32_t bufSize = 0;     ///< decoded entries buffered
+    std::uint32_t outstanding = 0; ///< issued, not yet written back
+    std::uint8_t loc = 0;          ///< WarpLoc residency state
+};
+
+/**
  * SoA state of every warp resident on one SM. The SM owns one of
  * these; schedulers see derived masks through the SchedView.
  */
@@ -241,6 +255,66 @@ class WarpSet
 
     /** Fetched-instruction progress (for tests). */
     std::size_t pc(WarpId w) const { return pc_[w]; }
+
+    // --- checkpoint/resume ---
+
+    /** Capture warp @p w's slot state for a checkpoint. */
+    WarpSlotState
+    saveWarp(WarpId w) const
+    {
+        WarpSlotState s;
+        s.pc = pc_[w];
+        s.bufSize = static_cast<std::uint32_t>(size_[w]);
+        s.outstanding = outstanding_[w];
+        s.loc = static_cast<std::uint8_t>(loc_[w]);
+        return s;
+    }
+
+    /**
+     * Rebuild all warp slots from checkpoint state. Must be called on
+     * a WarpSet freshly init()-ed against the same programs; re-decodes
+     * each ring from the program and re-derives every cached mask.
+     * @return false when a slot is inconsistent with its program
+     * (pc out of range, buffer larger than pc or depth).
+     */
+    bool
+    restore(const std::vector<WarpSlotState>& slots)
+    {
+        if (slots.size() != n_)
+            return false;
+        locMask_ = {};
+        fetchable_ = 0;
+        drained_ = 0;
+        for (std::size_t w = 0; w < n_; ++w) {
+            const WarpSlotState& s = slots[w];
+            if (s.pc > progSize_[w] || s.bufSize > depth_ ||
+                s.bufSize > s.pc ||
+                s.loc >= static_cast<std::uint8_t>(kNumWarpLocs)) {
+                return false;
+            }
+            pc_[w] = s.pc;
+            head_[w] = 0;
+            size_[w] = static_cast<std::uint8_t>(s.bufSize);
+            outstanding_[w] = s.outstanding;
+            loc_[w] = static_cast<WarpLoc>(s.loc);
+            locMask_[s.loc] |= warpBit(static_cast<WarpId>(w));
+            for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+                bufCls_[w * kNumUnitClasses + c] = 0;
+            for (std::size_t i = 0; i < s.bufSize; ++i) {
+                const Instruction& instr =
+                    progs_[w]->at(s.pc - s.bufSize + i);
+                ibuf_[w * depth_ + i] = instr;
+                ++bufCls_[w * kNumUnitClasses +
+                          static_cast<std::size_t>(instr.unit)];
+            }
+            if (s.bufSize != 0)
+                cacheHead(static_cast<WarpId>(w));
+            if (pc_[w] < progSize_[w] && size_[w] < depth_)
+                fetchable_ |= warpBit(static_cast<WarpId>(w));
+            updateDrained(static_cast<WarpId>(w));
+        }
+        return true;
+    }
 
   private:
     /** Re-derive the cached head class/regmask (size_[w] != 0). */

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "serve/protocol.hh"
+#include "serve/snapshot.hh"
 
 namespace wg::serve {
 
@@ -60,7 +61,8 @@ Client::roundTrip(const Json& request, const std::string& expect,
     const Json* type = response.find("type");
     const Json* req = response.find("request");
     if (wire_v == nullptr || !wire_v->isNumber() ||
-        wire_v->asU64() != wire::kSchemaVersion || type == nullptr ||
+        wire_v->asU64() < wire::kMinSchemaVersion ||
+        wire_v->asU64() > wire::kSchemaVersion || type == nullptr ||
         !type->isString() || type->asString() != "response") {
         error = "response missing a valid wire envelope";
         return false;
@@ -104,6 +106,61 @@ Client::submit(const SweepSpec& spec, unsigned priority,
     id = jid->asString();
     deduped = jdeduped != nullptr && jdeduped->isBool() &&
               jdeduped->asBool();
+    return true;
+}
+
+bool
+Client::submitSnapshot(const Json& snapshotDoc, unsigned priority,
+                       std::string& id, bool& deduped,
+                       std::uint64_t& seeded, std::string& error)
+{
+    // Validate client-side so a corrupt file fails with a sharp error
+    // before anything hits the daemon; the original sweep/cells JSON
+    // is then passed through verbatim (lexemes preserved).
+    std::string snapId;
+    SweepSpec spec({}, {});
+    std::vector<wire::ResultCell> cells;
+    if (!wire::parseJobSnapshotDoc(snapshotDoc, snapId, spec, cells,
+                                   error))
+        return false;
+    Json req = requestEnvelope("submit");
+    req.set("priority", Json::number(std::uint64_t(priority)));
+    req.set("sweep", Json(*snapshotDoc.find("sweep")));
+    req.set("cells", Json(*snapshotDoc.find("cells")));
+    Json resp;
+    if (!roundTrip(req, "submit", timeout_ms_, resp, error))
+        return false;
+    const Json* jid = resp.find("id");
+    const Json* jdeduped = resp.find("deduped");
+    const Json* jseeded = resp.find("seeded");
+    if (jid == nullptr || !jid->isString()) {
+        error = "submit response missing 'id'";
+        return false;
+    }
+    id = jid->asString();
+    deduped = jdeduped != nullptr && jdeduped->isBool() &&
+              jdeduped->asBool();
+    seeded = (jseeded != nullptr && jseeded->isNumber())
+                 ? jseeded->asU64()
+                 : 0;
+    return true;
+}
+
+bool
+Client::checkpoint(const std::string& id, Json& snapshotDoc,
+                   std::string& error)
+{
+    Json req = requestEnvelope("checkpoint");
+    req.set("id", Json::string(id));
+    Json resp;
+    if (!roundTrip(req, "checkpoint", timeout_ms_, resp, error))
+        return false;
+    const Json* snap = resp.find("snapshot");
+    if (snap == nullptr || !snap->isObject()) {
+        error = "checkpoint response missing 'snapshot'";
+        return false;
+    }
+    snapshotDoc = Json(*snap);
     return true;
 }
 

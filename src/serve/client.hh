@@ -70,6 +70,25 @@ class Client
     bool submit(const SweepSpec& spec, unsigned priority,
                 std::string& id, bool& deduped, std::string& error);
 
+    /**
+     * Resubmit a job snapshot (see wire::jobSnapshotDoc): the
+     * snapshot's sweep is submitted and its completed cells ride along
+     * to seed the daemon's result cache, so only unfinished cells are
+     * recomputed. @p seeded receives how many cells the daemon
+     * actually seeded (already-cached cells are skipped).
+     */
+    bool submitSnapshot(const Json& snapshotDoc, unsigned priority,
+                        std::string& id, bool& deduped,
+                        std::uint64_t& seeded, std::string& error);
+
+    /**
+     * Fetch a checkpoint of job @p id in any state: its sweep plus
+     * every completed cell, as a jobSnapshot document suitable for
+     * submitSnapshot() on this or another daemon.
+     */
+    bool checkpoint(const std::string& id, Json& snapshotDoc,
+                    std::string& error);
+
     bool status(const std::string& id, JobStatus& out,
                 std::string& error);
 

@@ -259,6 +259,47 @@ JobManager::results(const std::string& id, std::vector<JobCell>& out,
 }
 
 bool
+JobManager::checkpoint(const std::string& id, SweepSpec& spec,
+                       std::vector<JobCell>& cells,
+                       std::string& error) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        error = "unknown job '" + id + "'";
+        return false;
+    }
+    const Job& job = *it->second;
+    // Pin the effective options into the spec so the snapshot's cell
+    // keys stay addressable on a daemon with different defaults.
+    spec = job.spec;
+    if (!spec.options)
+        spec.options = runner_.options();
+    cells = job.cells;
+    return true;
+}
+
+std::size_t
+JobManager::seedCells(const std::vector<wire::ResultCell>& cells)
+{
+    std::size_t seeded = 0;
+    for (const wire::ResultCell& cell : cells) {
+        bool known = false;
+        for (const std::string& b : benchmarkNames())
+            known = known || b == cell.bench;
+        if (!known)
+            continue; // never poison the cache with unknown keys
+        if (runner_.seedCache(cell.bench, cell.technique, cell.options,
+                              cell.result))
+            ++seeded;
+    }
+    if (seeded != 0)
+        logEvent(EventLog::Level::Info, "cellsSeeded",
+                 {{"count", std::to_string(seeded)}});
+    return seeded;
+}
+
+bool
 JobManager::cancel(const std::string& id, std::string& error)
 {
     std::lock_guard<std::mutex> lock(mu_);

@@ -41,6 +41,7 @@
 #include "common/stats.hh"
 #include "core/experiment.hh"
 #include "serve/eventlog.hh"
+#include "serve/wire.hh"
 
 namespace wg::serve {
 
@@ -169,6 +170,26 @@ class JobManager
      */
     bool results(const std::string& id, std::vector<JobCell>& out,
                  ExperimentOptions& optsUsed, std::string& error) const;
+
+    /**
+     * Capture a job checkpoint in any state: the sweep spec with its
+     * effective options pinned explicitly (so a resume on a daemon
+     * with different defaults still addresses the same cells) plus
+     * every cell completed so far. Queued jobs checkpoint with zero
+     * cells; running jobs with whatever the last cell boundary
+     * published. @return false only for an unknown id.
+     */
+    bool checkpoint(const std::string& id, SweepSpec& spec,
+                    std::vector<JobCell>& cells,
+                    std::string& error) const;
+
+    /**
+     * Seed the runner's result cache with already-computed cells (the
+     * resume half of checkpoint/resume). Cells naming an unknown
+     * benchmark and cells whose key is already cached are skipped.
+     * @return the number of cells actually seeded.
+     */
+    std::size_t seedCells(const std::vector<wire::ResultCell>& cells);
 
     /**
      * Cancel a job. Queued: immediate. Running: takes effect at the

@@ -1,6 +1,7 @@
 #include "protocol.hh"
 
 #include "common/stats.hh"
+#include "serve/snapshot.hh"
 #include "serve/wire.hh"
 
 namespace wg::serve {
@@ -64,6 +65,22 @@ handleSubmit(JobManager& jobs, const Json& doc)
         if (priority > 1u << 16)
             return errorResponse("submit", "'priority' out of range");
     }
+    // A resumed submission carries the checkpoint's completed cells;
+    // they seed the runner's cache before the job is admitted so the
+    // job only recomputes the unfinished remainder.
+    std::size_t seeded = 0;
+    if (const Json* arr = doc.find("cells")) {
+        if (!arr->isArray())
+            return errorResponse("submit", "'cells' must be an array");
+        std::vector<wire::ResultCell> cells;
+        for (const Json& cell : arr->items()) {
+            wire::ResultCell parsed;
+            if (!wire::parseResultDoc(cell, parsed, error))
+                return errorResponse("submit", error);
+            cells.push_back(std::move(parsed));
+        }
+        seeded = jobs.seedCells(cells);
+    }
     JobManager::SubmitOutcome out =
         jobs.submit(spec, static_cast<unsigned>(priority));
     if (!out.ok)
@@ -72,6 +89,33 @@ handleSubmit(JobManager& jobs, const Json& doc)
     resp.set("ok", Json::boolean(true));
     resp.set("id", Json::string(out.id));
     resp.set("deduped", Json::boolean(out.deduped));
+    if (doc.find("cells") != nullptr)
+        resp.set("seeded", Json::number(std::uint64_t(seeded)));
+    return okResponse(std::move(resp));
+}
+
+ProtocolResult
+handleCheckpoint(JobManager& jobs, const Json& doc)
+{
+    std::string id;
+    std::string error;
+    if (!requestId(doc, id, error))
+        return errorResponse("checkpoint", error);
+    SweepSpec spec({}, {});
+    std::vector<JobCell> cells;
+    if (!jobs.checkpoint(id, spec, cells, error))
+        return errorResponse("checkpoint", error);
+    // checkpoint() pinned the effective options into the spec, so
+    // every cell was computed under exactly *spec.options.
+    std::vector<Json> cellDocs;
+    cellDocs.reserve(cells.size());
+    for (const JobCell& cell : cells)
+        cellDocs.push_back(wire::resultDoc(cell.bench, cell.technique,
+                                           *spec.options, *cell.result));
+    Json resp = responseEnvelope("checkpoint");
+    resp.set("ok", Json::boolean(true));
+    resp.set("id", Json::string(id));
+    resp.set("snapshot", wire::jobSnapshotDoc(id, spec, cellDocs));
     return okResponse(std::move(resp));
 }
 
@@ -212,10 +256,12 @@ handleRequestLine(JobManager& jobs, ConnState& conn,
     const Json* wire_v = doc.find("wire");
     if (wire_v == nullptr || !wire_v->isNumber())
         return errorResponse("?", "request missing numeric 'wire'");
-    if (wire_v->asU64() != wire::kSchemaVersion)
+    if (wire_v->asU64() < wire::kMinSchemaVersion ||
+        wire_v->asU64() > wire::kSchemaVersion)
         return errorResponse(
             "?", "unsupported wire version " +
                      std::to_string(wire_v->asU64()) + " (expected " +
+                     std::to_string(wire::kMinSchemaVersion) + ".." +
                      std::to_string(wire::kSchemaVersion) + ")");
     const Json* type = doc.find("type");
     if (type == nullptr || !type->isString())
@@ -229,6 +275,8 @@ handleRequestLine(JobManager& jobs, ConnState& conn,
         return handleResult(jobs, doc);
     if (t == "cancel")
         return handleCancel(jobs, doc);
+    if (t == "checkpoint")
+        return handleCheckpoint(jobs, doc);
     if (t == "stats")
         return handleStats(jobs);
     if (t == "drain")

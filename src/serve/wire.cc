@@ -1,10 +1,11 @@
 #include "wire.hh"
 
+#include "serve/wire_detail.hh"
 #include "workload/profile.hh"
 
 namespace wg::serve::wire {
 
-namespace {
+namespace detail {
 
 // ----- typed field readers (error strings carry the dotted path) -----
 
@@ -385,7 +386,9 @@ makeEnvelope(const char* type)
     return doc;
 }
 
-} // namespace
+} // namespace detail
+
+using namespace detail;
 
 bool
 checkEnvelope(const Json& doc, const std::string& type,
@@ -396,9 +399,10 @@ checkEnvelope(const Json& doc, const std::string& type,
     const Json* v = doc.find("wire");
     if (v == nullptr || !v->isNumber())
         return failAt(error, "$.wire", "missing schema version");
-    if (v->asU64() != kSchemaVersion) {
+    if (v->asU64() < kMinSchemaVersion || v->asU64() > kSchemaVersion) {
         error = "$.wire: unsupported schema version " +
                 std::to_string(v->asU64()) + " (this build speaks " +
+                std::to_string(kMinSchemaVersion) + ".." +
                 std::to_string(kSchemaVersion) + ")";
         return false;
     }
@@ -598,7 +602,8 @@ parseResultDoc(const Json& doc, ResultCell& out, std::string& error)
 
     // Rebuild the full configuration the same way the runner derives
     // it; reject (never abort on) configs this build finds invalid.
-    out.result = SimResult{};
+    SimResult fresh;
+    out.result = std::move(fresh);
     out.result.config = makeConfig(out.technique, out.options);
     {
         std::vector<std::string> problems = out.result.config.validate();

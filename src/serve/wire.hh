@@ -4,13 +4,17 @@
  * checkpoint sharding): a stable round-trip for ExperimentOptions,
  * SweepSpec and SimResult.
  *
- * Document shapes (schema version 1, golden-pinned by wire_test):
+ * Document shapes (schema version 2, golden-pinned by wire_test;
+ * version-1 documents — the same shapes under "wire":1 — still parse):
  *
- *   options  {"wire":1,"type":"options","options":{...}}
- *   sweep    {"wire":1,"type":"sweep","sweep":{"benches":[...],
+ *   options  {"wire":2,"type":"options","options":{...}}
+ *   sweep    {"wire":2,"type":"sweep","sweep":{"benches":[...],
  *             "techniques":[...],"options":{...}?}}
- *   result   {"wire":1,"type":"result","bench":"...",
+ *   result   {"wire":2,"type":"result","bench":"...",
  *             "technique":"...","options":{...},"result":{...}}
+ *
+ * Checkpoint snapshot documents are the fourth family; their codec
+ * lives in serve/snapshot.hh.
  *
  * Conventions:
  *   - Member names are camelCase and never contain '_', the same rule
@@ -39,8 +43,19 @@
 
 namespace wg::serve::wire {
 
-/** Wire schema version; bumped on any incompatible shape change. */
-inline constexpr std::uint64_t kSchemaVersion = 1;
+/**
+ * Wire schema version this build emits; bumped on any shape change.
+ * Version 2 added the checkpoint snapshot document (snapshot.hh) and
+ * the checkpoint/resume protocol verbs.
+ */
+inline constexpr std::uint64_t kSchemaVersion = 2;
+
+/**
+ * Oldest schema version this build still accepts. Version-1 documents
+ * contain a strict subset of the version-2 shapes, so every v1 parser
+ * path still works; checkEnvelope accepts the whole range.
+ */
+inline constexpr std::uint64_t kMinSchemaVersion = 1;
 
 // ----- bare bodies (no envelope) -----
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared building blocks of the wire codecs (wire.cc, snapshot.cc):
+ * typed field readers whose error strings carry the dotted path to the
+ * offending member, and the leaf struct (de)serializers both document
+ * families use. Everything here follows the wire conventions —
+ * camelCase member names, deterministic number formatting, and
+ * deserialization that returns false with an actionable error instead
+ * of aborting.
+ *
+ * This is an internal header: tools and tests should speak through
+ * wire.hh / snapshot.hh. It exists so the snapshot codec can reuse the
+ * exact helpers (and so the wglint D5 snapshot-drift rule can index the
+ * codec functions by name).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "serve/json.hh"
+#include "sim/result.hh"
+#include "sim/smstats.hh"
+
+namespace wg::serve::wire::detail {
+
+// ----- typed field readers (error strings carry the dotted path) -----
+
+/** Set @p error to "<path>: <what>"; always returns false. */
+bool failAt(std::string& error, const std::string& path,
+            const std::string& what);
+
+/** Fetch member @p key of object @p obj into @p out. */
+bool getMember(const Json& obj, const std::string& path, const char* key,
+               const Json*& out, std::string& error);
+
+bool getU64(const Json& obj, const std::string& path, const char* key,
+            std::uint64_t& out, std::string& error);
+
+bool getDouble(const Json& obj, const std::string& path, const char* key,
+               double& out, std::string& error);
+
+bool getBool(const Json& obj, const std::string& path, const char* key,
+             bool& out, std::string& error);
+
+bool getString(const Json& obj, const std::string& path, const char* key,
+               std::string& out, std::string& error);
+
+/**
+ * Fetch array member @p key; when @p size is non-zero the array must
+ * have exactly that many elements.
+ */
+bool getArray(const Json& obj, const std::string& path, const char* key,
+              std::size_t size, const Json*& out, std::string& error);
+
+/** Element @p i of array @p arr as a non-negative integer. */
+bool u64Item(const Json& arr, const std::string& path, std::size_t i,
+             std::uint64_t& out, std::string& error);
+
+// ----- leaf struct (de)serializers -----
+
+Json histogramToJson(const Histogram& h);
+bool histogramFromJson(const Json& j, const std::string& path,
+                       Histogram& out, std::string& error);
+
+Json pgStatsToJson(const PgDomainStats& s);
+bool pgStatsFromJson(const Json& j, const std::string& path,
+                     PgDomainStats& out, std::string& error);
+
+Json clusterToJson(const ClusterStats& c);
+bool clusterFromJson(const Json& j, const std::string& path,
+                     ClusterStats& out, std::string& error);
+
+Json energyToJson(const UnitEnergy& e);
+bool energyFromJson(const Json& j, const std::string& path,
+                    UnitEnergy& out, std::string& error);
+
+Json u64ArrayToJson(const std::uint64_t* values, std::size_t n);
+bool u64ArrayFromJson(const Json& obj, const std::string& path,
+                      const char* key, std::uint64_t* out, std::size_t n,
+                      std::string& error);
+
+Json smStatsToJson(const SmStats& s);
+bool smStatsFromJson(const Json& j, const std::string& path, SmStats& out,
+                     std::string& error);
+
+/** {"wire":kSchemaVersion,"type":<type>} document skeleton. */
+Json makeEnvelope(const char* type);
+
+} // namespace wg::serve::wire::detail

@@ -1,11 +1,8 @@
 #include "gpu.hh"
 
-#include <future>
-
 #include "common/logging.hh"
 #include "common/rng.hh"
-#include "common/threadpool.hh"
-#include "workload/generator.hh"
+#include "sim/session.hh"
 
 namespace wg {
 
@@ -46,16 +43,9 @@ SimResult
 Gpu::run(const BenchmarkProfile& profile, ThreadPool* pool,
          trace::Collector* collector, metrics::Collector* metrics) const
 {
-    ProgramGenerator gen(config_.seed);
-    std::vector<std::vector<Program>> per_sm;
-    {
-        metrics::PhaseTimers::Scope timer(
-            metrics ? &metrics->profile : nullptr, "workloadGen");
-        per_sm.reserve(config_.numSms);
-        for (unsigned s = 0; s < config_.numSms; ++s)
-            per_sm.push_back(gen.generateSm(profile, s));
-    }
-    return runPrograms(per_sm, pool, collector, metrics);
+    SimSession session =
+        SimSession::open(profile, config_, pool, collector, metrics);
+    return session.result();
 }
 
 SimResult
@@ -63,83 +53,9 @@ Gpu::runPrograms(const std::vector<std::vector<Program>>& per_sm,
                  ThreadPool* pool, trace::Collector* collector,
                  metrics::Collector* metrics) const
 {
-    if (per_sm.empty())
-        fatal("Gpu::runPrograms: no SM workloads");
-
-    // Pre-create every per-SM recorder/sampler before any job is
-    // dispatched: each SM then touches only its own ring buffer and
-    // sampler, so the pooled and serial paths emit bit-identical
-    // traces and metrics.
-    if (collector) {
-        collector->prepare(static_cast<unsigned>(per_sm.size()));
-        collector->meta =
-            makeTraceMeta(config_, static_cast<unsigned>(per_sm.size()));
-    }
-    if (metrics)
-        metrics->prepare(static_cast<unsigned>(per_sm.size()),
-                         config_.sm.pg.epochLength);
-
-    auto run_sm = [&](unsigned s) {
-        Sm sm(config_.sm, per_sm[s], smSeed(config_.seed, s),
-              collector ? collector->recorder(s) : nullptr,
-              metrics ? metrics->sampler(s) : nullptr);
-        return sm.run();
-    };
-
-    // Stats land in `stats[s]` regardless of execution order and are
-    // aggregated in SM index order, so the pooled and serial paths are
-    // bit-identical.
-    std::vector<SmStats> stats(per_sm.size());
-    {
-        metrics::PhaseTimers::Scope timer(
-            metrics ? &metrics->profile : nullptr, "simLoop");
-        if (pool == nullptr || per_sm.size() == 1) {
-            for (unsigned s = 0; s < per_sm.size(); ++s)
-                stats[s] = run_sm(s);
-        } else {
-            std::vector<std::future<SmStats>> futures;
-            futures.reserve(per_sm.size());
-            for (unsigned s = 0; s < per_sm.size(); ++s)
-                futures.push_back(
-                    pool->submit([&run_sm, s] { return run_sm(s); }));
-            for (unsigned s = 0; s < per_sm.size(); ++s)
-                stats[s] = pool->wait(futures[s]);
-        }
-    }
-    return aggregate(std::move(stats), metrics);
-}
-
-SimResult
-Gpu::aggregate(std::vector<SmStats> stats,
-               metrics::Collector* metrics) const
-{
-    SimResult result;
-    result.config = config_;
-    result.aggregate.completed = true;
-    for (unsigned t = 0; t < 2; ++t)
-        for (unsigned c = 0; c < 2; ++c)
-            result.aggregate.clusters[t][c].idleHist = Histogram(64);
-
-    for (const SmStats& s : stats) {
-        result.smCycles.push_back(s.cycles);
-        if (s.cycles > result.cycles)
-            result.cycles = s.cycles;
-        result.totalSmCycles += s.cycles;
-        mergeSmStats(result.aggregate, s);
-    }
-
-    // Per-type idle histograms: both clusters of both types, all SMs.
-    result.intIdleHist = result.aggregate.clusters[0][0].idleHist;
-    result.intIdleHist.merge(result.aggregate.clusters[0][1].idleHist);
-    result.fpIdleHist = result.aggregate.clusters[1][0].idleHist;
-    result.fpIdleHist.merge(result.aggregate.clusters[1][1].idleHist);
-
-    {
-        metrics::PhaseTimers::Scope timer(
-            metrics ? &metrics->profile : nullptr, "energyModel");
-        computeEnergy(result);
-    }
-    return result;
+    SimSession session = SimSession::openPrograms(per_sm, config_, pool,
+                                                  collector, metrics);
+    return session.result();
 }
 
 } // namespace wg

@@ -24,7 +24,12 @@ namespace wg {
 /** Trace metadata describing a GPU configuration (for trace sinks). */
 trace::Meta makeTraceMeta(const GpuConfig& config, unsigned num_sms);
 
-/** A GTX480-like GPU: numSms independent SMs. */
+/**
+ * A GTX480-like GPU: numSms independent SMs. run()/runPrograms() are
+ * thin wrappers over SimSession (sim/session.hh), the resumable
+ * checkpoint/restore API — an uninterrupted Gpu::run is the degenerate
+ * single-segment session.
+ */
 class Gpu
 {
   public:
@@ -65,9 +70,6 @@ class Gpu
     const GpuConfig& config() const { return config_; }
 
   private:
-    SimResult aggregate(std::vector<SmStats> stats,
-                        metrics::Collector* metrics) const;
-
     GpuConfig config_;
 };
 

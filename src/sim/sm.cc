@@ -545,7 +545,7 @@ Sm::tryFastForward()
     // (pipelines, memory) are the common span limiter, so compute them
     // first and bail before the costlier analysis when the next event
     // is already due.
-    Cycle h = config_.maxCycles;
+    Cycle h = run_limit_;
     auto clamp = [&h](Cycle e) {
         if (e < h)
             h = e;
@@ -695,14 +695,21 @@ Sm::fastForward(Cycle n, const SchedView& view,
     ++ff_spans_;
 }
 
+void
+Sm::runUntil(Cycle limit)
+{
+    run_limit_ = std::min(limit, config_.maxCycles);
+    while (!done_ && now_ < run_limit_) {
+        step();
+        if (config_.fastForward && !done_ && now_ < run_limit_)
+            tryFastForward();
+    }
+}
+
 const SmStats&
 Sm::run()
 {
-    while (!done_ && now_ < config_.maxCycles) {
-        step();
-        if (config_.fastForward && !done_ && now_ < config_.maxCycles)
-            tryFastForward();
-    }
+    runUntil(config_.maxCycles);
     if (!done_) {
         warn("Sm: maxCycles (", config_.maxCycles,
              ") reached before the workload drained");
@@ -753,6 +760,170 @@ Sm::finish()
     // simulated cycle (pg_.finalize above closed the idle runs first).
     if (sampler_)
         sampler_->finalize(now_, sampleCounters());
+}
+
+SmSnapshot
+Sm::snapshot() const
+{
+    SmSnapshot s;
+    s.now = now_;
+    s.done = done_;
+    s.finishedStats = finished_stats_;
+    s.liveWarps = live_warps_;
+    s.ldstIdleRun = ldst_idle_run_;
+    s.rrCluster = {rr_cluster_[0], rr_cluster_[1]};
+    s.active.assign(active_.begin(), active_.end());
+    s.waiting.assign(waiting_.begin(), waiting_.end());
+    s.pending.assign(pending_.begin(), pending_.end());
+    s.warps.reserve(warps_.size());
+    s.scoreboard.reserve(warps_.size());
+    s.scoreboardLong.reserve(warps_.size());
+    for (std::size_t w = 0; w < warps_.size(); ++w) {
+        const WarpId id = static_cast<WarpId>(w);
+        s.warps.push_back(warps_.saveWarp(id));
+        s.scoreboard.push_back(scoreboard_.pendingWord(id));
+        s.scoreboardLong.push_back(scoreboard_.pendingLongWord(id));
+    }
+    scheduler_->saveState(s.scheduler);
+    for (unsigned c = 0; c < 2; ++c) {
+        s.intUnits[c] = int_[c].saveState();
+        s.fpUnits[c] = fp_[c].saveState();
+    }
+    s.sfu = sfu_.saveState();
+    s.ldst = ldst_.saveState();
+    s.mem = mem_.saveState();
+    s.pg = pg_.saveState();
+    s.stats = stats_;
+    if (trace_) {
+        s.hasTrace = true;
+        s.traceEvents = trace_->events();
+        s.traceOverwritten = trace_->overwritten();
+    }
+    if (sampler_) {
+        s.hasSampler = true;
+        s.sampler = sampler_->saveState();
+    }
+    return s;
+}
+
+bool
+Sm::restore(const SmSnapshot& snap, std::string* error)
+{
+    auto fail = [error](const char* what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+
+    const std::size_t n = warps_.size();
+    if (snap.warps.size() != n || snap.scoreboard.size() != n ||
+        snap.scoreboardLong.size() != n)
+        return fail("snapshot warp count does not match the workload");
+    if (snap.rrCluster[0] >= kClustersPerType ||
+        snap.rrCluster[1] >= kClustersPerType)
+        return fail("snapshot rrCluster out of range");
+    if (snap.scheduler.hiClass >= kNumUnitClasses)
+        return fail("snapshot scheduler class out of range");
+    for (unsigned t = 0; t < 2; ++t)
+        for (unsigned c = 0; c < kClustersPerType; ++c)
+            if (snap.pg.domains[t][c].state > 3)
+                return fail("snapshot pg state out of range");
+    if (snap.pg.sfuDomain.state > 3)
+        return fail("snapshot pg state out of range");
+
+    // Residency lists must tile the non-finished warps: every listed
+    // warp's slot must claim the matching location, exactly once.
+    std::size_t finished = 0;
+    for (std::size_t w = 0; w < n; ++w)
+        if (snap.warps[w].loc ==
+            static_cast<std::uint8_t>(WarpLoc::Finished))
+            ++finished;
+    if (snap.liveWarps != n - finished)
+        return fail("snapshot liveWarps inconsistent with warp slots");
+    std::vector<bool> seen(n, false);
+    auto check_list = [&](const std::vector<std::uint32_t>& list,
+                          WarpLoc loc) {
+        for (std::uint32_t w : list) {
+            if (w >= n || seen[w] ||
+                snap.warps[w].loc != static_cast<std::uint8_t>(loc))
+                return false;
+            seen[w] = true;
+        }
+        return true;
+    };
+    if (!check_list(snap.active, WarpLoc::Active) ||
+        !check_list(snap.waiting, WarpLoc::Waiting) ||
+        !check_list(snap.pending, WarpLoc::Pending))
+        return fail("snapshot residency lists inconsistent");
+    if (snap.active.size() + snap.waiting.size() + snap.pending.size() !=
+        n - finished)
+        return fail("snapshot residency lists inconsistent");
+    if (snap.active.size() > config_.activeSetCapacity)
+        return fail("snapshot active set exceeds capacity");
+
+    if (snap.hasTrace != (trace_ != nullptr))
+        return fail(snap.hasTrace
+                        ? "snapshot carries a trace section but no "
+                          "recorder is attached"
+                        : "a recorder is attached but the snapshot has "
+                          "no trace section");
+    if (snap.hasTrace && trace_ &&
+        snap.traceEvents.size() > trace_->capacity())
+        return fail("snapshot trace section exceeds the ring "
+                    "capacity");
+    if (snap.hasSampler != (sampler_ != nullptr))
+        return fail(snap.hasSampler
+                        ? "snapshot carries a metrics section but no "
+                          "sampler is attached"
+                        : "a sampler is attached but the snapshot has "
+                          "no metrics section");
+    if (snap.hasSampler &&
+        snap.sampler.epochLength != sampler_->epochLength())
+        return fail("snapshot metrics epoch length does not match");
+
+    if (!warps_.restore(snap.warps))
+        return fail("snapshot warp slots inconsistent with programs");
+
+    now_ = snap.now;
+    done_ = snap.done;
+    finished_stats_ = snap.finishedStats;
+    live_warps_ = snap.liveWarps;
+    ldst_idle_run_ = snap.ldstIdleRun;
+    rr_cluster_ = {snap.rrCluster[0], snap.rrCluster[1]};
+    active_.assign(snap.active.begin(), snap.active.end());
+    waiting_.assign(snap.waiting.begin(), snap.waiting.end());
+    pending_.assign(snap.pending.begin(), snap.pending.end());
+    for (std::size_t w = 0; w < n; ++w)
+        scoreboard_.restoreWords(static_cast<WarpId>(w),
+                                 snap.scoreboard[w],
+                                 snap.scoreboardLong[w]);
+    scheduler_->restoreState(snap.scheduler);
+    for (unsigned c = 0; c < 2; ++c) {
+        int_[c].restoreState(snap.intUnits[c]);
+        fp_[c].restoreState(snap.fpUnits[c]);
+    }
+    sfu_.restoreState(snap.sfu);
+    ldst_.restoreState(snap.ldst);
+    mem_.restoreState(snap.mem);
+    pg_.restoreState(snap.pg);
+    stats_ = snap.stats;
+    if (trace_)
+        trace_->restore(snap.traceEvents, snap.traceOverwritten);
+    if (sampler_)
+        sampler_->restoreState(snap.sampler);
+
+    // Re-derive the incremental masks and the ACTV aggregate from the
+    // restored warp/scoreboard state.
+    readyByClass_ = {};
+    blockedLongMask_ = 0;
+    for (std::size_t w = 0; w < n; ++w)
+        refreshWarp(static_cast<WarpId>(w));
+    actvAgg_ = {};
+    for (WarpId w : active_)
+        for (std::size_t c = 0; c < kNumUnitClasses; ++c)
+            actvAgg_[c] +=
+                warps_.bufCount(w, static_cast<UnitClass>(c));
+    return true;
 }
 
 } // namespace wg

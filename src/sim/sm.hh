@@ -56,6 +56,7 @@
 #include "sched/warp.hh"
 #include "sim/config.hh"
 #include "sim/smstats.hh"
+#include "sim/snapshot.hh"
 #include "trace/recorder.hh"
 
 namespace wg {
@@ -83,6 +84,36 @@ class Sm
 
     /** Run to completion (or maxCycles). @return the statistics. */
     const SmStats& run();
+
+    /**
+     * Advance to cycle @p limit (clamped to maxCycles) or completion,
+     * whichever comes first, with fast-forward bounded so no span
+     * crosses @p limit. Unlike run() this neither warns nor finalizes
+     * at maxCycles — the SM stays resumable. Stopping at a cycle an
+     * uninterrupted run would have fast-forwarded over is safe: the
+     * resumed boundary step replays the quiescent cycle exactly.
+     */
+    void runUntil(Cycle limit);
+
+    /**
+     * Capture complete SM state at a step boundary (between step()
+     * calls / runUntil() segments). Restoring the snapshot into an Sm
+     * constructed with the same config, programs and seed continues
+     * the simulation bit-identically.
+     */
+    SmSnapshot snapshot() const;
+
+    /**
+     * Rebuild mid-run state from @p snap. Must be called on a freshly
+     * constructed Sm (same config/programs/seed as the captured one)
+     * before any step(). Derived masks and aggregates are recomputed.
+     * @return false (with *error set when non-null) when the snapshot
+     * is inconsistent with this SM's shape — wrong warp count, invalid
+     * residency lists, or an observer section mismatch (the snapshot
+     * has a trace/metrics section but this SM has no recorder/sampler
+     * attached, or vice versa).
+     */
+    bool restore(const SmSnapshot& snap, std::string* error = nullptr);
 
     /** @return true when every warp finished. */
     bool done() const { return done_; }
@@ -205,6 +236,9 @@ class Sm
     std::array<unsigned, 2> rr_cluster_ = {0, 0};
 
     Cycle now_ = 0;
+    /** Current segment's stop cycle: bounds fast-forward horizons so a
+     *  runUntil() span never crosses the checkpoint boundary. */
+    Cycle run_limit_ = 0;
     bool done_ = false;
     bool finished_stats_ = false;
     std::size_t live_warps_ = 0;

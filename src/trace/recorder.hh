@@ -73,6 +73,22 @@ class Recorder
     /** Retained events, oldest first. */
     std::vector<Event> events() const;
 
+    /**
+     * Rebuild the ring from a checkpoint: re-record @p events (oldest
+     * first) into an empty ring and carry over the pre-checkpoint
+     * wrap-around loss, so a resumed trace serializes byte-identically
+     * to the uninterrupted one.
+     */
+    void
+    restore(const std::vector<Event>& events, std::uint64_t overwritten)
+    {
+        next_ = 0;
+        size_ = 0;
+        overwritten_ = overwritten;
+        for (const Event& e : events)
+            record(e.cycle, e.kind, e.unit, e.cluster, e.arg, e.value);
+    }
+
     /** Visit retained events oldest-first without copying. */
     template <typename Fn>
     void

@@ -1,0 +1,34 @@
+// Fixture: a snapshotted struct whose codec covers every field in
+// both directions — D5 silent.
+#include <cstdint>
+#include <string>
+
+struct Json
+{
+    void set(const char*, std::uint64_t) {}
+    std::uint64_t get(const char*) const { return 0; }
+};
+
+struct RngState
+{
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+};
+
+Json
+rngStateToJson(const RngState& s)
+{
+    Json j;
+    j.set("state", s.state);
+    j.set("inc", s.inc);
+    return j;
+}
+
+bool
+rngStateFromJson(const Json& j, const std::string&, RngState& out,
+                 std::string&)
+{
+    out.state = j.get("state");
+    out.inc = j.get("inc");
+    return true;
+}

@@ -1,0 +1,34 @@
+// Fixture: a field exempted from the snapshot-codec contract with a
+// field-level suppression (derived state restore() recomputes) — D5
+// silent.
+#include <cstdint>
+#include <string>
+
+struct Json
+{
+    void set(const char*, std::uint64_t) {}
+    std::uint64_t get(const char*) const { return 0; }
+};
+
+struct SmSnapshot
+{
+    std::uint64_t now = 0;
+    // wglint:allow(D5): derived from the warp slots on restore
+    std::uint64_t liveWarps = 0;
+};
+
+Json
+smSnapshotToJson(const SmSnapshot& s)
+{
+    Json j;
+    j.set("now", s.now);
+    return j;
+}
+
+bool
+smSnapshotFromJson(const Json& j, const std::string&, SmSnapshot& out,
+                   std::string&)
+{
+    out.now = j.get("now");
+    return true;
+}

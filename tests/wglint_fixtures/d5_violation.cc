@@ -1,0 +1,65 @@
+// Fixture: snapshot-field drift, both codec directions.
+//   - RngState::inc is serialized in rngStateToJson() but missing
+//     from rngStateFromJson() — a resumed run would reseed wrong;
+//   - SmSnapshot::liveWarps is restored but never serialized — the
+//     written snapshot silently loses it;
+//   - SmSnapshot::done is the second declarator of a multi-declarator
+//     field line and is missing from both halves — the extractor must
+//     see every declarator, not just the first.
+#include <cstdint>
+#include <string>
+
+struct Json
+{
+    void set(const char*, std::uint64_t) {}
+    std::uint64_t get(const char*) const { return 0; }
+};
+
+struct RngState
+{
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+};
+
+Json
+rngStateToJson(const RngState& s)
+{
+    Json j;
+    j.set("state", s.state);
+    j.set("inc", s.inc);
+    return j;
+}
+
+bool
+rngStateFromJson(const Json& j, const std::string&, RngState& out,
+                 std::string&)
+{
+    out.state = j.get("state");
+    return true;
+}
+
+struct SmSnapshot
+{
+    std::uint64_t now = 0;
+    std::uint64_t liveWarps = 0;
+    bool finishedStats = false, done = false;
+};
+
+Json
+smSnapshotToJson(const SmSnapshot& s)
+{
+    Json j;
+    j.set("now", s.now);
+    j.set("finishedStats", s.finishedStats ? 1 : 0);
+    return j;
+}
+
+bool
+smSnapshotFromJson(const Json& j, const std::string&, SmSnapshot& out,
+                   std::string&)
+{
+    out.now = j.get("now");
+    out.liveWarps = j.get("liveWarps");
+    out.finishedStats = j.get("finishedStats") != 0;
+    return true;
+}

@@ -66,7 +66,7 @@ totalRecords(const std::string& output)
 {
     return countRule(output, "D1") + countRule(output, "D2") +
            countRule(output, "D3") + countRule(output, "D4") +
-           countRule(output, "H1");
+           countRule(output, "D5") + countRule(output, "H1");
 }
 
 LintRun
@@ -257,11 +257,54 @@ TEST(Wglint, H1SuppressionHonored)
     EXPECT_TRUE(run.output.empty()) << run.output;
 }
 
+TEST(Wglint, D5ViolationFires)
+{
+    // Like D3, D5 fixtures are linted one file at a time so the
+    // cross-file index cannot merge the clean fixture's codec bodies
+    // into the violating fixture's catalogue entries.
+    auto run = lintFixture("d5_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D5"), 4) << run.output;
+    // One drift per direction per field: inc lost on restore,
+    // liveWarps lost on serialize, done (a second declarator) lost
+    // both ways.
+    EXPECT_NE(run.output.find(
+                  "RngState::inc is not restored in rngStateFromJson"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("SmSnapshot::liveWarps is not serialized "
+                              "in smSnapshotToJson"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("SmSnapshot::done"), std::string::npos)
+        << run.output;
+    EXPECT_EQ(totalRecords(run.output), countRule(run.output, "D5"))
+        << run.output;
+}
+
+TEST(Wglint, D5CleanIsSilent)
+{
+    auto run = lintFixture("d5_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, D5SuppressionHonored)
+{
+    auto run = lintFixture("d5_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
 TEST(Wglint, WholeFixtureTreeFindsEveryRule)
 {
     auto run = runWglint("--format=jsonl " +
                          std::string(WGLINT_FIXTURE_DIR));
     EXPECT_EQ(run.exitCode, 1) << run.output;
+    // D3/D5 are absent on purpose: linting the whole fixture tree
+    // merges each rule's clean codec/registry bodies into the same
+    // cross-file index as its violating fixture, masking the drift —
+    // which is exactly why those fixtures are linted one at a time.
     for (const char* rule : {"D1", "D2", "D4", "H1"})
         EXPECT_GE(countRule(run.output, rule), 1)
             << rule << "\n" << run.output;
@@ -301,7 +344,7 @@ TEST(Wglint, ListRulesNamesEveryRule)
 {
     auto run = runWglint("--list-rules");
     EXPECT_EQ(run.exitCode, 0) << run.output;
-    for (const char* rule : {"D1", "D2", "D3", "D4", "H1"})
+    for (const char* rule : {"D1", "D2", "D3", "D4", "D5", "H1"})
         EXPECT_NE(run.output.find(rule), std::string::npos)
             << rule << "\n" << run.output;
 }

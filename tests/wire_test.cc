@@ -19,6 +19,7 @@
 #include "metrics/registry.hh"
 #include "report/export.hh"
 #include "serve/json.hh"
+#include "serve/snapshot.hh"
 #include "serve/wire.hh"
 
 namespace {
@@ -73,7 +74,7 @@ tinyResult()
 TEST(WireGolden, OptionsDocIsPinned)
 {
     Json doc = serve::wire::optionsDoc(distinctiveOptions());
-    EXPECT_EQ(doc.dump(), golden("wire_options_v1.json", doc.dump()));
+    EXPECT_EQ(doc.dump(), golden("wire_options_v2.json", doc.dump()));
 }
 
 TEST(WireGolden, SweepDocIsPinned)
@@ -82,7 +83,7 @@ TEST(WireGolden, SweepDocIsPinned)
                    {Technique::Baseline, Technique::WarpedGates},
                    distinctiveOptions());
     Json doc = serve::wire::sweepDoc(spec);
-    EXPECT_EQ(doc.dump(), golden("wire_sweep_v1.json", doc.dump()));
+    EXPECT_EQ(doc.dump(), golden("wire_sweep_v2.json", doc.dump()));
 }
 
 TEST(WireGolden, ResultDocIsPinned)
@@ -91,7 +92,107 @@ TEST(WireGolden, ResultDocIsPinned)
         "hotspot", Technique::WarpedGates, distinctiveOptions(),
         tinyResult());
     EXPECT_EQ(doc.dump(),
-              golden("wire_result_hotspot_v1.json", doc.dump()));
+              golden("wire_result_hotspot_v2.json", doc.dump()));
+}
+
+TEST(WireGolden, JobSnapshotDocIsPinned)
+{
+    SweepSpec spec({"hotspot"}, {Technique::WarpedGates},
+                   distinctiveOptions());
+    std::vector<Json> cells;
+    cells.push_back(serve::wire::resultDoc("hotspot",
+                                           Technique::WarpedGates,
+                                           distinctiveOptions(),
+                                           tinyResult()));
+    Json doc = serve::wire::jobSnapshotDoc("j1", spec, cells);
+    EXPECT_EQ(doc.dump(),
+              golden("wire_job_snapshot_v2.json", doc.dump()));
+}
+
+/**
+ * The committed v1 goldens stay as back-compat fixtures: a build that
+ * emits schema 2 must keep parsing every version-1 document.
+ */
+TEST(WireBackCompat, V1DocumentsStillParse)
+{
+    struct Case
+    {
+        const char* file;
+        const char* type;
+    };
+    const Case kCases[] = {
+        {"wire_options_v1.json", "options"},
+        {"wire_sweep_v1.json", "sweep"},
+        {"wire_result_hotspot_v1.json", "result"},
+    };
+    for (const Case& c : kCases) {
+        std::ifstream in(goldenPath(c.file));
+        ASSERT_TRUE(in.good()) << c.file;
+        std::ostringstream os;
+        os << in.rdbuf();
+        Json doc;
+        std::string error;
+        ASSERT_TRUE(Json::parse(os.str(), doc, error))
+            << c.file << ": " << error;
+        EXPECT_EQ(doc.find("wire")->asU64(), 1u) << c.file;
+        if (std::string(c.type) == "options") {
+            ExperimentOptions out;
+            EXPECT_TRUE(serve::wire::parseOptionsDoc(doc, out, error))
+                << error;
+            EXPECT_EQ(out.seed, distinctiveOptions().seed);
+        } else if (std::string(c.type) == "sweep") {
+            SweepSpec out({}, {});
+            EXPECT_TRUE(serve::wire::parseSweepDoc(doc, out, error))
+                << error;
+            EXPECT_EQ(out.benches.size(), 2u);
+        } else {
+            serve::wire::ResultCell cell;
+            EXPECT_TRUE(serve::wire::parseResultDoc(doc, cell, error))
+                << error;
+            StatSet original = metrics::toStatSet(tinyResult());
+            StatSet rebuilt = metrics::toStatSet(cell.result);
+            EXPECT_EQ(original.entries(), rebuilt.entries());
+        }
+    }
+}
+
+TEST(WireRoundTrip, JobSnapshotSurvivesExactly)
+{
+    SweepSpec spec({"hotspot"}, {Technique::WarpedGates},
+                   distinctiveOptions());
+    std::vector<Json> cells;
+    cells.push_back(serve::wire::resultDoc("hotspot",
+                                           Technique::WarpedGates,
+                                           distinctiveOptions(),
+                                           tinyResult()));
+    Json doc = serve::wire::jobSnapshotDoc("j1", spec, cells);
+    const std::string bytes = doc.dump();
+
+    Json reparsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(bytes, reparsed, error)) << error;
+    std::string id;
+    SweepSpec back({}, {});
+    std::vector<serve::wire::ResultCell> parsed;
+    ASSERT_TRUE(serve::wire::parseJobSnapshotDoc(reparsed, id, back,
+                                                 parsed, error))
+        << error;
+    EXPECT_EQ(id, "j1");
+    EXPECT_EQ(back.benches, spec.benches);
+    EXPECT_EQ(back.techniques, spec.techniques);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].bench, "hotspot");
+    StatSet original = metrics::toStatSet(tinyResult());
+    StatSet rebuilt = metrics::toStatSet(parsed[0].result);
+    EXPECT_EQ(original.entries(), rebuilt.entries());
+
+    // Re-serializing the reparsed snapshot reproduces the bytes.
+    std::vector<Json> cellsAgain;
+    for (const Json& cell : reparsed.find("cells")->items())
+        cellsAgain.push_back(Json(cell));
+    EXPECT_EQ(
+        serve::wire::jobSnapshotDoc(id, back, cellsAgain).dump(),
+        bytes);
 }
 
 TEST(WireRoundTrip, OptionsSurviveExactly)
@@ -182,11 +283,11 @@ TEST(WireVersion, MismatchIsRejectedCleanly)
 {
     ExperimentOptions opts;
     Json doc = serve::wire::optionsDoc(opts);
-    doc.set("wire", Json::number(std::uint64_t(2)));
+    doc.set("wire", Json::number(std::uint64_t(3)));
     std::string error;
     ExperimentOptions out;
     EXPECT_FALSE(serve::wire::parseOptionsDoc(doc, out, error));
-    EXPECT_NE(error.find("unsupported schema version 2"),
+    EXPECT_NE(error.find("unsupported schema version 3"),
               std::string::npos)
         << error;
 }

@@ -12,6 +12,9 @@
  *            streamed bytes as a wgmetrics jsonl file (single-cell
  *            jobs) that is byte-identical to `wgsim --metrics`
  *   result   fetch and print a finished job's results
+ *   checkpoint  snapshot a job (any state): its sweep plus every
+ *            completed cell, as a document `submit --resume` replays —
+ *            on this daemon or another one
  *   cancel   cancel a queued or running job
  *   stats    print the daemon's serve.* gauges
  *   drain    ask the daemon to finish everything and shut down
@@ -21,12 +24,15 @@
  *         --wait
  *   wgctl submit --port 7421 --bench all --technique Baseline,GATES
  *   wgctl watch --port 7421 --id j1 --metrics live.jsonl
+ *   wgctl checkpoint --port 7421 --id j1 --out job.ckpt.json
+ *   wgctl submit --port 7422 --resume job.ckpt.json --wait
  *   wgctl status --port 7421
  *   wgctl drain --port 7421
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -67,7 +73,27 @@ constexpr FlagSpec kFlags[] = {
     {"metrics", FlagKind::String, "",
      "write the final metric registry (jsonl) to this file "
      "(single-cell results only; wgreport-comparable)"},
+    {"out", FlagKind::String, "",
+     "checkpoint: write the job snapshot to this file (default "
+     "stdout)"},
+    {"resume", FlagKind::String, "",
+     "submit: resubmit a job snapshot file (from `wgctl checkpoint`); "
+     "its completed cells seed the daemon's cache so only unfinished "
+     "cells recompute"},
 };
+
+/** Slurp @p path; @return false when the file cannot be read. */
+bool
+readFile(const std::string& path, std::string& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
 
 std::vector<std::string>
 splitCommas(const std::string& s)
@@ -291,8 +317,8 @@ main(int argc, char** argv)
     if (args.positional().size() != 1) {
         std::fprintf(stderr,
                      "usage: wgctl "
-                     "submit|status|watch|result|cancel|stats|drain "
-                     "[flags]\n%s",
+                     "submit|status|watch|result|checkpoint|cancel|"
+                     "stats|drain [flags]\n%s",
                      args.usage().c_str());
         return 2;
     }
@@ -310,15 +336,32 @@ main(int argc, char** argv)
     client.setRequestTimeout(timeout_ms);
 
     if (command == "submit") {
-        SweepSpec spec({}, {});
-        if (!buildSpec(args, spec))
-            return 2;
         std::string id;
         bool deduped = false;
-        if (!client.submit(
-                spec, static_cast<unsigned>(args.getInt("priority")),
-                id, deduped, error))
-            return fail(error);
+        if (args.given("resume")) {
+            std::string text;
+            if (!readFile(args.getString("resume"), text))
+                return fail("cannot read " + args.getString("resume"));
+            serve::Json doc;
+            std::uint64_t seeded = 0;
+            if (!serve::Json::parse(text, doc, error))
+                return fail(args.getString("resume") + ": " + error);
+            if (!client.submitSnapshot(
+                    doc, static_cast<unsigned>(args.getInt("priority")),
+                    id, deduped, seeded, error))
+                return fail(args.getString("resume") + ": " + error);
+            if (!args.getBool("quiet"))
+                inform("seeded ", seeded, " completed cells from ",
+                       args.getString("resume"));
+        } else {
+            SweepSpec spec({}, {});
+            if (!buildSpec(args, spec))
+                return 2;
+            if (!client.submit(
+                    spec, static_cast<unsigned>(args.getInt("priority")),
+                    id, deduped, error))
+                return fail(error);
+        }
         if (!args.getBool("wait")) {
             std::printf("%s%s\n", id.c_str(),
                         deduped ? " (deduped)" : "");
@@ -359,6 +402,21 @@ main(int argc, char** argv)
         if (!client.results(args.getString("id"), cells, error))
             return fail(error);
         return emitCells(args, cells);
+    }
+    if (command == "checkpoint") {
+        if (!args.given("id"))
+            return fail("checkpoint requires --id");
+        serve::Json snapshot;
+        if (!client.checkpoint(args.getString("id"), snapshot, error))
+            return fail(error);
+        const std::string text = snapshot.dump() + "\n";
+        if (args.given("out")) {
+            writeFile(args.getString("out"), text);
+            inform("wrote ", args.getString("out"));
+        } else {
+            std::fputs(text.c_str(), stdout);
+        }
+        return 0;
     }
     if (command == "cancel") {
         if (!args.given("id"))

@@ -21,6 +21,11 @@
  *       the Prometheus '.' -> '_' exposition mapping stays bijective;
  *       likewise JSON keys embedded in string literals (hand-built
  *       wire frames, the event log) stay camelCase.
+ *   D5  snapshot-field drift — every field of the checkpointed state
+ *       structs (RngState, SchedulerState, SmSnapshot, ...) must
+ *       appear in both halves of its serve/snapshot codec
+ *       (xToJson/xFromJson); a field added to the struct but not the
+ *       codec would silently break resume bit-identity.
  *   H1  header hygiene: every header carries `#pragma once` and no
  *       `using namespace` at header scope.
  *
@@ -98,6 +103,11 @@ ruleHint(const std::string& rule)
         return "registry names are '.'-separated and wire keys are "
                "camelCase; keep '_' out so the Prometheus '.'->'_' "
                "mapping stays bijective";
+    if (rule == "D5")
+        return "serialize the field in both codec halves "
+               "(xToJson/xFromJson in serve/snapshot.cc), or annotate "
+               "it with '// wglint:allow(D5)' if it is derived state "
+               "that restore() recomputes";
     if (rule == "H1")
         return "add '#pragma once' as the first directive and keep "
                "'using namespace' out of headers";
@@ -356,7 +366,8 @@ struct FieldInfo
     int line = 0;
     std::string file;
     std::vector<std::string> typeTokens;
-    bool suppressed = false;
+    bool suppressed = false;   ///< wglint:allow(D3) on the field
+    bool suppressedD5 = false; ///< wglint:allow(D5) on the field
 };
 
 struct StructInfo
@@ -391,6 +402,40 @@ const D3Entry kD3Catalogue[] = {
     {"SimResult", "", false, "toStatSet"},
 };
 
+/**
+ * D5 catalogue: the snapshotted state structs and the free-function
+ * codec pair (serve/snapshot.cc) that must mention every field. The
+ * struct and codec live in different files; the same cross-file index
+ * D3 uses resolves both sides.
+ */
+struct D5Entry
+{
+    const char* structName;
+    const char* toJsonFn;
+    const char* fromJsonFn;
+};
+
+const D5Entry kD5Catalogue[] = {
+    {"RngState", "rngStateToJson", "rngStateFromJson"},
+    {"WarpSlotState", "warpSlotStateToJson", "warpSlotStateFromJson"},
+    {"SchedulerState", "schedulerStateToJson", "schedulerStateFromJson"},
+    {"Completion", "completionToJson", "completionFromJson"},
+    {"ExecUnitState", "execUnitStateToJson", "execUnitStateFromJson"},
+    {"MemSystemState", "memSystemStateToJson", "memSystemStateFromJson"},
+    {"PgDomainState", "pgDomainStateToJson", "pgDomainStateFromJson"},
+    {"AdaptiveState", "adaptiveStateToJson", "adaptiveStateFromJson"},
+    {"PgControllerState", "pgControllerStateToJson",
+     "pgControllerStateFromJson"},
+    {"EpochCounters", "epochCountersToJson", "epochCountersFromJson"},
+    {"EpochSample", "epochSampleToJson", "epochSampleFromJson"},
+    {"SamplerState", "samplerStateToJson", "samplerStateFromJson"},
+    {"Event", "traceEventToJson", "traceEventFromJson"},
+    {"SmSnapshot", "smSnapshotToJson", "smSnapshotFromJson"},
+    {"GpuSnapshot", "gpuSnapshotToJson", "gpuSnapshotFromJson"},
+    {"SnapshotIdentity", "snapshotIdentityToJson",
+     "snapshotIdentityFromJson"},
+};
+
 struct D3Index
 {
     std::map<std::string, StructInfo> structs;
@@ -402,6 +447,9 @@ bool
 isCataloguedStruct(const std::string& name)
 {
     for (const D3Entry& e : kD3Catalogue)
+        if (name == e.structName)
+            return true;
+    for (const D5Entry& e : kD5Catalogue)
         if (name == e.structName)
             return true;
     return false;
@@ -555,6 +603,7 @@ parseStructBody(const FileScan& scan, std::size_t open,
             field.typeTokens = typeTokens;
             field.file = scan.path;
             field.suppressed = suppressed(scan, "D3", field.line);
+            field.suppressedD5 = suppressed(scan, "D5", field.line);
             info.fields.push_back(field);
         };
         // Top-level = outside (), [], {} and the type's template
@@ -744,6 +793,59 @@ checkD3(const D3Index& index, std::vector<Violation>& out)
                          " is not registered in " + entry.registryFn +
                          "()",
                      ruleHint("D3")});
+        }
+    }
+}
+
+void
+checkD5(const D3Index& index, std::vector<Violation>& out)
+{
+    for (const D5Entry& entry : kD5Catalogue) {
+        auto sit = index.structs.find(entry.structName);
+        if (sit == index.structs.end() || !sit->second.seen)
+            continue;
+        const StructInfo& info = sit->second;
+
+        // Both codec halves must exist before field-level checks make
+        // sense; a missing codec shows up as every field drifting,
+        // which is noise. Report the absent function once instead.
+        const std::set<std::string>* toJson = nullptr;
+        const std::set<std::string>* fromJson = nullptr;
+        if (auto fit = index.functions.find(entry.toJsonFn);
+            fit != index.functions.end())
+            toJson = &fit->second;
+        if (auto fit = index.functions.find(entry.fromJsonFn);
+            fit != index.functions.end())
+            fromJson = &fit->second;
+        if (toJson == nullptr || fromJson == nullptr) {
+            out.push_back(
+                {"D5", info.file, info.line,
+                 std::string(entry.structName) +
+                     " has no codec function " +
+                     (toJson == nullptr ? entry.toJsonFn
+                                        : entry.fromJsonFn) +
+                     "()",
+                 ruleHint("D5")});
+            continue;
+        }
+
+        for (const FieldInfo& f : info.fields) {
+            if (f.suppressedD5)
+                continue;
+            if (!toJson->count(f.name))
+                out.push_back(
+                    {"D5", f.file, f.line,
+                     std::string(entry.structName) + "::" + f.name +
+                         " is not serialized in " + entry.toJsonFn +
+                         "()",
+                     ruleHint("D5")});
+            if (!fromJson->count(f.name))
+                out.push_back(
+                    {"D5", f.file, f.line,
+                     std::string(entry.structName) + "::" + f.name +
+                         " is not restored in " + entry.fromJsonFn +
+                         "()",
+                     ruleHint("D5")});
         }
     }
 }
@@ -1186,6 +1288,10 @@ printRules()
         << "D4  metric-name literals passed to StatSet accessors and "
            "JSON keys embedded in string literals (wire frames, "
            "event log) contain no '_'\n"
+        << "D5  every field of the snapshotted state structs "
+           "(RngState, SchedulerState, SmSnapshot, ...) appears in "
+           "both halves of its serve/snapshot codec "
+           "(xToJson/xFromJson)\n"
         << "H1  headers carry '#pragma once' and no 'using "
            "namespace'\n"
         << "Suppress with '// wglint:allow(RULE)' on the violating "
@@ -1246,6 +1352,7 @@ main(int argc, char** argv)
         indexScopes(scan, 0, scan.tokens.size(), index);
     }
     checkD3(index, violations);
+    checkD5(index, violations);
 
     std::sort(violations.begin(), violations.end(), violationLess);
 

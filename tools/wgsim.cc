@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "metrics/exporters.hh"
 #include "metrics/registry.hh"
 #include "report/export.hh"
+#include "serve/snapshot.hh"
+#include "sim/session.hh"
 #include "trace/sink.hh"
 
 namespace {
@@ -115,7 +118,29 @@ constexpr FlagSpec kFlags[] = {
     {"profile", FlagKind::Bool, "",
      "self-profile: include wall-clock phase timers and pool stats "
      "(profile.*) in the metrics registry"},
+    {"checkpoint-at", FlagKind::Int, "0",
+     "pause at this cycle (epoch boundaries by convention) and write "
+     "the snapshot named by --checkpoint (single benchmark only)"},
+    {"checkpoint", FlagKind::String, "",
+     "snapshot file to write at --checkpoint-at"},
+    {"resume", FlagKind::String, "",
+     "resume a run from this snapshot file; the snapshot pins the "
+     "benchmark/technique/options, so identity flags are ignored — "
+     "re-specify --trace/--metrics exactly as on the captured run"},
 };
+
+/** Slurp @p path; @return false when the file cannot be read. */
+bool
+readFile(const std::string& path, std::string& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
 
 } // namespace
 
@@ -158,44 +183,103 @@ main(int argc, char** argv)
     opts.breakEven = static_cast<Cycle>(args.getInt("bet"));
     opts.wakeupDelay = static_cast<Cycle>(args.getInt("wakeup"));
 
-    GpuConfig config = makeConfig(tech, opts);
+    // The run's identity: the (bench, technique, options) cell plus the
+    // config overrides. A written checkpoint records exactly this block
+    // so a later `--resume` can rebuild the same config and workload.
+    serve::wire::SnapshotIdentity ident;
+    ident.bench = args.getString("bench");
+    ident.technique = tech;
+    ident.options = opts;
     if (args.given("scheduler")) {
-        if (!findScheduler(args.getString("scheduler"),
-                           config.sm.scheduler)) {
+        SchedulerPolicy p;
+        if (!findScheduler(args.getString("scheduler"), p)) {
             std::fprintf(stderr, "unknown scheduler '%s'\n",
                          args.getString("scheduler").c_str());
             return 2;
         }
+        ident.schedulerOverride = args.getString("scheduler");
     }
     if (args.given("pg")) {
-        if (!findPolicy(args.getString("pg"), config.sm.pg.policy)) {
+        PgPolicy p;
+        if (!findPolicy(args.getString("pg"), p)) {
             std::fprintf(stderr, "unknown pg policy '%s'\n",
                          args.getString("pg").c_str());
             return 2;
         }
+        ident.pgOverride = args.getString("pg");
     }
-    if (args.getBool("adaptive"))
-        config.sm.pg.adaptiveIdleDetect = true;
-    if (args.getBool("gate-sfu"))
-        config.sm.pg.gateSfu = true;
-    if (args.getBool("no-fastforward"))
-        config.sm.fastForward = false;
+    ident.adaptiveOverride = args.getBool("adaptive");
+    ident.gateSfuOverride = args.getBool("gate-sfu");
 
-    // Reject an invalid configuration before simulating anything.
-    {
-        const std::vector<std::string> errors = config.validate();
-        if (!errors.empty()) {
-            for (const std::string& e : errors)
-                std::fprintf(stderr, "wgsim: %s\n", e.c_str());
+    const bool resuming = args.given("resume");
+    const Cycle checkpoint_at =
+        args.getInt("checkpoint-at") > 0
+            ? static_cast<Cycle>(args.getInt("checkpoint-at"))
+            : 0;
+    const bool checkpointing =
+        args.given("checkpoint") || args.given("checkpoint-at");
+    if (checkpointing &&
+        (!args.given("checkpoint") || checkpoint_at == 0)) {
+        std::fprintf(stderr,
+                     "wgsim: --checkpoint and a positive "
+                     "--checkpoint-at must be given together\n");
+        return 2;
+    }
+
+    // On resume the snapshot document is authoritative for the run's
+    // identity; only observer flags (--trace/--metrics) and
+    // --no-fastforward (unobservable in results) still apply.
+    GpuSnapshot resume_snap;
+    if (resuming) {
+        const std::string path = args.getString("resume");
+        std::string text;
+        if (!readFile(path, text)) {
+            std::fprintf(stderr, "wgsim: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        serve::Json doc;
+        std::string error;
+        if (!serve::Json::parse(text, doc, error,
+                                serve::wire::snapshotJsonLimits()) ||
+            !serve::wire::parseSnapshotDoc(doc, ident, resume_snap,
+                                           error)) {
+            std::fprintf(stderr, "wgsim: %s: %s\n", path.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        bool known_bench = false;
+        for (const std::string& b : benchmarkNames())
+            known_bench = known_bench || b == ident.bench;
+        if (!known_bench) {
+            std::fprintf(stderr, "wgsim: %s: unknown benchmark '%s'\n",
+                         path.c_str(), ident.bench.c_str());
             return 2;
         }
     }
 
+    GpuConfig config;
+    {
+        std::string error;
+        if (!serve::wire::snapshotConfig(ident, config, error)) {
+            std::fprintf(stderr, "wgsim: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    if (args.getBool("no-fastforward"))
+        config.sm.fastForward = false;
+
     std::vector<std::string> benches;
-    if (args.getString("bench") == "all")
+    if (!resuming && args.getString("bench") == "all")
         benches = benchmarkNames();
     else
-        benches.push_back(args.getString("bench"));
+        benches.push_back(ident.bench);
+    if ((checkpointing || resuming) && benches.size() != 1) {
+        std::fprintf(stderr,
+                     "--checkpoint/--resume work on one benchmark per "
+                     "run; pick a single --bench\n");
+        return 2;
+    }
 
     trace::SinkFormat trace_format = trace::SinkFormat::Jsonl;
     if (!trace::parseSinkFormat(args.getString("trace-format"),
@@ -243,15 +327,52 @@ main(int argc, char** argv)
     // either way the results are bit-identical.
     ThreadPool* pool =
         args.getBool("serial") ? nullptr : &ThreadPool::global();
-    Gpu gpu(config);
     std::vector<SimResult> results;
     results.reserve(benches.size());
     trace::Collector* coll = tracing ? &collector : nullptr;
-    if (pool == nullptr) {
+    if (checkpointing || resuming) {
+        // Single-benchmark resumable path: open (or restore) a
+        // SimSession, optionally pause at the checkpoint cycle and
+        // write the snapshot instead of finishing.
+        const BenchmarkProfile& profile = findBenchmark(benches[0]);
+        std::unique_ptr<SimSession> session;
+        if (resuming) {
+            std::string error;
+            session = SimSession::restore(resume_snap, profile, config,
+                                          pool, coll, mets, &error);
+            if (session == nullptr) {
+                std::fprintf(stderr, "wgsim: %s: %s\n",
+                             args.getString("resume").c_str(),
+                             error.c_str());
+                return 2;
+            }
+        } else {
+            session = std::make_unique<SimSession>(
+                SimSession::open(profile, config, pool, coll, mets));
+        }
+        if (checkpointing) {
+            session->runUntil(checkpoint_at);
+            if (!session->done()) {
+                const std::string out = args.getString("checkpoint");
+                writeFile(out, serve::wire::snapshotDoc(
+                                   ident, session->snapshot())
+                                       .dump() +
+                                   "\n");
+                inform("wrote ", out, " (checkpoint at cycle ",
+                       checkpoint_at, ")");
+                return 0;
+            }
+            inform("benchmark drained before cycle ", checkpoint_at,
+                   "; no checkpoint written, finishing normally");
+        }
+        results.push_back(session->result());
+    } else if (pool == nullptr) {
+        Gpu gpu(config);
         for (const std::string& bench : benches)
             results.push_back(
                 gpu.run(findBenchmark(bench), nullptr, coll, mets));
     } else {
+        Gpu gpu(config);
         std::vector<std::future<SimResult>> futures;
         futures.reserve(benches.size());
         for (const std::string& bench : benches) {
