@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "thread_annotations.hh"
 
 namespace wg {
 
@@ -12,14 +13,15 @@ namespace {
 // Serialises whole formatted lines: thread-pool workers log
 // concurrently, and interleaved fprintf output is useless. Message
 // formatting (detail::concat) happens before the lock is taken.
-std::mutex log_mutex;
+Mutex log_mutex;
 
 // Atomic, not mutex-guarded: tests and benches flip quiet from the
 // main thread while workers are mid-logMessage.
 std::atomic<bool> quiet{false};
 
 // Optional tee; guarded by log_mutex like the stderr stream itself.
-std::function<void(LogLevel, const std::string&)> log_hook;
+std::function<void(LogLevel, const std::string&)> log_hook
+    WG_GUARDED_BY(log_mutex);
 
 const char*
 prefix(LogLevel level)
@@ -50,7 +52,7 @@ isQuiet()
 void
 setLogHook(std::function<void(LogLevel, const std::string&)> hook)
 {
-    std::lock_guard<std::mutex> lock(log_mutex);
+    MutexLock lock(log_mutex);
     log_hook = std::move(hook);
 }
 
@@ -58,7 +60,7 @@ void
 logMessage(LogLevel level, const std::string& msg)
 {
     {
-        std::lock_guard<std::mutex> lock(log_mutex);
+        MutexLock lock(log_mutex);
         if (log_hook)
             log_hook(level, msg);
         if (level != LogLevel::Inform || !isQuiet())

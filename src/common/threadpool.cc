@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     for (std::thread& t : workers_)
         t.join();
 }
@@ -55,7 +55,7 @@ void
 ThreadPool::enqueue(std::function<void()> fn)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         // Draining rejects *external* work only: a running task's
         // nested fan-out (per-SM jobs of an in-flight simulation) must
         // still land, or the drain could never finish (see drain()).
@@ -69,7 +69,7 @@ ThreadPool::enqueue(std::function<void()> fn)
                                  : (next_++ % deques_.size());
         deques_[target].push_back(std::move(fn));
     }
-    cv_.notify_one();
+    cv_.notifyOne();
 }
 
 bool
@@ -99,7 +99,7 @@ ThreadPool::tryRunOne()
 {
     std::function<void()> task;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         unsigned preferred = (tls_pool == this) ? tls_index : 0;
         if (!popTask(preferred, task))
             return false;
@@ -131,7 +131,7 @@ ThreadPool::finishTask()
 {
     bool quiescent = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         --active_;
         quiescent = draining_ && active_ == 0 && !pendingLocked();
     }
@@ -139,7 +139,7 @@ ThreadPool::finishTask()
     // out can satisfy it; skipping the notify otherwise keeps the
     // per-task overhead at one uncontended decrement.
     if (quiescent)
-        drain_cv_.notify_all();
+        drain_cv_.notifyAll();
 }
 
 bool
@@ -156,17 +156,16 @@ ThreadPool::drain()
 {
     if (tls_pool == this)
         panic("ThreadPool::drain called from inside a pool task");
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
-    drain_cv_.wait(lock, [this] {
-        return active_ == 0 && !pendingLocked();
-    });
+    while (active_ != 0 || pendingLocked())
+        drain_cv_.wait(lock);
 }
 
 bool
 ThreadPool::draining() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return draining_;
 }
 
@@ -179,7 +178,7 @@ ThreadPool::stats() const
         static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
         1e-9;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         for (const auto& d : deques_)
             s.queueDepth += d.size();
         s.active = active_;
@@ -212,15 +211,9 @@ ThreadPool::workerLoop(unsigned index)
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this, index] {
-                if (stop_)
-                    return true;
-                for (const auto& d : deques_)
-                    if (!d.empty())
-                        return true;
-                return false;
-            });
+            MutexLock lock(mu_);
+            while (!stop_ && !pendingLocked())
+                cv_.wait(lock);
             if (stop_ && !popTask(index, task))
                 return;
             if (!task && !popTask(index, task))

@@ -21,16 +21,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace wg {
 
@@ -156,23 +156,26 @@ class ThreadPool
     void runTask(std::function<void()>& task);
     void finishTask();
     void workerLoop(unsigned index);
-    bool popTask(unsigned preferred, std::function<void()>& out);
-    bool pendingLocked() const;
+    bool popTask(unsigned preferred, std::function<void()>& out)
+        WG_REQUIRES(mu_);
+    bool pendingLocked() const WG_REQUIRES(mu_);
     void helpWhile(const std::function<bool()>& busy);
 
     // One deque per worker. A coarse lock keeps the stealing protocol
     // simple (contention is negligible next to a simulation task);
     // the per-worker split still gives submit/steal locality.
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::vector<std::deque<std::function<void()>>> deques_;
+    mutable Mutex mu_;
+    CondVar cv_;
+    std::vector<std::deque<std::function<void()>>> deques_ WG_GUARDED_BY(mu_);
     std::vector<std::thread> workers_;
-    std::size_t next_ = 0; ///< round-robin target for external submits
-    bool stop_ = false;
-    bool draining_ = false;     ///< drain() begun; external submits throw
-    std::size_t active_ = 0;    ///< tasks currently executing
-    std::uint64_t steals_ = 0;  ///< cross-deque pops (guarded by mu_)
-    std::condition_variable drain_cv_; ///< signalled as tasks finish
+    std::size_t next_ WG_GUARDED_BY(mu_) =
+        0; ///< round-robin target for external submits
+    bool stop_ WG_GUARDED_BY(mu_) = false;
+    bool draining_ WG_GUARDED_BY(mu_) =
+        false; ///< drain() begun; external submits throw
+    std::size_t active_ WG_GUARDED_BY(mu_) = 0; ///< tasks currently executing
+    std::uint64_t steals_ WG_GUARDED_BY(mu_) = 0; ///< cross-deque pops
+    CondVar drain_cv_; ///< signalled as tasks finish
 
     // Self-profiling counters; relaxed atomics, the two are not a
     // consistent pair (see stats()).

@@ -98,7 +98,7 @@ ExperimentRunner::runInternal(
         }
     }
 
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = cache_.try_emplace(k);
     CacheEntry& entry = it->second;
     if (!inserted) {
@@ -110,7 +110,8 @@ ExperimentRunner::runInternal(
         // The waiter count keeps this node safe from eviction between
         // the owner's notify and this thread actually waking up.
         ++entry.waiters;
-        ready_cv_.wait(lock, [&entry] { return entry.ready; });
+        while (!entry.ready)
+            ready_cv_.wait(lock);
         --entry.waiters;
         if (entry.truncated)
             warn("experiment ", k,
@@ -147,7 +148,7 @@ ExperimentRunner::runInternal(
     if (truncated)
         warn("experiment ", k, " hit maxCycles before draining");
 
-    lock.lock();
+    lock.relock();
     entry.result = std::make_shared<SimResult>(std::move(result));
     entry.series = series;
     entry.truncated = truncated;
@@ -168,19 +169,18 @@ ExperimentRunner::runInternal(
         *series_out = entry.series;
     enforceLimitsLocked();
     lock.unlock();
-    ready_cv_.notify_all();
+    ready_cv_.notifyAll();
     return out;
 }
 
 void
 ExperimentRunner::enforceLimitsLocked()
 {
-    auto overLimit = [this] {
-        return (limits_.maxEntries != 0 &&
-                stats_.entries > limits_.maxEntries) ||
-               (limits_.maxBytes != 0 && stats_.bytes > limits_.maxBytes);
-    };
-    while (overLimit()) {
+    // Condition inlined (not a lambda): clang's thread-safety analysis
+    // treats a lambda as a separate function that cannot see mu_ held.
+    while ((limits_.maxEntries != 0 &&
+            stats_.entries > limits_.maxEntries) ||
+           (limits_.maxBytes != 0 && stats_.bytes > limits_.maxBytes)) {
         // LRU scan. The map stays small (it is capped); a heap would
         // only complicate the pinned/in-flight exclusions.
         auto victim = cache_.end();
@@ -209,7 +209,7 @@ ExperimentRunner::seedCache(
 {
     const ExperimentOptions& opts = options ? *options : opts_;
     const std::string k = key(bench, t, opts);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = cache_.try_emplace(k);
     if (!inserted)
         return false; // computed (or computing) locally; keep that
@@ -228,7 +228,7 @@ ExperimentRunner::seedCache(
 void
 ExperimentRunner::setCacheLimits(const CacheLimits& limits)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     limits_ = limits;
     enforceLimitsLocked();
 }
@@ -236,7 +236,7 @@ ExperimentRunner::setCacheLimits(const CacheLimits& limits)
 CacheStats
 ExperimentRunner::cacheStats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
 }
 

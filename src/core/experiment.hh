@@ -15,15 +15,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/threadpool.hh"
 #include "core/presets.hh"
 #include "metrics/sampler.hh"
@@ -224,16 +223,16 @@ class ExperimentRunner
                 std::shared_ptr<const metrics::EpochSeries>* series_out);
 
     /** Evict LRU entries until within limits_ (requires mu_ held). */
-    void enforceLimitsLocked();
+    void enforceLimitsLocked() WG_REQUIRES(mu_);
 
     ExperimentOptions opts_;
     ThreadPool* pool_;
-    mutable std::mutex mu_;
-    std::condition_variable ready_cv_;
-    std::map<std::string, CacheEntry> cache_;
-    CacheLimits limits_;
-    CacheStats stats_;          ///< entries/bytes kept current
-    std::uint64_t use_tick_ = 0;
+    mutable Mutex mu_;
+    CondVar ready_cv_;
+    std::map<std::string, CacheEntry> cache_ WG_GUARDED_BY(mu_);
+    CacheLimits limits_ WG_GUARDED_BY(mu_);
+    CacheStats stats_ WG_GUARDED_BY(mu_); ///< entries/bytes kept current
+    std::uint64_t use_tick_ WG_GUARDED_BY(mu_) = 0;
 };
 
 /**

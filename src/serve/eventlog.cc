@@ -50,7 +50,7 @@ bool
 EventLog::open(const std::string& path, const Options& opts,
                std::string& error)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out_.open(path, std::ios::app);
     if (!out_) {
         error = "cannot open event log '" + path + "' for appending";
@@ -69,7 +69,7 @@ EventLog::open(const std::string& path, const Options& opts,
 bool
 EventLog::enabled() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return enabled_;
 }
 
@@ -78,7 +78,7 @@ EventLog::log(Level level, const std::string& event,
               std::initializer_list<std::pair<const char*, std::string>>
                   fields)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!enabled_)
         return;
     if (level < opts_.level) {
@@ -122,7 +122,7 @@ EventLog::log(Level level, const std::string& event,
 EventLog::Counters
 EventLog::counters() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return counters_;
 }
 

@@ -24,9 +24,10 @@
 #include <fstream>
 #include <functional>
 #include <initializer_list>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "common/thread_annotations.hh"
 
 namespace wg::serve {
 
@@ -79,14 +80,16 @@ class EventLog
     Counters counters() const;
 
   private:
-    mutable std::mutex mu_;
-    std::ofstream out_;
-    Options opts_;
-    bool enabled_ = false;
-    std::uint64_t open_ms_ = 0;     ///< clock at open(); tMs baseline
-    std::uint64_t window_sec_ = 0;  ///< rate-limit window index
-    std::uint64_t window_count_ = 0;
-    Counters counters_;
+    mutable Mutex mu_;
+    std::ofstream out_ WG_GUARDED_BY(mu_);
+    Options opts_ WG_GUARDED_BY(mu_);
+    bool enabled_ WG_GUARDED_BY(mu_) = false;
+    std::uint64_t open_ms_ WG_GUARDED_BY(mu_) =
+        0; ///< clock at open(); tMs baseline
+    std::uint64_t window_sec_ WG_GUARDED_BY(mu_) =
+        0; ///< rate-limit window index
+    std::uint64_t window_count_ WG_GUARDED_BY(mu_) = 0;
+    Counters counters_ WG_GUARDED_BY(mu_);
 };
 
 } // namespace wg::serve

@@ -49,7 +49,7 @@ JobManager::JobManager(ExperimentRunner& runner, JobConfig config)
 JobManager::~JobManager()
 {
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stopping_ = true;
         draining_ = true;
         // Queued jobs are abandoned (Cancelled); running jobs must
@@ -62,8 +62,9 @@ JobManager::~JobManager()
                 finishSubscribersLocked(*job);
             }
         }
-        dispatch_cv_.notify_all();
-        idle_cv_.wait(lock, [this] { return running_ == 0; });
+        dispatch_cv_.notifyAll();
+        while (running_ != 0)
+            idle_cv_.wait(lock);
     }
     dispatcher_.join();
 }
@@ -117,7 +118,7 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
     SubmitOutcome out;
     std::string error;
     if (!validateSpec(spec, error)) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++rejected_;
         out.error = error;
         logEvent(EventLog::Level::Warn, "submitRejected",
@@ -126,7 +127,7 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
     }
     const std::string key = wire::canonicalKey(spec);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (priority >= config_.numPriorities) {
         ++rejected_;
         out.error = "priority must be in [0, " +
@@ -156,7 +157,7 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
             if (job.state == JobState::Queued &&
                 priority > job.priority) {
                 job.priority = priority;
-                dispatch_cv_.notify_all();
+                dispatch_cv_.notifyAll();
             }
             ++dedupHits_;
             out.ok = true;
@@ -190,7 +191,7 @@ JobManager::submit(const SweepSpec& spec, unsigned priority)
     dedup_[key] = job->id;
     ++queued_;
     ++submitted_;
-    dispatch_cv_.notify_all();
+    dispatch_cv_.notifyAll();
     out.ok = true;
     out.id = job->id;
     logEvent(EventLog::Level::Info, "jobSubmitted",
@@ -218,7 +219,7 @@ JobManager::snapshotLocked(const Job& job) const
 std::optional<JobStatus>
 JobManager::status(const std::string& id) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end())
         return std::nullopt;
@@ -228,7 +229,7 @@ JobManager::status(const std::string& id) const
 std::vector<JobStatus>
 JobManager::listJobs() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<JobStatus> out;
     out.reserve(order_.size());
     for (const auto& job : order_)
@@ -241,7 +242,7 @@ JobManager::results(const std::string& id, std::vector<JobCell>& out,
                     ExperimentOptions& optsUsed,
                     std::string& error) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         error = "unknown job '" + id + "'";
@@ -263,7 +264,7 @@ JobManager::checkpoint(const std::string& id, SweepSpec& spec,
                        std::vector<JobCell>& cells,
                        std::string& error) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         error = "unknown job '" + id + "'";
@@ -302,7 +303,7 @@ JobManager::seedCells(const std::vector<wire::ResultCell>& cells)
 bool
 JobManager::cancel(const std::string& id, std::string& error)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         error = "unknown job '" + id + "'";
@@ -317,7 +318,7 @@ JobManager::cancel(const std::string& id, std::string& error)
         recordLatenciesLocked(job);
         finishSubscribersLocked(job);
         logEvent(EventLog::Level::Info, "jobCancelled", {{"id", id}});
-        idle_cv_.notify_all();
+        idle_cv_.notifyAll();
         return true;
       case JobState::Running:
         // Takes effect at the job's next cell boundary.
@@ -338,32 +339,32 @@ JobManager::cancel(const std::string& id, std::string& error)
 void
 JobManager::drain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
-    idle_cv_.wait(lock,
-                  [this] { return queued_ == 0 && running_ == 0; });
+    while (queued_ != 0 || running_ != 0)
+        idle_cv_.wait(lock);
 }
 
 bool
 JobManager::draining() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return draining_;
 }
 
 void
 JobManager::pauseDispatch()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     paused_ = true;
 }
 
 void
 JobManager::resumeDispatch()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     paused_ = false;
-    dispatch_cv_.notify_all();
+    dispatch_cv_.notifyAll();
 }
 
 void
@@ -376,7 +377,7 @@ JobManager::publishStats(StatSet& set) const
     const bool havePool = runner_.pool() != nullptr;
     if (havePool)
         pool = runner_.pool()->stats();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     set.set("serve.jobs.submitted", static_cast<double>(submitted_));
     set.set("serve.jobs.deduped", static_cast<double>(dedupHits_));
     set.set("serve.jobs.rejected", static_cast<double>(rejected_));
@@ -438,35 +439,43 @@ JobManager::publishStats(StatSet& set) const
     }
 }
 
+std::shared_ptr<JobManager::Job>
+JobManager::nextQueuedLocked() const
+{
+    // Highest priority wins; FIFO (submit order) within a priority.
+    std::shared_ptr<Job> best;
+    for (const auto& j : order_) {
+        if (j->state != JobState::Queued)
+            continue;
+        if (!best || j->priority > best->priority ||
+            (j->priority == best->priority &&
+             j->submitSeq < best->submitSeq))
+            best = j;
+    }
+    return best;
+}
+
 void
 JobManager::dispatcherLoop()
 {
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            auto nextQueued = [this]() -> std::shared_ptr<Job> {
-                std::shared_ptr<Job> best;
-                for (const auto& j : order_) {
-                    if (j->state != JobState::Queued)
-                        continue;
-                    if (!best || j->priority > best->priority ||
-                        (j->priority == best->priority &&
-                         j->submitSeq < best->submitSeq))
-                        best = j;
-                }
-                return best;
-            };
-            dispatch_cv_.wait(lock, [&] {
+            MutexLock lock(mu_);
+            // Explicit wait loop (not a predicate lambda): clang's
+            // thread-safety analysis cannot see mu_ held inside a
+            // lambda body, so the guarded reads stay inline here.
+            for (;;) {
                 if (stopping_)
-                    return true;
-                return !paused_ &&
-                       running_ < config_.maxConcurrentJobs &&
-                       nextQueued() != nullptr;
-            });
-            if (stopping_)
-                return;
-            job = nextQueued();
+                    return;
+                if (!paused_ &&
+                    running_ < config_.maxConcurrentJobs) {
+                    job = nextQueuedLocked();
+                    if (job != nullptr)
+                        break;
+                }
+                dispatch_cv_.wait(lock);
+            }
             job->state = JobState::Running;
             job->startSeq = ++start_tick_;
             job->startTime = std::chrono::steady_clock::now();
@@ -487,12 +496,12 @@ JobManager::dispatcherLoop()
         } catch (const std::exception& e) {
             // Pool already draining (shutdown race): fail the job
             // instead of losing it silently.
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             job->state = JobState::Failed;
             job->error = e.what();
             ++failed_;
             --running_;
-            idle_cv_.notify_all();
+            idle_cv_.notifyAll();
         }
     }
 }
@@ -507,7 +516,7 @@ JobManager::runJob(std::shared_ptr<Job> job)
         for (const std::string& bench : job->spec.benches) {
             for (Technique t : job->spec.techniques) {
                 {
-                    std::lock_guard<std::mutex> lock(mu_);
+                    MutexLock lock(mu_);
                     if (job->cancelRequested) {
                         cancelled = true;
                         break;
@@ -521,7 +530,7 @@ JobManager::runJob(std::shared_ptr<Job> job)
                 std::vector<std::string> frames = stream::cellFrames(
                     job->id, cellIndex, bench, techniqueName(t),
                     r.series.get(), registry);
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 job->cells.push_back(JobCell{bench, t, r.result});
                 ++job->completedCells;
                 ++cellsCompleted_;
@@ -535,7 +544,7 @@ JobManager::runJob(std::shared_ptr<Job> job)
     } catch (const std::exception& e) {
         failure = e.what();
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!failure.empty()) {
         job->state = JobState::Failed;
         job->error = failure;
@@ -554,14 +563,14 @@ JobManager::runJob(std::shared_ptr<Job> job)
               {"state", jobStateName(job->state)},
               {"cells", std::to_string(job->completedCells)}});
     --running_;
-    dispatch_cv_.notify_all();
-    idle_cv_.notify_all();
+    dispatch_cv_.notifyAll();
+    idle_cv_.notifyAll();
 }
 
 std::shared_ptr<Subscription>
 JobManager::subscribe(const std::string& id, std::string& error)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         error = "unknown job '" + id + "'";
@@ -602,7 +611,7 @@ JobManager::unsubscribe(const std::shared_ptr<Subscription>& sub)
 {
     if (sub == nullptr)
         return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (sub->closed)
         return;
     sub->closed = true;
@@ -620,7 +629,7 @@ JobManager::unsubscribe(const std::shared_ptr<Subscription>& sub)
 bool
 JobManager::nextFrame(Subscription& sub, std::string& out)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (sub.queue.empty())
         return false;
     out = std::move(sub.queue.front());
@@ -631,14 +640,14 @@ JobManager::nextFrame(Subscription& sub, std::string& out)
 bool
 JobManager::subscriptionDone(const Subscription& sub) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sub.terminal && sub.queue.empty();
 }
 
 LatencySnapshot
 JobManager::latencySnapshot() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LatencySnapshot snap;
     snap.admissionWait = admissionWait_;
     snap.runDuration = runDuration_;

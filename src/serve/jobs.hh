@@ -26,18 +26,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/thread_annotations.hh"
 #include "common/stats.hh"
 #include "core/experiment.hh"
 #include "serve/eventlog.hh"
@@ -277,25 +276,28 @@ class JobManager
         std::chrono::steady_clock::time_point startTime{};
     };
 
-    JobStatus snapshotLocked(const Job& job) const;
+    JobStatus snapshotLocked(const Job& job) const WG_REQUIRES(mu_);
+    /** Highest-priority, oldest queued job; null when none. */
+    std::shared_ptr<Job> nextQueuedLocked() const WG_REQUIRES(mu_);
     void dispatcherLoop();
     void runJob(std::shared_ptr<Job> job);
     bool validateSpec(const SweepSpec& spec, std::string& error) const;
 
     /** Push one frame into @p sub; @p force bypasses the queue cap. */
     void enqueueFrameLocked(Subscription& sub, const std::string& frame,
-                            bool force);
+                            bool force) WG_REQUIRES(mu_);
     /** Append @p frames to the job's log and fan out to subscribers. */
     void publishFramesLocked(Job& job,
-                             const std::vector<std::string>& frames);
+                             const std::vector<std::string>& frames)
+        WG_REQUIRES(mu_);
     /** Fan a progress frame out to the job's subscribers. */
-    void publishProgressLocked(Job& job);
+    void publishProgressLocked(Job& job) WG_REQUIRES(mu_);
     /** Enqueue the terminal result frame on every live subscriber. */
-    void finishSubscribersLocked(Job& job);
+    void finishSubscribersLocked(Job& job) WG_REQUIRES(mu_);
     /** Throughput-derived ETA in ms; < 0 when unknowable. */
-    double etaMsLocked(const Job& job) const;
+    double etaMsLocked(const Job& job) const WG_REQUIRES(mu_);
     /** Record terminal-transition latencies for @p job. */
-    void recordLatenciesLocked(Job& job);
+    void recordLatenciesLocked(Job& job) WG_REQUIRES(mu_);
     void logEvent(EventLog::Level level, const std::string& event,
                   std::initializer_list<
                       std::pair<const char*, std::string>>
@@ -304,41 +306,44 @@ class JobManager
     ExperimentRunner& runner_;
     JobConfig config_;
 
-    mutable std::mutex mu_;
-    std::condition_variable dispatch_cv_; ///< dispatcher wakeups
-    std::condition_variable idle_cv_;     ///< drain/destructor waits
+    mutable Mutex mu_;
+    CondVar dispatch_cv_; ///< dispatcher wakeups
+    CondVar idle_cv_;     ///< drain/destructor waits
 
-    std::map<std::string, std::shared_ptr<Job>> jobs_; ///< by id
-    std::vector<std::shared_ptr<Job>> order_;          ///< submission order
-    std::map<std::string, std::string> dedup_;  ///< canonical key -> id
+    std::map<std::string, std::shared_ptr<Job>> jobs_
+        WG_GUARDED_BY(mu_); ///< by id
+    std::vector<std::shared_ptr<Job>> order_
+        WG_GUARDED_BY(mu_); ///< submission order
+    std::map<std::string, std::string> dedup_
+        WG_GUARDED_BY(mu_); ///< canonical key -> id
 
-    std::uint64_t next_id_ = 1;
-    std::uint64_t submit_tick_ = 0;
-    std::uint64_t start_tick_ = 0;
-    std::size_t queued_ = 0;
-    std::size_t running_ = 0;
-    bool draining_ = false;
-    bool stopping_ = false;
-    bool paused_ = false;
+    std::uint64_t next_id_ WG_GUARDED_BY(mu_) = 1;
+    std::uint64_t submit_tick_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t start_tick_ WG_GUARDED_BY(mu_) = 0;
+    std::size_t queued_ WG_GUARDED_BY(mu_) = 0;
+    std::size_t running_ WG_GUARDED_BY(mu_) = 0;
+    bool draining_ WG_GUARDED_BY(mu_) = false;
+    bool stopping_ WG_GUARDED_BY(mu_) = false;
+    bool paused_ WG_GUARDED_BY(mu_) = false;
 
-    // Lifetime counters for publishStats (guarded by mu_).
-    std::uint64_t submitted_ = 0;
-    std::uint64_t dedupHits_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t completed_ = 0;
-    std::uint64_t cancelled_ = 0;
-    std::uint64_t failed_ = 0;
-    std::uint64_t cellsCompleted_ = 0;
+    // Lifetime counters for publishStats.
+    std::uint64_t submitted_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t dedupHits_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t rejected_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t completed_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t cancelled_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t failed_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t cellsCompleted_ WG_GUARDED_BY(mu_) = 0;
 
-    // Subscription accounting (guarded by mu_).
-    std::uint64_t subsOpened_ = 0;
-    std::uint64_t subsClosed_ = 0;
-    std::uint64_t droppedFramesTotal_ = 0;
+    // Subscription accounting.
+    std::uint64_t subsOpened_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t subsClosed_ WG_GUARDED_BY(mu_) = 0;
+    std::uint64_t droppedFramesTotal_ WG_GUARDED_BY(mu_) = 0;
 
-    // Latency histograms (guarded by mu_; seconds).
-    LatencyHistogram admissionWait_;
-    LatencyHistogram runDuration_;
-    LatencyHistogram endToEnd_;
+    // Latency histograms (seconds).
+    LatencyHistogram admissionWait_ WG_GUARDED_BY(mu_);
+    LatencyHistogram runDuration_ WG_GUARDED_BY(mu_);
+    LatencyHistogram endToEnd_ WG_GUARDED_BY(mu_);
 
     std::thread dispatcher_;
 };

@@ -21,7 +21,7 @@ Server::~Server()
 {
     // serve() joins its connections before returning; anything left
     // here means serve() was never called (start()-only tests).
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     stopping_.store(true);
     for (std::thread& t : connections_)
         t.join();
@@ -214,7 +214,7 @@ Server::serve(int wakeFd, std::string& error)
                 warn("wgservd: ", acceptError);
             continue;
         }
-        std::lock_guard<std::mutex> lock(conn_mu_);
+        MutexLock lock(conn_mu_);
         int raw = conn.release();
         connections_.emplace_back(
             [this, raw] { connectionLoop(raw); });
@@ -226,7 +226,7 @@ Server::serve(int wakeFd, std::string& error)
     // existing ones notice stopping_ within a poll tick.
     std::vector<std::thread> conns;
     {
-        std::lock_guard<std::mutex> lock(conn_mu_);
+        MutexLock lock(conn_mu_);
         conns.swap(connections_);
     }
     for (std::thread& t : conns)

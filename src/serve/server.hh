@@ -25,11 +25,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "core/experiment.hh"
 #include "serve/jobs.hh"
 #include "serve/net.hh"
@@ -88,8 +88,8 @@ class Server
     Fd stop_wr_;
     std::atomic<bool> stopping_{false};
 
-    std::mutex conn_mu_;
-    std::vector<std::thread> connections_;
+    Mutex conn_mu_;
+    std::vector<std::thread> connections_ WG_GUARDED_BY(conn_mu_);
 };
 
 } // namespace wg::serve

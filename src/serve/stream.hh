@@ -20,6 +20,12 @@
  * cell's meta/epoch/final frames reproduces the offline
  * `wgsim --metrics` jsonl export byte-for-byte, because both sides are
  * built from the same metrics::jsonl*Line() builders.
+ *
+ * Thread safety: every builder here is a pure function of its
+ * arguments — no shared mutable state, no capabilities to annotate
+ * (see common/thread_annotations.hh). JobManager calls them from
+ * worker threads outside its lock precisely because of this; keep new
+ * builders stateless or they move under the manager's mu_.
  */
 
 #pragma once

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Seeded thread-safety violation proving the clang analysis gate can
+ * fail (the -Wthread-safety twin of sanitizer_canary.cc).
+ *
+ * The counter below is WG_GUARDED_BY its mutex but bumped without
+ * taking it — exactly the bug class the annotation rollout exists to
+ * catch. Under the clang-tsa preset (-Werror=thread-safety) this file
+ * does not COMPILE; CI builds the target expecting failure, so an
+ * analysis that silently stops firing (a broken macro expansion, a
+ * compiler flag lost in a refactor) turns the job red. The target is
+ * EXCLUDE_FROM_ALL and never built outside that check.
+ */
+
+#include <cstdio>
+
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Canary
+{
+  public:
+    // Seeded violation: writes counter_ without holding mu_. Under
+    // -Wthread-safety this is a guaranteed diagnostic; -Werror makes
+    // it fatal.
+    void bumpUnlocked() { ++counter_; }
+
+    long read()
+    {
+        wg::MutexLock lock(mu_);
+        return counter_;
+    }
+
+  private:
+    wg::Mutex mu_;
+    long counter_ WG_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char**)
+{
+    Canary canary;
+    for (int i = 0; i < argc; ++i)
+        canary.bumpUnlocked();
+    std::printf("%ld\n", canary.read());
+    return 0;
+}

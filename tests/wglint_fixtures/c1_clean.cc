@@ -1,0 +1,17 @@
+// The sanctioned shape: the mutex is only ever held through a RAII
+// guard, so every exit path releases it.
+#include <mutex>
+
+class C1RaiiLocker
+{
+  public:
+    void bump()
+    {
+        std::lock_guard<std::mutex> hold(c1c_mu_);
+        ++count_;
+    }
+
+  private:
+    std::mutex c1c_mu_;
+    long count_ = 0;
+};

@@ -1,0 +1,19 @@
+// Raw lock()/unlock() on a mutex-typed member: an early return or an
+// exception between the two calls leaks the lock, which is exactly
+// what the RAII wrappers exist to prevent.
+#include <mutex>
+
+class C1RawLocker
+{
+  public:
+    void bump()
+    {
+        c1v_mu_.lock();
+        ++value_;
+        c1v_mu_.unlock();
+    }
+
+  private:
+    std::mutex c1v_mu_;
+    long value_ = 0;
+};

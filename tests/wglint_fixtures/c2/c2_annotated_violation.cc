@@ -1,0 +1,16 @@
+// A WG_GUARDED_BY annotation alone (no guarded write anywhere) is
+// enough to make a field a candidate: the annotation is the contract,
+// and the unlocked write in reset() breaks it.
+#define WG_GUARDED_BY(x)
+
+#include <mutex>
+
+class C2AnnotatedRacy
+{
+  public:
+    void reset() { ar_count_ = 0; }
+
+  private:
+    std::mutex ar_mu_;
+    long ar_count_ WG_GUARDED_BY(ar_mu_) = 0;
+};

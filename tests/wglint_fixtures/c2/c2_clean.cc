@@ -1,0 +1,25 @@
+// The caller-holds-the-lock contract: *Locked helpers may write the
+// guarded field without taking the mutex themselves, because every
+// caller already holds it.
+#include <mutex>
+
+class C2CleanGauge
+{
+  public:
+    void set(long v)
+    {
+        std::lock_guard<std::mutex> hold(g2_mu_);
+        g2_total_ = v;
+    }
+    void add(long v)
+    {
+        std::lock_guard<std::mutex> hold(g2_mu_);
+        addLocked(v);
+    }
+
+  private:
+    void addLocked(long v) { g2_total_ += v; }
+
+    std::mutex g2_mu_;
+    long g2_total_ = 0;
+};

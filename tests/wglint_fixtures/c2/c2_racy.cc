@@ -1,0 +1,11 @@
+// The drift: writes the field the other translation unit guards, with
+// no RAII guard, no WG_REQUIRES contract, and no *Locked name. Linted
+// alone this file is clean — the guarded sibling is out of view —
+// which is the masking the cross-file index exists to defeat.
+#include "c2_state.hh"
+
+void
+C2SharedCounter::bumpRacy()
+{
+    ++c2_hits_;
+}

@@ -1,0 +1,12 @@
+// The disciplined half: establishes that C2SharedCounter::c2_hits_ is
+// a lock-guarded field by only ever writing it under the mutex.
+#include <mutex>
+
+#include "c2_state.hh"
+
+void
+C2SharedCounter::bumpSafely()
+{
+    std::lock_guard<std::mutex> hold(c2_mu_);
+    ++c2_hits_;
+}

@@ -1,0 +1,20 @@
+#pragma once
+
+// Cross-TU lock-discipline fixture: the safe writer (c2_safe.cc)
+// takes c2_mu_ before touching c2_hits_; the racy writer (c2_racy.cc)
+// does not. Each translation unit is individually plausible — only a
+// whole-tree lint that merges both definitions against this class can
+// see the drift.
+#include <mutex>
+
+class C2SharedCounter
+{
+  public:
+    void bumpSafely();
+    void bumpRacy();
+    long peek() const { return c2_hits_; }
+
+  private:
+    mutable std::mutex c2_mu_;
+    long c2_hits_ = 0;
+};

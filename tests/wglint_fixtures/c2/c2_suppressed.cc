@@ -1,0 +1,21 @@
+// An unlocked write in a reviewed single-threaded phase: the
+// suppression records the claim that no concurrent reader exists yet.
+#include <mutex>
+
+class C2QuietCounter
+{
+  public:
+    void bump()
+    {
+        std::lock_guard<std::mutex> hold(q2_mu_);
+        ++q2_count_;
+    }
+    void warmupReset()
+    {
+        q2_count_ = 0; // wglint:allow(C2)
+    }
+
+  private:
+    std::mutex q2_mu_;
+    long q2_count_ = 0;
+};

@@ -1,0 +1,9 @@
+// Same recovery contract for character literals: the unterminated
+// glyph ends at end of line, and the banned call below is still seen.
+static const char xfnBrokenGlyph = 'x;
+
+long
+xfnMalformedCharTail()
+{
+    return rand();
+}

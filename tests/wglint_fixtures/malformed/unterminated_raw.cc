@@ -1,0 +1,7 @@
+// A raw string with a delimiter that never reappears legitimately
+// runs to end of file: everything below the opener is literal text,
+// so the banned identifiers inside it must NOT be reported.
+static const char* xfnRawTail = R"wg(
+rand();
+random_device entropySource;
+the )wg closer above lacks the quote, so the literal never terminates

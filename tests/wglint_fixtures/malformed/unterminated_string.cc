@@ -1,0 +1,10 @@
+// Tokenizer-hardening fixture: the string literal below never closes.
+// Recovery must terminate it at end of line so the banned call two
+// statements later is still seen instead of being swallowed.
+static const char* xfnBrokenBanner = "this banner never closes;
+
+long
+xfnMalformedStringTail()
+{
+    return rand();
+}

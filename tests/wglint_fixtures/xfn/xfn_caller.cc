@@ -1,0 +1,12 @@
+// Cross-function nondeterminism chain, top half: this translation
+// unit contains no banned identifier at all. A per-file (v1) scan is
+// provably clean here; only the interprocedural taint pass can see
+// that xfnResultPath's output depends on rand() two hops away in
+// xfn_helper.cc.
+long xfnMiddleHop();
+
+long
+xfnResultPath()
+{
+    return xfnMiddleHop() * 2;
+}

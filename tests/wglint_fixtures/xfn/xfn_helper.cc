@@ -1,0 +1,17 @@
+// Cross-function nondeterminism chain, bottom half. The direct source
+// lives in xfnEntropyHelper; xfnMiddleHop is the hop other fixture
+// files call, so taint has to cross a function boundary here and a
+// translation-unit boundary to reach xfn_caller.cc.
+#include <cstdlib>
+
+long
+xfnEntropyHelper()
+{
+    return rand();
+}
+
+long
+xfnMiddleHop()
+{
+    return xfnEntropyHelper() + 1;
+}

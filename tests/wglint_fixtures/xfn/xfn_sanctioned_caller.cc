@@ -1,0 +1,9 @@
+// Calls a helper whose direct nondeterminism site is suppressed:
+// linted together with xfn_sanctioned_helper.cc this must stay clean.
+long xfnSanctionedTimer();
+
+long
+xfnSanctionedUse()
+{
+    return xfnSanctionedTimer() + 1;
+}

@@ -1,0 +1,10 @@
+// The direct site itself carries the suppression, so the helper is
+// sanctioned at the source: it never becomes a taint seed and callers
+// in any translation unit inherit the reviewed claim.
+#include <cstdlib>
+
+long
+xfnSanctionedTimer()
+{
+    return rand(); // wglint:allow(D1)
+}

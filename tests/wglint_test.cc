@@ -66,7 +66,8 @@ totalRecords(const std::string& output)
 {
     return countRule(output, "D1") + countRule(output, "D2") +
            countRule(output, "D3") + countRule(output, "D4") +
-           countRule(output, "D5") + countRule(output, "H1");
+           countRule(output, "D5") + countRule(output, "C1") +
+           countRule(output, "C2") + countRule(output, "H1");
 }
 
 LintRun
@@ -301,11 +302,12 @@ TEST(Wglint, WholeFixtureTreeFindsEveryRule)
     auto run = runWglint("--format=jsonl " +
                          std::string(WGLINT_FIXTURE_DIR));
     EXPECT_EQ(run.exitCode, 1) << run.output;
-    // D3/D5 are absent on purpose: linting the whole fixture tree
-    // merges each rule's clean codec/registry bodies into the same
-    // cross-file index as its violating fixture, masking the drift —
-    // which is exactly why those fixtures are linted one at a time.
-    for (const char* rule : {"D1", "D2", "D4", "H1"})
+    // D5 is absent on purpose: linting the whole fixture tree merges
+    // the clean codec bodies into the same cross-file index as the
+    // violating fixture, masking the drift — which is exactly why the
+    // D3/D5 fixtures are linted one at a time. (One D3 survives the
+    // merge: PgDomainStats' member-merge drift has no clean twin.)
+    for (const char* rule : {"D1", "D2", "D4", "C1", "C2", "H1"})
         EXPECT_GE(countRule(run.output, rule), 1)
             << rule << "\n" << run.output;
 }
@@ -344,7 +346,202 @@ TEST(Wglint, ListRulesNamesEveryRule)
 {
     auto run = runWglint("--list-rules");
     EXPECT_EQ(run.exitCode, 0) << run.output;
-    for (const char* rule : {"D1", "D2", "D3", "D4", "D5", "H1"})
+    for (const char* rule : {"D1", "D2", "D3", "D4", "D5", "C1", "C2",
+                             "H1"})
         EXPECT_NE(run.output.find(rule), std::string::npos)
             << rule << "\n" << run.output;
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural D1: taint crossing function and TU boundaries
+// ---------------------------------------------------------------------
+
+TEST(Wglint, XfnInterproceduralD1FlagsCrossFileCaller)
+{
+    // xfn_caller.cc has no banned identifier anywhere; only the taint
+    // chain through xfn_helper.cc can implicate it.
+    auto run = runWglint("--format=jsonl " +
+                         fixture("xfn/xfn_helper.cc") + " " +
+                         fixture("xfn/xfn_caller.cc"));
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 3) << run.output;
+    EXPECT_NE(run.output.find("xfn_caller.cc"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find(
+                  "xfnMiddleHop -> xfnEntropyHelper -> rand"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, XfnV1ModeProvablyMissesCrossFunctionTaint)
+{
+    // The same pair under --no-interprocedural (the per-file v1
+    // behaviour) sees only the direct rand() site: the cross-file
+    // caller is provably invisible to a per-file scan.
+    auto run = runWglint("--no-interprocedural --format=jsonl " +
+                         fixture("xfn/xfn_helper.cc") + " " +
+                         fixture("xfn/xfn_caller.cc"));
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 1) << run.output;
+    EXPECT_EQ(run.output.find("xfn_caller.cc"), std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, XfnSuppressedCallSiteStopsPropagation)
+{
+    auto run = runWglint("--format=jsonl " +
+                         fixture("xfn/xfn_helper.cc") + " " +
+                         fixture("xfn/xfn_suppressed.cc"));
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 2) << run.output;
+    EXPECT_EQ(run.output.find("xfn_suppressed.cc"), std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, XfnSanctionedSourceDoesNotTaint)
+{
+    // Suppressing the direct site sanctions the helper; callers in
+    // other translation units inherit the reviewed claim.
+    auto run = runWglint("--format=jsonl " +
+                         fixture("xfn/xfn_sanctioned_helper.cc") + " " +
+                         fixture("xfn/xfn_sanctioned_caller.cc"));
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+// ---------------------------------------------------------------------
+// C1: raw mutex lock()/unlock() outside RAII wrappers
+// ---------------------------------------------------------------------
+
+TEST(Wglint, C1ViolationFires)
+{
+    auto run = lintFixture("c1_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "C1"), 2) << run.output;
+    EXPECT_NE(run.output.find("raw lock() on mutex 'c1v_mu_'"),
+              std::string::npos)
+        << run.output;
+    EXPECT_EQ(totalRecords(run.output), countRule(run.output, "C1"))
+        << run.output;
+}
+
+TEST(Wglint, C1CleanIsSilent)
+{
+    auto run = lintFixture("c1_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, C1SuppressionHonored)
+{
+    auto run = lintFixture("c1_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+// ---------------------------------------------------------------------
+// C2: cross-TU lock-discipline drift
+// ---------------------------------------------------------------------
+
+TEST(Wglint, C2CrossFileViolationFires)
+{
+    auto run = lintFixture("c2");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "C2"), 2) << run.output;
+    EXPECT_NE(run.output.find("c2_racy.cc"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("unlocked write to 'c2_hits_'"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, C2PerFileLintingMasksCrossFileDrift)
+{
+    // The racy writer alone is clean — the guarded sibling TU is out
+    // of view. This is the drift only the merged index can see, and
+    // the reason the C2 fixtures are linted as a directory above.
+    auto run = lintFixture("c2/c2_racy.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, C2AnnotatedFieldViolationFires)
+{
+    // WG_GUARDED_BY alone (no guarded write anywhere) makes the field
+    // a candidate.
+    auto run = lintFixture("c2/c2_annotated_violation.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "C2"), 1) << run.output;
+    EXPECT_NE(run.output.find("'ar_count_'"), std::string::npos)
+        << run.output;
+}
+
+TEST(Wglint, C2SuppressionHonored)
+{
+    auto run = lintFixture("c2/c2_suppressed.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Wglint, C2CleanIsSilent)
+{
+    // Exercises the *Locked caller-holds-the-lock exemption.
+    auto run = lintFixture("c2/c2_clean.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer hardening: malformed sources must not derail the scan
+// ---------------------------------------------------------------------
+
+TEST(Wglint, MalformedStringLiteralRecoversAtLineEnd)
+{
+    // The unterminated literal must not swallow the rest of the file:
+    // the rand() below it is still reported.
+    auto run = lintFixture("malformed/unterminated_string.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 1) << run.output;
+}
+
+TEST(Wglint, MalformedCharLiteralRecoversAtLineEnd)
+{
+    auto run = lintFixture("malformed/unterminated_char.cc");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_EQ(countRule(run.output, "D1"), 1) << run.output;
+}
+
+TEST(Wglint, UnterminatedRawStringSwallowsTailByDesign)
+{
+    // Raw strings legitimately span lines; with no closing delimiter
+    // the rest of the file is literal text, not code.
+    auto run = lintFixture("malformed/unterminated_raw.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+// ---------------------------------------------------------------------
+// Parallel scan determinism
+// ---------------------------------------------------------------------
+
+TEST(Wglint, ParallelScanMatchesSerialByteForByte)
+{
+    const std::string tree = std::string(WGLINT_FIXTURE_DIR);
+    auto serialText = runWglint("--jobs=1 " + tree);
+    auto parallelText = runWglint("--jobs=4 " + tree);
+    EXPECT_EQ(serialText.exitCode, parallelText.exitCode);
+    EXPECT_EQ(serialText.output, parallelText.output);
+
+    auto serialJson = runWglint("--jobs=1 --format=jsonl " + tree);
+    auto parallelJson = runWglint("--jobs=4 --format=jsonl " + tree);
+    EXPECT_EQ(serialJson.exitCode, parallelJson.exitCode);
+    EXPECT_EQ(serialJson.output, parallelJson.output);
+}
+
+TEST(Wglint, BadJobsValueIsUsageError)
+{
+    EXPECT_EQ(runWglint("--jobs=abc " + fixture("d1_clean.cc")).exitCode,
+              2);
+    EXPECT_EQ(runWglint("--jobs= " + fixture("d1_clean.cc")).exitCode,
+              2);
 }
